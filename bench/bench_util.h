@@ -1,0 +1,73 @@
+// Shared helpers for the Table 1 benchmark binaries.
+#ifndef RBDA_BENCH_BENCH_UTIL_H_
+#define RBDA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/answerability.h"
+#include "parser/parser.h"
+#include "runtime/schema_generators.h"
+
+namespace rbda {
+
+// The university fixture with a configurable bound on ud (0 = unbounded).
+inline std::string UniversityText(uint32_t bound) {
+  std::string method = bound == 0
+                           ? "method ud on Udirectory inputs()"
+                           : "method ud on Udirectory inputs() limit " +
+                                 std::to_string(bound);
+  return R"(
+relation Prof(id, name, salary)
+relation Udirectory(id, address, phone)
+method pr on Prof inputs(0)
+)" + method + R"(
+tgd Prof(i, n, s) -> Udirectory(i, a, p)
+query Q1() :- Prof(i, n, "10000")
+query Q2() :- Udirectory(i, a, p)
+)";
+}
+
+// The Example 6.1 fixture with a configurable bound on mtS.
+inline std::string Example61Text(uint32_t bound) {
+  return R"(
+relation T(x)
+relation S(x)
+method mtS on S inputs() limit )" +
+         std::to_string(bound) + R"(
+method mtT on T inputs(0)
+tgd T(y) & S(x) -> T(x)
+tgd T(y) -> S(x)
+query Q() :- T(y)
+)";
+}
+
+// Boolean emptiness queries over a chain schema. The head query is
+// answerable through the (possibly bounded) head method as an existence
+// check; the tail query is not (tail tuples need not descend from the
+// head).
+inline ConjunctiveQuery ChainEmptinessQuery(const ServiceSchema& schema,
+                                            RelationId relation) {
+  std::vector<Term> args;
+  Universe& u = schema.universe();
+  for (uint32_t p = 0; p < u.Arity(relation); ++p) {
+    args.push_back(u.FreshVariable());
+  }
+  return ConjunctiveQuery::Boolean({Atom(relation, std::move(args))});
+}
+inline ConjunctiveQuery ChainHeadQuery(const ServiceSchema& schema) {
+  return ChainEmptinessQuery(schema, schema.relations().front());
+}
+inline ConjunctiveQuery ChainTailQuery(const ServiceSchema& schema) {
+  return ChainEmptinessQuery(schema, schema.relations().back());
+}
+
+inline const char* ShortVerdict(const StatusOr<Decision>& d) {
+  if (!d.ok()) return "error";
+  if (!d->complete) return "unknown";
+  return AnswerabilityName(d->verdict);
+}
+
+}  // namespace rbda
+
+#endif  // RBDA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,109 @@
+// Ablation C — the runtime substrate (§2 semantics): plan execution
+// throughput under valid access selections, and the accessible-part
+// fixpoint (§3) as the hidden instance grows. Also measures the cost of
+// the idempotent-selection cache (Appendix A).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/plan_synthesis.h"
+#include "runtime/accessible_part.h"
+#include "runtime/executor.h"
+
+namespace rbda {
+namespace {
+
+struct Fixture {
+  Universe universe;
+  ParsedDocument doc;
+  Instance data;
+  Plan plan;
+
+  explicit Fixture(size_t rows)
+      : doc([this]() {
+          StatusOr<ParsedDocument> d =
+              ParseDocument(UniversityText(100), &universe);
+          RBDA_CHECK(d.ok());
+          return std::move(*d);
+        }()) {
+    RelationId prof, udir;
+    RBDA_CHECK(universe.LookupRelation("Prof", &prof));
+    RBDA_CHECK(universe.LookupRelation("Udirectory", &udir));
+    for (size_t i = 0; i < rows; ++i) {
+      Term id = universe.Constant("id" + std::to_string(i));
+      data.AddFact(udir, {id, universe.Constant("a" + std::to_string(i)),
+                          universe.Constant("p" + std::to_string(i))});
+      if (i % 3 == 0) {
+        data.AddFact(prof, {id, universe.Constant("n" + std::to_string(i)),
+                            universe.Constant("10000")});
+      }
+    }
+    SynthesisOptions syn;
+    syn.access_rounds = 2;
+    StatusOr<Plan> p =
+        SynthesizeUniversalPlan(doc.schema, doc.queries.at("Q2"), syn);
+    RBDA_CHECK(p.ok());
+    plan = std::move(*p);
+  }
+};
+
+void BM_PlanExecution(benchmark::State& state) {
+  Fixture fixture(state.range(0));
+  size_t accesses = 0;
+  for (auto _ : state) {
+    auto selector = MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK));
+    PlanExecutor executor(fixture.doc.schema, fixture.data, selector.get());
+    StatusOr<Table> out = executor.Execute(fixture.plan);
+    benchmark::DoNotOptimize(out);
+    RBDA_CHECK(out.ok());
+    accesses = executor.stats().accesses;
+  }
+  state.counters["service_calls"] = static_cast<double>(accesses);
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PlanExecution)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AccessiblePart(benchmark::State& state) {
+  Fixture fixture(state.range(0));
+  size_t part = 0;
+  for (auto _ : state) {
+    auto selector = MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK));
+    AccessiblePartResult result = ComputeAccessiblePart(
+        fixture.doc.schema, fixture.data, selector.get());
+    benchmark::DoNotOptimize(result);
+    part = result.part.NumFacts();
+  }
+  state.counters["accessible_facts"] = static_cast<double>(part);
+}
+BENCHMARK(BM_AccessiblePart)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SelectorOverhead(benchmark::State& state) {
+  bool idempotent = state.range(0) == 1;
+  Fixture fixture(400);
+  const AccessMethod* ud = fixture.doc.schema.FindMethod("ud");
+  std::vector<Fact> matching = MatchingTuples(fixture.data, *ud, {});
+  for (auto _ : state) {
+    std::unique_ptr<AccessSelector> selector =
+        idempotent
+            ? MakeIdempotent(MakeSelector(SelectionPolicy::kRandomK, 3))
+            : MakeSelector(SelectionPolicy::kRandomK, 3);
+    for (int i = 0; i < 50; ++i) {
+      std::vector<Fact> out = selector->Choose(*ud, {}, matching);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetLabel(idempotent ? "idempotent-cache" : "fresh-draws");
+}
+BENCHMARK(BM_SelectorOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rbda
+
+BENCHMARK_MAIN();

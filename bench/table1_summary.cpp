@@ -1,0 +1,230 @@
+// Regenerates Table 1 of the paper: for each constraint fragment, the
+// simplification that is sound & complete for monotone answerability, and
+// the (implemented) complexity regime — with measured evidence instead of
+// proofs:
+//
+//  * "simplification validated" — on N generated schemas + the paper's
+//    worked examples, deciding the original schema and the simplified one
+//    agree (and the designated counterexamples disagree exactly where the
+//    paper says simplification fails);
+//  * "decided" — fraction of instances on which the implemented procedure
+//    returns a definite verdict within budget (1.0 for the decidable rows,
+//    < 1 possible for the TGD row, matching undecidability).
+//
+// This binary prints the table; the per-row binaries carry the scaling
+// series.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/simplification.h"
+
+namespace rbda {
+namespace {
+
+struct RowStats {
+  int agree = 0;
+  int compared = 0;
+  int decided = 0;
+  int total = 0;
+};
+
+// Compares Decide(original) with Decide(simplified(original)).
+void Compare(const ServiceSchema& schema, const ServiceSchema& simplified,
+             const ConjunctiveQuery& q, const DecisionOptions& options,
+             RowStats* stats) {
+  StatusOr<Decision> a = DecideMonotoneAnswerability(schema, q, options);
+  StatusOr<Decision> b = DecideMonotoneAnswerability(simplified, q, options);
+  ++stats->total;
+  if (!a.ok() || !b.ok()) return;
+  if (a->complete) ++stats->decided;
+  if (a->complete && b->complete) {
+    ++stats->compared;
+    if (a->verdict == b->verdict) ++stats->agree;
+  }
+}
+
+RowStats IdsRow() {
+  RowStats stats;
+  DecisionOptions options;
+  options.linear_depth_cap = 800;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Universe u;
+    Rng rng(seed);
+    SchemaFamilyOptions fam;
+    fam.num_relations = 3;
+    fam.max_arity = 3;
+    fam.num_constraints = 3;
+    fam.num_methods = 3;
+    fam.prefix = "I" + std::to_string(seed);
+    ServiceSchema schema = GenerateIdSchema(&u, fam, &rng);
+    ConjunctiveQuery q = GenerateQuery(schema, 2, 3, &rng);
+    Compare(schema, ExistenceCheckSimplification(schema), q, options, &stats);
+  }
+  return stats;
+}
+
+RowStats BwIdsRow() {
+  RowStats stats;
+  DecisionOptions options;
+  options.linear_depth_cap = 800;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Universe u;
+    Rng rng(seed * 5 + 2);
+    SchemaFamilyOptions fam;
+    fam.num_relations = 3;
+    fam.max_arity = 3;
+    fam.num_constraints = 4;
+    fam.num_methods = 3;
+    fam.max_id_width = 1;
+    fam.prefix = "W" + std::to_string(seed);
+    ServiceSchema schema = GenerateIdSchema(&u, fam, &rng);
+    ConjunctiveQuery q = GenerateQuery(schema, 2, 3, &rng);
+    Compare(schema, ExistenceCheckSimplification(schema), q, options, &stats);
+  }
+  return stats;
+}
+
+RowStats FdsRow() {
+  RowStats stats;
+  DecisionOptions naive;
+  naive.force_naive = true;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Universe u;
+    Rng rng(seed * 7 + 3);
+    SchemaFamilyOptions fam;
+    fam.num_relations = 3;
+    fam.max_arity = 3;
+    fam.num_constraints = 3;
+    fam.num_methods = 3;
+    fam.prefix = "D" + std::to_string(seed);
+    ServiceSchema schema = GenerateFdSchema(&u, fam, &rng);
+    ConjunctiveQuery q = GenerateQuery(schema, 2, 3, &rng);
+    // Decide original via the FD pipeline, simplified via the
+    // assumption-free naive reduction.
+    StatusOr<Decision> a = DecideMonotoneAnswerability(schema, q);
+    StatusOr<Decision> b =
+        DecideMonotoneAnswerability(FdSimplification(schema), q, naive);
+    ++stats.total;
+    if (!a.ok() || !b.ok()) continue;
+    if (a->complete) ++stats.decided;
+    if (a->complete && b->complete) {
+      ++stats.compared;
+      if (a->verdict == b->verdict) ++stats.agree;
+    }
+  }
+  return stats;
+}
+
+RowStats UidFdRow() {
+  RowStats stats;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Universe u;
+    Rng rng(seed * 11 + 5);
+    SchemaFamilyOptions fam;
+    fam.num_relations = 3;
+    fam.max_arity = 2;
+    fam.num_constraints = 3;
+    fam.num_methods = 3;
+    fam.prefix = "M" + std::to_string(seed);
+    ServiceSchema schema = GenerateUidFdSchema(&u, fam, &rng);
+    ConjunctiveQuery q = GenerateQuery(schema, 2, 2, &rng);
+    Compare(schema, ChoiceSimplification(schema), q, {}, &stats);
+  }
+  return stats;
+}
+
+RowStats TgdRow() {
+  RowStats stats;
+  DecisionOptions budget;
+  budget.chase.max_rounds = 80;
+  for (uint32_t bound : {1u, 7u, 50u}) {
+    Universe u;
+    StatusOr<ParsedDocument> doc = ParseDocument(Example61Text(bound), &u);
+    RBDA_CHECK(doc.ok());
+    Compare(doc->schema, ChoiceSimplification(doc->schema),
+            doc->queries.at("Q"), budget, &stats);
+  }
+  return stats;
+}
+
+void PrintRow(const char* fragment, const char* simplification,
+              const char* complexity, const RowStats& stats) {
+  std::printf("%-22s | %-28s | %-28s | %2d/%2d agree | %2d/%2d decided\n",
+              fragment, simplification, complexity, stats.agree,
+              stats.compared, stats.decided, stats.total);
+}
+
+void Table1() {
+  std::printf("=============================================================="
+              "==========================================\n");
+  std::printf("Table 1 — simplifiability and complexity of monotone "
+              "answerability (measured reproduction)\n");
+  std::printf("%-22s | %-28s | %-28s | %-11s | %s\n", "Fragment",
+              "Simplification", "Complexity (procedure)", "validated",
+              "decided");
+  std::printf("-----------------------+------------------------------+------"
+              "------------------------+-------------+------------\n");
+  PrintRow("IDs", "Existence-check (Thm 4.2)", "EXPTIME-c (Thm 5.3)",
+           IdsRow());
+  PrintRow("Bounded-width IDs", "Existence-check (see above)",
+           "NP-c (Thm 5.4, lineariz.)", BwIdsRow());
+  PrintRow("FDs", "FD (Thm 4.5)", "NP-c (Thm 5.2)", FdsRow());
+  PrintRow("FDs and UIDs", "Choice (Thm 6.4)", "NP-hard, in EXPTIME (7.2)",
+           UidFdRow());
+  PrintRow("Equality-free FO", "Choice (Thm 6.3)",
+           "Undecidable (Prop 8.2)", TgdRow());
+  PrintRow("Frontier-guarded TGDs", "Choice (see above)",
+           "2EXPTIME-c (Thm 7.1)", TgdRow());
+  std::printf("\nCounterexample rows (simplification must FAIL where the "
+              "paper says so):\n");
+
+  // Example 6.1: existence-check is NOT sufficient beyond IDs.
+  {
+    Universe u;
+    StatusOr<ParsedDocument> doc = ParseDocument(Example61Text(1), &u);
+    RBDA_CHECK(doc.ok());
+    StatusOr<Decision> orig =
+        DecideMonotoneAnswerability(doc->schema, doc->queries.at("Q"));
+    StatusOr<Decision> ec = DecideMonotoneAnswerability(
+        ExistenceCheckSimplification(doc->schema), doc->queries.at("Q"));
+    std::printf("  Ex 6.1 (TGDs): original=%s, existence-check "
+                "simplification=%s  -> %s\n",
+                ShortVerdict(orig), ShortVerdict(ec),
+                (orig.ok() && ec.ok() && orig->verdict != ec->verdict)
+                    ? "diverge, as the paper predicts"
+                    : "UNEXPECTED");
+  }
+  std::printf("\n");
+}
+
+void BM_Table1RegenerationLite(benchmark::State& state) {
+  // One representative validation per row (the full table runs in main()).
+  for (auto _ : state) {
+    Universe u;
+    Rng rng(3);
+    SchemaFamilyOptions fam;
+    fam.num_relations = 3;
+    fam.max_arity = 2;
+    fam.num_constraints = 3;
+    fam.num_methods = 3;
+    fam.prefix = "L";
+    ServiceSchema schema = GenerateIdSchema(&u, fam, &rng);
+    ConjunctiveQuery q = GenerateQuery(schema, 2, 2, &rng);
+    RowStats stats;
+    DecisionOptions options;
+    options.linear_depth_cap = 400;
+    Compare(schema, ExistenceCheckSimplification(schema), q, options, &stats);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_Table1RegenerationLite)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rbda
+
+int main(int argc, char** argv) {
+  rbda::Table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

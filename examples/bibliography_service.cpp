@@ -1,0 +1,127 @@
+// A bibliographic data-integration scenario in the style of the paper's
+// motivating services (ChEBI caps lookups at 5000 rows, IMDb at 10000 —
+// §1). Three web services expose a publications database:
+//
+//   * `search`   — input-free listing of Paper, capped at 50 results
+//                  (pagination cut-off);
+//   * `lookup`   — Paper by DOI, capped at 1 result; sound because the DOI
+//                  functionally determines title and venue;
+//   * `authors`  — author list by DOI, uncapped.
+//
+// Constraints: UIDs + FDs, i.e. the Thm 7.2 regime. The demo decides which
+// catalog queries are answerable despite the caps, synthesizes a plan, and
+// runs it against a simulated 500-paper service while counting the HTTP
+// calls a real integration would make.
+//
+//   $ ./bibliography_service
+#include <cstdio>
+
+#include "core/answerability.h"
+#include "core/plan_synthesis.h"
+#include "parser/parser.h"
+#include "runtime/accessible_part.h"
+#include "runtime/oracle.h"
+
+using namespace rbda;
+
+namespace {
+
+void Report(const char* label, const StatusOr<Decision>& decision) {
+  if (!decision.ok()) {
+    std::printf("%-44s ERROR: %s\n", label,
+                decision.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-44s %-15s (%s)\n", label,
+              AnswerabilityName(decision->verdict), decision->procedure.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Bibliographic services with result bounds ==\n\n");
+
+  Universe universe;
+  StatusOr<ParsedDocument> doc = ParseDocument(R"(
+relation Paper(doi, title, venue)
+relation Author(doi, name)
+method search on Paper inputs() limit 50
+method lookup on Paper inputs(0) limit 1
+method authors on Author inputs(0)
+tgd Author(d, n) -> Paper(d, t, v)
+fd Paper: 0 -> 1
+fd Paper: 0 -> 2
+query Qtitle(t) :- Paper("10.1145/paper42", t, v)
+query Qvenue() :- Paper(d, t, "PODS")
+query Qauthors(n) :- Author("10.1145/paper42", n)
+query Qany() :- Paper(d, t, v)
+)",
+                                               &universe);
+  RBDA_CHECK(doc.ok());
+  std::printf("%s\n", doc->schema.ToString().c_str());
+
+  // ---- Decisions. ----
+  Report("Title of a known DOI:",
+         DecideQueryAnswerability(doc->schema, doc->queries.at("Qtitle")));
+  Report("Any PODS paper at all?",
+         DecideMonotoneAnswerability(doc->schema, doc->queries.at("Qvenue")));
+  Report("Any paper at all?",
+         DecideMonotoneAnswerability(doc->schema, doc->queries.at("Qany")));
+  Report("Authors of a known DOI:",
+         DecideQueryAnswerability(doc->schema, doc->queries.at("Qauthors")));
+
+  // ---- Simulated backend: 500 papers, 2 authors each. ----
+  RelationId paper, author;
+  RBDA_CHECK(universe.LookupRelation("Paper", &paper));
+  RBDA_CHECK(universe.LookupRelation("Author", &author));
+  Instance data;
+  for (int i = 0; i < 500; ++i) {
+    Term doi = universe.Constant(i == 42 ? "10.1145/paper42"
+                                         : "10.1145/paper" + std::to_string(i));
+    data.AddFact(paper, {doi, universe.Constant("Title " + std::to_string(i)),
+                         universe.Constant(i % 7 == 0 ? "PODS" : "VLDB")});
+    for (int a = 0; a < 2; ++a) {
+      data.AddFact(author,
+                   {doi, universe.Constant("author" + std::to_string(i) + "_" +
+                                           std::to_string(a))});
+    }
+  }
+
+  // ---- Plan for the title lookup, executed with call counting. ----
+  std::printf("\nSynthesizing the title-lookup plan...\n");
+  SynthesisOptions syn;
+  syn.access_rounds = 2;
+  ConjunctiveQuery qtitle_orig = doc->queries.at("Qtitle");
+  StatusOr<Plan> plan = SynthesizeUniversalPlan(doc->schema, qtitle_orig, syn);
+  RBDA_CHECK(plan.ok());
+  std::printf("%s\n", plan->ToString(universe).c_str());
+
+  auto selector = MakeIdempotent(MakeSelector(SelectionPolicy::kLastK, 7));
+  PlanExecutor executor(doc->schema, data, selector.get());
+  StatusOr<Table> output = executor.Execute(*plan);
+  RBDA_CHECK(output.ok());
+  std::printf("Plan output:");
+  for (const auto& tuple : *output) {
+    for (Term t : tuple) std::printf(" %s", universe.TermName(t).c_str());
+  }
+  std::printf("\nService calls made: %zu (tuples fetched: %zu)\n",
+              executor.stats().accesses, executor.stats().tuples_fetched);
+
+  PlanValidation validation =
+      ValidatePlan(doc->schema, *plan, qtitle_orig, data);
+  std::printf("Validation under 10 adversarial selections: %s\n",
+              validation.answers ? "complete answers every time"
+                                 : validation.failure.c_str());
+
+  // ---- How much of the catalog is reachable at all? ----
+  AccessiblePartResult reachable = ComputeAccessiblePart(
+      doc->schema, data, selector.get(),
+      {universe.Constant("10.1145/paper42")});
+  std::printf("\nAccessible part from the known DOI: %zu of %zu facts "
+              "(%zu service calls)\n",
+              reachable.part.NumFacts(), data.NumFacts(), reachable.accesses);
+  std::printf("The 50-row search cap plus the DOI seed bound what any client "
+              "can ever see;\nanswerability analysis tells us which queries "
+              "survive that.\n");
+  return 0;
+}

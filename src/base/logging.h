@@ -1,0 +1,30 @@
+// Lightweight assertion macros used for internal invariants.
+//
+// RBDA_CHECK is always on; RBDA_DCHECK compiles away in NDEBUG builds.
+// Failures print the condition and location and abort, which is the
+// appropriate behaviour for programming errors (user-facing errors travel
+// through rbda::Status instead).
+#ifndef RBDA_BASE_LOGGING_H_
+#define RBDA_BASE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RBDA_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "RBDA_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define RBDA_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define RBDA_DCHECK(cond) RBDA_CHECK(cond)
+#endif
+
+#endif  // RBDA_BASE_LOGGING_H_

@@ -1,0 +1,110 @@
+// Error handling for the RBDA library.
+//
+// Public APIs that can fail for reasons other than programming errors
+// return rbda::Status, or rbda::StatusOr<T> when they also produce a value.
+// The library does not throw exceptions across its public boundary.
+#ifndef RBDA_BASE_STATUS_H_
+#define RBDA_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace rbda {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,  // a search budget (chase depth, fact count) ran out
+  kUnimplemented,
+  kInternal,
+};
+
+/// Result of an operation: either OK or an error code with a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "INVALID_ARGUMENT: bad arity".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    RBDA_DCHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RBDA_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    RBDA_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    RBDA_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define RBDA_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::rbda::Status _rbda_status = (expr);     \
+    if (!_rbda_status.ok()) return _rbda_status; \
+  } while (0)
+
+}  // namespace rbda
+
+#endif  // RBDA_BASE_STATUS_H_

@@ -1,0 +1,22 @@
+// Small string helpers shared across modules.
+#ifndef RBDA_BASE_STR_UTIL_H_
+#define RBDA_BASE_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rbda {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+}  // namespace rbda
+
+#endif  // RBDA_BASE_STR_UTIL_H_

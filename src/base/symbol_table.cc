@@ -1,0 +1,21 @@
+#include "base/symbol_table.h"
+
+namespace rbda {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+bool SymbolTable::Lookup(std::string_view name, SymbolId* id) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+}  // namespace rbda

@@ -1,0 +1,45 @@
+// String interning: maps names to dense 32-bit ids and back.
+//
+// Relations, constants, and variables all carry interned names; the dense
+// ids make facts and substitutions cheap to hash and compare.
+#ifndef RBDA_BASE_SYMBOL_TABLE_H_
+#define RBDA_BASE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace rbda {
+
+using SymbolId = uint32_t;
+
+/// Bidirectional name <-> dense id map. Not thread-safe; each reasoning
+/// context owns its own table.
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for `name` if already interned.
+  bool Lookup(std::string_view name, SymbolId* id) const;
+
+  /// Returns the name for an id minted by this table.
+  const std::string& NameOf(SymbolId id) const {
+    RBDA_DCHECK(id < names_.size());
+    return names_[id];
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_BASE_SYMBOL_TABLE_H_

@@ -1,0 +1,42 @@
+#include "chase/certain_answers.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rbda {
+
+StatusOr<CertainAnswersResult> CertainAnswers(const ConjunctiveQuery& q,
+                                              const Instance& data,
+                                              const ConstraintSet& sigma,
+                                              Universe* universe,
+                                              const ChaseOptions& options) {
+  CertainAnswersResult result;
+  TermSet original_domain = data.ActiveDomain();
+
+  ChaseResult chased = RunChase(data, sigma, universe, options);
+  if (chased.status == ChaseStatus::kFdConflict) {
+    result.inconsistent = true;
+    result.answers = q.Evaluate(data);
+    return result;
+  }
+  result.complete = chased.status == ChaseStatus::kCompleted;
+
+  // Answers over the chased (universal) instance whose values are all from
+  // the original active domain are certain: they map to themselves under
+  // every homomorphism into every model.
+  std::set<std::vector<Term>> answers;
+  for (const std::vector<Term>& tuple : q.Evaluate(chased.instance)) {
+    bool grounded = true;
+    for (Term t : tuple) {
+      if (!t.IsConstant() && !original_domain.count(t)) {
+        grounded = false;
+        break;
+      }
+    }
+    if (grounded) answers.insert(tuple);
+  }
+  result.answers.assign(answers.begin(), answers.end());
+  return result;
+}
+
+}  // namespace rbda

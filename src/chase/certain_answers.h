@@ -1,0 +1,33 @@
+// Certain answers of a CQ over an incomplete instance under constraints:
+// the tuples of the instance's own values that hold in EVERY model of Σ
+// extending it. Computed by chasing and keeping the answers built from
+// non-null values (the classical open-world semantics; plan middleware
+// uses the UCQ rewriting of core/rewriting.h for the same job when it must
+// stay inside relational algebra).
+#ifndef RBDA_CHASE_CERTAIN_ANSWERS_H_
+#define RBDA_CHASE_CERTAIN_ANSWERS_H_
+
+#include "chase/chase.h"
+#include "logic/conjunctive_query.h"
+
+namespace rbda {
+
+struct CertainAnswersResult {
+  std::vector<std::vector<Term>> answers;  // sorted, deduplicated
+  bool complete = true;  // false when the chase budget ran out (answers are
+                         // then still sound, possibly missing)
+  bool inconsistent = false;  // Σ + data is unsatisfiable (FD clash):
+                              // everything is certain; answers = eval on
+                              // the original data for usability
+};
+
+/// Computes the certain answers of `q` over `data` under `sigma`.
+StatusOr<CertainAnswersResult> CertainAnswers(const ConjunctiveQuery& q,
+                                              const Instance& data,
+                                              const ConstraintSet& sigma,
+                                              Universe* universe,
+                                              const ChaseOptions& options = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_CHASE_CERTAIN_ANSWERS_H_

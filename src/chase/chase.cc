@@ -1,0 +1,277 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "logic/conjunctive_query.h"
+
+namespace rbda {
+
+namespace {
+
+// Preference order for the term kept by an EGD merge: constants survive,
+// then variables (frozen query variables), then nulls; ties break on id so
+// merges are deterministic.
+int KindRank(Term t) {
+  switch (t.kind()) {
+    case TermKind::kConstant:
+      return 0;
+    case TermKind::kVariable:
+      return 1;
+    case TermKind::kNull:
+      return 2;
+  }
+  return 3;
+}
+
+class Engine {
+ public:
+  Engine(const Instance& start, const ConstraintSet& constraints,
+         Universe* universe, const ChaseOptions& options,
+         const std::vector<CardinalityRule>& rules)
+      : constraints_(constraints),
+        universe_(universe),
+        options_(options),
+        rules_(rules) {
+    result_.instance = start;
+  }
+
+  ChaseResult Run(const std::vector<std::vector<Atom>>* goals,
+                  bool* goal_reached) {
+    if (goal_reached) *goal_reached = false;
+    auto goal_holds = [&]() {
+      if (goals == nullptr) return false;
+      for (const std::vector<Atom>& goal : *goals) {
+        if (FindHomomorphism(goal, result_.instance).has_value()) return true;
+      }
+      return false;
+    };
+
+    if (!ApplyFdsToFixpoint()) {
+      result_.status = ChaseStatus::kFdConflict;
+      return std::move(result_);
+    }
+    if (goal_holds()) {
+      if (goal_reached) *goal_reached = true;
+      result_.status = ChaseStatus::kCompleted;
+      return std::move(result_);
+    }
+
+    for (uint64_t round = 1; round <= options_.max_rounds; ++round) {
+      result_.rounds = round;
+      uint64_t fired = FireTgdRound(round) + FireCardinalityRound();
+      if (!ApplyFdsToFixpoint()) {
+        result_.status = ChaseStatus::kFdConflict;
+        return std::move(result_);
+      }
+      if (goal_holds()) {
+        if (goal_reached) *goal_reached = true;
+        result_.status = ChaseStatus::kCompleted;
+        return std::move(result_);
+      }
+      if (fired == 0) {
+        result_.status = ChaseStatus::kCompleted;
+        return std::move(result_);
+      }
+      if (result_.instance.NumFacts() > options_.max_facts) {
+        result_.status = ChaseStatus::kBudgetExceeded;
+        return std::move(result_);
+      }
+    }
+    result_.status = ChaseStatus::kBudgetExceeded;
+    return std::move(result_);
+  }
+
+ private:
+  // Fires all TGD triggers that are active at the start of the round
+  // (re-checking activeness right before each firing). Returns the number
+  // of firings.
+  uint64_t FireTgdRound(uint64_t round) {
+    uint64_t fired = 0;
+    for (size_t i = 0; i < constraints_.tgds.size(); ++i) {
+      const Tgd& tgd = constraints_.tgds[i];
+      std::vector<Term> exported = tgd.ExportedVariables();
+
+      // Materialize the triggers first: firing mutates the instance the
+      // enumeration walks over. Deduplicate triggers by their restriction
+      // to exported variables (two body matches with the same exported
+      // image need only one head witness).
+      std::set<std::vector<Term>> seen;
+      std::vector<Substitution> triggers;
+      ForEachHomomorphism(tgd.body(), result_.instance, nullptr,
+                          [&](const Substitution& sub) {
+                            std::vector<Term> key;
+                            key.reserve(exported.size());
+                            for (Term x : exported) {
+                              key.push_back(ApplyToTerm(sub, x));
+                            }
+                            if (seen.insert(std::move(key)).second) {
+                              triggers.push_back(sub);
+                            }
+                            return true;
+                          });
+
+      for (const Substitution& trigger : triggers) {
+        Substitution seed;
+        for (Term x : exported) seed.emplace(x, ApplyToTerm(trigger, x));
+        if (FindHomomorphism(tgd.head(), result_.instance, &seed)
+                .has_value()) {
+          continue;  // not active: head witness already exists
+        }
+        // Fire: extend the exported bindings with fresh nulls for the
+        // existential variables and add the head facts.
+        Substitution extension = seed;
+        for (Term y : tgd.ExistentialVariables()) {
+          extension.emplace(y, universe_->FreshNull());
+        }
+        std::vector<Fact> added;
+        for (const Atom& h : tgd.head()) {
+          Fact fact = ApplyToAtom(extension, h);
+          if (result_.instance.AddFact(fact)) added.push_back(fact);
+        }
+        ++fired;
+        ++result_.tgd_steps;
+        if (options_.record_trace) {
+          // Record the full body homomorphism plus the fresh witnesses so
+          // consumers (plan extraction) can reconstruct both the trigger
+          // facts and the created facts.
+          Substitution full = trigger;
+          for (const auto& [var, value] : extension) full.emplace(var, value);
+          result_.trace.push_back(
+              ChaseStep{i, std::move(full), std::move(added), round});
+        }
+      }
+    }
+    return fired;
+  }
+
+  // Fires the naive §3 cardinality-transfer rules: see CardinalityRule.
+  uint64_t FireCardinalityRound() {
+    uint64_t fired = 0;
+    for (const CardinalityRule& rule : rules_) {
+      // Group source facts by their input-position tuple.
+      std::map<std::vector<Term>, std::set<std::vector<Term>>> groups;
+      for (const Fact& f : result_.instance.FactsOf(rule.source_rel)) {
+        std::vector<Term> key;
+        key.reserve(rule.input_positions.size());
+        for (uint32_t p : rule.input_positions) key.push_back(f.args[p]);
+        groups[std::move(key)].insert(f.args);
+      }
+      for (const auto& [binding, matches] : groups) {
+        // The binding values must all be accessible (unless the rule is
+        // unconditional).
+        if (rule.require_accessible) {
+          bool accessible = true;
+          for (Term t : binding) {
+            if (!result_.instance.Contains(
+                    Fact(rule.accessible_rel, {t}))) {
+              accessible = false;
+              break;
+            }
+          }
+          if (!accessible) continue;
+        }
+        uint64_t j = std::min<uint64_t>(rule.bound, matches.size());
+        // Count distinct target facts matching the binding.
+        uint64_t have = 0;
+        for (const Fact& f : result_.instance.FactsOf(rule.target_rel)) {
+          bool match = true;
+          for (size_t idx = 0; idx < rule.input_positions.size(); ++idx) {
+            if (f.args[rule.input_positions[idx]] != binding[idx]) {
+              match = false;
+              break;
+            }
+          }
+          if (match) ++have;
+        }
+        uint32_t arity = universe_->Arity(rule.target_rel);
+        while (have < j) {
+          std::vector<Term> args(arity, Term());
+          std::vector<bool> is_input(arity, false);
+          for (size_t idx = 0; idx < rule.input_positions.size(); ++idx) {
+            args[rule.input_positions[idx]] = binding[idx];
+            is_input[rule.input_positions[idx]] = true;
+          }
+          for (uint32_t p = 0; p < arity; ++p) {
+            if (!is_input[p]) args[p] = universe_->FreshNull();
+          }
+          result_.instance.AddFact(rule.target_rel, std::move(args));
+          ++have;
+          ++fired;
+        }
+      }
+    }
+    return fired;
+  }
+
+  // Repairs FD violations by merging terms. Returns false on an attempt to
+  // merge two distinct constants (the chase fails).
+  bool ApplyFdsToFixpoint() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Fd& fd : constraints_.fds) {
+        std::map<std::vector<Term>, Term> witness;
+        for (const Fact& f : result_.instance.FactsOf(fd.relation)) {
+          std::vector<Term> key;
+          key.reserve(fd.determiners.size());
+          for (uint32_t p : fd.determiners) key.push_back(f.args[p]);
+          Term value = f.args[fd.determined];
+          auto [it, inserted] = witness.emplace(std::move(key), value);
+          if (!inserted && it->second != value) {
+            Term a = it->second, b = value;
+            if (a.IsConstant() && b.IsConstant()) return false;
+            // Keep the higher-priority term.
+            if (std::make_pair(KindRank(a), a.id()) >
+                std::make_pair(KindRank(b), b.id())) {
+              std::swap(a, b);
+            }
+            result_.instance.ReplaceTerm(b, a);
+            ++result_.egd_merges;
+            changed = true;
+            break;  // the index was rebuilt; restart this FD
+          }
+        }
+        if (changed) break;
+      }
+    }
+    return true;
+  }
+
+  const ConstraintSet& constraints_;
+  Universe* universe_;
+  const ChaseOptions& options_;
+  const std::vector<CardinalityRule>& rules_;
+  ChaseResult result_;
+};
+
+}  // namespace
+
+ChaseResult RunChase(const Instance& start, const ConstraintSet& constraints,
+                     Universe* universe, const ChaseOptions& options,
+                     const std::vector<CardinalityRule>& cardinality_rules) {
+  Engine engine(start, constraints, universe, options, cardinality_rules);
+  return engine.Run(nullptr, nullptr);
+}
+
+ChaseResult RunChaseUntil(
+    const Instance& start, const ConstraintSet& constraints,
+    const std::vector<Atom>& goal_atoms, Universe* universe,
+    bool* goal_reached, const ChaseOptions& options,
+    const std::vector<CardinalityRule>& cardinality_rules) {
+  std::vector<std::vector<Atom>> goals{goal_atoms};
+  Engine engine(start, constraints, universe, options, cardinality_rules);
+  return engine.Run(&goals, goal_reached);
+}
+
+ChaseResult RunChaseUntilAny(
+    const Instance& start, const ConstraintSet& constraints,
+    const std::vector<std::vector<Atom>>& goals, Universe* universe,
+    bool* goal_reached, const ChaseOptions& options,
+    const std::vector<CardinalityRule>& cardinality_rules) {
+  Engine engine(start, constraints, universe, options, cardinality_rules);
+  return engine.Run(&goals, goal_reached);
+}
+
+}  // namespace rbda

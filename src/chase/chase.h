@@ -1,0 +1,94 @@
+// The chase (paper §2, "Query containment and chase proofs").
+//
+// Starting from an instance, repeatedly fire active triggers of TGDs (add
+// head facts, minting fresh nulls for existential variables) and repair FD
+// violations (EGD steps that merge terms). The run is round-based and
+// budgeted; it records a proof trace that later stages (plan synthesis)
+// consume.
+//
+// The engine also supports the cardinality-transfer rules produced by the
+// *naive* AMonDet reduction of §3 — the "∃≥j" accessibility axioms for
+// result lower bounds — under the standard chase convention that distinct
+// terms denote distinct values. The paper's simplification theorems make
+// these rules unnecessary; they are kept for the ablation benchmarks.
+#ifndef RBDA_CHASE_CHASE_H_
+#define RBDA_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "constraints/constraint_set.h"
+
+namespace rbda {
+
+/// Naive §3 lower-bound axiom: if the values at `input_positions` of some
+/// binding are all accessible and `source_rel` has j ≤ k distinct matching
+/// tuples, then `target_rel` must contain at least j distinct matching
+/// tuples (fresh nulls fill the non-input positions of created facts).
+struct CardinalityRule {
+  RelationId source_rel = 0;
+  std::vector<uint32_t> input_positions;
+  RelationId target_rel = 0;
+  uint32_t bound = 1;              // k
+  RelationId accessible_rel = 0;   // the unary accessible predicate
+  /// When false, the rule fires for every binding regardless of
+  /// accessibility (AxiomRB's unconditional lower-bound axioms).
+  bool require_accessible = true;
+};
+
+struct ChaseOptions {
+  uint64_t max_rounds = 1000;
+  uint64_t max_facts = 200000;
+  bool record_trace = false;
+};
+
+enum class ChaseStatus {
+  kCompleted,       // no active triggers remain
+  kBudgetExceeded,  // ran out of rounds or facts
+  kFdConflict,      // an EGD step tried to merge two distinct constants
+};
+
+/// One fired TGD trigger, for proof traces.
+struct ChaseStep {
+  size_t tgd_index = 0;        // into the ConstraintSet's tgds
+  Substitution trigger;        // body homomorphism
+  std::vector<Fact> added;     // facts created by this firing
+  uint64_t round = 0;
+};
+
+struct ChaseResult {
+  ChaseStatus status = ChaseStatus::kCompleted;
+  Instance instance;
+  uint64_t rounds = 0;
+  uint64_t tgd_steps = 0;
+  uint64_t egd_merges = 0;
+  std::vector<ChaseStep> trace;  // only if options.record_trace
+};
+
+/// Runs the restricted chase of `start` with `constraints` (and optional
+/// cardinality rules). `universe` mints the fresh nulls.
+ChaseResult RunChase(const Instance& start, const ConstraintSet& constraints,
+                     Universe* universe, const ChaseOptions& options = {},
+                     const std::vector<CardinalityRule>& cardinality_rules = {});
+
+/// Runs the chase and additionally stops (successfully) as soon as `goal`
+/// holds, checking after every round. Sets `*goal_reached` accordingly.
+class ConjunctiveQuery;  // from logic; full include in the .cc
+ChaseResult RunChaseUntil(const Instance& start,
+                          const ConstraintSet& constraints,
+                          const std::vector<Atom>& goal_atoms,
+                          Universe* universe, bool* goal_reached,
+                          const ChaseOptions& options = {},
+                          const std::vector<CardinalityRule>& cardinality_rules = {});
+
+/// Disjunctive-goal variant: stops as soon as ANY of the goals holds
+/// (UCQ right-hand sides).
+ChaseResult RunChaseUntilAny(
+    const Instance& start, const ConstraintSet& constraints,
+    const std::vector<std::vector<Atom>>& goals, Universe* universe,
+    bool* goal_reached, const ChaseOptions& options = {},
+    const std::vector<CardinalityRule>& cardinality_rules = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_CHASE_CHASE_H_

@@ -1,0 +1,83 @@
+// Query containment under constraints: Q ⊆_Σ Q'.
+//
+// Two engines:
+//  * CheckContainment — generic: chase CanonDB(Q) with Σ, test Q' after
+//    every round. Sound always; complete whenever the chase terminates
+//    (e.g. FDs + full TGDs, weakly-acyclic TGDs). Reports kUnknown when a
+//    budget runs out before termination.
+//  * CheckLinearContainment — the Johnson–Klug-style engine for *linear*
+//    TGDs (single body atom): a depth-bounded breadth-first chase which is
+//    sound AND complete when run to the JK depth bound for IDs / linear
+//    TGDs of bounded semi-width (paper Prop 5.6 / E.8). This is the engine
+//    behind the paper's NP results after linearization.
+#ifndef RBDA_CHASE_CONTAINMENT_H_
+#define RBDA_CHASE_CONTAINMENT_H_
+
+#include "chase/chase.h"
+#include "logic/conjunctive_query.h"
+
+namespace rbda {
+
+enum class ContainmentVerdict {
+  kContained,
+  kNotContained,
+  kUnknown,  // resource budget exhausted before the chase terminated
+};
+
+struct ContainmentOutcome {
+  ContainmentVerdict verdict = ContainmentVerdict::kUnknown;
+  ChaseResult chase;      // final chase state (proof when kContained)
+  uint64_t depth_reached = 0;  // linear engine only
+};
+
+/// Generic containment check for Boolean CQs: Q ⊆_Σ Q'.
+ContainmentOutcome CheckContainment(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const ConstraintSet& sigma, Universe* universe,
+    const ChaseOptions& options = {},
+    const std::vector<CardinalityRule>& cardinality_rules = {});
+
+/// UCQ containment: Q ⊆_Σ Q' for unions of Boolean CQs. Q is contained iff
+/// every disjunct of Q entails some disjunct of Q' under Σ.
+ContainmentOutcome CheckUcqContainment(const UnionQuery& q,
+                                       const UnionQuery& q_prime,
+                                       const ConstraintSet& sigma,
+                                       Universe* universe,
+                                       const ChaseOptions& options = {});
+
+/// Generic engine starting from an explicit instance (e.g. a canonical
+/// database enriched with accessibility facts) instead of CanonDB(Q).
+ContainmentOutcome CheckContainmentFrom(
+    const Instance& start, const std::vector<Atom>& goal,
+    const ConstraintSet& sigma, Universe* universe,
+    const ChaseOptions& options = {},
+    const std::vector<CardinalityRule>& cardinality_rules = {});
+
+/// Johnson–Klug depth bound for a tight match of a query with
+/// `goal_atoms` atoms under IDs / linear TGDs decomposed into a width-w
+/// part of size `sigma_bounded` and an acyclic part of size
+/// `sigma_acyclic`, over a signature of maximal arity `arity`
+/// (paper Lemma E.6 and Prop 5.6/E.8).
+uint64_t JohnsonKlugDepthBound(size_t goal_atoms, size_t sigma_bounded,
+                               size_t sigma_acyclic, size_t arity,
+                               size_t width);
+
+/// Depth-bounded chase containment for linear TGDs (no FDs). Complete when
+/// `max_depth` is at least the JK bound for the decomposed constraint set.
+/// `max_facts` guards against breadth blowup (kUnknown if exceeded).
+ContainmentOutcome CheckLinearContainment(const ConjunctiveQuery& q,
+                                          const ConjunctiveQuery& q_prime,
+                                          const std::vector<Tgd>& linear_tgds,
+                                          Universe* universe,
+                                          uint64_t max_depth,
+                                          uint64_t max_facts = 500000);
+
+/// Depth-bounded linear engine starting from an explicit instance.
+ContainmentOutcome CheckLinearContainmentFrom(
+    const Instance& start, const std::vector<Atom>& goal,
+    const std::vector<Tgd>& linear_tgds, Universe* universe,
+    uint64_t max_depth, uint64_t max_facts = 500000);
+
+}  // namespace rbda
+
+#endif  // RBDA_CHASE_CONTAINMENT_H_

@@ -1,0 +1,43 @@
+#include "chase/semi_width.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "chase/weak_acyclicity.h"
+
+namespace rbda {
+
+SemiWidthDecomposition ComputeSemiWidth(const std::vector<Tgd>& tgds) {
+  SemiWidthDecomposition out;
+
+  // Try to move rules into the acyclic part, widest first, keeping the
+  // position graph of the chosen subset acyclic.
+  std::vector<size_t> order(tgds.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return tgds[a].Width() > tgds[b].Width();
+  });
+
+  std::vector<Tgd> acyclic_rules;
+  std::vector<bool> in_acyclic(tgds.size(), false);
+  for (size_t idx : order) {
+    acyclic_rules.push_back(tgds[idx]);
+    if (HasAcyclicPositionGraph(acyclic_rules)) {
+      in_acyclic[idx] = true;
+    } else {
+      acyclic_rules.pop_back();
+    }
+  }
+
+  for (size_t i = 0; i < tgds.size(); ++i) {
+    if (in_acyclic[i]) {
+      out.acyclic.push_back(i);
+    } else {
+      out.bounded.push_back(i);
+      out.semi_width = std::max(out.semi_width, tgds[i].Width());
+    }
+  }
+  return out;
+}
+
+}  // namespace rbda

@@ -1,0 +1,30 @@
+// Semi-width of a set of linear TGDs (paper §5): a decomposition into a
+// width-bounded part Σ1 and a part Σ2 whose position graph is acyclic.
+// Semi-width controls the Johnson–Klug depth bound (Prop 5.6 / E.8).
+//
+// Finding the optimal decomposition is combinatorial; the greedy heuristic
+// here moves rules into the acyclic part largest-width-first while the
+// position graph stays acyclic, which is exactly how the linearization's
+// own output decomposes (Transfer rules acyclic, Lift rules width-bounded).
+#ifndef RBDA_CHASE_SEMI_WIDTH_H_
+#define RBDA_CHASE_SEMI_WIDTH_H_
+
+#include <vector>
+
+#include "constraints/tgd.h"
+
+namespace rbda {
+
+struct SemiWidthDecomposition {
+  std::vector<size_t> bounded;  // indexes into the input (Σ1)
+  std::vector<size_t> acyclic;  // indexes into the input (Σ2)
+  size_t semi_width = 0;        // max width over Σ1
+};
+
+/// Greedy decomposition of `tgds` (linear TGDs) minimizing the width of
+/// the bounded part.
+SemiWidthDecomposition ComputeSemiWidth(const std::vector<Tgd>& tgds);
+
+}  // namespace rbda
+
+#endif  // RBDA_CHASE_SEMI_WIDTH_H_

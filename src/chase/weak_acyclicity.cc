@@ -1,0 +1,142 @@
+#include "chase/weak_acyclicity.h"
+
+#include <map>
+#include <set>
+
+namespace rbda {
+
+namespace {
+
+using Node = uint64_t;
+Node MakeNode(RelationId rel, uint32_t pos) {
+  return (static_cast<uint64_t>(rel) << 32) | pos;
+}
+
+// Cycle detection over a digraph with edges partitioned into regular and
+// special; reports whether some cycle uses at least one special edge.
+struct Graph {
+  std::map<Node, std::set<Node>> regular;
+  std::map<Node, std::set<Node>> special;
+
+  bool HasCycleThroughSpecial() const {
+    // A special edge u -> v lies on a cycle iff v reaches u via any edges.
+    std::map<Node, std::set<Node>> all = regular;
+    for (const auto& [u, vs] : special) {
+      for (Node v : vs) all[u].insert(v);
+    }
+    auto reaches = [&](Node from, Node to) {
+      std::set<Node> seen{from};
+      std::vector<Node> stack{from};
+      while (!stack.empty()) {
+        Node n = stack.back();
+        stack.pop_back();
+        if (n == to) return true;
+        auto it = all.find(n);
+        if (it == all.end()) continue;
+        for (Node next : it->second) {
+          if (seen.insert(next).second) stack.push_back(next);
+        }
+      }
+      return false;
+    };
+    for (const auto& [u, vs] : special) {
+      for (Node v : vs) {
+        if (v == u || reaches(v, u)) return true;
+      }
+    }
+    return false;
+  }
+
+  bool HasAnyCycle() const {
+    std::map<Node, std::set<Node>> all = regular;
+    for (const auto& [u, vs] : special) {
+      for (Node v : vs) all[u].insert(v);
+    }
+    // Kahn's algorithm.
+    std::map<Node, int> indegree;
+    for (const auto& [u, vs] : all) {
+      indegree.emplace(u, 0);
+      for (Node v : vs) indegree.emplace(v, 0);
+    }
+    for (const auto& [u, vs] : all) {
+      for (Node v : vs) ++indegree[v];
+    }
+    std::vector<Node> queue;
+    for (const auto& [n, d] : indegree) {
+      if (d == 0) queue.push_back(n);
+    }
+    size_t removed = 0;
+    while (!queue.empty()) {
+      Node n = queue.back();
+      queue.pop_back();
+      ++removed;
+      auto it = all.find(n);
+      if (it == all.end()) continue;
+      for (Node v : it->second) {
+        if (--indegree[v] == 0) queue.push_back(v);
+      }
+    }
+    return removed != indegree.size();
+  }
+};
+
+Graph BuildDependencyGraph(const std::vector<Tgd>& tgds) {
+  Graph g;
+  for (const Tgd& tgd : tgds) {
+    TermSet body_vars = tgd.BodyVariables();
+    for (const Term& x : body_vars) {
+      // Positions of x in the body.
+      std::vector<Node> body_positions;
+      for (const Atom& a : tgd.body()) {
+        for (uint32_t p = 0; p < a.args.size(); ++p) {
+          if (a.args[p] == x) body_positions.push_back(MakeNode(a.relation, p));
+        }
+      }
+      for (const Atom& h : tgd.head()) {
+        for (uint32_t p = 0; p < h.args.size(); ++p) {
+          Node head_node = MakeNode(h.relation, p);
+          if (h.args[p] == x) {
+            for (Node b : body_positions) g.regular[b].insert(head_node);
+          } else if (h.args[p].IsVariable() &&
+                     !body_vars.count(h.args[p])) {
+            // Existential variable position: special edge from every body
+            // position of x.
+            for (Node b : body_positions) g.special[b].insert(head_node);
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds) {
+  return !BuildDependencyGraph(tgds).HasCycleThroughSpecial();
+}
+
+bool HasAcyclicPositionGraph(const std::vector<Tgd>& tgds) {
+  // Only exported-variable edges (the "basic position graph" of §5).
+  Graph g;
+  for (const Tgd& tgd : tgds) {
+    TermSet head_vars = tgd.HeadVariables();
+    for (const Atom& a : tgd.body()) {
+      for (uint32_t p = 0; p < a.args.size(); ++p) {
+        Term x = a.args[p];
+        if (!x.IsVariable() || !head_vars.count(x)) continue;
+        for (const Atom& h : tgd.head()) {
+          for (uint32_t hp = 0; hp < h.args.size(); ++hp) {
+            if (h.args[hp] == x) {
+              g.regular[MakeNode(a.relation, p)].insert(
+                  MakeNode(h.relation, hp));
+            }
+          }
+        }
+      }
+    }
+  }
+  return !g.HasAnyCycle();
+}
+
+}  // namespace rbda

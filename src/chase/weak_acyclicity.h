@@ -1,0 +1,25 @@
+// Weak acyclicity of a set of TGDs (Fagin et al. [28]): a sufficient
+// syntactic condition for chase termination, used to predict when the
+// generic containment engine is complete.
+#ifndef RBDA_CHASE_WEAK_ACYCLICITY_H_
+#define RBDA_CHASE_WEAK_ACYCLICITY_H_
+
+#include <vector>
+
+#include "constraints/tgd.h"
+
+namespace rbda {
+
+/// True if the dependency graph of `tgds` has no cycle through a special
+/// (existential) edge, which guarantees that every chase sequence
+/// terminates.
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds);
+
+/// True if the *position graph* of the TGDs (edges follow exported
+/// variables from body to head positions) is acyclic. This is the notion
+/// behind the "acyclic part" of a semi-width decomposition (paper §5).
+bool HasAcyclicPositionGraph(const std::vector<Tgd>& tgds);
+
+}  // namespace rbda
+
+#endif  // RBDA_CHASE_WEAK_ACYCLICITY_H_

@@ -1,0 +1,48 @@
+#include "constraints/fd.h"
+
+#include <algorithm>
+
+namespace rbda {
+
+Fd::Fd(RelationId r, std::vector<uint32_t> lhs, uint32_t rhs)
+    : relation(r), determiners(std::move(lhs)), determined(rhs) {
+  std::sort(determiners.begin(), determiners.end());
+  determiners.erase(std::unique(determiners.begin(), determiners.end()),
+                    determiners.end());
+}
+
+bool Fd::IsTrivial() const {
+  return std::binary_search(determiners.begin(), determiners.end(),
+                            determined);
+}
+
+bool Fd::SatisfiedBy(const Instance& data) const {
+  const std::vector<Fact>& facts = data.FactsOf(relation);
+  for (size_t i = 0; i < facts.size(); ++i) {
+    for (size_t j = i + 1; j < facts.size(); ++j) {
+      bool agree = true;
+      for (uint32_t p : determiners) {
+        if (facts[i].args[p] != facts[j].args[p]) {
+          agree = false;
+          break;
+        }
+      }
+      if (agree && facts[i].args[determined] != facts[j].args[determined]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Fd::ToString(const Universe& universe) const {
+  std::string out = universe.RelationName(relation) + ": {";
+  for (size_t i = 0; i < determiners.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(determiners[i]);
+  }
+  out += "} -> " + std::to_string(determined);
+  return out;
+}
+
+}  // namespace rbda

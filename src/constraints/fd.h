@@ -1,0 +1,47 @@
+// Functional dependencies (paper §2): D -> j on a relation R, asserting
+// that any two R-facts agreeing on the positions of D agree on position j.
+// Positions are 0-based throughout the library.
+#ifndef RBDA_CONSTRAINTS_FD_H_
+#define RBDA_CONSTRAINTS_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "data/instance.h"
+#include "data/universe.h"
+
+namespace rbda {
+
+struct Fd {
+  RelationId relation = 0;
+  std::vector<uint32_t> determiners;  // sorted, deduplicated
+  uint32_t determined = 0;
+
+  Fd() = default;
+  Fd(RelationId r, std::vector<uint32_t> lhs, uint32_t rhs);
+
+  /// A unary FD has a single determining position.
+  bool IsUnary() const { return determiners.size() == 1; }
+
+  /// Trivial FDs (j ∈ D) hold vacuously.
+  bool IsTrivial() const;
+
+  /// Checks whether `data` satisfies this FD.
+  bool SatisfiedBy(const Instance& data) const;
+
+  std::string ToString(const Universe& universe) const;
+
+  bool operator==(const Fd& o) const {
+    return relation == o.relation && determiners == o.determiners &&
+           determined == o.determined;
+  }
+  bool operator<(const Fd& o) const {
+    if (relation != o.relation) return relation < o.relation;
+    if (determiners != o.determiners) return determiners < o.determiners;
+    return determined < o.determined;
+  }
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_CONSTRAINTS_FD_H_

@@ -1,0 +1,52 @@
+#include "constraints/fd_reasoning.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rbda {
+
+std::vector<uint32_t> AttributeClosure(const std::vector<Fd>& fds,
+                                       RelationId relation,
+                                       const std::vector<uint32_t>& start) {
+  std::set<uint32_t> closure(start.begin(), start.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds) {
+      if (fd.relation != relation) continue;
+      if (closure.count(fd.determined)) continue;
+      bool applies = true;
+      for (uint32_t p : fd.determiners) {
+        if (!closure.count(p)) {
+          applies = false;
+          break;
+        }
+      }
+      if (applies) {
+        closure.insert(fd.determined);
+        changed = true;
+      }
+    }
+  }
+  return {closure.begin(), closure.end()};
+}
+
+bool ImpliesFd(const std::vector<Fd>& fds, const Fd& fd) {
+  std::vector<uint32_t> closure =
+      AttributeClosure(fds, fd.relation, fd.determiners);
+  return std::binary_search(closure.begin(), closure.end(), fd.determined);
+}
+
+std::vector<Fd> ImpliedUnaryFds(const std::vector<Fd>& fds,
+                                RelationId relation, uint32_t arity) {
+  std::vector<Fd> out;
+  for (uint32_t i = 0; i < arity; ++i) {
+    std::vector<uint32_t> closure = AttributeClosure(fds, relation, {i});
+    for (uint32_t j : closure) {
+      if (j != i) out.emplace_back(relation, std::vector<uint32_t>{i}, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace rbda

@@ -1,0 +1,37 @@
+// FD implication reasoning: attribute-set closure and the paper's
+// DetBy(R, P) operator (§4, "FD simplification"), i.e. the set of positions
+// of R functionally determined by P under a set of FDs.
+#ifndef RBDA_CONSTRAINTS_FD_REASONING_H_
+#define RBDA_CONSTRAINTS_FD_REASONING_H_
+
+#include <vector>
+
+#include "constraints/fd.h"
+
+namespace rbda {
+
+/// Closure of the position set `start` of relation `relation` under `fds`
+/// (Armstrong closure). The result is sorted and contains `start`.
+std::vector<uint32_t> AttributeClosure(const std::vector<Fd>& fds,
+                                       RelationId relation,
+                                       const std::vector<uint32_t>& start);
+
+/// DetBy(R, P): positions of `relation` determined by `positions` (paper
+/// notation; equal to the attribute closure).
+inline std::vector<uint32_t> DetBy(const std::vector<Fd>& fds,
+                                   RelationId relation,
+                                   const std::vector<uint32_t>& positions) {
+  return AttributeClosure(fds, relation, positions);
+}
+
+/// True if `fds` implies `fd`.
+bool ImpliesFd(const std::vector<Fd>& fds, const Fd& fd);
+
+/// All non-trivial *unary* FDs i -> j on `relation` implied by `fds`, for
+/// the given arity. Used by the finite-closure cycle rule.
+std::vector<Fd> ImpliedUnaryFds(const std::vector<Fd>& fds,
+                                RelationId relation, uint32_t arity);
+
+}  // namespace rbda
+
+#endif  // RBDA_CONSTRAINTS_FD_REASONING_H_

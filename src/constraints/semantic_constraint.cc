@@ -1,0 +1,58 @@
+#include "constraints/semantic_constraint.h"
+
+namespace rbda {
+
+bool AnswerCountConstraint::SatisfiedBy(const Instance& data) const {
+  size_t count = query_.Evaluate(data).size();
+  if (count < min_count_) return false;
+  if (max_count_.has_value() && count > *max_count_) return false;
+  return true;
+}
+
+std::string AnswerCountConstraint::Describe(const Universe& universe) const {
+  std::string out = "|" + query_.ToString(universe) + "| in [" +
+                    std::to_string(min_count_) + ", ";
+  out += max_count_.has_value() ? std::to_string(*max_count_) : "inf";
+  return out + "]";
+}
+
+bool ConditionalConstraint::SatisfiedBy(const Instance& data) const {
+  if (!premise_.HoldsIn(data)) return true;
+  return inner_->SatisfiedBy(data);
+}
+
+std::string ConditionalConstraint::Describe(const Universe& universe) const {
+  return "if (" + premise_.ToString(universe) + ") then " +
+         inner_->Describe(universe);
+}
+
+bool AllSatisfied(const std::vector<SemanticConstraintPtr>& constraints,
+                  const Instance& data) {
+  for (const SemanticConstraintPtr& c : constraints) {
+    if (!c->SatisfiedBy(data)) return false;
+  }
+  return true;
+}
+
+std::vector<SemanticConstraintPtr> Example81Constraints(Universe* universe,
+                                                        RelationId p,
+                                                        RelationId u,
+                                                        size_t p_size,
+                                                        size_t overlap) {
+  Term x = universe->Variable("x81");
+  ConjunctiveQuery p_members({Atom(p, {x})}, {x});
+  ConjunctiveQuery both_members({Atom(p, {x}), Atom(u, {x})}, {x});
+  ConjunctiveQuery premise =
+      ConjunctiveQuery::Boolean({Atom(p, {x}), Atom(u, {x})});
+
+  std::vector<SemanticConstraintPtr> out;
+  out.push_back(std::make_shared<AnswerCountConstraint>(
+      std::move(p_members), p_size, p_size));
+  out.push_back(std::make_shared<ConditionalConstraint>(
+      std::move(premise),
+      std::make_shared<AnswerCountConstraint>(std::move(both_members),
+                                              overlap, std::nullopt)));
+  return out;
+}
+
+}  // namespace rbda

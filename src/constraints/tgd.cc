@@ -1,0 +1,121 @@
+#include "constraints/tgd.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+
+namespace rbda {
+
+namespace {
+
+TermSet VariablesOf(const std::vector<Atom>& atoms) {
+  TermSet vars;
+  for (const Atom& a : atoms) {
+    for (const Term& t : a.args) {
+      if (t.IsVariable()) vars.insert(t);
+    }
+  }
+  return vars;
+}
+
+bool HasConstants(const std::vector<Atom>& atoms) {
+  for (const Atom& a : atoms) {
+    for (const Term& t : a.args) {
+      if (t.IsConstant()) return true;
+    }
+  }
+  return false;
+}
+
+bool HasRepeatedVariable(const Atom& atom) {
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    for (size_t j = i + 1; j < atom.args.size(); ++j) {
+      if (atom.args[i] == atom.args[j]) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TermSet Tgd::BodyVariables() const { return VariablesOf(body_); }
+TermSet Tgd::HeadVariables() const { return VariablesOf(head_); }
+
+std::vector<Term> Tgd::ExportedVariables() const {
+  TermSet body_vars = BodyVariables();
+  TermSet head_vars = HeadVariables();
+  std::vector<Term> out;
+  for (const Term& t : body_vars) {
+    if (head_vars.count(t)) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Term> Tgd::ExistentialVariables() const {
+  TermSet body_vars = BodyVariables();
+  TermSet head_vars = HeadVariables();
+  std::vector<Term> out;
+  for (const Term& t : head_vars) {
+    if (!body_vars.count(t)) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Tgd::IsFull() const { return ExistentialVariables().empty(); }
+
+bool Tgd::IsGuarded() const {
+  TermSet body_vars = BodyVariables();
+  for (const Atom& a : body_) {
+    TermSet atom_vars;
+    for (const Term& t : a.args) {
+      if (t.IsVariable()) atom_vars.insert(t);
+    }
+    if (atom_vars.size() == body_vars.size()) return true;
+  }
+  return body_vars.empty();
+}
+
+bool Tgd::IsFrontierGuarded() const {
+  std::vector<Term> exported = ExportedVariables();
+  for (const Atom& a : body_) {
+    TermSet atom_vars;
+    for (const Term& t : a.args) {
+      if (t.IsVariable()) atom_vars.insert(t);
+    }
+    bool covers = true;
+    for (const Term& x : exported) {
+      if (!atom_vars.count(x)) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) return true;
+  }
+  return exported.empty();
+}
+
+bool Tgd::IsLinear() const { return body_.size() == 1; }
+
+bool Tgd::IsId() const {
+  if (body_.size() != 1 || head_.size() != 1) return false;
+  if (HasConstants(body_) || HasConstants(head_)) return false;
+  if (HasRepeatedVariable(body_[0]) || HasRepeatedVariable(head_[0])) {
+    return false;
+  }
+  return true;
+}
+
+Tgd Tgd::Substitute(const Substitution& sub) const {
+  return Tgd(ApplyToAtoms(sub, body_), ApplyToAtoms(sub, head_));
+}
+
+std::string Tgd::ToString(const Universe& universe) const {
+  std::vector<std::string> b, h;
+  for (const Atom& a : body_) b.push_back(FactToString(a, universe));
+  for (const Atom& a : head_) h.push_back(FactToString(a, universe));
+  return Join(b, " & ") + " -> " + Join(h, " & ");
+}
+
+}  // namespace rbda

@@ -1,0 +1,196 @@
+#include "constraints/uid_reasoning.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "constraints/fd_reasoning.h"
+
+namespace rbda {
+
+std::optional<Uid> UidFromTgd(const Tgd& tgd) {
+  if (!tgd.IsUid()) return std::nullopt;
+  const Atom& body = tgd.body()[0];
+  const Atom& head = tgd.head()[0];
+  Term exported = tgd.ExportedVariables()[0];
+  Uid uid;
+  uid.from_rel = body.relation;
+  uid.to_rel = head.relation;
+  bool found_body = false;
+  bool found_head = false;
+  for (uint32_t p = 0; p < body.args.size(); ++p) {
+    if (body.args[p] == exported) {
+      uid.from_pos = p;
+      found_body = true;
+    }
+  }
+  for (uint32_t p = 0; p < head.args.size(); ++p) {
+    if (head.args[p] == exported) {
+      uid.to_pos = p;
+      found_head = true;
+    }
+  }
+  RBDA_CHECK(found_body && found_head);
+  return uid;
+}
+
+Tgd UidToTgd(const Uid& uid, Universe* universe) {
+  std::vector<Term> body_args, head_args;
+  Term exported = universe->FreshVariable();
+  for (uint32_t p = 0; p < universe->Arity(uid.from_rel); ++p) {
+    body_args.push_back(p == uid.from_pos ? exported
+                                          : universe->FreshVariable());
+  }
+  for (uint32_t p = 0; p < universe->Arity(uid.to_rel); ++p) {
+    head_args.push_back(p == uid.to_pos ? exported
+                                        : universe->FreshVariable());
+  }
+  return Tgd({Atom(uid.from_rel, std::move(body_args))},
+             {Atom(uid.to_rel, std::move(head_args))});
+}
+
+std::vector<Uid> UidClosure(const std::vector<Uid>& uids) {
+  std::set<Uid> closure(uids.begin(), uids.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Uid> current(closure.begin(), closure.end());
+    for (const Uid& a : current) {
+      for (const Uid& b : current) {
+        if (a.to_rel == b.from_rel && a.to_pos == b.from_pos) {
+          Uid composed{a.from_rel, a.from_pos, b.to_rel, b.to_pos};
+          if (!composed.IsTrivial() && closure.insert(composed).second) {
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  std::vector<Uid> out;
+  for (const Uid& u : closure) {
+    if (!u.IsTrivial()) out.push_back(u);
+  }
+  return out;
+}
+
+namespace {
+
+// Graph node: one relation position.
+using Node = uint64_t;
+Node MakeNode(RelationId rel, uint32_t pos) {
+  return (static_cast<uint64_t>(rel) << 32) | pos;
+}
+
+// Computes, for each node, which nodes it can reach (small graphs; DFS per
+// node is plenty).
+std::map<Node, std::set<Node>> Reachability(
+    const std::map<Node, std::set<Node>>& edges) {
+  std::map<Node, std::set<Node>> reach;
+  for (const auto& [start, _] : edges) {
+    std::vector<Node> stack{start};
+    std::set<Node>& seen = reach[start];
+    while (!stack.empty()) {
+      Node n = stack.back();
+      stack.pop_back();
+      auto it = edges.find(n);
+      if (it == edges.end()) continue;
+      for (Node next : it->second) {
+        if (seen.insert(next).second) stack.push_back(next);
+      }
+    }
+  }
+  return reach;
+}
+
+bool OnCycle(const std::map<Node, std::set<Node>>& reach, Node from, Node to) {
+  // The edge from->to lies on a cycle iff `to` can reach `from`.
+  auto it = reach.find(to);
+  return it != reach.end() && it->second.count(from) > 0;
+}
+
+}  // namespace
+
+UidFdClosure FiniteClosure(const std::vector<Uid>& uids,
+                           const std::vector<Fd>& fds,
+                           const Universe& universe) {
+  std::set<Uid> uid_set(uids.begin(), uids.end());
+  std::set<Fd> fd_set(fds.begin(), fds.end());
+
+  // Relations that actually appear, for implied-unary-FD enumeration.
+  std::set<RelationId> relations;
+  for (const Uid& u : uids) {
+    relations.insert(u.from_rel);
+    relations.insert(u.to_rel);
+  }
+  for (const Fd& fd : fds) relations.insert(fd.relation);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // (a) Unrestricted closure of the UIDs.
+    std::vector<Uid> closed =
+        UidClosure(std::vector<Uid>(uid_set.begin(), uid_set.end()));
+    for (const Uid& u : closed) {
+      if (uid_set.insert(u).second) changed = true;
+    }
+
+    // (b) Build the cardinality graph. A directed edge u -> v means
+    // "in finite instances, #distinct values at u  <=  #distinct values
+    // at v":
+    //   * UID R[i] ⊆ S[j] contributes (R,i) -> (S,j);
+    //   * an implied unary FD  i -> j on S (a function from i-values to
+    //     j-values, so at most as many j-values) contributes (S,j) -> (S,i).
+    std::vector<Fd> fd_vec(fd_set.begin(), fd_set.end());
+    std::map<Node, std::set<Node>> edges;
+    struct UidEdge {
+      Node from, to;
+      Uid uid;
+    };
+    struct FdEdge {
+      Node from, to;  // from = (S,j) determined, to = (S,i) determiner
+      Fd fd;          // the unary FD i -> j
+    };
+    std::vector<UidEdge> uid_edges;
+    std::vector<FdEdge> fd_edges;
+    for (const Uid& u : uid_set) {
+      Node a = MakeNode(u.from_rel, u.from_pos);
+      Node b = MakeNode(u.to_rel, u.to_pos);
+      edges[a].insert(b);
+      edges[b];  // ensure node exists
+      uid_edges.push_back({a, b, u});
+    }
+    for (RelationId rel : relations) {
+      for (const Fd& ufd : ImpliedUnaryFds(fd_vec, rel, universe.Arity(rel))) {
+        Node det = MakeNode(rel, ufd.determined);
+        Node src = MakeNode(rel, ufd.determiners[0]);
+        edges[det].insert(src);
+        edges[src];
+        fd_edges.push_back({det, src, ufd});
+      }
+    }
+
+    // (c) Reverse every edge on a cycle.
+    std::map<Node, std::set<Node>> reach = Reachability(edges);
+    for (const UidEdge& e : uid_edges) {
+      if (OnCycle(reach, e.from, e.to)) {
+        Uid rev{e.uid.to_rel, e.uid.to_pos, e.uid.from_rel, e.uid.from_pos};
+        if (!rev.IsTrivial() && uid_set.insert(rev).second) changed = true;
+      }
+    }
+    for (const FdEdge& e : fd_edges) {
+      if (OnCycle(reach, e.from, e.to)) {
+        // The unary FD i -> j reverses to j -> i.
+        Fd rev(e.fd.relation, {e.fd.determined}, e.fd.determiners[0]);
+        if (!rev.IsTrivial() && fd_set.insert(rev).second) changed = true;
+      }
+    }
+  }
+
+  UidFdClosure out;
+  out.uids.assign(uid_set.begin(), uid_set.end());
+  out.fds.assign(fd_set.begin(), fd_set.end());
+  return out;
+}
+
+}  // namespace rbda

@@ -1,0 +1,65 @@
+// Unary inclusion dependencies and their implication problems.
+//
+// A UID R[i] ⊆ S[j] states that every value at position i of R occurs at
+// position j of S. This module provides:
+//  * extraction of UIDs from width-1 IDs given as TGDs, and the converse;
+//  * implication closure (reflexivity + transitivity, per [24]);
+//  * the Cosmadakis–Kanellakis–Vardi *finite closure* of UIDs + FDs used by
+//    the paper for finite monotone answerability (§7, Thm 7.4 / Cor 7.3):
+//    unrestricted closure plus the cycle-reversal rule on the graph mixing
+//    UID edges and implied unary-FD edges.
+#ifndef RBDA_CONSTRAINTS_UID_REASONING_H_
+#define RBDA_CONSTRAINTS_UID_REASONING_H_
+
+#include <optional>
+#include <vector>
+
+#include "constraints/constraint_set.h"
+
+namespace rbda {
+
+struct Uid {
+  RelationId from_rel = 0;
+  uint32_t from_pos = 0;
+  RelationId to_rel = 0;
+  uint32_t to_pos = 0;
+
+  bool IsTrivial() const { return from_rel == to_rel && from_pos == to_pos; }
+
+  bool operator==(const Uid& o) const {
+    return from_rel == o.from_rel && from_pos == o.from_pos &&
+           to_rel == o.to_rel && to_pos == o.to_pos;
+  }
+  bool operator<(const Uid& o) const {
+    if (from_rel != o.from_rel) return from_rel < o.from_rel;
+    if (from_pos != o.from_pos) return from_pos < o.from_pos;
+    if (to_rel != o.to_rel) return to_rel < o.to_rel;
+    return to_pos < o.to_pos;
+  }
+};
+
+/// Interprets a width-1 ID as a UID; nullopt if `tgd` is not a UID.
+std::optional<Uid> UidFromTgd(const Tgd& tgd);
+
+/// Builds the TGD form of a UID (fresh variables from `universe`).
+Tgd UidToTgd(const Uid& uid, Universe* universe);
+
+/// Non-trivial UIDs implied by `uids` under reflexivity + transitivity.
+std::vector<Uid> UidClosure(const std::vector<Uid>& uids);
+
+/// The finite closure of a set of UIDs and FDs: all UIDs and FDs implied
+/// over *finite* instances. `universe` supplies relation arities.
+/// Implements the CKV procedure: iterate (a) unrestricted closure of UIDs
+/// and FDs, (b) reversal of every UID / unary-FD edge lying on a cycle of
+/// the mixed cardinality graph, until fixpoint.
+struct UidFdClosure {
+  std::vector<Uid> uids;
+  std::vector<Fd> fds;  // includes the input FDs
+};
+UidFdClosure FiniteClosure(const std::vector<Uid>& uids,
+                           const std::vector<Fd>& fds,
+                           const Universe& universe);
+
+}  // namespace rbda
+
+#endif  // RBDA_CONSTRAINTS_UID_REASONING_H_

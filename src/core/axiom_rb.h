@@ -1,0 +1,45 @@
+// AxiomRB (Appendix C): axiomatizing result bounds away.
+//
+// For every result-bounded method mt on R, AxiomRB(Sch) adds a relation
+// R__rb__mt of the same arity holding the tuples the service would return,
+// with (i) a soundness ID R__rb__mt ⊆ R and (ii) the lower-bound semantics
+// "if R has j ≤ k matching tuples for a binding, R__rb__mt has ≥ j"
+// (returned as CardinalityRules; the at-most-k half is dropped — by
+// Prop 3.3 it never matters). The method keeps its *name* but moves to the
+// new relation and loses its bound, so plans for Sch run unchanged against
+// AxiomRB(Sch) — Prop C.3's equivalence, which the tests check by
+// materializing R__rb__mt from an access selection.
+#ifndef RBDA_CORE_AXIOM_RB_H_
+#define RBDA_CORE_AXIOM_RB_H_
+
+#include "chase/chase.h"
+#include "runtime/access_selection.h"
+
+namespace rbda {
+
+struct AxiomRbSchema {
+  ServiceSchema schema;  // methods bound-free; view relations added
+  /// Lower-bound semantics of each former bound, as unconditional
+  /// cardinality rules R -> R__rb__mt (no accessibility premise).
+  std::vector<CardinalityRule> lower_bound_rules;
+  /// Former bounded method name -> its view relation.
+  std::map<std::string, RelationId> view_of;
+
+  explicit AxiomRbSchema(Universe* universe) : schema(universe) {}
+};
+
+/// Builds AxiomRB(Sch).
+AxiomRbSchema BuildAxiomRb(const ServiceSchema& schema);
+
+/// Materializes an instance of AxiomRB(Sch) from an instance of Sch and an
+/// access selection σ: every view relation holds the union of σ's outputs
+/// over all bindings that occur in the data. Executing a plan on the
+/// result (all methods now unbounded) reproduces the plan's behaviour on
+/// `data` under σ.
+Instance MaterializeAxiomRb(const ServiceSchema& original,
+                            const AxiomRbSchema& axiom_rb,
+                            const Instance& data, AccessSelector* selector);
+
+}  // namespace rbda
+
+#endif  // RBDA_CORE_AXIOM_RB_H_

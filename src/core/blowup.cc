@@ -1,0 +1,106 @@
+#include "core/blowup.h"
+
+#include <map>
+#include <set>
+
+namespace rbda {
+
+Instance CloneBlowup(const Instance& instance, size_t copies,
+                     Universe* universe) {
+  RBDA_CHECK(copies >= 1);
+  // clone(t, 0) = t; clone(t, j) = a fresh null per (t, j).
+  std::map<std::pair<Term, size_t>, Term> clones;
+  auto clone = [&](Term t, size_t j) {
+    if (j == 0) return t;
+    auto [it, inserted] = clones.emplace(std::make_pair(t, j), Term());
+    if (inserted) it->second = universe->FreshNull();
+    return it->second;
+  };
+
+  Instance out;
+  instance.ForEachFact([&](const Fact& f) {
+    size_t n = f.args.size();
+    // Enumerate all clone-index vectors in {0..copies-1}^n.
+    std::vector<size_t> idx(n, 0);
+    for (;;) {
+      std::vector<Term> args;
+      args.reserve(n);
+      for (size_t i = 0; i < n; ++i) args.push_back(clone(f.args[i], idx[i]));
+      out.AddFact(f.relation, std::move(args));
+      size_t i = 0;
+      while (i < n) {
+        if (++idx[i] < copies) break;
+        idx[i] = 0;
+        ++i;
+      }
+      if (i == n) break;
+      if (n == 0) break;
+    }
+  });
+  return out;
+}
+
+StatusOr<BlowUpResult> BlowUpExistenceCheck(const ServiceSchema& original,
+                                            const ServiceSchema& simplified,
+                                            const AMonDetCounterexample& ce,
+                                            size_t copies,
+                                            const ChaseOptions& chase) {
+  Universe* universe = const_cast<Universe*>(&original.universe());
+
+  // Relations of the original schema (the blow-up restricts to these).
+  std::unordered_set<RelationId> original_relations(
+      original.relations().begin(), original.relations().end());
+
+  // Step 1: obliviously chase the view-to-relation IDs — for every view
+  // fact R_mt(x̄) in the accessed part, create `copies` fresh matching
+  // R-tuples.
+  Instance star = ce.accessed;
+  for (const AccessMethod& method : original.methods()) {
+    if (!method.HasBound()) continue;
+    std::string view_name = universe->RelationName(method.relation) + "__" +
+                            method.name;
+    RelationId view;
+    if (!universe->LookupRelation(view_name, &view)) {
+      return Status::NotFound("missing existence-check view '" + view_name +
+                              "' — was `simplified` built by "
+                              "ExistenceCheckSimplification?");
+    }
+    uint32_t arity = universe->Arity(method.relation);
+    for (const Fact& vf : ce.accessed.FactsOf(view)) {
+      for (size_t c = 0; c < copies; ++c) {
+        std::vector<Term> args(arity, Term());
+        std::vector<bool> is_input(arity, false);
+        for (size_t i = 0; i < method.input_positions.size(); ++i) {
+          args[method.input_positions[i]] = vf.args[i];
+          is_input[method.input_positions[i]] = true;
+        }
+        for (uint32_t p = 0; p < arity; ++p) {
+          if (!is_input[p]) args[p] = universe->FreshNull();
+        }
+        star.AddFact(method.relation, std::move(args));
+      }
+    }
+  }
+
+  // Step 2: close the accessed part under the original IDs.
+  ConstraintSet ids_only;
+  ids_only.tgds = original.constraints().tgds;
+  ChaseResult closed = RunChase(star, ids_only, universe, chase);
+  if (closed.status != ChaseStatus::kCompleted) {
+    return Status::ResourceExhausted(
+        "chase budget exceeded while closing the blown-up accessed part");
+  }
+  Instance accessed_plus = closed.instance.RestrictTo(original_relations);
+
+  // Step 3: union into both sides and restrict to the original signature.
+  BlowUpResult out;
+  out.accessed = accessed_plus;
+  out.i1 = ce.i1.RestrictTo(original_relations);
+  out.i1.UnionWith(accessed_plus);
+  out.i2 = ce.i2.RestrictTo(original_relations);
+  out.i2.UnionWith(accessed_plus);
+  (void)simplified;
+  return out;
+}
+
+}  // namespace rbda

@@ -1,0 +1,52 @@
+// Executable blow-up constructions — the proof technique behind the
+// simplification theorems (Lemma 4.3, Thm 4.2, Thm 6.3), made runnable so
+// the tests can *check* the proofs on concrete counterexamples instead of
+// trusting them.
+//
+//  * CloneBlowup (Thm 6.3 proof): replaces every element by `copies`
+//    indistinguishable clones, multiplying every fact across all clone
+//    combinations. Preserves equality-free FO properties (in particular
+//    TGD satisfaction and CQ answers) and inflates every non-empty access
+//    answer set beyond any fixed result bound.
+//
+//  * BlowUpExistenceCheck (Thm 4.2 proof): upgrades a counterexample to
+//    AMonDet for the existence-check simplification into one for the
+//    original result-bounded schema: each view fact R_mt(x̄) in the
+//    accessed part spawns `copies` fresh matching R-tuples (the oblivious
+//    chase of R_mt(x̄) → ∃y R(x̄,y)), the IDs of Σ are then chased to
+//    closure, and the result is unioned into both sides.
+#ifndef RBDA_CORE_BLOWUP_H_
+#define RBDA_CORE_BLOWUP_H_
+
+#include "chase/chase.h"
+#include "runtime/oracle.h"
+
+namespace rbda {
+
+/// Thm 6.3's Blowup(I): every fact R(a1..an) becomes the `copies`^n facts
+/// R(a1^j1 .. an^jn), where x^0 = x and x^j (j ≥ 1) are fresh clone
+/// elements. `copies` must be ≥ 1 (1 = identity).
+Instance CloneBlowup(const Instance& instance, size_t copies,
+                     Universe* universe);
+
+struct BlowUpResult {
+  Instance i1;
+  Instance i2;
+  Instance accessed;
+};
+
+/// Thm 4.2's construction. `original` is the ID schema with result
+/// bounds; `simplified` its existence-check simplification; `ce` a
+/// counterexample to AMonDet over `simplified` (as found by
+/// SearchAMonDetCounterexample). `copies` controls how many fresh
+/// witnesses instantiate each view fact — use at least (max result bound
+/// + 1) so every blown-up access exceeds its bound.
+StatusOr<BlowUpResult> BlowUpExistenceCheck(const ServiceSchema& original,
+                                            const ServiceSchema& simplified,
+                                            const AMonDetCounterexample& ce,
+                                            size_t copies,
+                                            const ChaseOptions& chase = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_CORE_BLOWUP_H_

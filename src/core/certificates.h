@@ -1,0 +1,35 @@
+// Counterexample certificates from refuting chase runs.
+//
+// When the AMonDet chase *terminates* without reaching Q', its final
+// instance is a countermodel of the containment — and it decodes into a
+// concrete witness of non-answerability (Prop 3.2's shape): I1 = the
+// unprimed relations, I2 = the primed copies, and the common access-valid
+// subinstance = the facts present on both sides whose values are marked
+// accessible. The extracted witness is independently checkable with
+// IsAccessValid and query evaluation, so a "not answerable" verdict never
+// has to be taken on faith.
+#ifndef RBDA_CORE_CERTIFICATES_H_
+#define RBDA_CORE_CERTIFICATES_H_
+
+#include "core/reduction.h"
+#include "runtime/oracle.h"
+
+namespace rbda {
+
+/// Decodes a terminated, goal-free chase over `reduction.gamma` into an
+/// AMonDet counterexample for the schema the reduction was built from
+/// (result bounds ≤ 1, i.e. the kRewritten regime). Fails if the chase
+/// did not terminate or the goal was reached.
+StatusOr<AMonDetCounterexample> ExtractCertificate(
+    const AmonDetReduction& reduction, const ChaseResult& chase);
+
+/// Convenience: decide non-answerability of a Boolean CQ over a schema
+/// with bounds ≤ 1 via the generic chase and return the certificate.
+/// Fails when the query is answerable or the budget ran out.
+StatusOr<AMonDetCounterexample> CertifyNotAnswerable(
+    const ServiceSchema& schema, const ConjunctiveQuery& q,
+    const ChaseOptions& options = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_CORE_CERTIFICATES_H_

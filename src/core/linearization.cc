@@ -1,0 +1,430 @@
+#include "core/linearization.h"
+
+#include <algorithm>
+
+#include "chase/containment.h"
+#include "core/reduction.h"
+
+namespace rbda {
+
+namespace {
+
+PosMask FullMask(uint32_t arity) {
+  return arity >= 32 ? ~PosMask(0) : ((PosMask(1) << arity) - 1);
+}
+
+// All masks over `arity` positions with at most `w` bits set, plus the full
+// mask.
+std::set<PosMask> SmallMasks(uint32_t arity, size_t w) {
+  std::set<PosMask> out;
+  PosMask full = FullMask(arity);
+  // Enumerate by combinations: start from the empty mask and grow.
+  std::vector<PosMask> frontier{0};
+  out.insert(0);
+  for (size_t round = 0; round < w; ++round) {
+    std::vector<PosMask> next;
+    for (PosMask m : frontier) {
+      for (uint32_t p = 0; p < arity; ++p) {
+        PosMask grown = m | (PosMask(1) << p);
+        if (grown != m && out.insert(grown).second) next.push_back(grown);
+      }
+    }
+    frontier = std::move(next);
+  }
+  out.insert(full);
+  return out;
+}
+
+// Structural view of an inclusion dependency.
+struct IdView {
+  RelationId body_rel = 0;
+  RelationId head_rel = 0;
+  uint32_t body_arity = 0;
+  uint32_t head_arity = 0;
+  // (body position, head position) per exported variable.
+  std::vector<std::pair<uint32_t, uint32_t>> exported;
+};
+
+IdView ViewId(const Tgd& tgd) {
+  RBDA_CHECK(tgd.IsId());
+  IdView view;
+  const Atom& body = tgd.body()[0];
+  const Atom& head = tgd.head()[0];
+  view.body_rel = body.relation;
+  view.head_rel = head.relation;
+  view.body_arity = static_cast<uint32_t>(body.args.size());
+  view.head_arity = static_cast<uint32_t>(head.args.size());
+  for (uint32_t bp = 0; bp < body.args.size(); ++bp) {
+    for (uint32_t hp = 0; hp < head.args.size(); ++hp) {
+      if (body.args[bp] == head.args[hp]) {
+        view.exported.emplace_back(bp, hp);
+      }
+    }
+  }
+  return view;
+}
+
+}  // namespace
+
+TruncatedSaturation::TruncatedSaturation(
+    const std::vector<Tgd>& ids, const std::vector<AccessMethod>& methods,
+    const Universe& universe, size_t w,
+    const std::map<RelationId, std::set<PosMask>>& extra_masks)
+    : w_(w) {
+  // Track every relation appearing in the IDs or methods.
+  std::set<RelationId> relations;
+  for (const Tgd& tgd : ids) {
+    relations.insert(tgd.body()[0].relation);
+    relations.insert(tgd.head()[0].relation);
+  }
+  for (const AccessMethod& m : methods) relations.insert(m.relation);
+  for (const auto& [rel, _] : extra_masks) relations.insert(rel);
+
+  for (RelationId rel : relations) {
+    uint32_t arity = universe.Arity(rel);
+    full_mask_[rel] = FullMask(arity);
+    for (PosMask m : SmallMasks(arity, w_)) {
+      cl_[{rel, m}] = m;
+    }
+    auto it = extra_masks.find(rel);
+    if (it != extra_masks.end()) {
+      for (PosMask m : it->second) cl_[{rel, m}] = m;
+    }
+  }
+  // (Access): only non-result-bounded methods make a fact's outputs
+  // accessible. Boolean methods have no outputs, so including them is
+  // harmless.
+  for (const AccessMethod& m : methods) {
+    if (m.HasBound() &&
+        m.input_positions.size() != universe.Arity(m.relation)) {
+      continue;
+    }
+    PosMask inputs = 0;
+    for (uint32_t p : m.input_positions) inputs |= PosMask(1) << p;
+    access_inputs_[m.relation].push_back(inputs);
+  }
+  Saturate(ids, universe);
+}
+
+PosMask TruncatedSaturation::Expand(RelationId relation, PosMask start) const {
+  PosMask cur = start;
+  bool changed = true;
+  auto full_it = full_mask_.find(relation);
+  PosMask full = full_it == full_mask_.end() ? 0 : full_it->second;
+  while (changed) {
+    changed = false;
+    // (Transitivity) over the tracked derived axioms.
+    for (auto it = cl_.lower_bound({relation, 0});
+         it != cl_.end() && it->first.first == relation; ++it) {
+      PosMask premise = it->first.second;
+      if ((premise & ~cur) == 0 && (it->second & ~cur) != 0) {
+        cur |= it->second;
+        changed = true;
+      }
+    }
+    // (Access).
+    auto acc = access_inputs_.find(relation);
+    if (acc != access_inputs_.end() && cur != full) {
+      for (PosMask inputs : acc->second) {
+        if ((inputs & ~cur) == 0) {
+          cur = full;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return cur;
+}
+
+void TruncatedSaturation::Saturate(const std::vector<Tgd>& ids,
+                                   const Universe& universe) {
+  (void)universe;
+  std::vector<IdView> views;
+  views.reserve(ids.size());
+  for (const Tgd& tgd : ids) views.push_back(ViewId(tgd));
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Expand every tracked closure in place.
+    for (auto& [key, cl] : cl_) {
+      PosMask expanded = Expand(key.first, cl);
+      if (expanded != cl) {
+        cl = expanded;
+        changed = true;
+      }
+    }
+    // (ID) pullback: a derived axiom on the head relation, restricted to
+    // exported positions, pulls back to the body relation.
+    for (const IdView& view : views) {
+      size_t e = view.exported.size();
+      for (PosMask choice = 0; choice < (PosMask(1) << e); ++choice) {
+        PosMask head_premise = 0, body_premise = 0;
+        for (size_t i = 0; i < e; ++i) {
+          if (choice & (PosMask(1) << i)) {
+            body_premise |= PosMask(1) << view.exported[i].first;
+            head_premise |= PosMask(1) << view.exported[i].second;
+          }
+        }
+        auto head_it = cl_.find({view.head_rel, head_premise});
+        if (head_it == cl_.end()) continue;
+        PosMask derived_head = head_it->second;
+        auto body_it = cl_.find({view.body_rel, body_premise});
+        RBDA_CHECK(body_it != cl_.end());
+        for (size_t i = 0; i < e; ++i) {
+          PosMask head_bit = PosMask(1) << view.exported[i].second;
+          PosMask body_bit = PosMask(1) << view.exported[i].first;
+          if ((derived_head & head_bit) && !(body_it->second & body_bit)) {
+            body_it->second |= body_bit;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+PosMask TruncatedSaturation::Closure(RelationId relation,
+                                     PosMask start) const {
+  return Expand(relation, start);
+}
+
+StatusOr<LinearizedProblem> LinearizeAnswerability(
+    const ServiceSchema& schema, const ConjunctiveQuery& q,
+    const std::vector<LinearizedMethod>& methods,
+    const TermSet* accessible_constants) {
+  if (!q.IsBoolean()) {
+    return Status::InvalidArgument("linearization expects a Boolean query");
+  }
+  for (const Tgd& tgd : schema.constraints().tgds) {
+    if (!tgd.IsId()) {
+      return Status::FailedPrecondition(
+          "linearization requires ID constraints only");
+    }
+  }
+  Universe* universe = const_cast<Universe*>(&schema.universe());
+  size_t w = std::max<size_t>(schema.constraints().MaxIdWidth(), 1);
+
+  std::vector<AccessMethod> plain_methods;
+  for (const LinearizedMethod& lm : methods) plain_methods.push_back(*lm.method);
+  TruncatedSaturation saturation(schema.constraints().tgds, plain_methods,
+                                 *universe, w);
+
+  // ---- Initial accessibility fixpoint over CanonDB(Q). ----
+  Instance canon = q.CanonicalDatabase();
+  TermSet accessible =
+      accessible_constants != nullptr ? *accessible_constants : q.Constants();
+  auto fact_mask = [&](const Fact& f) {
+    PosMask m = 0;
+    for (uint32_t p = 0; p < f.args.size(); ++p) {
+      if (accessible.count(f.args[p])) m |= PosMask(1) << p;
+    }
+    return m;
+  };
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    canon.ForEachFact([&](const Fact& f) {
+      PosMask cl = saturation.Closure(f.relation, fact_mask(f));
+      for (uint32_t p = 0; p < f.args.size(); ++p) {
+        if ((cl & (PosMask(1) << p)) && accessible.insert(f.args[p]).second) {
+          grew = true;
+        }
+      }
+    });
+  }
+
+  // Masks that actually occur at level 0 (may exceed width w).
+  std::map<RelationId, std::set<PosMask>> initial_masks;
+  canon.ForEachFact(
+      [&](const Fact& f) { initial_masks[f.relation].insert(fact_mask(f)); });
+
+  // ---- Expanded signature. ----
+  auto lin_rel = [&](RelationId rel, PosMask mask) {
+    StatusOr<RelationId> id = universe->AddRelation(
+        universe->RelationName(rel) + "@L" + std::to_string(mask),
+        universe->Arity(rel));
+    RBDA_CHECK(id.ok());
+    return *id;
+  };
+  auto fresh_args = [&](uint32_t arity) {
+    std::vector<Term> args;
+    args.reserve(arity);
+    for (uint32_t p = 0; p < arity; ++p) args.push_back(universe->FreshVariable());
+    return args;
+  };
+
+  LinearizedProblem out;
+  std::vector<Tgd> bounded_rules, acyclic_rules;
+
+  std::vector<IdView> views;
+  for (const Tgd& tgd : schema.constraints().tgds) views.push_back(ViewId(tgd));
+
+  // Group the method configs by relation.
+  std::map<RelationId, std::vector<const LinearizedMethod*>> methods_of;
+  for (const LinearizedMethod& lm : methods) {
+    methods_of[lm.method->relation].push_back(&lm);
+  }
+
+  for (RelationId rel : schema.relations()) {
+    uint32_t arity = universe->Arity(rel);
+    std::set<PosMask> masks = SmallMasks(arity, w);
+    auto extra = initial_masks.find(rel);
+    if (extra != initial_masks.end()) {
+      masks.insert(extra->second.begin(), extra->second.end());
+    }
+    RelationId primed = PrimedRelation(universe, rel);
+
+    // Pair relations (RB-Choice regime): one per visible bounded method,
+    // with their two unpacking rules (emitted once).
+    std::map<const LinearizedMethod*, RelationId> pair_rel;
+    auto mit = methods_of.find(rel);
+    if (mit != methods_of.end()) {
+      for (const LinearizedMethod* lm : mit->second) {
+        bool is_boolean = lm->method->input_positions.size() == arity;
+        if (!lm->method->HasBound() || is_boolean || !lm->visible_outputs) {
+          continue;
+        }
+        StatusOr<RelationId> pr = universe->AddRelation(
+            universe->RelationName(rel) + "@pair@" + lm->method->name, arity);
+        RBDA_CHECK(pr.ok());
+        pair_rel[lm] = *pr;
+        std::vector<Term> args = fresh_args(arity);
+        // Pair(w) -> R_full(w): the returned tuple is fully accessible.
+        bounded_rules.emplace_back(
+            std::vector<Atom>{Atom(*pr, args)},
+            std::vector<Atom>{Atom(lin_rel(rel, FullMask(arity)), args)});
+        // Pair(w) -> R'(w).
+        acyclic_rules.emplace_back(std::vector<Atom>{Atom(*pr, args)},
+                                   std::vector<Atom>{Atom(primed, args)});
+      }
+    }
+
+    for (PosMask mask : masks) {
+      PosMask cl = saturation.Closure(rel, mask);
+      RelationId subscripted = lin_rel(rel, mask);
+
+      // (Lift) per ID with this body relation.
+      for (const IdView& view : views) {
+        if (view.body_rel != rel) continue;
+        std::vector<Term> body_args = fresh_args(view.body_arity);
+        PosMask head_mask = 0;
+        std::vector<Term> head_args = fresh_args(view.head_arity);
+        for (const auto& [bp, hp] : view.exported) {
+          head_args[hp] = body_args[bp];
+          if (cl & (PosMask(1) << bp)) head_mask |= PosMask(1) << hp;
+        }
+        bounded_rules.emplace_back(
+            std::vector<Atom>{Atom(subscripted, body_args)},
+            std::vector<Atom>{Atom(lin_rel(view.head_rel, head_mask),
+                                   head_args)});
+      }
+
+      // (Transfer) / (RB-Transfer) / (RB-Choice) per method.
+      if (mit == methods_of.end()) continue;
+      for (const LinearizedMethod* lm : mit->second) {
+        const AccessMethod& method = *lm->method;
+        PosMask inputs = 0;
+        for (uint32_t p : method.input_positions) inputs |= PosMask(1) << p;
+        if ((inputs & ~cl) != 0) continue;  // inputs not accessible
+        bool is_boolean = method.input_positions.size() == arity;
+        bool bounded = method.HasBound() && !is_boolean;
+        std::vector<Term> body_args = fresh_args(arity);
+        if (!bounded) {
+          acyclic_rules.emplace_back(
+              std::vector<Atom>{Atom(subscripted, body_args)},
+              std::vector<Atom>{Atom(primed, body_args)});
+        } else if (!lm->visible_outputs) {
+          // E.5.2: R_P(x,y) -> ∃z R'(x,z).
+          std::vector<Term> head_args = fresh_args(arity);
+          for (uint32_t p : method.input_positions) head_args[p] = body_args[p];
+          acyclic_rules.emplace_back(
+              std::vector<Atom>{Atom(subscripted, body_args)},
+              std::vector<Atom>{Atom(primed, head_args)});
+        } else {
+          // RB-Choice: R_P(u) -> ∃z Pair(v), keeping the kept positions.
+          std::vector<Term> head_args = fresh_args(arity);
+          for (uint32_t p : lm->kept_positions) head_args[p] = body_args[p];
+          bounded_rules.emplace_back(
+              std::vector<Atom>{Atom(subscripted, body_args)},
+              std::vector<Atom>{Atom(pair_rel.at(lm), head_args)});
+        }
+      }
+    }
+  }
+
+  // (Σ') primed copies of the IDs.
+  for (const IdView& view : views) {
+    std::vector<Term> body_args = fresh_args(view.body_arity);
+    std::vector<Term> head_args = fresh_args(view.head_arity);
+    for (const auto& [bp, hp] : view.exported) head_args[hp] = body_args[bp];
+    bounded_rules.emplace_back(
+        std::vector<Atom>{Atom(PrimedRelation(universe, view.body_rel),
+                               body_args)},
+        std::vector<Atom>{Atom(PrimedRelation(universe, view.head_rel),
+                               head_args)});
+  }
+
+  // ---- Initial instance. ----
+  canon.ForEachFact([&](const Fact& f) {
+    PosMask acc_mask = fact_mask(f);
+    uint32_t arity = static_cast<uint32_t>(f.args.size());
+    // All sub-masks of size ≤ w, plus the exact mask.
+    for (PosMask m : SmallMasks(arity, w)) {
+      PosMask sub = m & acc_mask;
+      out.start.AddFact(lin_rel(f.relation, sub), f.args);
+    }
+    out.start.AddFact(lin_rel(f.relation, acc_mask), f.args);
+
+    // Direct level-0 transfers (accessibility of level-0 facts is fully
+    // described by acc_mask, which the fixpoint above already closed).
+    auto m_it = methods_of.find(f.relation);
+    if (m_it == methods_of.end()) return;
+    for (const LinearizedMethod* lm : m_it->second) {
+      const AccessMethod& method = *lm->method;
+      PosMask inputs = 0;
+      for (uint32_t p : method.input_positions) inputs |= PosMask(1) << p;
+      if ((inputs & ~acc_mask) != 0) continue;
+      bool is_boolean = method.input_positions.size() == arity;
+      bool bounded = method.HasBound() && !is_boolean;
+      RelationId primed = PrimedRelation(universe, f.relation);
+      if (!bounded) {
+        out.start.AddFact(primed, f.args);
+      } else if (!lm->visible_outputs) {
+        std::vector<Term> args(arity);
+        for (uint32_t p = 0; p < arity; ++p) args[p] = universe->FreshNull();
+        for (uint32_t p : method.input_positions) args[p] = f.args[p];
+        out.start.AddFact(primed, std::move(args));
+      } else {
+        std::vector<Term> args(arity);
+        for (uint32_t p = 0; p < arity; ++p) args[p] = universe->FreshNull();
+        for (uint32_t p : lm->kept_positions) args[p] = f.args[p];
+        out.start.AddFact(lin_rel(f.relation, FullMask(arity)), args);
+        out.start.AddFact(primed, args);
+      }
+    }
+  });
+
+  // ---- Goal and depth bound. ----
+  out.goal = PrimeQuery(universe, q).atoms();
+
+  size_t w_eff = 1;
+  for (const Tgd& tgd : bounded_rules) w_eff = std::max(w_eff, tgd.Width());
+  size_t max_arity = 2;
+  for (RelationId rel : schema.relations()) {
+    max_arity = std::max<size_t>(max_arity, universe->Arity(rel));
+  }
+  out.effective_width = w_eff;
+  out.num_rules_bounded = bounded_rules.size();
+  out.num_rules_acyclic = acyclic_rules.size();
+  out.jk_depth_bound =
+      JohnsonKlugDepthBound(out.goal.size(), bounded_rules.size(),
+                            acyclic_rules.size(), max_arity, w_eff);
+
+  out.tgds = std::move(bounded_rules);
+  out.tgds.insert(out.tgds.end(), acyclic_rules.begin(), acyclic_rules.end());
+  return out;
+}
+
+}  // namespace rbda

@@ -1,0 +1,113 @@
+// Linearization (paper Prop 5.5, Appendix E.3 / E.5.2, extended per G.2).
+//
+// Input: a schema whose TGD constraints are IDs of width w, plus access
+// methods (with or without result bounds). Output: an equivalent query
+// containment problem over *linear* TGDs of bounded semi-width, solvable by
+// the depth-bounded Johnson–Klug chase — the engine behind the paper's
+// EXPTIME (IDs) and NP (bounded-width IDs) upper bounds.
+//
+// Construction:
+//  * Saturation — computes the derived truncated accessibility axioms
+//    ("if positions P of an R-fact are accessible, so is position j"),
+//    closing under the (ID) pullback, (Transitivity), and (Access) rules of
+//    Appendix E.3.1, for all P with |P| ≤ w (plus the masks needed by the
+//    initial instance).
+//  * Expanded signature — relation R_P for each relation R and accessible-
+//    position mask P; an R_P-fact is an R-fact whose P-positions are known
+//    accessible.
+//  * ΣLin rules —
+//      (Lift)      R_P(u) → ∃z S_P'''(z,u)    per ID, following Cl(R,P);
+//      (Transfer)  R_P(x) → R'(x)             when Cl(R,P) covers the
+//                                             inputs of a non-bounded mt;
+//      (RB-Transfer, E.5.2) R_P(x,y) → ∃z R'(x,z)  for result-bounded mt
+//                                             (existence-check regime); or,
+//      (RB-Choice, G.2-style) R_P(u) → ∃z Pair_mt(v); Pair_mt(w) → R_⊤(w);
+//                  Pair_mt(w) → R'(w)         for choice-simplified bound-1
+//                                             methods whose returned tuple
+//                                             is fully visible (UIDs+FDs
+//                                             pipeline; `v` keeps the input
+//                                             and determined positions);
+//      (Σ')        primed copies of the IDs.
+//  * Initial instance — CanonDB(Q) closed under the derived axioms seeded
+//    by the accessible constants, expanded into R_P facts, with direct
+//    transfers applied to the level-0 facts.
+#ifndef RBDA_CORE_LINEARIZATION_H_
+#define RBDA_CORE_LINEARIZATION_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "logic/conjunctive_query.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+/// Accessible-position sets as bitmasks (arity ≤ 32).
+using PosMask = uint32_t;
+
+/// Derived truncated accessibility axioms: Cl(R, P) = positions of R that
+/// become accessible once the positions of P are, under the schema's IDs
+/// and (non-result-bounded) methods.
+class TruncatedSaturation {
+ public:
+  /// `ids` must all be IDs. `w` is the saturation breadth (normally the
+  /// maximum ID width). `extra_masks` adds masks beyond size w that the
+  /// caller needs closed (e.g. initial-instance masks).
+  TruncatedSaturation(const std::vector<Tgd>& ids,
+                      const std::vector<AccessMethod>& methods,
+                      const Universe& universe, size_t w,
+                      const std::map<RelationId, std::set<PosMask>>&
+                          extra_masks = {});
+
+  /// Closure of an arbitrary position set of `relation` under the derived
+  /// axioms and the (Access) rule.
+  PosMask Closure(RelationId relation, PosMask start) const;
+
+  size_t width() const { return w_; }
+
+ private:
+  void Saturate(const std::vector<Tgd>& ids, const Universe& universe);
+  PosMask Expand(RelationId relation, PosMask start) const;
+
+  // (relation, P) -> Cl(R, P), for tracked masks.
+  std::map<std::pair<RelationId, PosMask>, PosMask> cl_;
+  // Non-result-bounded methods per relation (input position masks).
+  std::map<RelationId, std::vector<PosMask>> access_inputs_;
+  std::map<RelationId, PosMask> full_mask_;
+  size_t w_;
+};
+
+/// Per-method configuration for the linearizer.
+struct LinearizedMethod {
+  const AccessMethod* method = nullptr;
+  /// For bounded methods: head positions keeping body values (inputs, plus
+  /// DetBy(mt) in the UIDs+FDs pipeline).
+  std::vector<uint32_t> kept_positions;
+  /// True in the choice/UIDs+FDs regime: the returned tuple is fully
+  /// visible and re-enters the chase (Pair encoding). False in the
+  /// existence-check regime (plain E.5.2 RB-Transfer).
+  bool visible_outputs = false;
+};
+
+struct LinearizedProblem {
+  std::vector<Tgd> tgds;  // all linear
+  Instance start;
+  std::vector<Atom> goal;        // Q' atoms
+  uint64_t jk_depth_bound = 0;   // complete depth for the JK chase
+  size_t num_rules_bounded = 0;  // Σ1 (width-bounded part)
+  size_t num_rules_acyclic = 0;  // Σ2 (acyclic position graph)
+  size_t effective_width = 0;
+};
+
+/// Builds the linearized containment problem for the Boolean CQ `q` against
+/// a schema whose TGDs are all IDs. `accessible_constants` seeds the
+/// accessible set (defaults to the constants of q if null).
+StatusOr<LinearizedProblem> LinearizeAnswerability(
+    const ServiceSchema& schema, const ConjunctiveQuery& q,
+    const std::vector<LinearizedMethod>& methods,
+    const TermSet* accessible_constants = nullptr);
+
+}  // namespace rbda
+
+#endif  // RBDA_CORE_LINEARIZATION_H_

@@ -1,0 +1,157 @@
+#include "core/plan_synthesis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rbda {
+
+namespace {
+
+std::string ValuesTable(size_t round) { return "V" + std::to_string(round); }
+std::string InputTable(size_t round, size_t m) {
+  return "IN" + std::to_string(round) + "_" + std::to_string(m);
+}
+std::string AccessTable(size_t round, size_t m) {
+  return "AC" + std::to_string(round) + "_" + std::to_string(m);
+}
+
+}  // namespace
+
+StatusOr<Plan> SynthesizeSaturationPlan(
+    const ServiceSchema& schema, const ConjunctiveQuery& q,
+    const std::vector<size_t>& method_indexes, size_t rounds,
+    const SynthesisOptions& options) {
+  Universe* universe = const_cast<Universe*>(&schema.universe());
+  auto allowed = [&](size_t m) {
+    return std::find(method_indexes.begin(), method_indexes.end(), m) !=
+           method_indexes.end();
+  };
+  Plan plan;
+
+  // V0: the constants of the query (a constant tuple per value; a
+  // middleware command whose disjuncts have empty bodies).
+  std::vector<TableCq> v0;
+  for (Term c : q.Constants()) {
+    v0.push_back(TableCq{{}, {c}});
+  }
+  plan.Middleware(ValuesTable(0), std::move(v0));
+
+  // Saturation rounds.
+  for (size_t round = 1; round <= rounds; ++round) {
+    for (size_t m = 0; m < schema.methods().size(); ++m) {
+      if (!allowed(m)) continue;
+      const AccessMethod& method = schema.methods()[m];
+      if (method.IsInputFree()) {
+        plan.Access(AccessTable(round, m), method.name);
+      } else {
+        // IN := cartesian product of the known values, one column per
+        // input position.
+        TableCq cartesian;
+        for (size_t i = 0; i < method.input_positions.size(); ++i) {
+          Term v = universe->FreshVariable();
+          cartesian.atoms.push_back(
+              TableAtom{ValuesTable(round - 1), {v}});
+          cartesian.head.push_back(v);
+        }
+        plan.Middleware(InputTable(round, m), {cartesian});
+        plan.Access(AccessTable(round, m), method.name,
+                    InputTable(round, m));
+      }
+    }
+    // V_round := V_{round-1} ∪ every column of every access output so far
+    // in this round.
+    std::vector<TableCq> values;
+    {
+      Term v = universe->FreshVariable();
+      values.push_back(TableCq{{TableAtom{ValuesTable(round - 1), {v}}}, {v}});
+    }
+    for (size_t m = 0; m < schema.methods().size(); ++m) {
+      if (!allowed(m)) continue;
+      const AccessMethod& method = schema.methods()[m];
+      uint32_t arity = universe->Arity(method.relation);
+      for (uint32_t col = 0; col < arity; ++col) {
+        std::vector<Term> args;
+        for (uint32_t p = 0; p < arity; ++p) {
+          args.push_back(universe->FreshVariable());
+        }
+        values.push_back(
+            TableCq{{TableAtom{AccessTable(round, m), args}}, {args[col]}});
+      }
+    }
+    plan.Middleware(ValuesTable(round), std::move(values));
+  }
+
+  // D_<relation>: union of every access over the relation.
+  std::set<RelationId> accessible_relations;
+  for (size_t m = 0; m < schema.methods().size(); ++m) {
+    if (allowed(m)) accessible_relations.insert(schema.methods()[m].relation);
+  }
+  auto data_table = [&](RelationId rel) {
+    return "D_" + universe->RelationName(rel);
+  };
+  for (RelationId rel : accessible_relations) {
+    uint32_t arity = universe->Arity(rel);
+    std::vector<TableCq> disjuncts;
+    for (size_t round = 1; round <= rounds; ++round) {
+      for (size_t m = 0; m < schema.methods().size(); ++m) {
+        if (!allowed(m) || schema.methods()[m].relation != rel) continue;
+        std::vector<Term> args;
+        for (uint32_t p = 0; p < arity; ++p) {
+          args.push_back(universe->FreshVariable());
+        }
+        disjuncts.push_back(
+            TableCq{{TableAtom{AccessTable(round, m), args}}, args});
+      }
+    }
+    plan.Middleware(data_table(rel), std::move(disjuncts));
+  }
+
+  // OUT: the certain-answer rewriting of Q evaluated over the D_ tables.
+  std::vector<ConjunctiveQuery> disjuncts{q};
+  if (options.use_rewriting) {
+    bool all_ids = true;
+    for (const Tgd& tgd : schema.constraints().tgds) {
+      if (!tgd.IsId()) all_ids = false;
+    }
+    if (all_ids && !schema.constraints().tgds.empty()) {
+      disjuncts = RewriteUnderIds(q, schema.constraints().tgds, universe,
+                                  options.rewrite)
+                      .disjuncts();
+    }
+  }
+  std::vector<TableCq> out_union;
+  for (const ConjunctiveQuery& cq : disjuncts) {
+    bool usable = true;
+    TableCq translated;
+    for (const Atom& atom : cq.atoms()) {
+      if (!accessible_relations.count(atom.relation)) {
+        usable = false;  // relation has no method: its D_ table is empty
+        break;
+      }
+      translated.atoms.push_back(
+          TableAtom{data_table(atom.relation), atom.args});
+    }
+    if (!usable) continue;
+    translated.head = cq.free_variables();
+    out_union.push_back(std::move(translated));
+  }
+  if (out_union.empty()) {
+    return Status::FailedPrecondition(
+        "no rewriting of the query is supported by the accessible "
+        "relations; the query cannot be answered by saturation");
+  }
+  plan.Middleware("OUT", std::move(out_union));
+  plan.Return("OUT");
+  return plan;
+}
+
+StatusOr<Plan> SynthesizeUniversalPlan(const ServiceSchema& schema,
+                                       const ConjunctiveQuery& q,
+                                       const SynthesisOptions& options) {
+  std::vector<size_t> all;
+  for (size_t m = 0; m < schema.methods().size(); ++m) all.push_back(m);
+  return SynthesizeSaturationPlan(schema, q, all, options.access_rounds,
+                                  options);
+}
+
+}  // namespace rbda

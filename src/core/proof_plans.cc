@@ -1,0 +1,161 @@
+#include "core/proof_plans.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/simplification.h"
+
+namespace rbda {
+
+StatusOr<ProofSlice> ExtractProofSlice(const AmonDetReduction& reduction,
+                                       const ChaseResult& chase) {
+  // Map each created fact to the step that created it.
+  std::unordered_map<Fact, size_t, FactHash> producer;
+  for (size_t s = 0; s < chase.trace.size(); ++s) {
+    for (const Fact& f : chase.trace[s].added) producer.emplace(f, s);
+  }
+
+  std::optional<Substitution> goal_match =
+      FindHomomorphism(reduction.q_prime.atoms(), chase.instance);
+  if (!goal_match.has_value()) {
+    return Status::FailedPrecondition("the chase did not reach the goal");
+  }
+
+  std::set<size_t> needed;
+  std::deque<Fact> worklist;
+  std::unordered_map<Fact, bool, FactHash> visited;
+  for (const Atom& a : reduction.q_prime.atoms()) {
+    worklist.push_back(ApplyToAtom(*goal_match, a));
+  }
+  while (!worklist.empty()) {
+    Fact fact = std::move(worklist.front());
+    worklist.pop_front();
+    if (visited[fact]) continue;
+    visited[fact] = true;
+    if (reduction.start.Contains(fact)) continue;
+    auto it = producer.find(fact);
+    if (it == producer.end()) {
+      // The fact was neither initial nor traced: an EGD merge rewrote it.
+      // The slice is no longer exact; callers fall back to the universal
+      // plan.
+      return Status::NotFound(
+          "proof slicing lost a fact (EGD merges rewrote the trace)");
+    }
+    const ChaseStep& step = chase.trace[it->second];
+    if (needed.insert(it->second).second) {
+      const Tgd& tgd = reduction.gamma.tgds[step.tgd_index];
+      for (const Atom& b : tgd.body()) {
+        worklist.push_back(ApplyToAtom(step.trigger, b));
+      }
+    }
+  }
+
+  ProofSlice slice;
+  slice.steps.assign(needed.begin(), needed.end());
+  for (size_t s : slice.steps) {
+    const ChaseStep& step = chase.trace[s];
+    slice.rounds = std::max(slice.rounds, step.round);
+    auto method = reduction.axiom_method.find(step.tgd_index);
+    if (method != reduction.axiom_method.end()) {
+      uint64_t& round = slice.method_rounds[method->second];
+      round = std::max(round, step.round);
+    }
+  }
+  return slice;
+}
+
+std::string RenderProof(const AmonDetReduction& reduction,
+                        const ChaseResult& chase, const Universe& universe,
+                        const ProofSlice* slice) {
+  std::vector<size_t> steps;
+  if (slice != nullptr) {
+    steps = slice->steps;
+  } else {
+    for (size_t s = 0; s < chase.trace.size(); ++s) steps.push_back(s);
+  }
+  std::string out;
+  for (size_t s : steps) {
+    const ChaseStep& step = chase.trace[s];
+    const Tgd& tgd = reduction.gamma.tgds[step.tgd_index];
+    out += "[round " + std::to_string(step.round) + "] ";
+    auto method = reduction.axiom_method.find(step.tgd_index);
+    if (method != reduction.axiom_method.end()) {
+      out += "access " + method->second + ": ";
+    } else {
+      out += "constraint: ";
+    }
+    out += tgd.ToString(universe);
+    if (!step.added.empty()) {
+      out += "\n    ⊢ ";
+      for (size_t i = 0; i < step.added.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += FactToString(step.added[i], universe);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<Plan> SynthesizeRestrictedPlan(const ServiceSchema& schema,
+                                        const ConjunctiveQuery& q,
+                                        const std::set<std::string>& methods,
+                                        size_t rounds,
+                                        const SynthesisOptions& options) {
+  std::vector<size_t> indexes;
+  for (size_t m = 0; m < schema.methods().size(); ++m) {
+    if (methods.count(schema.methods()[m].name)) indexes.push_back(m);
+  }
+  if (indexes.empty()) {
+    return Status::FailedPrecondition("no usable methods in the proof slice");
+  }
+  return SynthesizeSaturationPlan(schema, q, indexes,
+                                  std::max<size_t>(rounds, 1), options);
+}
+
+StatusOr<Plan> ExtractPlanFromProof(const ServiceSchema& schema,
+                                    const ConjunctiveQuery& query,
+                                    const SynthesisOptions& options) {
+  // Work over the choice simplification: bound-1 axioms are plain TGDs,
+  // and (via ElimUB, Prop 3.3) a plan for the bound-1 schema is verbatim a
+  // plan for the original one — bound-k outputs are valid lower-bound-1
+  // outputs and monotone plans only grow with them.
+  ServiceSchema choice = ChoiceSimplification(schema);
+  ConjunctiveQuery boolean_q =
+      query.IsBoolean() ? query : ConjunctiveQuery::Boolean(query.atoms());
+  StatusOr<AmonDetReduction> red = BuildAmonDetReduction(choice, boolean_q);
+  RBDA_RETURN_IF_ERROR(red.status());
+
+  Universe* universe = const_cast<Universe*>(&schema.universe());
+  ChaseOptions chase_options;
+  chase_options.record_trace = true;
+  // Positive instances reach the goal quickly; cap the refutation side so
+  // extraction fails fast on non-answerable queries.
+  chase_options.max_rounds = 300;
+  chase_options.max_facts = 50000;
+  bool goal_reached = false;
+  ChaseResult chase =
+      RunChaseUntil(red->start, red->gamma, red->q_prime.atoms(), universe,
+                    &goal_reached, chase_options);
+  if (!goal_reached) {
+    return Status::FailedPrecondition(
+        "the query is not provably answerable within the chase budget");
+  }
+
+  StatusOr<ProofSlice> slice = ExtractProofSlice(*red, chase);
+  if (!slice.ok()) {
+    // EGD merges defeated the slice: fall back to the universal plan.
+    return SynthesizeUniversalPlan(schema, query, options);
+  }
+  std::set<std::string> methods;
+  for (const auto& [name, _] : slice->method_rounds) methods.insert(name);
+  if (methods.empty()) {
+    return Status::FailedPrecondition(
+        "the proof uses no access at all (degenerate query)");
+  }
+  return SynthesizeRestrictedPlan(schema, query, methods,
+                                  static_cast<size_t>(slice->rounds),
+                                  options);
+}
+
+}  // namespace rbda

@@ -1,0 +1,65 @@
+// Plan extraction from chase proofs ([13, 14]: "generating plans from
+// proofs", adapted to our chase engine).
+//
+// When the AMonDet containment chase reaches the goal Q', the recorded
+// trace is a proof of answerability. ExtractProofSlice walks the proof
+// backwards from the goal match and keeps exactly the steps it depends on;
+// the accessibility-axiom firings in the slice name the access methods
+// (and the chase round at which each fires) that the plan needs.
+// ExtractPlanFromProof then emits a saturation plan restricted to those
+// methods and rounds — typically far leaner than the generic universal
+// plan, and validated the same way by the runtime oracle.
+#ifndef RBDA_CORE_PROOF_PLANS_H_
+#define RBDA_CORE_PROOF_PLANS_H_
+
+#include <set>
+
+#include "chase/containment.h"
+#include "core/plan_synthesis.h"
+#include "core/reduction.h"
+
+namespace rbda {
+
+struct ProofSlice {
+  /// Indexes into the trace of the chase, in firing order, of the steps
+  /// the goal match transitively depends on.
+  std::vector<size_t> steps;
+  /// Methods whose accessibility axioms appear in the slice, with the
+  /// latest chase round at which each fires.
+  std::map<std::string, uint64_t> method_rounds;
+  /// Total rounds spanned by the slice.
+  uint64_t rounds = 0;
+};
+
+/// Computes the backward slice of a successful AMonDet chase: `chase` must
+/// have been run with record_trace over `reduction.gamma` from
+/// `reduction.start` and must satisfy the goal.
+StatusOr<ProofSlice> ExtractProofSlice(const AmonDetReduction& reduction,
+                                       const ChaseResult& chase);
+
+/// End-to-end: build the reduction (rewritten mode), chase with a trace,
+/// slice the proof, and emit a plan over exactly the methods the proof
+/// uses. Fails if the query is not (provably) answerable, or if the
+/// schema still carries bounds > 1 (simplify first).
+StatusOr<Plan> ExtractPlanFromProof(const ServiceSchema& schema,
+                                    const ConjunctiveQuery& query,
+                                    const SynthesisOptions& options = {});
+
+/// The saturation-plan builder shared with SynthesizeUniversalPlan, but
+/// restricted to `methods` (names) and `rounds` rounds.
+StatusOr<Plan> SynthesizeRestrictedPlan(const ServiceSchema& schema,
+                                        const ConjunctiveQuery& q,
+                                        const std::set<std::string>& methods,
+                                        size_t rounds,
+                                        const SynthesisOptions& options = {});
+
+/// Human-readable rendering of a chase proof: one line per step (round,
+/// the fired axiom — labelled with its access method where applicable —
+/// and the created facts). When `slice` is given, only its steps print.
+std::string RenderProof(const AmonDetReduction& reduction,
+                        const ChaseResult& chase, const Universe& universe,
+                        const ProofSlice* slice = nullptr);
+
+}  // namespace rbda
+
+#endif  // RBDA_CORE_PROOF_PLANS_H_

@@ -1,0 +1,209 @@
+#include "core/reduction.h"
+
+#include <algorithm>
+
+#include "constraints/fd_reasoning.h"
+#include "logic/conjunctive_query.h"
+
+namespace rbda {
+
+RelationId PrimedRelation(Universe* universe, RelationId relation) {
+  StatusOr<RelationId> id = universe->AddRelation(
+      universe->RelationName(relation) + "@p", universe->Arity(relation));
+  RBDA_CHECK(id.ok());
+  return *id;
+}
+
+namespace {
+
+RelationId AccessedRelation(Universe* universe, RelationId relation) {
+  StatusOr<RelationId> id = universe->AddRelation(
+      universe->RelationName(relation) + "@acc", universe->Arity(relation));
+  RBDA_CHECK(id.ok());
+  return *id;
+}
+
+std::vector<Atom> PrimeAtoms(Universe* universe,
+                             const std::vector<Atom>& atoms) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    out.emplace_back(PrimedRelation(universe, a.relation), a.args);
+  }
+  return out;
+}
+
+}  // namespace
+
+ConjunctiveQuery PrimeQuery(Universe* universe, const ConjunctiveQuery& q) {
+  return ConjunctiveQuery(PrimeAtoms(universe, q.atoms()),
+                          q.free_variables());
+}
+
+ConstraintSet PrimeConstraints(Universe* universe,
+                               const ConstraintSet& sigma) {
+  ConstraintSet out;
+  for (const Tgd& tgd : sigma.tgds) {
+    out.tgds.emplace_back(PrimeAtoms(universe, tgd.body()),
+                          PrimeAtoms(universe, tgd.head()));
+  }
+  for (const Fd& fd : sigma.fds) {
+    Fd primed = fd;
+    primed.relation = PrimedRelation(universe, fd.relation);
+    out.fds.push_back(std::move(primed));
+  }
+  return out;
+}
+
+StatusOr<AmonDetReduction> BuildAmonDetReduction(
+    const ServiceSchema& schema, const ConjunctiveQuery& q,
+    const ReductionOptions& options, const TermSet* accessible_constants) {
+  if (!q.IsBoolean()) {
+    return Status::InvalidArgument(
+        "the reduction handles Boolean queries; freeze free variables first");
+  }
+  Universe* universe = const_cast<Universe*>(&schema.universe());
+
+  AmonDetReduction red;
+  red.q = q;
+  red.q_prime = PrimeQuery(universe, q);
+
+  StatusOr<RelationId> acc = universe->AddRelation("@accessible", 1);
+  RBDA_CHECK(acc.ok());
+  red.accessible_rel = *acc;
+
+  // Σ and Σ'.
+  red.gamma = schema.constraints();
+  red.gamma = red.gamma.UnionWith(
+      PrimeConstraints(universe, schema.constraints()));
+  for (RelationId r : schema.relations()) {
+    red.primed.emplace(r, PrimedRelation(universe, r));
+  }
+  if (options.drop_fds) red.gamma.fds.clear();
+
+  // Accessibility axioms per method.
+  for (const AccessMethod& method : schema.methods()) {
+    RelationId r = method.relation;
+    uint32_t arity = universe->Arity(r);
+    bool is_boolean = method.input_positions.size() == arity;
+    bool bounded = method.HasBound() && !is_boolean;
+
+    // Shared body scaffolding: R(x, y) with accessibility atoms on inputs.
+    std::vector<Term> args;
+    for (uint32_t p = 0; p < arity; ++p) {
+      args.push_back(universe->FreshVariable());
+    }
+    std::vector<Atom> body;
+    for (uint32_t p : method.input_positions) {
+      body.emplace_back(red.accessible_rel, std::vector<Term>{args[p]});
+    }
+    body.emplace_back(r, args);
+
+    if (options.mode == ReductionMode::kNaive) {
+      RelationId r_acc = AccessedRelation(universe, r);
+      red.accessed.emplace(r, r_acc);
+      if (!bounded) {
+        size_t idx = red.gamma.tgds.size();
+        red.gamma.tgds.emplace_back(
+            body, std::vector<Atom>{Atom(r_acc, args)});
+        red.axiom_method.emplace(idx, method.name);
+      } else {
+        CardinalityRule rule;
+        rule.source_rel = r;
+        rule.input_positions = method.input_positions;
+        rule.target_rel = r_acc;
+        rule.bound = method.bound;
+        rule.accessible_rel = red.accessible_rel;
+        red.cardinality_rules.push_back(std::move(rule));
+      }
+      continue;
+    }
+
+    // kRewritten mode.
+    if (!bounded) {
+      // acc(x) ∧ R(x,y) → R'(x,y) ∧ acc(y).
+      std::vector<Atom> head;
+      head.emplace_back(red.primed.at(r), args);
+      for (uint32_t p : method.OutputPositions(*universe)) {
+        head.emplace_back(red.accessible_rel, std::vector<Term>{args[p]});
+      }
+      size_t idx = red.gamma.tgds.size();
+      red.gamma.tgds.emplace_back(body, std::move(head));
+      red.axiom_method.emplace(idx, method.name);
+    } else {
+      if (method.bound != 1) {
+        return Status::FailedPrecondition(
+            "rewritten reduction requires result bounds of 1 (method '" +
+            method.name + "' has bound " + std::to_string(method.bound) +
+            "); apply a simplification first");
+      }
+      // acc(x) ∧ R(x,y) → ∃z R(x,d,z) ∧ R'(x,d,z) ∧ acc(d,z) where d are
+      // the determined positions (empty unless export_determined).
+      std::vector<uint32_t> kept = method.input_positions;
+      if (options.export_determined) {
+        kept = DetBy(schema.constraints().fds, r, method.input_positions);
+      }
+      std::vector<Term> head_args;
+      std::vector<Term> fresh_outputs;
+      for (uint32_t p = 0; p < arity; ++p) {
+        if (std::binary_search(kept.begin(), kept.end(), p)) {
+          head_args.push_back(args[p]);
+        } else {
+          Term z = universe->FreshVariable();
+          head_args.push_back(z);
+          fresh_outputs.push_back(z);
+        }
+      }
+      std::vector<Atom> head;
+      head.emplace_back(r, head_args);
+      head.emplace_back(red.primed.at(r), head_args);
+      // The returned tuple is fully visible: every non-input value of the
+      // head becomes accessible.
+      for (uint32_t p = 0; p < arity; ++p) {
+        if (!std::binary_search(method.input_positions.begin(),
+                                method.input_positions.end(), p)) {
+          head.emplace_back(red.accessible_rel,
+                            std::vector<Term>{head_args[p]});
+        }
+      }
+      size_t idx = red.gamma.tgds.size();
+      red.gamma.tgds.emplace_back(body, std::move(head));
+      red.axiom_method.emplace(idx, method.name);
+    }
+  }
+
+  // Naive mode: R_Accessed(w) → R(w) ∧ R'(w) ∧ acc(w).
+  if (options.mode == ReductionMode::kNaive) {
+    for (const auto& [r, r_acc] : red.accessed) {
+      uint32_t arity = universe->Arity(r);
+      std::vector<Term> args;
+      for (uint32_t p = 0; p < arity; ++p) {
+        args.push_back(universe->FreshVariable());
+      }
+      std::vector<Atom> head;
+      head.emplace_back(r, args);
+      head.emplace_back(red.primed.at(r), args);
+      for (uint32_t p = 0; p < arity; ++p) {
+        head.emplace_back(red.accessible_rel, std::vector<Term>{args[p]});
+      }
+      red.gamma.tgds.emplace_back(
+          std::vector<Atom>{Atom(r_acc, args)}, std::move(head));
+    }
+  }
+
+  // Start instance: CanonDB(q) plus accessibility of the query's constants
+  // (the plan may use them as bindings).
+  red.start = q.CanonicalDatabase();
+  if (accessible_constants != nullptr) {
+    for (Term c : *accessible_constants) {
+      red.start.AddFact(red.accessible_rel, {c});
+    }
+  } else {
+    for (Term c : q.Constants()) {
+      red.start.AddFact(red.accessible_rel, {c});
+    }
+  }
+  return red;
+}
+
+}  // namespace rbda

@@ -1,0 +1,174 @@
+#include "core/rewriting.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace rbda {
+
+namespace {
+
+// Removes exact duplicate atoms (order-preserving).
+std::vector<Atom> DedupeAtoms(const std::vector<Atom>& atoms) {
+  std::vector<Atom> out;
+  for (const Atom& atom : atoms) {
+    if (std::find(out.begin(), out.end(), atom) == out.end()) {
+      out.push_back(atom);
+    }
+  }
+  return out;
+}
+
+// How many times each term occurs across the query's atoms.
+std::map<Term, int> OccurrenceCounts(const ConjunctiveQuery& q) {
+  std::map<Term, int> counts;
+  for (const Atom& a : q.atoms()) {
+    for (const Term& t : a.args) ++counts[t];
+  }
+  return counts;
+}
+
+bool IsFreeVariable(const ConjunctiveQuery& q, Term t) {
+  return std::find(q.free_variables().begin(), q.free_variables().end(), t) !=
+         q.free_variables().end();
+}
+
+// The atom-rewriting step: if `id` (body B -> head H) is applicable to the
+// atom at `idx` (every existential head position holds an unshared,
+// non-free variable), replace it by the body atom.
+std::optional<ConjunctiveQuery> ApplyIdBackwards(const ConjunctiveQuery& q,
+                                                 size_t idx, const Tgd& id,
+                                                 Universe* universe) {
+  const Atom& alpha = q.atoms()[idx];
+  const Atom& head = id.head()[0];
+  const Atom& body = id.body()[0];
+  if (alpha.relation != head.relation) return std::nullopt;
+
+  TermSet body_vars;
+  for (const Term& t : body.args) body_vars.insert(t);
+
+  std::map<Term, int> counts = OccurrenceCounts(q);
+
+  // Map head variables to alpha's terms; check applicability.
+  Substitution head_to_alpha;
+  for (size_t p = 0; p < head.args.size(); ++p) {
+    Term hv = head.args[p];
+    Term at = alpha.args[p];
+    bool exported = body_vars.count(hv) > 0;
+    if (!exported) {
+      // Existential position: the query term must be a join-free variable.
+      if (!at.IsVariable()) return std::nullopt;
+      if (counts[at] != 1) return std::nullopt;
+      if (IsFreeVariable(q, at)) return std::nullopt;
+    } else {
+      auto it = head_to_alpha.find(hv);
+      if (it != head_to_alpha.end()) {
+        if (it->second != at) return std::nullopt;  // IDs never repeat vars
+      } else {
+        head_to_alpha.emplace(hv, at);
+      }
+    }
+  }
+
+  // Build the replacement atom from the body: exported positions take
+  // alpha's terms, the rest take fresh variables.
+  std::vector<Term> new_args;
+  new_args.reserve(body.args.size());
+  for (const Term& bv : body.args) {
+    auto it = head_to_alpha.find(bv);
+    new_args.push_back(it != head_to_alpha.end() ? it->second
+                                                 : universe->FreshVariable());
+  }
+
+  std::vector<Atom> atoms = q.atoms();
+  atoms[idx] = Atom(body.relation, std::move(new_args));
+  return ConjunctiveQuery(DedupeAtoms(atoms), q.free_variables());
+}
+
+// The factorization step: most-general unification of two atoms over the
+// same relation, needed so that atom rewriting can fire on shared join
+// variables.
+std::optional<ConjunctiveQuery> Factorize(const ConjunctiveQuery& q,
+                                          size_t i, size_t j) {
+  const Atom& a = q.atoms()[i];
+  const Atom& b = q.atoms()[j];
+  if (a.relation != b.relation) return std::nullopt;
+  Substitution mgu;
+  auto resolve = [&](Term t) {
+    // Follow the substitution chain to a representative.
+    while (true) {
+      auto it = mgu.find(t);
+      if (it == mgu.end()) return t;
+      t = it->second;
+    }
+  };
+  for (size_t p = 0; p < a.args.size(); ++p) {
+    Term x = resolve(a.args[p]);
+    Term y = resolve(b.args[p]);
+    if (x == y) continue;
+    if (x.IsConstant() && y.IsConstant()) return std::nullopt;
+    if (x.IsConstant()) std::swap(x, y);
+    mgu.emplace(x, y);  // x is a variable
+  }
+  if (mgu.empty()) return std::nullopt;
+  // Flatten the chains before substituting.
+  Substitution flat;
+  for (const auto& [from, _] : mgu) flat.emplace(from, resolve(from));
+  ConjunctiveQuery unified = q.Substitute(flat);
+  // Drop the now-duplicate atom.
+  std::vector<Atom> atoms;
+  std::set<std::string> seen;
+  for (const Atom& atom : unified.atoms()) {
+    std::string key = std::to_string(atom.relation);
+    for (const Term& t : atom.args) key += "," + std::to_string(t.raw());
+    if (seen.insert(key).second) atoms.push_back(atom);
+  }
+  return ConjunctiveQuery(std::move(atoms), unified.free_variables());
+}
+
+bool Equivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return a.ContainedIn(b) && b.ContainedIn(a);
+}
+
+}  // namespace
+
+UnionQuery RewriteUnderIds(const ConjunctiveQuery& q,
+                           const std::vector<Tgd>& ids, Universe* universe,
+                           const RewriteOptions& options) {
+  std::vector<ConjunctiveQuery> results{q};
+  std::deque<size_t> queue{0};
+
+  auto add = [&](ConjunctiveQuery candidate) {
+    if (results.size() >= options.max_cqs) return;
+    for (const ConjunctiveQuery& existing : results) {
+      if (existing.atoms().size() == candidate.atoms().size() &&
+          Equivalent(existing, candidate)) {
+        return;
+      }
+    }
+    results.push_back(std::move(candidate));
+    queue.push_back(results.size() - 1);
+  };
+
+  while (!queue.empty() && results.size() < options.max_cqs) {
+    ConjunctiveQuery current = results[queue.front()];
+    queue.pop_front();
+    for (size_t idx = 0; idx < current.atoms().size(); ++idx) {
+      for (const Tgd& id : ids) {
+        if (auto rewritten = ApplyIdBackwards(current, idx, id, universe)) {
+          add(std::move(*rewritten));
+        }
+      }
+    }
+    for (size_t i = 0; i < current.atoms().size(); ++i) {
+      for (size_t j = i + 1; j < current.atoms().size(); ++j) {
+        if (auto unified = Factorize(current, i, j)) {
+          add(std::move(*unified));
+        }
+      }
+    }
+  }
+  return UnionQuery(std::move(results));
+}
+
+}  // namespace rbda

@@ -1,0 +1,31 @@
+// UCQ rewriting of a CQ under inclusion dependencies (PerfectRef-style,
+// Calì–Lembo–Rosati / Calì–Gottlob–Lukasiewicz).
+//
+// Produces a union of CQs R such that for every instance A:
+//     chase(A, Σ) ⊨ Q      iff      A ⊨ R,
+// i.e. R computes the certain answers of Q over A under the IDs Σ. Plan
+// synthesis uses this as the final middleware step: evaluating R over the
+// accessed facts yields exactly the facts Q-entailed by what was accessed.
+#ifndef RBDA_CORE_REWRITING_H_
+#define RBDA_CORE_REWRITING_H_
+
+#include "constraints/constraint_set.h"
+#include "logic/conjunctive_query.h"
+
+namespace rbda {
+
+struct RewriteOptions {
+  size_t max_cqs = 256;  // cap on the number of disjuncts explored
+};
+
+/// Rewrites `q` under the IDs `ids` (each TGD must be an ID). Returns the
+/// UCQ rewriting; the first disjunct is always `q` itself. If the cap is
+/// hit, the result is still sound (every disjunct is entailed) but may be
+/// incomplete.
+UnionQuery RewriteUnderIds(const ConjunctiveQuery& q,
+                           const std::vector<Tgd>& ids, Universe* universe,
+                           const RewriteOptions& options = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_CORE_REWRITING_H_

@@ -1,0 +1,50 @@
+// Schema simplifications (paper §3, §4, §6).
+//
+// Each transformation rewrites a schema with result-bounded methods into a
+// schema whose answerability problem is simpler, and is sound & complete
+// for monotone answerability on the constraint classes the paper proves:
+//
+//  * ElimUB (Prop 3.3)            — result bounds -> result lower bounds;
+//    always equivalence-preserving.
+//  * Existence-check (Thm 4.2)    — complete for ID constraints: each
+//    result-bounded method mt on R becomes a Boolean method on a view
+//    R_mt(x) <-> ∃y R(x,y) over the method's input positions.
+//  * FD simplification (Thm 4.5)  — complete for FD constraints: the view
+//    keeps the positions DetBy(mt) functionally determined by the inputs.
+//  * Choice simplification (Thms 6.3/6.4) — complete for equality-free FO
+//    (e.g. TGDs) and for UIDs+FDs: all result bounds become 1.
+//
+// Derived schemas share the input schema's Universe.
+#ifndef RBDA_CORE_SIMPLIFICATION_H_
+#define RBDA_CORE_SIMPLIFICATION_H_
+
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+/// Replaces every result bound by a result lower bound of the same value.
+ServiceSchema ElimUB(const ServiceSchema& schema);
+
+/// Replaces every result bound (or lower bound) by 1.
+ServiceSchema ChoiceSimplification(const ServiceSchema& schema);
+
+/// Existence-check simplification. Adds, per result-bounded method mt on R,
+/// a relation named "<R>__<mt>" with the two IDs
+///   R(x,y) -> R_mt(x)   and   R_mt(x) -> ∃y R(x,y)
+/// and a Boolean method "<mt>__exists" on it.
+ServiceSchema ExistenceCheckSimplification(const ServiceSchema& schema);
+
+/// FD simplification. Like the existence check, but the view keeps every
+/// position in DetBy(mt) (inputs first, then the other determined positions
+/// in ascending order), and the new method "<mt>__det" has the positions
+/// corresponding to mt's inputs as inputs.
+ServiceSchema FdSimplification(const ServiceSchema& schema);
+
+/// The positions of mt's relation determined by its input positions under
+/// the FDs of `schema` (paper notation DetBy(mt)); sorted ascending.
+std::vector<uint32_t> DetByMethod(const ServiceSchema& schema,
+                                  const AccessMethod& method);
+
+}  // namespace rbda
+
+#endif  // RBDA_CORE_SIMPLIFICATION_H_

@@ -1,0 +1,110 @@
+#include "data/instance.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+
+namespace rbda {
+
+namespace {
+const std::vector<Fact> kNoFacts;
+const std::vector<uint32_t> kNoIndexes;
+}  // namespace
+
+bool Instance::AddFact(const Fact& fact) {
+  auto [it, inserted] = all_.insert(fact);
+  if (!inserted) return false;
+  auto& facts = by_relation_[fact.relation];
+  uint32_t idx = static_cast<uint32_t>(facts.size());
+  facts.push_back(fact);
+  for (uint32_t p = 0; p < fact.args.size(); ++p) {
+    index_[IndexKey{fact.relation, p, fact.args[p]}].push_back(idx);
+  }
+  return true;
+}
+
+const std::vector<Fact>& Instance::FactsOf(RelationId relation) const {
+  auto it = by_relation_.find(relation);
+  return it == by_relation_.end() ? kNoFacts : it->second;
+}
+
+std::vector<RelationId> Instance::PopulatedRelations() const {
+  std::vector<RelationId> out;
+  for (const auto& [rel, facts] : by_relation_) {
+    if (!facts.empty()) out.push_back(rel);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<uint32_t>& Instance::FactsWith(RelationId relation,
+                                                 uint32_t position,
+                                                 Term term) const {
+  auto it = index_.find(IndexKey{relation, position, term});
+  return it == index_.end() ? kNoIndexes : it->second;
+}
+
+TermSet Instance::ActiveDomain() const {
+  TermSet domain;
+  ForEachFact([&](const Fact& f) {
+    for (const Term& t : f.args) domain.insert(t);
+  });
+  return domain;
+}
+
+void Instance::UnionWith(const Instance& other) {
+  other.ForEachFact([&](const Fact& f) { AddFact(f); });
+}
+
+bool Instance::IsSubinstanceOf(const Instance& other) const {
+  if (NumFacts() > other.NumFacts()) return false;
+  bool ok = true;
+  ForEachFact([&](const Fact& f) {
+    if (!other.Contains(f)) ok = false;
+  });
+  return ok;
+}
+
+void Instance::ReplaceTerm(Term from, Term to) {
+  if (from == to) return;
+  Instance rewritten;
+  ForEachFact([&](const Fact& f) {
+    Fact g = f;
+    for (Term& t : g.args) {
+      if (t == from) t = to;
+    }
+    rewritten.AddFact(std::move(g));
+  });
+  *this = std::move(rewritten);
+}
+
+Instance Instance::RestrictTo(
+    const std::unordered_set<RelationId>& relations) const {
+  Instance out;
+  ForEachFact([&](const Fact& f) {
+    if (relations.count(f.relation)) out.AddFact(f);
+  });
+  return out;
+}
+
+std::string Instance::ToString(const Universe& universe) const {
+  std::vector<Fact> sorted;
+  sorted.reserve(all_.size());
+  ForEachFact([&](const Fact& f) { sorted.push_back(f); });
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const Fact& f : sorted) {
+    out += FactToString(f, universe);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FactToString(const Fact& fact, const Universe& universe) {
+  std::vector<std::string> args;
+  args.reserve(fact.args.size());
+  for (const Term& t : fact.args) args.push_back(universe.TermName(t));
+  return universe.RelationName(fact.relation) + "(" + Join(args, ", ") + ")";
+}
+
+}  // namespace rbda

@@ -1,0 +1,132 @@
+// Facts and instances.
+//
+// An instance is a finite set of facts R(t1..tn). Instances are the common
+// currency of the whole library: query evaluation, the chase, plan
+// execution, and the simulated services all operate on Instance.
+//
+// The instance maintains a positional index (relation, position, term) ->
+// facts, which drives homomorphism search and chase trigger enumeration.
+#ifndef RBDA_DATA_INSTANCE_H_
+#define RBDA_DATA_INSTANCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/term.h"
+#include "data/universe.h"
+
+namespace rbda {
+
+struct Fact {
+  RelationId relation = 0;
+  std::vector<Term> args;
+
+  Fact() = default;
+  Fact(RelationId r, std::vector<Term> a) : relation(r), args(std::move(a)) {}
+
+  bool operator==(const Fact& o) const {
+    return relation == o.relation && args == o.args;
+  }
+  bool operator<(const Fact& o) const {
+    if (relation != o.relation) return relation < o.relation;
+    return args < o.args;
+  }
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ f.relation;
+    for (const Term& t : f.args) {
+      h ^= TermHash()(t) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using TermSet = std::unordered_set<Term, TermHash>;
+
+class Instance {
+ public:
+  /// Adds a fact; returns true if it was not already present.
+  bool AddFact(const Fact& fact);
+  bool AddFact(RelationId relation, std::vector<Term> args) {
+    return AddFact(Fact(relation, std::move(args)));
+  }
+
+  bool Contains(const Fact& fact) const { return all_.count(fact) > 0; }
+
+  /// All facts over `relation` (empty vector if none).
+  const std::vector<Fact>& FactsOf(RelationId relation) const;
+
+  /// Relations that currently have at least one fact.
+  std::vector<RelationId> PopulatedRelations() const;
+
+  /// Indexes of facts of `relation` whose argument at `position` is `term`.
+  /// The returned indexes refer to FactsOf(relation).
+  const std::vector<uint32_t>& FactsWith(RelationId relation, uint32_t position,
+                                         Term term) const;
+
+  /// All terms occurring in facts.
+  TermSet ActiveDomain() const;
+
+  /// Adds every fact of `other` into this instance.
+  void UnionWith(const Instance& other);
+
+  /// True if every fact of this instance is in `other`.
+  bool IsSubinstanceOf(const Instance& other) const;
+
+  /// Replaces every occurrence of `from` by `to`, merging duplicate facts.
+  /// Used by EGD (functional dependency) chase steps.
+  void ReplaceTerm(Term from, Term to);
+
+  /// Restricts the instance to the given relations, dropping all others.
+  Instance RestrictTo(const std::unordered_set<RelationId>& relations) const;
+
+  size_t NumFacts() const { return all_.size(); }
+  bool Empty() const { return all_.empty(); }
+
+  /// Iteration over all facts, relation by relation.
+  template <typename Fn>
+  void ForEachFact(Fn&& fn) const {
+    for (const auto& [rel, facts] : by_relation_) {
+      for (const Fact& f : facts) fn(f);
+    }
+  }
+
+  /// Deterministic sorted dump, one fact per line, for tests and debugging.
+  std::string ToString(const Universe& universe) const;
+
+  bool operator==(const Instance& o) const { return all_ == o.all_; }
+
+ private:
+  std::unordered_set<Fact, FactHash> all_;
+  std::unordered_map<RelationId, std::vector<Fact>> by_relation_;
+  // (relation, position, term) -> indexes into by_relation_[relation].
+  struct IndexKey {
+    RelationId relation;
+    uint32_t position;
+    Term term;
+    bool operator==(const IndexKey& o) const {
+      return relation == o.relation && position == o.position &&
+             term == o.term;
+    }
+  };
+  struct IndexKeyHash {
+    size_t operator()(const IndexKey& k) const {
+      uint64_t h = TermHash()(k.term);
+      h ^= (static_cast<uint64_t>(k.relation) << 32) | k.position;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+  std::unordered_map<IndexKey, std::vector<uint32_t>, IndexKeyHash> index_;
+};
+
+/// Renders one fact, e.g. "Prof(p1, alice, 10000)".
+std::string FactToString(const Fact& fact, const Universe& universe);
+
+}  // namespace rbda
+
+#endif  // RBDA_DATA_INSTANCE_H_

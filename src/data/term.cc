@@ -1,0 +1,3 @@
+#include "data/term.h"
+
+// Term is header-only; this file anchors the library target.

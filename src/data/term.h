@@ -1,0 +1,59 @@
+// Terms: the values that populate facts, queries, and constraints.
+//
+// A term is a constant (a named data value), a variable (appears in queries
+// and dependencies), or a labeled null (a fresh witness invented by the
+// chase). Terms are small value types: a tag plus a 32-bit id. Names for
+// constants and variables are interned in a Universe.
+#ifndef RBDA_DATA_TERM_H_
+#define RBDA_DATA_TERM_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace rbda {
+
+enum class TermKind : uint8_t {
+  kConstant = 0,
+  kVariable = 1,
+  kNull = 2,
+};
+
+class Term {
+ public:
+  Term() : bits_(0) {}
+
+  static Term Constant(uint32_t id) { return Term(TermKind::kConstant, id); }
+  static Term Variable(uint32_t id) { return Term(TermKind::kVariable, id); }
+  static Term Null(uint32_t id) { return Term(TermKind::kNull, id); }
+
+  TermKind kind() const { return static_cast<TermKind>(bits_ >> 32); }
+  uint32_t id() const { return static_cast<uint32_t>(bits_); }
+
+  bool IsConstant() const { return kind() == TermKind::kConstant; }
+  bool IsVariable() const { return kind() == TermKind::kVariable; }
+  bool IsNull() const { return kind() == TermKind::kNull; }
+
+  bool operator==(const Term& o) const { return bits_ == o.bits_; }
+  bool operator!=(const Term& o) const { return bits_ != o.bits_; }
+  bool operator<(const Term& o) const { return bits_ < o.bits_; }
+
+  uint64_t raw() const { return bits_; }
+
+ private:
+  Term(TermKind kind, uint32_t id)
+      : bits_((static_cast<uint64_t>(kind) << 32) | id) {}
+  uint64_t bits_;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    uint64_t z = t.raw() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_DATA_TERM_H_

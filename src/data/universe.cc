@@ -1,0 +1,47 @@
+#include "data/universe.h"
+
+namespace rbda {
+
+StatusOr<RelationId> Universe::AddRelation(std::string_view name,
+                                           uint32_t arity) {
+  SymbolId existing;
+  if (relations_.Lookup(name, &existing)) {
+    if (arities_[existing] != arity) {
+      return Status::InvalidArgument("relation '" + std::string(name) +
+                                     "' redeclared with different arity");
+    }
+    return existing;
+  }
+  SymbolId id = relations_.Intern(name);
+  RBDA_DCHECK(id == arities_.size());
+  arities_.push_back(arity);
+  return id;
+}
+
+bool Universe::LookupRelation(std::string_view name, RelationId* id) const {
+  return relations_.Lookup(name, id);
+}
+
+Term Universe::FreshVariable() {
+  for (;;) {
+    std::string name = "_v" + std::to_string(fresh_var_counter_++);
+    SymbolId ignored;
+    if (!variables_.Lookup(name, &ignored)) {
+      return Term::Variable(variables_.Intern(name));
+    }
+  }
+}
+
+std::string Universe::TermName(Term t) const {
+  switch (t.kind()) {
+    case TermKind::kConstant:
+      return constants_.NameOf(t.id());
+    case TermKind::kVariable:
+      return variables_.NameOf(t.id());
+    case TermKind::kNull:
+      return "_n" + std::to_string(t.id());
+  }
+  return "?";
+}
+
+}  // namespace rbda

@@ -1,0 +1,72 @@
+// The Universe owns all interned names for one reasoning context:
+// relation symbols (with arities), constant names, variable names, and the
+// counter used to mint fresh labeled nulls and fresh variables.
+//
+// Schemas produced by transformations (existence-check / FD / choice
+// simplification, the AMonDet reduction) share the Universe of the original
+// schema, so terms and relation ids remain comparable across the pipeline.
+#ifndef RBDA_DATA_UNIVERSE_H_
+#define RBDA_DATA_UNIVERSE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbol_table.h"
+#include "data/term.h"
+
+namespace rbda {
+
+using RelationId = uint32_t;
+
+class Universe {
+ public:
+  /// Interns relation `name` with the given arity. If the relation already
+  /// exists, the arity must match.
+  StatusOr<RelationId> AddRelation(std::string_view name, uint32_t arity);
+
+  /// Looks up a relation by name.
+  bool LookupRelation(std::string_view name, RelationId* id) const;
+
+  uint32_t Arity(RelationId r) const {
+    RBDA_DCHECK(r < arities_.size());
+    return arities_[r];
+  }
+  const std::string& RelationName(RelationId r) const {
+    return relations_.NameOf(r);
+  }
+  size_t NumRelations() const { return arities_.size(); }
+
+  /// Interns a constant / variable by name.
+  Term Constant(std::string_view name) {
+    return Term::Constant(constants_.Intern(name));
+  }
+  Term Variable(std::string_view name) {
+    return Term::Variable(variables_.Intern(name));
+  }
+
+  /// Mints a fresh labeled null (for chase witnesses).
+  Term FreshNull() { return Term::Null(next_null_++); }
+
+  /// Mints a fresh variable, guaranteed not to collide with interned names.
+  Term FreshVariable();
+
+  /// Renders a term using this universe's name tables.
+  std::string TermName(Term t) const;
+
+  size_t NumConstants() const { return constants_.size(); }
+  size_t NumNullsMinted() const { return next_null_; }
+
+ private:
+  SymbolTable relations_;
+  std::vector<uint32_t> arities_;
+  SymbolTable constants_;
+  SymbolTable variables_;
+  uint32_t next_null_ = 0;
+  uint32_t fresh_var_counter_ = 0;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_DATA_UNIVERSE_H_

@@ -1,0 +1,137 @@
+#include "logic/conjunctive_query.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+
+namespace rbda {
+
+TermSet ConjunctiveQuery::Variables() const {
+  TermSet vars;
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.args) {
+      if (t.IsVariable()) vars.insert(t);
+    }
+  }
+  for (const Term& t : free_variables_) {
+    if (t.IsVariable()) vars.insert(t);
+  }
+  return vars;
+}
+
+TermSet ConjunctiveQuery::Constants() const {
+  TermSet consts;
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.args) {
+      if (t.IsConstant()) consts.insert(t);
+    }
+  }
+  return consts;
+}
+
+Instance ConjunctiveQuery::CanonicalDatabase() const {
+  Instance db;
+  for (const Atom& a : atoms_) db.AddFact(a);
+  return db;
+}
+
+bool ConjunctiveQuery::HoldsIn(const Instance& data) const {
+  return FindHomomorphism(atoms_, data).has_value();
+}
+
+std::vector<std::vector<Term>> ConjunctiveQuery::Evaluate(
+    const Instance& data) const {
+  std::set<std::vector<Term>> answers;
+  ForEachHomomorphism(atoms_, data, nullptr, [&](const Substitution& sub) {
+    std::vector<Term> tuple;
+    tuple.reserve(free_variables_.size());
+    for (Term v : free_variables_) tuple.push_back(ApplyToTerm(sub, v));
+    answers.insert(std::move(tuple));
+    return true;
+  });
+  return {answers.begin(), answers.end()};
+}
+
+bool ConjunctiveQuery::ContainedIn(const ConjunctiveQuery& other) const {
+  RBDA_CHECK(free_variables_.size() == other.free_variables_.size());
+  // Q1 ⊆ Q2 iff there is a homomorphism from Q2 to CanonDB(Q1) mapping
+  // Q2's free variables onto Q1's (classical Chandra–Merlin criterion).
+  Instance canon = CanonicalDatabase();
+  Substitution seed;
+  for (size_t i = 0; i < free_variables_.size(); ++i) {
+    Term from = other.free_variables_[i];
+    Term to = free_variables_[i];
+    if (from.IsConstant()) {
+      if (from != to) return false;
+      continue;
+    }
+    auto it = seed.find(from);
+    if (it != seed.end()) {
+      if (it->second != to) return false;
+    } else {
+      seed.emplace(from, to);
+    }
+  }
+  return FindHomomorphism(other.atoms_, canon, &seed).has_value();
+}
+
+ConjunctiveQuery ConjunctiveQuery::Minimize() const {
+  // Fold the query onto itself: repeatedly look for an endomorphism of the
+  // canonical database (fixing free variables) whose image misses an atom,
+  // and restrict to the image. The fixpoint is the core.
+  ConjunctiveQuery current = *this;
+  bool changed = true;
+  while (changed && current.atoms_.size() > 1) {
+    changed = false;
+    for (size_t skip = 0; skip < current.atoms_.size() && !changed; ++skip) {
+      std::vector<Atom> reduced;
+      for (size_t i = 0; i < current.atoms_.size(); ++i) {
+        if (i != skip) reduced.push_back(current.atoms_[i]);
+      }
+      Instance target;
+      for (const Atom& a : reduced) target.AddFact(a);
+      Substitution seed;
+      for (Term v : current.free_variables_) {
+        if (v.IsVariable()) seed.emplace(v, v);
+      }
+      if (FindHomomorphism(current.atoms_, target, &seed).has_value()) {
+        current.atoms_ = std::move(reduced);
+        changed = true;
+      }
+    }
+  }
+  return current;
+}
+
+ConjunctiveQuery ConjunctiveQuery::Substitute(const Substitution& sub) const {
+  std::vector<Term> frees;
+  frees.reserve(free_variables_.size());
+  for (Term v : free_variables_) frees.push_back(ApplyToTerm(sub, v));
+  return ConjunctiveQuery(ApplyToAtoms(sub, atoms_), std::move(frees));
+}
+
+std::string ConjunctiveQuery::ToString(const Universe& universe) const {
+  std::vector<std::string> frees;
+  for (Term v : free_variables_) frees.push_back(universe.TermName(v));
+  std::vector<std::string> body;
+  for (const Atom& a : atoms_) body.push_back(FactToString(a, universe));
+  return "Q(" + Join(frees, ", ") + ") :- " + Join(body, ", ");
+}
+
+bool UnionQuery::HoldsIn(const Instance& data) const {
+  for (const ConjunctiveQuery& cq : disjuncts_) {
+    if (cq.HoldsIn(data)) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<Term>> UnionQuery::Evaluate(
+    const Instance& data) const {
+  std::set<std::vector<Term>> answers;
+  for (const ConjunctiveQuery& cq : disjuncts_) {
+    for (auto& tuple : cq.Evaluate(data)) answers.insert(tuple);
+  }
+  return {answers.begin(), answers.end()};
+}
+
+}  // namespace rbda

@@ -1,0 +1,92 @@
+// Conjunctive queries and unions of conjunctive queries (paper §2).
+//
+// A CQ is an existentially quantified conjunction of relational atoms, with
+// an optional tuple of free variables (empty tuple = Boolean CQ). The class
+// provides evaluation over instances, the canonical database, plain CQ
+// containment, and core minimization — the building blocks the paper's
+// reductions rest on.
+#ifndef RBDA_LOGIC_CONJUNCTIVE_QUERY_H_
+#define RBDA_LOGIC_CONJUNCTIVE_QUERY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/homomorphism.h"
+
+namespace rbda {
+
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::vector<Atom> atoms, std::vector<Term> free_variables)
+      : atoms_(std::move(atoms)), free_variables_(std::move(free_variables)) {}
+
+  static ConjunctiveQuery Boolean(std::vector<Atom> atoms) {
+    return ConjunctiveQuery(std::move(atoms), {});
+  }
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<Term>& free_variables() const { return free_variables_; }
+  bool IsBoolean() const { return free_variables_.empty(); }
+
+  /// All variables occurring in the query.
+  TermSet Variables() const;
+
+  /// All constants occurring in the query.
+  TermSet Constants() const;
+
+  /// The canonical database CanonDB(Q): one fact per atom, with variables
+  /// kept as (frozen) variable terms.
+  Instance CanonicalDatabase() const;
+
+  /// Boolean evaluation: true iff the query has a homomorphism into `data`.
+  bool HoldsIn(const Instance& data) const;
+
+  /// Non-Boolean evaluation: the set of answer tuples (images of the free
+  /// variables under some homomorphism), sorted and deduplicated.
+  std::vector<std::vector<Term>> Evaluate(const Instance& data) const;
+
+  /// Plain CQ containment (no constraints): true iff this ⊆ other, i.e.
+  /// every instance satisfying/answering this query also satisfies `other`.
+  /// Free variable tuples must have equal length.
+  bool ContainedIn(const ConjunctiveQuery& other) const;
+
+  /// Core minimization: returns an equivalent CQ with a minimal set of
+  /// atoms (folds redundant atoms via retractions).
+  ConjunctiveQuery Minimize() const;
+
+  /// Applies a substitution to all atoms and free variables.
+  ConjunctiveQuery Substitute(const Substitution& sub) const;
+
+  /// Renders e.g. "Q(n) :- Prof(i, n, c10000)".
+  std::string ToString(const Universe& universe) const;
+
+  bool operator==(const ConjunctiveQuery& o) const {
+    return atoms_ == o.atoms_ && free_variables_ == o.free_variables_;
+  }
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<Term> free_variables_;
+};
+
+/// A union of conjunctive queries with a shared free-variable arity.
+class UnionQuery {
+ public:
+  UnionQuery() = default;
+  explicit UnionQuery(std::vector<ConjunctiveQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+
+  bool HoldsIn(const Instance& data) const;
+  std::vector<std::vector<Term>> Evaluate(const Instance& data) const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_LOGIC_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,186 @@
+#include "logic/homomorphism.h"
+
+#include <algorithm>
+
+namespace rbda {
+
+Term ApplyToTerm(const Substitution& sub, Term t) {
+  auto it = sub.find(t);
+  return it == sub.end() ? t : it->second;
+}
+
+Atom ApplyToAtom(const Substitution& sub, const Atom& atom) {
+  Atom out = atom;
+  for (Term& t : out.args) t = ApplyToTerm(sub, t);
+  return out;
+}
+
+std::vector<Atom> ApplyToAtoms(const Substitution& sub,
+                               const std::vector<Atom>& atoms) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) out.push_back(ApplyToAtom(sub, a));
+  return out;
+}
+
+namespace {
+
+// Backtracking join over the atoms. The atom order is chosen dynamically:
+// at each level we pick the remaining atom with the most bound arguments,
+// which keeps intermediate candidate sets small.
+class Searcher {
+ public:
+  Searcher(const std::vector<Atom>& atoms, const Instance& target,
+           std::function<bool(const Substitution&)> callback)
+      : atoms_(atoms), target_(target), callback_(std::move(callback)) {}
+
+  // Returns false if enumeration was aborted by the callback.
+  bool Run(Substitution* sub) {
+    used_.assign(atoms_.size(), false);
+    return Recurse(sub, atoms_.size());
+  }
+
+  size_t count() const { return count_; }
+
+ private:
+  // A term is "bound" if it is a constant or already mapped by `sub`.
+  static bool Bound(const Substitution& sub, Term t) {
+    return t.IsConstant() || sub.count(t) > 0;
+  }
+
+  size_t PickNextAtom(const Substitution& sub) const {
+    size_t best = atoms_.size();
+    int best_score = -1;
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      if (used_[i]) continue;
+      int score = 0;
+      for (const Term& t : atoms_[i].args) {
+        if (Bound(sub, t)) ++score;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  bool Recurse(Substitution* sub, size_t remaining) {
+    if (remaining == 0) {
+      ++count_;
+      return callback_(*sub);
+    }
+    size_t idx = PickNextAtom(*sub);
+    const Atom& atom = atoms_[idx];
+    used_[idx] = true;
+
+    // Pick the candidate list: the smallest posting list among bound
+    // positions, else all facts of the relation.
+    const std::vector<Fact>& facts = target_.FactsOf(atom.relation);
+    const std::vector<uint32_t>* postings = nullptr;
+    for (uint32_t p = 0; p < atom.args.size(); ++p) {
+      Term t = ApplyToTerm(*sub, atom.args[p]);
+      if (!t.IsConstant() && !sub->count(atom.args[p]) && !atom.args[p].IsConstant()) continue;
+      const std::vector<uint32_t>& list = target_.FactsWith(atom.relation, p, t);
+      if (postings == nullptr || list.size() < postings->size()) {
+        postings = &list;
+      }
+    }
+
+    bool keep_going = true;
+    auto try_fact = [&](const Fact& fact) -> bool {
+      // Attempt to unify atom with fact, extending sub.
+      std::vector<Term> newly_bound;
+      bool match = true;
+      for (size_t p = 0; p < atom.args.size(); ++p) {
+        Term a = atom.args[p];
+        Term v = fact.args[p];
+        if (a.IsConstant()) {
+          if (a != v) {
+            match = false;
+            break;
+          }
+          continue;
+        }
+        auto it = sub->find(a);
+        if (it != sub->end()) {
+          if (it->second != v) {
+            match = false;
+            break;
+          }
+        } else {
+          sub->emplace(a, v);
+          newly_bound.push_back(a);
+        }
+      }
+      if (match) {
+        if (!Recurse(sub, remaining - 1)) {
+          for (Term t : newly_bound) sub->erase(t);
+          return false;
+        }
+      }
+      for (Term t : newly_bound) sub->erase(t);
+      return true;
+    };
+
+    if (postings != nullptr) {
+      for (uint32_t i : *postings) {
+        if (!try_fact(facts[i])) {
+          keep_going = false;
+          break;
+        }
+      }
+    } else {
+      for (const Fact& fact : facts) {
+        if (!try_fact(fact)) {
+          keep_going = false;
+          break;
+        }
+      }
+    }
+    used_[idx] = false;
+    return keep_going;
+  }
+
+  const std::vector<Atom>& atoms_;
+  const Instance& target_;
+  std::function<bool(const Substitution&)> callback_;
+  std::vector<bool> used_;
+  size_t count_ = 0;
+};
+
+}  // namespace
+
+std::optional<Substitution> FindHomomorphism(const std::vector<Atom>& atoms,
+                                             const Instance& target,
+                                             const Substitution* seed) {
+  std::optional<Substitution> found;
+  auto callback = [&](const Substitution& sub) {
+    found = sub;
+    return false;  // stop at first
+  };
+  Substitution sub = seed ? *seed : Substitution();
+  Searcher searcher(atoms, target, callback);
+  searcher.Run(&sub);
+  return found;
+}
+
+size_t ForEachHomomorphism(
+    const std::vector<Atom>& atoms, const Instance& target,
+    const Substitution* seed,
+    const std::function<bool(const Substitution&)>& callback) {
+  Substitution sub = seed ? *seed : Substitution();
+  Searcher searcher(atoms, target, callback);
+  searcher.Run(&sub);
+  return searcher.count();
+}
+
+bool InstanceHomomorphismExists(const Instance& source,
+                                const Instance& target) {
+  std::vector<Atom> atoms;
+  atoms.reserve(source.NumFacts());
+  source.ForEachFact([&](const Fact& f) { atoms.push_back(f); });
+  return FindHomomorphism(atoms, target).has_value();
+}
+
+}  // namespace rbda

@@ -1,0 +1,46 @@
+// Text front-end for schemas, constraints, methods, queries, and instances.
+//
+// One statement per line; `#` starts a comment. Grammar by example:
+//
+//   relation Prof(id, name, salary)            # arity from the column list
+//   method pr on Prof inputs(0)                # no bound: returns all
+//   method ud on Udirectory inputs() limit 100 # result bound 100
+//   method lb on R inputs(0,1) lower-limit 5   # result lower bound 5
+//   tgd Udirectory(i,a,p) -> Prof(i,n,s)       # head-only vars existential
+//   fd Udirectory: 0 -> 1                      # 0-based positions
+//   query Q1(n) :- Prof(i, n, "10000")         # quoted/numeric = constant
+//   fact Prof("p7", "alice", "10000")          # optional data section
+//
+// Bare identifiers inside atoms are variables; quoted strings and bare
+// numbers are constants.
+#ifndef RBDA_PARSER_PARSER_H_
+#define RBDA_PARSER_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "logic/conjunctive_query.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+struct ParsedDocument {
+  ServiceSchema schema;
+  std::map<std::string, ConjunctiveQuery> queries;
+  Instance data;  // facts, if any
+
+  explicit ParsedDocument(Universe* universe) : schema(universe) {}
+};
+
+/// Parses a full document. Relations must be declared before use.
+StatusOr<ParsedDocument> ParseDocument(std::string_view text,
+                                       Universe* universe);
+
+/// Parses a single query line body, e.g. "Q1(n) :- Prof(i, n, \"10000\")",
+/// against relations already interned in `universe`.
+StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                      Universe* universe);
+
+}  // namespace rbda
+
+#endif  // RBDA_PARSER_PARSER_H_

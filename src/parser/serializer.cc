@@ -1,0 +1,106 @@
+#include "parser/serializer.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+
+namespace rbda {
+
+namespace {
+
+std::string TermToDsl(Term t, const Universe& universe,
+                      bool quote_variables = false) {
+  if (t.IsVariable() && !quote_variables) return universe.TermName(t);
+  // Constants, nulls, and (in facts) frozen variables are quoted; nulls
+  // and variables reparse as constants named after them.
+  return "\"" + universe.TermName(t) + "\"";
+}
+
+std::string ArgsToDsl(const std::vector<Term>& args,
+                      const Universe& universe) {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (Term t : args) parts.push_back(TermToDsl(t, universe));
+  return Join(parts, ", ");
+}
+
+}  // namespace
+
+std::string AtomToDsl(const Atom& atom, const Universe& universe) {
+  return universe.RelationName(atom.relation) + "(" +
+         ArgsToDsl(atom.args, universe) + ")";
+}
+
+std::string SerializeDocument(
+    const ServiceSchema& schema,
+    const std::map<std::string, ConjunctiveQuery>& queries,
+    const Instance& data) {
+  const Universe& universe = schema.universe();
+  std::string out;
+
+  for (RelationId r : schema.relations()) {
+    std::vector<std::string> cols;
+    for (uint32_t p = 0; p < universe.Arity(r); ++p) {
+      cols.push_back("p" + std::to_string(p));
+    }
+    out += "relation " + universe.RelationName(r) + "(" + Join(cols, ", ") +
+           ")\n";
+  }
+
+  for (const AccessMethod& m : schema.methods()) {
+    out += "method " + m.name + " on " + universe.RelationName(m.relation) +
+           " inputs(";
+    for (size_t i = 0; i < m.input_positions.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(m.input_positions[i]);
+    }
+    out += ")";
+    if (m.bound_kind == BoundKind::kResultBound) {
+      out += " limit " + std::to_string(m.bound);
+    } else if (m.bound_kind == BoundKind::kResultLowerBound) {
+      out += " lowerlimit " + std::to_string(m.bound);
+    }
+    out += "\n";
+  }
+
+  for (const Tgd& tgd : schema.constraints().tgds) {
+    std::vector<std::string> body, head;
+    for (const Atom& a : tgd.body()) body.push_back(AtomToDsl(a, universe));
+    for (const Atom& a : tgd.head()) head.push_back(AtomToDsl(a, universe));
+    out += "tgd " + Join(body, " & ") + " -> " + Join(head, " & ") + "\n";
+  }
+
+  for (const Fd& fd : schema.constraints().fds) {
+    out += "fd " + universe.RelationName(fd.relation) + ": ";
+    for (size_t i = 0; i < fd.determiners.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(fd.determiners[i]);
+    }
+    out += " -> " + std::to_string(fd.determined) + "\n";
+  }
+
+  for (const auto& [name, query] : queries) {
+    std::vector<std::string> frees, atoms;
+    for (Term v : query.free_variables()) {
+      frees.push_back(universe.TermName(v));
+    }
+    for (const Atom& a : query.atoms()) atoms.push_back(AtomToDsl(a, universe));
+    out += "query " + name + "(" + Join(frees, ", ") + ") :- " +
+           Join(atoms, " & ") + "\n";
+  }
+
+  std::vector<Fact> facts;
+  data.ForEachFact([&](const Fact& f) { facts.push_back(f); });
+  std::sort(facts.begin(), facts.end());
+  for (const Fact& f : facts) {
+    std::vector<std::string> parts;
+    for (Term t : f.args) {
+      parts.push_back(TermToDsl(t, universe, /*quote_variables=*/true));
+    }
+    out += "fact " + universe.RelationName(f.relation) + "(" +
+           Join(parts, ", ") + ")\n";
+  }
+  return out;
+}
+
+}  // namespace rbda

@@ -1,0 +1,28 @@
+// The inverse of the parser: renders schemas, queries, and instances back
+// into the DSL, round-trippable through ParseDocument. Used by the CLI to
+// dump counterexamples and simplified schemas as loadable documents.
+#ifndef RBDA_PARSER_SERIALIZER_H_
+#define RBDA_PARSER_SERIALIZER_H_
+
+#include <map>
+#include <string>
+
+#include "logic/conjunctive_query.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+/// Renders an atom in DSL syntax: constants quoted, variables bare.
+std::string AtomToDsl(const Atom& atom, const Universe& universe);
+
+/// Renders a full document: relations, methods, constraints, queries, and
+/// facts. Labeled nulls in `data` are serialized as quoted constants
+/// (reparsing yields a concrete instance with the same shape).
+std::string SerializeDocument(
+    const ServiceSchema& schema,
+    const std::map<std::string, ConjunctiveQuery>& queries = {},
+    const Instance& data = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_PARSER_SERIALIZER_H_

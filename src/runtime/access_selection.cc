@@ -1,0 +1,124 @@
+#include "runtime/access_selection.h"
+
+#include <algorithm>
+
+namespace rbda {
+
+namespace {
+
+class PolicySelector : public AccessSelector {
+ public:
+  PolicySelector(SelectionPolicy policy, uint64_t seed, bool return_extra)
+      : policy_(policy), rng_(seed), return_extra_(return_extra) {}
+
+  std::vector<Fact> Choose(const AccessMethod& method,
+                           const std::vector<Term>& /*binding*/,
+                           const std::vector<Fact>& matching) override {
+    if (!method.HasBound()) return matching;
+    size_t k = method.bound;
+    if (matching.size() <= k) return matching;
+    if (method.bound_kind == BoundKind::kResultLowerBound && return_extra_) {
+      return matching;  // lower bounds allow returning everything
+    }
+    std::vector<Fact> out;
+    switch (policy_) {
+      case SelectionPolicy::kFirstK:
+        out.assign(matching.begin(), matching.begin() + k);
+        break;
+      case SelectionPolicy::kLastK:
+        out.assign(matching.end() - k, matching.end());
+        break;
+      case SelectionPolicy::kRandomK: {
+        std::vector<size_t> idx(matching.size());
+        for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+        for (size_t i = 0; i < k; ++i) {
+          size_t j = i + rng_.Below(idx.size() - i);
+          std::swap(idx[i], idx[j]);
+        }
+        idx.resize(k);
+        std::sort(idx.begin(), idx.end());
+        for (size_t i : idx) out.push_back(matching[i]);
+        break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  SelectionPolicy policy_;
+  Rng rng_;
+  bool return_extra_;
+};
+
+class IdempotentSelector : public AccessSelector {
+ public:
+  explicit IdempotentSelector(std::unique_ptr<AccessSelector> inner)
+      : inner_(std::move(inner)) {}
+
+  std::vector<Fact> Choose(const AccessMethod& method,
+                           const std::vector<Term>& binding,
+                           const std::vector<Fact>& matching) override {
+    auto key = std::make_pair(method.name, binding);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    std::vector<Fact> out = inner_->Choose(method, binding, matching);
+    cache_.emplace(std::move(key), out);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<AccessSelector> inner_;
+  std::map<std::pair<std::string, std::vector<Term>>, std::vector<Fact>>
+      cache_;
+};
+
+class PreferringSelector : public AccessSelector {
+ public:
+  explicit PreferringSelector(const Instance* preferred)
+      : preferred_(preferred) {}
+
+  std::vector<Fact> Choose(const AccessMethod& method,
+                           const std::vector<Term>& /*binding*/,
+                           const std::vector<Fact>& matching) override {
+    if (!method.HasBound() || matching.size() <= method.bound) {
+      return matching;
+    }
+    std::vector<Fact> in_preferred, rest;
+    for (const Fact& f : matching) {
+      (preferred_->Contains(f) ? in_preferred : rest).push_back(f);
+    }
+    std::vector<Fact> out;
+    for (const Fact& f : in_preferred) {
+      if (out.size() >= method.bound) break;
+      out.push_back(f);
+    }
+    for (const Fact& f : rest) {
+      if (out.size() >= method.bound) break;
+      out.push_back(f);
+    }
+    return out;
+  }
+
+ private:
+  const Instance* preferred_;
+};
+
+}  // namespace
+
+std::unique_ptr<AccessSelector> MakePreferringSelector(
+    const Instance* preferred) {
+  return std::make_unique<PreferringSelector>(preferred);
+}
+
+std::unique_ptr<AccessSelector> MakeSelector(SelectionPolicy policy,
+                                             uint64_t seed,
+                                             bool return_extra) {
+  return std::make_unique<PolicySelector>(policy, seed, return_extra);
+}
+
+std::unique_ptr<AccessSelector> MakeIdempotent(
+    std::unique_ptr<AccessSelector> inner) {
+  return std::make_unique<IdempotentSelector>(std::move(inner));
+}
+
+}  // namespace rbda

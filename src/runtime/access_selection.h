@@ -1,0 +1,65 @@
+// Valid access selections (paper §2).
+//
+// When an access matches more tuples than a method's result bound, the
+// service returns *some* valid subset; which one is unspecified. An
+// AccessSelector decides. Selectors implement the validity conditions:
+//  * no bound: every matching tuple is returned;
+//  * result bound k: at most k tuples, and all of them if ≤ k exist;
+//  * result lower bound k: at least min(k, #matching) tuples.
+//
+// The idempotent semantics of the paper (same access twice => same output)
+// is provided by a per-(method, binding) cache, which can be disabled to
+// obtain the non-idempotent semantics of Appendix A.
+#ifndef RBDA_RUNTIME_ACCESS_SELECTION_H_
+#define RBDA_RUNTIME_ACCESS_SELECTION_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+class AccessSelector {
+ public:
+  virtual ~AccessSelector() = default;
+
+  /// Given all matching tuples (sorted, deduplicated), returns a valid
+  /// output for the access.
+  virtual std::vector<Fact> Choose(const AccessMethod& method,
+                                   const std::vector<Term>& binding,
+                                   const std::vector<Fact>& matching) = 0;
+};
+
+enum class SelectionPolicy {
+  kFirstK,   // smallest k tuples in sorted order (deterministic)
+  kLastK,    // largest k tuples in sorted order (deterministic)
+  kRandomK,  // uniformly random k-subset (seeded)
+};
+
+/// Creates a selector following `policy`. For result lower bounds,
+/// `return_extra` controls whether the selector returns everything (true)
+/// or only the minimum min(k, #matching) tuples (false).
+std::unique_ptr<AccessSelector> MakeSelector(SelectionPolicy policy,
+                                             uint64_t seed = 0,
+                                             bool return_extra = false);
+
+/// Wraps a selector with a per-(method, binding) cache, yielding the
+/// paper's idempotent semantics.
+std::unique_ptr<AccessSelector> MakeIdempotent(
+    std::unique_ptr<AccessSelector> inner);
+
+/// A deterministic selector that prefers tuples from `preferred` (e.g. an
+/// access-valid subinstance): bounded accesses return the first
+/// min(k, |M ∩ preferred|) preferred matches, topped up from the rest.
+/// Used to realize the accessible-part side of Prop 3.2 — running it on
+/// two instances sharing `preferred` yields nested accessible parts.
+/// `preferred` must outlive the selector.
+std::unique_ptr<AccessSelector> MakePreferringSelector(
+    const Instance* preferred);
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_ACCESS_SELECTION_H_

@@ -1,0 +1,75 @@
+#include "runtime/accessible_part.h"
+
+#include <algorithm>
+#include <set>
+
+#include "runtime/executor.h"
+
+namespace rbda {
+
+AccessiblePartResult ComputeAccessiblePart(
+    const ServiceSchema& schema, const Instance& data,
+    AccessSelector* selector, const std::vector<Term>& seed_values,
+    const AccessiblePartOptions& options) {
+  AccessiblePartResult result;
+  for (Term t : seed_values) result.accessible.insert(t);
+
+  std::set<std::pair<std::string, std::vector<Term>>> performed;
+
+  bool changed = true;
+  while (changed && result.rounds < options.max_rounds) {
+    changed = false;
+    ++result.rounds;
+    for (const AccessMethod& method : schema.methods()) {
+      // Enumerate bindings over the accessible values (cartesian product
+      // across the input positions; a single empty binding if input-free).
+      std::vector<Term> accessible_sorted(result.accessible.begin(),
+                                          result.accessible.end());
+      std::sort(accessible_sorted.begin(), accessible_sorted.end());
+
+      size_t arity = method.input_positions.size();
+      if (arity > 0 && accessible_sorted.empty()) continue;
+      std::vector<size_t> cursor(arity, 0);
+      bool done = false;
+      while (!done) {
+        std::vector<Term> binding;
+        binding.reserve(arity);
+        for (size_t i = 0; i < arity; ++i) {
+          binding.push_back(accessible_sorted[cursor[i]]);
+        }
+
+        auto key = std::make_pair(method.name, binding);
+        if (!performed.count(key)) {
+          performed.insert(key);
+          if (++result.accesses > options.max_accesses) {
+            result.complete = false;
+            return result;
+          }
+          std::vector<Fact> matching = MatchingTuples(data, method, binding);
+          for (const Fact& f : selector->Choose(method, binding, matching)) {
+            if (result.part.AddFact(f)) {
+              changed = true;
+              for (Term t : f.args) result.accessible.insert(t);
+            }
+          }
+        }
+
+        // Advance the cartesian cursor.
+        if (arity == 0) {
+          done = true;
+        } else {
+          size_t i = 0;
+          while (i < arity) {
+            if (++cursor[i] < accessible_sorted.size()) break;
+            cursor[i] = 0;
+            ++i;
+          }
+          if (i == arity) done = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rbda

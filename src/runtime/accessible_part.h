@@ -1,0 +1,36 @@
+// Accessible parts (paper §3): the data reachable by iterating accesses
+// from nothing (or from a seed of known constants), under a given access
+// selection. With result-bounded methods different selections yield
+// different accessible parts; this fixpoint computes the one induced by the
+// supplied selector.
+#ifndef RBDA_RUNTIME_ACCESSIBLE_PART_H_
+#define RBDA_RUNTIME_ACCESSIBLE_PART_H_
+
+#include "runtime/access_selection.h"
+
+namespace rbda {
+
+struct AccessiblePartOptions {
+  size_t max_accesses = 100000;  // cap on (method, binding) calls
+  size_t max_rounds = 1000;
+};
+
+struct AccessiblePartResult {
+  Instance part;          // AccPart(σ, I)
+  TermSet accessible;     // accessible(σ, I) — the part's active domain
+  size_t rounds = 0;
+  size_t accesses = 0;
+  bool complete = true;   // false if the access cap was hit
+};
+
+/// Computes the accessible part of `data` under `schema`'s methods using
+/// `selector`, starting from `seed_values` (e.g. the constants of the
+/// query; the paper's AccPart_0 is the empty seed).
+AccessiblePartResult ComputeAccessiblePart(
+    const ServiceSchema& schema, const Instance& data,
+    AccessSelector* selector, const std::vector<Term>& seed_values = {},
+    const AccessiblePartOptions& options = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_ACCESSIBLE_PART_H_

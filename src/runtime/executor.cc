@@ -1,0 +1,172 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+
+#include "runtime/ra_expr.h"
+
+namespace rbda {
+
+std::vector<Fact> MatchingTuples(const Instance& data,
+                                 const AccessMethod& method,
+                                 const std::vector<Term>& binding) {
+  std::vector<Fact> out;
+  const std::vector<Fact>& candidates = data.FactsOf(method.relation);
+  auto matches = [&](const Fact& f) {
+    for (size_t i = 0; i < method.input_positions.size(); ++i) {
+      if (f.args[method.input_positions[i]] != binding[i]) return false;
+    }
+    return true;
+  };
+  if (!method.input_positions.empty()) {
+    // Probe the positional index on the first input position.
+    const std::vector<uint32_t>& postings =
+        data.FactsWith(method.relation, method.input_positions[0], binding[0]);
+    for (uint32_t idx : postings) {
+      if (matches(candidates[idx])) out.push_back(candidates[idx]);
+    }
+  } else {
+    out = candidates;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<Table> PlanExecutor::RunAccess(
+    const AccessCommand& cmd, const std::map<std::string, Table>& tables) {
+  const AccessMethod* method = schema_.FindMethod(cmd.method);
+  if (method == nullptr) {
+    return Status::NotFound("unknown method '" + cmd.method + "'");
+  }
+
+  // Collect the bindings.
+  std::vector<std::vector<Term>> bindings;
+  if (cmd.input_table.empty()) {
+    if (!method->IsInputFree()) {
+      return Status::InvalidArgument("method '" + cmd.method +
+                                     "' requires inputs but no input table "
+                                     "was given");
+    }
+    bindings.push_back({});
+  } else {
+    auto it = tables.find(cmd.input_table);
+    if (it == tables.end()) {
+      return Status::NotFound("unknown input table '" + cmd.input_table +
+                              "'");
+    }
+    for (const std::vector<Term>& tuple : it->second) {
+      if (tuple.size() != method->input_positions.size()) {
+        return Status::InvalidArgument(
+            "input table arity does not match the method's input positions");
+      }
+      bindings.push_back(tuple);
+    }
+  }
+
+  Table out;
+  for (const std::vector<Term>& binding : bindings) {
+    std::vector<Fact> matching = MatchingTuples(data_, *method, binding);
+    std::vector<Fact> selected =
+        selector_->Choose(*method, binding, matching);
+    ++stats_.accesses;
+    stats_.tuples_fetched += selected.size();
+    for (const Fact& f : selected) out.insert(f.args);
+  }
+  return out;
+}
+
+StatusOr<Table> PlanExecutor::RunMiddleware(
+    const MiddlewareCommand& cmd, const std::map<std::string, Table>& tables) {
+  // Materialize the referenced tables as a scratch instance so the
+  // homomorphism engine can evaluate the UCQ. Table relation ids live in a
+  // scratch universe; terms are shared with the main universe.
+  Universe scratch;
+  Instance scratch_instance;
+  std::map<std::string, RelationId> table_rel;
+
+  for (const TableCq& cq : cmd.union_of) {
+    for (const TableAtom& atom : cq.atoms) {
+      auto it = tables.find(atom.table);
+      if (it == tables.end()) {
+        return Status::NotFound("unknown table '" + atom.table + "'");
+      }
+      if (table_rel.count(atom.table)) continue;
+      // Arity: from the atom (tables can be empty).
+      StatusOr<RelationId> rel = scratch.AddRelation(
+          atom.table, static_cast<uint32_t>(atom.args.size()));
+      RBDA_RETURN_IF_ERROR(rel.status());
+      table_rel.emplace(atom.table, *rel);
+      for (const std::vector<Term>& tuple : it->second) {
+        if (tuple.size() != atom.args.size()) {
+          return Status::InvalidArgument("atom arity mismatch for table '" +
+                                         atom.table + "'");
+        }
+        scratch_instance.AddFact(*rel, tuple);
+      }
+    }
+  }
+
+  Table out;
+  for (const TableCq& cq : cmd.union_of) {
+    std::vector<Atom> atoms;
+    atoms.reserve(cq.atoms.size());
+    for (const TableAtom& atom : cq.atoms) {
+      atoms.emplace_back(table_rel.at(atom.table), atom.args);
+    }
+    ForEachHomomorphism(atoms, scratch_instance, nullptr,
+                        [&](const Substitution& sub) {
+                          std::vector<Term> tuple;
+                          tuple.reserve(cq.head.size());
+                          for (Term t : cq.head) {
+                            tuple.push_back(ApplyToTerm(sub, t));
+                          }
+                          out.insert(std::move(tuple));
+                          return true;
+                        });
+  }
+  return out;
+}
+
+StatusOr<Table> PlanExecutor::Execute(const Plan& plan) {
+  std::map<std::string, Table> tables;
+  for (const PlanCommand& cmd : plan.commands) {
+    std::string output_name;
+    StatusOr<Table> result = Status::Internal("unreachable");
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      output_name = access->output_table;
+      result = RunAccess(*access, tables);
+    } else if (const auto* ra = std::get_if<RaCommand>(&cmd)) {
+      output_name = ra->output_table;
+      result = EvalRa(ra->expr, tables);
+    } else if (const auto* diff = std::get_if<DifferenceCommand>(&cmd)) {
+      output_name = diff->output_table;
+      auto left = tables.find(diff->left);
+      auto right = tables.find(diff->right);
+      if (left == tables.end() || right == tables.end()) {
+        return Status::NotFound("difference over unknown tables");
+      }
+      Table difference;
+      for (const std::vector<Term>& tuple : left->second) {
+        if (!right->second.count(tuple)) difference.insert(tuple);
+      }
+      result = std::move(difference);
+    } else {
+      const auto& mid = std::get<MiddlewareCommand>(cmd);
+      output_name = mid.output_table;
+      result = RunMiddleware(mid, tables);
+    }
+    RBDA_RETURN_IF_ERROR(result.status());
+    if (tables.count(output_name)) {
+      return Status::InvalidArgument("table '" + output_name +
+                                     "' assigned twice");
+    }
+    tables.emplace(output_name, std::move(*result));
+  }
+  auto it = tables.find(plan.output_table);
+  if (it == tables.end()) {
+    return Status::NotFound("output table '" + plan.output_table +
+                            "' was never produced");
+  }
+  return it->second;
+}
+
+}  // namespace rbda

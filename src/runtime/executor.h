@@ -1,0 +1,57 @@
+// Plan execution over a simulated service instance (paper §2 semantics).
+//
+// The executor evaluates a plan's commands in order against an underlying
+// data instance, routing every access through an AccessSelector (which
+// implements the result-bound nondeterminism). The possible outputs of a
+// plan on an instance are exactly the outputs obtainable for some valid
+// selector.
+#ifndef RBDA_RUNTIME_EXECUTOR_H_
+#define RBDA_RUNTIME_EXECUTOR_H_
+
+#include <map>
+#include <set>
+
+#include "runtime/access_selection.h"
+#include "runtime/plan.h"
+
+namespace rbda {
+
+struct ExecutionStats {
+  size_t accesses = 0;          // individual (method, binding) calls
+  size_t tuples_fetched = 0;    // tuples returned by the service
+};
+
+class PlanExecutor {
+ public:
+  /// `schema`, `data`, and `selector` must outlive the executor. `data`
+  /// plays the role of the hidden server-side instance.
+  PlanExecutor(const ServiceSchema& schema, const Instance& data,
+               AccessSelector* selector)
+      : schema_(schema), data_(data), selector_(selector) {}
+
+  /// Runs the plan; returns the contents of the output table.
+  StatusOr<Table> Execute(const Plan& plan);
+
+  const ExecutionStats& stats() const { return stats_; }
+
+ private:
+  StatusOr<Table> RunAccess(const AccessCommand& cmd,
+                            const std::map<std::string, Table>& tables);
+  StatusOr<Table> RunMiddleware(const MiddlewareCommand& cmd,
+                                const std::map<std::string, Table>& tables);
+
+  const ServiceSchema& schema_;
+  const Instance& data_;
+  AccessSelector* selector_;
+  ExecutionStats stats_;
+};
+
+/// All tuples of `data` over the relation of `method` that agree with
+/// `binding` on the method's input positions, sorted.
+std::vector<Fact> MatchingTuples(const Instance& data,
+                                 const AccessMethod& method,
+                                 const std::vector<Term>& binding);
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,60 @@
+#include "runtime/generators.h"
+
+#include "logic/conjunctive_query.h"
+
+namespace rbda {
+
+Instance RandomInstance(Universe* universe,
+                        const std::vector<RelationId>& relations,
+                        size_t domain_size, size_t num_facts, Rng* rng) {
+  Instance out;
+  if (relations.empty() || domain_size == 0) return out;
+  std::vector<Term> pool;
+  pool.reserve(domain_size);
+  for (size_t i = 0; i < domain_size; ++i) {
+    pool.push_back(universe->Constant("c" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < num_facts; ++i) {
+    RelationId rel = relations[rng->Below(relations.size())];
+    std::vector<Term> args;
+    args.reserve(universe->Arity(rel));
+    for (uint32_t p = 0; p < universe->Arity(rel); ++p) {
+      args.push_back(pool[rng->Below(pool.size())]);
+    }
+    out.AddFact(rel, std::move(args));
+  }
+  return out;
+}
+
+StatusOr<Instance> CompleteToModel(const Instance& start,
+                                   const ConstraintSet& constraints,
+                                   Universe* universe,
+                                   const ChaseOptions& options) {
+  ChaseResult result = RunChase(start, constraints, universe, options);
+  switch (result.status) {
+    case ChaseStatus::kCompleted:
+      return std::move(result.instance);
+    case ChaseStatus::kFdConflict:
+      return Status::FailedPrecondition(
+          "FD conflict: the seed facts contradict the constraints");
+    case ChaseStatus::kBudgetExceeded:
+      return Status::ResourceExhausted("chase budget exceeded");
+  }
+  return Status::Internal("unreachable");
+}
+
+Instance GroundQuery(const ConjunctiveQuery& query, Universe* universe,
+                     Rng* rng) {
+  Substitution grounding;
+  for (const Term& v : query.Variables()) {
+    grounding.emplace(
+        v, universe->Constant("g" + std::to_string(rng->Below(1000000))));
+  }
+  Instance out;
+  for (const Atom& a : query.atoms()) {
+    out.AddFact(ApplyToAtom(grounding, a));
+  }
+  return out;
+}
+
+}  // namespace rbda

@@ -1,0 +1,31 @@
+// Instance generators for property tests, oracle searches, and benchmarks.
+#ifndef RBDA_RUNTIME_GENERATORS_H_
+#define RBDA_RUNTIME_GENERATORS_H_
+
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+/// A random instance over `relations`: `num_facts` facts drawn uniformly,
+/// with constants from a pool of `domain_size` values named c0, c1, ...
+Instance RandomInstance(Universe* universe,
+                        const std::vector<RelationId>& relations,
+                        size_t domain_size, size_t num_facts, Rng* rng);
+
+/// Completes `start` into a model of `constraints` by chasing. Fails when
+/// the chase budget runs out or the FDs clash on constants.
+StatusOr<Instance> CompleteToModel(const Instance& start,
+                                   const ConstraintSet& constraints,
+                                   Universe* universe,
+                                   const ChaseOptions& options = {});
+
+/// Grounds a Boolean CQ: replaces each variable by a fresh constant and
+/// returns the resulting set of facts. Used to plant query matches.
+Instance GroundQuery(const ConjunctiveQuery& query, Universe* universe,
+                     Rng* rng);
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_GENERATORS_H_

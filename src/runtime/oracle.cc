@@ -1,0 +1,215 @@
+#include "runtime/oracle.h"
+
+#include <algorithm>
+
+#include "runtime/generators.h"
+
+namespace rbda {
+
+namespace {
+
+Table ExpectedAnswers(const ConjunctiveQuery& query, const Instance& data) {
+  Table out;
+  for (auto& tuple : query.Evaluate(data)) out.insert(tuple);
+  return out;
+}
+
+std::string TableToString(const Table& table, const Universe& universe) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& tuple : table) {
+    if (!first) out += "; ";
+    first = false;
+    out += "(";
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) out += ",";
+      out += universe.TermName(tuple[i]);
+    }
+    out += ")";
+  }
+  return out + "}";
+}
+
+// Enumerates every binding of `method` over the active domain of
+// `accessed`, invoking fn(binding). Returns false if the cap was exceeded.
+bool ForEachBinding(const AccessMethod& method, const Instance& accessed,
+                    size_t cap,
+                    const std::function<void(const std::vector<Term>&)>& fn) {
+  TermSet adom = accessed.ActiveDomain();
+  std::vector<Term> values(adom.begin(), adom.end());
+  std::sort(values.begin(), values.end());
+  size_t arity = method.input_positions.size();
+  if (arity == 0) {
+    fn({});
+    return true;
+  }
+  if (values.empty()) return true;
+  std::vector<size_t> cursor(arity, 0);
+  size_t count = 0;
+  for (;;) {
+    std::vector<Term> binding;
+    binding.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) binding.push_back(values[cursor[i]]);
+    if (++count > cap) return false;
+    fn(binding);
+    size_t i = 0;
+    while (i < arity) {
+      if (++cursor[i] < values.size()) break;
+      cursor[i] = 0;
+      ++i;
+    }
+    if (i == arity) return true;
+  }
+}
+
+}  // namespace
+
+PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
+                            const ConjunctiveQuery& query,
+                            const Instance& data,
+                            size_t num_random_selections, uint64_t seed) {
+  PlanValidation result;
+  Table expected = ExpectedAnswers(query, data);
+
+  std::vector<std::unique_ptr<AccessSelector>> selectors;
+  selectors.push_back(
+      MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK)));
+  selectors.push_back(MakeIdempotent(MakeSelector(SelectionPolicy::kLastK)));
+  for (size_t i = 0; i < num_random_selections; ++i) {
+    selectors.push_back(MakeIdempotent(
+        MakeSelector(SelectionPolicy::kRandomK, seed + i,
+                     /*return_extra=*/(i % 2) == 1)));
+  }
+
+  for (size_t i = 0; i < selectors.size(); ++i) {
+    PlanExecutor executor(schema, data, selectors[i].get());
+    StatusOr<Table> output = executor.Execute(plan);
+    if (!output.ok()) {
+      result.answers = false;
+      result.failure = "execution error: " + output.status().ToString();
+      return result;
+    }
+    if (*output != expected) {
+      result.answers = false;
+      result.failure = "selection #" + std::to_string(i) + ": plan output " +
+                       TableToString(*output, schema.universe()) +
+                       " != query answer " +
+                       TableToString(expected, schema.universe());
+      return result;
+    }
+  }
+  return result;
+}
+
+bool IsAccessValid(const ServiceSchema& schema, const Instance& accessed,
+                   const Instance& i1) {
+  for (const AccessMethod& method : schema.methods()) {
+    bool valid = true;
+    bool within_cap = ForEachBinding(
+        method, accessed, /*cap=*/200000, [&](const std::vector<Term>& b) {
+          if (!valid) return;
+          std::vector<Fact> m1 = MatchingTuples(i1, method, b);
+          std::vector<Fact> ma = MatchingTuples(accessed, method, b);
+          if (!method.HasBound() || m1.size() <= method.bound) {
+            // Every matching tuple must be returned, so all of them must
+            // already be inside the accessed part.
+            if (ma.size() != m1.size()) valid = false;
+          } else {
+            // Bounded with more matches than the bound: any k-subset of
+            // the accessed matches is a valid output.
+            if (ma.size() < method.bound) valid = false;
+          }
+        });
+    if (!within_cap || !valid) return false;
+  }
+  return true;
+}
+
+std::optional<Instance> RefuteContainment(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const ConstraintSet& sigma, const std::vector<RelationId>& relations,
+    Universe* universe, const CounterexampleSearchOptions& options) {
+  Rng rng(options.seed);
+  for (size_t attempt = 0; attempt < options.attempts; ++attempt) {
+    Instance seed = RandomInstance(universe, relations, options.domain_size,
+                                   options.noise_facts, &rng);
+    seed.UnionWith(GroundQuery(q, universe, &rng));
+    StatusOr<Instance> model =
+        CompleteToModel(seed, sigma, universe, options.chase);
+    if (!model.ok()) continue;
+    if (q.HoldsIn(*model) && !q_prime.HoldsIn(*model)) {
+      return std::move(*model);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<AMonDetCounterexample> SearchAMonDetCounterexample(
+    const ServiceSchema& schema, const ConjunctiveQuery& query,
+    const CounterexampleSearchOptions& options) {
+  Rng rng(options.seed);
+  Universe& universe = schema.universe();
+
+  for (size_t attempt = 0; attempt < options.attempts; ++attempt) {
+    // Build I1: noise + a planted match of Q, completed to a model.
+    Instance seed1 = RandomInstance(&universe, schema.relations(),
+                                    options.domain_size,
+                                    options.noise_facts, &rng);
+    seed1.UnionWith(GroundQuery(query, &universe, &rng));
+    StatusOr<Instance> i1 =
+        CompleteToModel(seed1, schema.constraints(), &universe, options.chase);
+    if (!i1.ok() || !query.HoldsIn(*i1)) continue;
+
+    // Pick a random subset and repair it into an access-valid subinstance.
+    Instance accessed;
+    i1->ForEachFact([&](const Fact& f) {
+      if (rng.Chance(1, 2)) accessed.AddFact(f);
+    });
+    for (size_t round = 0; round < 100; ++round) {
+      bool changed = false;
+      for (const AccessMethod& method : schema.methods()) {
+        ForEachBinding(
+            method, accessed, /*cap=*/100000,
+            [&](const std::vector<Term>& b) {
+              std::vector<Fact> m1 = MatchingTuples(*i1, method, b);
+              std::vector<Fact> ma = MatchingTuples(accessed, method, b);
+              size_t need =
+                  (!method.HasBound() || m1.size() <= method.bound)
+                      ? m1.size()
+                      : method.bound;
+              if (ma.size() >= need) return;
+              for (const Fact& f : m1) {
+                if (ma.size() >= need) break;
+                if (accessed.AddFact(f)) {
+                  ma.push_back(f);
+                  changed = true;
+                }
+              }
+            });
+      }
+      if (!changed) break;
+    }
+    if (!IsAccessValid(schema, accessed, *i1)) continue;
+
+    // Build I2: the accessed part + noise, completed to a model that
+    // violates Q.
+    Instance seed2 = accessed;
+    seed2.UnionWith(RandomInstance(&universe, schema.relations(),
+                                   options.domain_size, options.noise_facts,
+                                   &rng));
+    StatusOr<Instance> i2 =
+        CompleteToModel(seed2, schema.constraints(), &universe, options.chase);
+    if (!i2.ok()) continue;
+    if (!accessed.IsSubinstanceOf(*i2)) continue;  // FD merges rewrote it
+    if (query.HoldsIn(*i2)) continue;
+
+    AMonDetCounterexample out;
+    out.i1 = std::move(*i1);
+    out.i2 = std::move(*i2);
+    out.accessed = std::move(accessed);
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rbda

@@ -1,0 +1,75 @@
+// Empirical oracles: the executable stand-ins for the paper's proofs.
+//
+//  * ValidatePlan — checks that a plan *answers* a query on given instances
+//    (paper §2: one possible output, equal to Q(I)) by executing it under a
+//    battery of valid access selections (deterministic extremes + seeded
+//    random ones) and comparing against direct query evaluation.
+//
+//  * SearchAMonDetCounterexample — randomized search for a witness that a
+//    query is NOT access monotonically-determined (Prop 3.2): two models
+//    I1 ⊨ Q, I2 ⊭ Q of the constraints with a common subinstance that is
+//    access-valid in I1. Finding one proves non-answerability (Thm 3.1);
+//    exhausting the budget proves nothing — the searches cross-check the
+//    decision procedures, they do not replace them.
+#ifndef RBDA_RUNTIME_ORACLE_H_
+#define RBDA_RUNTIME_ORACLE_H_
+
+#include <optional>
+#include <string>
+
+#include "chase/chase.h"
+#include "runtime/accessible_part.h"
+#include "runtime/executor.h"
+
+namespace rbda {
+
+struct PlanValidation {
+  bool answers = true;
+  std::string failure;  // human-readable mismatch description
+};
+
+/// Executes `plan` on `data` under `num_random_selections` + 2 selections
+/// and compares every output with Q(data). For a Boolean query the plan
+/// answers true iff its output table is non-empty.
+PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
+                            const ConjunctiveQuery& query,
+                            const Instance& data,
+                            size_t num_random_selections = 8,
+                            uint64_t seed = 1);
+
+struct AMonDetCounterexample {
+  Instance i1;         // satisfies the constraints and Q
+  Instance i2;         // satisfies the constraints, violates Q
+  Instance accessed;   // common subinstance, access-valid in i1
+};
+
+struct CounterexampleSearchOptions {
+  size_t attempts = 200;
+  size_t domain_size = 4;
+  size_t noise_facts = 4;
+  uint64_t seed = 7;
+  ChaseOptions chase;  // budget for model completion
+};
+
+/// Checks whether `accessed` (⊆ i1) is access-valid in `i1`: every access
+/// with a binding over accessed values admits a valid output within
+/// `accessed`.
+bool IsAccessValid(const ServiceSchema& schema, const Instance& accessed,
+                   const Instance& i1);
+
+/// Randomized counterexample search; nullopt if none found in budget.
+std::optional<AMonDetCounterexample> SearchAMonDetCounterexample(
+    const ServiceSchema& schema, const ConjunctiveQuery& query,
+    const CounterexampleSearchOptions& options = {});
+
+/// Randomized refutation of the containment Q ⊆_Σ Q': searches for a model
+/// of Σ that satisfies Q but not Q'. A witness proves kNotContained; the
+/// chase-based engines must never contradict it.
+std::optional<Instance> RefuteContainment(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const ConstraintSet& sigma, const std::vector<RelationId>& relations,
+    Universe* universe, const CounterexampleSearchOptions& options = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_ORACLE_H_

@@ -1,0 +1,96 @@
+#include "runtime/plan.h"
+
+#include "base/str_util.h"
+#include "runtime/ra_expr.h"
+
+namespace rbda {
+
+Plan& Plan::Access(std::string output, std::string method,
+                   std::string input) {
+  commands.push_back(AccessCommand{std::move(output), std::move(method),
+                                   std::move(input)});
+  return *this;
+}
+
+Plan& Plan::Middleware(std::string output, std::vector<TableCq> union_of) {
+  commands.push_back(
+      MiddlewareCommand{std::move(output), std::move(union_of)});
+  return *this;
+}
+
+Plan& Plan::Difference(std::string output, std::string left,
+                       std::string right) {
+  commands.push_back(
+      DifferenceCommand{std::move(output), std::move(left), std::move(right)});
+  return *this;
+}
+
+Plan& Plan::Ra(std::string output, RaExprPtr expr) {
+  commands.push_back(RaCommand{std::move(output), std::move(expr)});
+  return *this;
+}
+
+Plan& Plan::Return(std::string table) {
+  output_table = std::move(table);
+  return *this;
+}
+
+bool Plan::IsMonotone() const {
+  for (const PlanCommand& cmd : commands) {
+    if (std::holds_alternative<DifferenceCommand>(cmd)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Plan::MethodsUsed() const {
+  std::vector<std::string> out;
+  for (const PlanCommand& cmd : commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      out.push_back(access->method);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string TableCqToString(const TableCq& cq, const Universe& universe) {
+  std::vector<std::string> head, body;
+  for (Term t : cq.head) head.push_back(universe.TermName(t));
+  for (const TableAtom& a : cq.atoms) {
+    std::vector<std::string> args;
+    for (Term t : a.args) args.push_back(universe.TermName(t));
+    body.push_back(a.table + "(" + Join(args, ", ") + ")");
+  }
+  return "(" + Join(head, ", ") + ") :- " + Join(body, " & ");
+}
+
+}  // namespace
+
+std::string Plan::ToString(const Universe& universe) const {
+  std::string out;
+  for (const PlanCommand& cmd : commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      out += access->output_table + " <= " + access->method + " <= " +
+             (access->input_table.empty() ? "{()}" : access->input_table) +
+             ";\n";
+    } else if (const auto* diff = std::get_if<DifferenceCommand>(&cmd)) {
+      out += diff->output_table + " := " + diff->left + " MINUS " +
+             diff->right + ";\n";
+    } else if (const auto* ra = std::get_if<RaCommand>(&cmd)) {
+      out += ra->output_table + " := " + ra->expr->ToString(universe) +
+             ";\n";
+    } else {
+      const auto& mid = std::get<MiddlewareCommand>(cmd);
+      std::vector<std::string> parts;
+      for (const TableCq& cq : mid.union_of) {
+        parts.push_back(TableCqToString(cq, universe));
+      }
+      out += mid.output_table + " := " + Join(parts, " UNION ") + ";\n";
+    }
+  }
+  out += "Return " + output_table + ";\n";
+  return out;
+}
+
+}  // namespace rbda

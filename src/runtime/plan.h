@@ -1,0 +1,105 @@
+// Monotone plans (paper §2, "Plans").
+//
+// A plan is a sequence of commands producing temporary tables:
+//  * access commands  T <= mt <= E : evaluate a previously computed table E,
+//    use each of its tuples as a binding for the method's input positions,
+//    perform the accesses, and store the union of the outputs in T (the
+//    full tuples of the accessed relation);
+//  * middleware commands T := UCQ over previously computed tables — unions
+//    of select/project/join queries, i.e. exactly the monotone relational
+//    algebra the paper allows (no difference operator).
+//
+// The designated output table carries the plan's result.
+#ifndef RBDA_RUNTIME_PLAN_H_
+#define RBDA_RUNTIME_PLAN_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "logic/conjunctive_query.h"
+
+namespace rbda {
+
+/// A temporary table: a set of same-arity tuples.
+using Table = std::set<std::vector<Term>>;
+
+class RaExpr;
+using RaExprPtr = std::shared_ptr<const RaExpr>;
+
+/// An atom over a temporary table: like a relational atom but the "relation"
+/// is a table name produced by an earlier command.
+struct TableAtom {
+  std::string table;
+  std::vector<Term> args;  // variables and constants
+};
+
+/// One conjunctive disjunct of a middleware command: body over tables,
+/// head = tuple of variables/constants to emit.
+struct TableCq {
+  std::vector<TableAtom> atoms;
+  std::vector<Term> head;
+};
+
+struct AccessCommand {
+  std::string output_table;
+  std::string method;       // method name in the schema
+  std::string input_table;  // empty => one trivial (empty) binding;
+                            // otherwise the table's columns bind the
+                            // method's input positions in ascending order
+};
+
+struct MiddlewareCommand {
+  std::string output_table;
+  std::vector<TableCq> union_of;  // all disjuncts share the head arity
+};
+
+/// Set difference of two same-arity tables. Plans using this command are
+/// *RA-plans* (Appendix I), not monotone plans.
+struct DifferenceCommand {
+  std::string output_table;
+  std::string left;
+  std::string right;
+};
+
+/// Middleware given directly as a monotone relational algebra expression
+/// (see runtime/ra_expr.h) — the exact §2 formulation.
+struct RaCommand {
+  std::string output_table;
+  RaExprPtr expr;
+};
+
+using PlanCommand = std::variant<AccessCommand, MiddlewareCommand,
+                                 DifferenceCommand, RaCommand>;
+
+struct Plan {
+  std::vector<PlanCommand> commands;
+  std::string output_table;
+
+  /// Appends an access command and returns *this for chaining.
+  Plan& Access(std::string output, std::string method,
+               std::string input = "");
+  /// Appends a middleware command.
+  Plan& Middleware(std::string output, std::vector<TableCq> union_of);
+  /// Appends a difference command (making this an RA-plan).
+  Plan& Difference(std::string output, std::string left, std::string right);
+  /// Appends a relational-algebra middleware command (monotone).
+  Plan& Ra(std::string output, RaExprPtr expr);
+  /// Sets the output table.
+  Plan& Return(std::string table);
+
+  /// True iff the plan uses no difference operator (paper §2: monotone
+  /// plans are the default notion; RA-plans are the Appendix I variant).
+  bool IsMonotone() const;
+
+  /// Names of the methods used by access commands, in order.
+  std::vector<std::string> MethodsUsed() const;
+
+  std::string ToString(const Universe& universe) const;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_PLAN_H_

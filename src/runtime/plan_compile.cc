@@ -1,0 +1,209 @@
+#include "runtime/plan_compile.h"
+
+#include <map>
+
+namespace rbda {
+
+namespace {
+
+// A table definition: a UCQ whose "head" tuple (one term per table column,
+// variables or constants) describes the emitted rows.
+struct TableDef {
+  std::vector<ConjunctiveQuery> disjuncts;  // free_variables = the columns
+};
+
+// Freshens the variables of a CQ so repeated unfoldings stay disjoint.
+ConjunctiveQuery Freshen(const ConjunctiveQuery& cq, Universe* universe) {
+  Substitution renaming;
+  for (const Term& v : cq.Variables()) {
+    renaming.emplace(v, universe->FreshVariable());
+  }
+  return cq.Substitute(renaming);
+}
+
+// Unifies the head of `def_cq` (a freshened definition disjunct) with the
+// argument tuple `args`; returns the conjunction of def_cq's body with the
+// unification applied and nullopt on a constant clash. `args` may contain
+// variables of the *enclosing* query: the substitution maps definition
+// variables to enclosing terms, or enclosing variables to definition
+// constants.
+std::optional<std::pair<std::vector<Atom>, Substitution>> UnifyHead(
+    const ConjunctiveQuery& def_cq, const std::vector<Term>& args) {
+  RBDA_CHECK(def_cq.free_variables().size() == args.size());
+  TermSet def_vars = def_cq.Variables();
+  Substitution def_sub;    // definition variable -> term
+  Substitution outer_sub;  // enclosing variable -> term
+  auto resolve = [&](Term t) {
+    // Follow both substitutions to a representative (chains are short).
+    for (int hops = 0; hops < 64; ++hops) {
+      Term next = ApplyToTerm(outer_sub, ApplyToTerm(def_sub, t));
+      if (next == t) return t;
+      t = next;
+    }
+    return t;
+  };
+  for (size_t i = 0; i < args.size(); ++i) {
+    Term h = resolve(def_cq.free_variables()[i]);
+    Term a = resolve(args[i]);
+    if (h == a) continue;
+    if (h.IsConstant() && a.IsConstant()) return std::nullopt;
+    if (!h.IsConstant() && def_vars.count(h)) {
+      def_sub.emplace(h, a);
+    } else if (!a.IsConstant() && def_vars.count(a)) {
+      def_sub.emplace(a, h);
+    } else if (!h.IsConstant()) {
+      outer_sub.emplace(h, a);  // two enclosing terms (or h var, a const)
+    } else {
+      outer_sub.emplace(a, h);  // h constant, a enclosing variable
+    }
+  }
+  // Apply both substitutions (twice, to flatten short chains) to the body.
+  std::vector<Atom> body = def_cq.atoms();
+  for (int pass = 0; pass < 2; ++pass) {
+    body = ApplyToAtoms(outer_sub, ApplyToAtoms(def_sub, body));
+  }
+  // Flatten outer_sub values through def_sub as well.
+  Substitution outer_flat;
+  for (const auto& [var, _] : outer_sub) outer_flat.emplace(var, resolve(var));
+  return std::make_pair(std::move(body), std::move(outer_flat));
+}
+
+}  // namespace
+
+StatusOr<UnionQuery> CompilePlanToUcq(const Plan& plan,
+                                      const ServiceSchema& schema,
+                                      const CompileOptions& options) {
+  if (schema.HasResultBoundedMethods()) {
+    return Status::FailedPrecondition(
+        "plans over result-bounded methods are nondeterministic and not "
+        "UCQ-expressible; compile against a bound-free schema");
+  }
+  if (!plan.IsMonotone()) {
+    return Status::FailedPrecondition(
+        "only monotone plans compile to UCQs (difference is not monotone)");
+  }
+  Universe* universe = const_cast<Universe*>(&schema.universe());
+  std::map<std::string, TableDef> defs;
+
+  for (const PlanCommand& cmd : plan.commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      const AccessMethod* method = schema.FindMethod(access->method);
+      if (method == nullptr) {
+        return Status::NotFound("unknown method '" + access->method + "'");
+      }
+      uint32_t arity = universe->Arity(method->relation);
+      TableDef def;
+      if (access->input_table.empty()) {
+        // All rows of the relation.
+        std::vector<Term> row;
+        for (uint32_t p = 0; p < arity; ++p) {
+          row.push_back(universe->FreshVariable());
+        }
+        def.disjuncts.emplace_back(
+            std::vector<Atom>{Atom(method->relation, row)}, row);
+      } else {
+        auto it = defs.find(access->input_table);
+        if (it == defs.end()) {
+          return Status::NotFound("unknown input table '" +
+                                  access->input_table + "'");
+        }
+        for (const ConjunctiveQuery& in_cq : it->second.disjuncts) {
+          std::vector<Term> row;
+          for (uint32_t p = 0; p < arity; ++p) {
+            row.push_back(universe->FreshVariable());
+          }
+          std::vector<Term> binding;
+          for (uint32_t p : method->input_positions) {
+            binding.push_back(row[p]);
+          }
+          ConjunctiveQuery fresh = Freshen(in_cq, universe);
+          auto unified = UnifyHead(fresh, binding);
+          if (!unified.has_value()) continue;
+          std::vector<Atom> body{Atom(method->relation,
+                                      ApplyToAtoms(unified->second,
+                                                   {Atom(method->relation,
+                                                         row)})[0]
+                                          .args)};
+          body.insert(body.end(), unified->first.begin(),
+                      unified->first.end());
+          std::vector<Term> head;
+          for (Term t : row) head.push_back(ApplyToTerm(unified->second, t));
+          def.disjuncts.emplace_back(std::move(body), std::move(head));
+        }
+      }
+      defs.emplace(access->output_table, std::move(def));
+    } else if (std::holds_alternative<DifferenceCommand>(cmd)) {
+      return Status::FailedPrecondition("difference in a monotone plan");
+    } else if (std::holds_alternative<RaCommand>(cmd)) {
+      return Status::Unimplemented(
+          "UCQ compilation of raw RA middleware is not supported; use "
+          "TableCq middleware");
+    } else {
+      const auto& mid = std::get<MiddlewareCommand>(cmd);
+      TableDef def;
+      for (const TableCq& cq : mid.union_of) {
+        // Distribute: one result disjunct per combination of definition
+        // disjuncts across the atoms.
+        struct Partial {
+          std::vector<Atom> body;
+          Substitution outer;  // accumulated constant constraints
+        };
+        std::vector<Partial> partials{{{}, {}}};
+        bool overflow = false;
+        for (const TableAtom& atom : cq.atoms) {
+          auto it = defs.find(atom.table);
+          if (it == defs.end()) {
+            return Status::NotFound("unknown table '" + atom.table + "'");
+          }
+          std::vector<Partial> next;
+          for (const Partial& partial : partials) {
+            std::vector<Term> args;
+            for (Term t : atom.args) {
+              args.push_back(ApplyToTerm(partial.outer, t));
+            }
+            for (const ConjunctiveQuery& def_cq : it->second.disjuncts) {
+              ConjunctiveQuery fresh = Freshen(def_cq, universe);
+              auto unified = UnifyHead(fresh, args);
+              if (!unified.has_value()) continue;
+              Partial grown = partial;
+              // Re-apply the new constant constraints to what we had.
+              grown.body = ApplyToAtoms(unified->second, grown.body);
+              grown.body.insert(grown.body.end(), unified->first.begin(),
+                                unified->first.end());
+              for (const auto& [var, value] : unified->second) {
+                grown.outer.emplace(var, value);
+              }
+              next.push_back(std::move(grown));
+              if (next.size() > options.max_disjuncts) {
+                overflow = true;
+                break;
+              }
+            }
+            if (overflow) break;
+          }
+          partials = std::move(next);
+          if (overflow) break;
+        }
+        if (overflow) {
+          return Status::ResourceExhausted(
+              "UCQ compilation exceeded the disjunct cap");
+        }
+        for (const Partial& partial : partials) {
+          std::vector<Term> head;
+          for (Term t : cq.head) head.push_back(ApplyToTerm(partial.outer, t));
+          def.disjuncts.emplace_back(partial.body, std::move(head));
+        }
+      }
+      defs.emplace(mid.output_table, std::move(def));
+    }
+  }
+
+  auto it = defs.find(plan.output_table);
+  if (it == defs.end()) {
+    return Status::NotFound("output table '" + plan.output_table +
+                            "' was never produced");
+  }
+  return UnionQuery(std::move(it->second.disjuncts));
+}
+
+}  // namespace rbda

@@ -1,0 +1,31 @@
+// Compiling monotone plans to UCQs (the step behind Prop 2.2: over a
+// schema *without result bounds*, a monotone plan is equivalent to a union
+// of conjunctive queries over the base relations).
+//
+// Each temporary table gets a UCQ definition: an access T <= mt <= E
+// becomes R(x̄) ∧ defE(x̄|inputs); a middleware UCQ unfolds its table atoms
+// through their definitions (distributing unions). Result-bounded methods
+// make plans nondeterministic and hence not UCQ-expressible — compilation
+// rejects schemas that still carry bounds.
+#ifndef RBDA_RUNTIME_PLAN_COMPILE_H_
+#define RBDA_RUNTIME_PLAN_COMPILE_H_
+
+#include "runtime/plan.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+struct CompileOptions {
+  size_t max_disjuncts = 4096;  // safety cap while distributing unions
+};
+
+/// Compiles a monotone plan into an equivalent UCQ over the schema's base
+/// relations: for every instance I, evaluating the UCQ on I equals
+/// executing the plan on I (all methods return all matching tuples).
+StatusOr<UnionQuery> CompilePlanToUcq(const Plan& plan,
+                                      const ServiceSchema& schema,
+                                      const CompileOptions& options = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_PLAN_COMPILE_H_

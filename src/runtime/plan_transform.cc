@@ -1,0 +1,150 @@
+#include "runtime/plan_transform.h"
+
+#include <map>
+
+namespace rbda {
+
+namespace {
+
+// Bookkeeping for one previous access: its input table ("" = input-free)
+// and its merged output table.
+struct PreviousAccess {
+  std::string input_table;
+  std::string output_table;
+};
+
+// Builds the disjunct "rows of prev.output whose binding also occurs in
+// `input_table`" for a method with the given input positions.
+TableCq ReplayDisjunct(Universe* universe, const AccessMethod& method,
+                       const PreviousAccess& prev,
+                       const std::string& input_table) {
+  uint32_t arity = universe->Arity(method.relation);
+  std::vector<Term> row;
+  for (uint32_t p = 0; p < arity; ++p) row.push_back(universe->FreshVariable());
+  std::vector<Term> binding;
+  for (uint32_t p : method.input_positions) binding.push_back(row[p]);
+
+  TableCq cq;
+  cq.atoms.push_back(TableAtom{prev.output_table, row});
+  if (!method.input_positions.empty()) {
+    cq.atoms.push_back(TableAtom{input_table, binding});
+    if (!prev.input_table.empty()) {
+      cq.atoms.push_back(TableAtom{prev.input_table, binding});
+    }
+  }
+  cq.head = row;
+  return cq;
+}
+
+// Identity disjunct: all rows of `table` at the given arity.
+TableCq PassThrough(Universe* universe, uint32_t arity,
+                    const std::string& table) {
+  std::vector<Term> row;
+  for (uint32_t p = 0; p < arity; ++p) row.push_back(universe->FreshVariable());
+  return TableCq{{TableAtom{table, row}}, row};
+}
+
+StatusOr<Plan> Transform(const Plan& plan, const ServiceSchema& schema,
+                         bool use_difference) {
+  Universe* universe = const_cast<Universe*>(&schema.universe());
+  Plan out;
+  out.output_table = plan.output_table;
+
+  std::map<std::string, std::vector<PreviousAccess>> history;  // per method
+  std::map<std::string, std::string> seen_bindings;  // method -> table name
+  int counter = 0;
+
+  for (const PlanCommand& cmd : plan.commands) {
+    const auto* access = std::get_if<AccessCommand>(&cmd);
+    if (access == nullptr) {
+      out.commands.push_back(cmd);
+      continue;
+    }
+    const AccessMethod* method = schema.FindMethod(access->method);
+    if (method == nullptr) {
+      return Status::NotFound("unknown method '" + access->method + "'");
+    }
+    uint32_t arity = universe->Arity(method->relation);
+    std::vector<PreviousAccess>& prevs = history[access->method];
+    std::string raw = "@raw" + std::to_string(counter++);
+
+    bool input_free = access->input_table.empty();
+    if (input_free) {
+      if (prevs.empty()) {
+        out.Access(raw, access->method);
+        out.Middleware(access->output_table,
+                       {PassThrough(universe, arity, raw)});
+      } else if (use_difference) {
+        // Never repeat the access: replay the cached output.
+        out.Middleware(access->output_table,
+                       {PassThrough(universe, arity,
+                                    prevs.back().output_table)});
+      } else {
+        // Monotone construction: access again and union the cache back.
+        out.Access(raw, access->method);
+        out.Middleware(access->output_table,
+                       {PassThrough(universe, arity, raw),
+                        PassThrough(universe, arity,
+                                    prevs.back().output_table)});
+      }
+      prevs.push_back(PreviousAccess{"", access->output_table});
+      continue;
+    }
+
+    // Input-carrying access.
+    std::string effective_input = access->input_table;
+    if (use_difference) {
+      auto seen = seen_bindings.find(access->method);
+      if (seen != seen_bindings.end()) {
+        std::string fresh = "@new" + std::to_string(counter++);
+        out.Difference(fresh, access->input_table, seen->second);
+        effective_input = fresh;
+      }
+      // Update the seen-bindings union.
+      std::string updated = "@seen" + std::to_string(counter++);
+      size_t in_arity = method->input_positions.size();
+      std::vector<TableCq> unions;
+      {
+        std::vector<Term> row;
+        for (size_t i = 0; i < in_arity; ++i) {
+          row.push_back(universe->FreshVariable());
+        }
+        unions.push_back(TableCq{{TableAtom{access->input_table, row}}, row});
+      }
+      if (seen != seen_bindings.end()) {
+        std::vector<Term> row;
+        for (size_t i = 0; i < in_arity; ++i) {
+          row.push_back(universe->FreshVariable());
+        }
+        unions.push_back(TableCq{{TableAtom{seen->second, row}}, row});
+      }
+      out.Middleware(updated, std::move(unions));
+      seen_bindings[access->method] = updated;
+    }
+
+    out.Access(raw, access->method, effective_input);
+    std::vector<TableCq> merged{PassThrough(universe, arity, raw)};
+    for (const PreviousAccess& prev : prevs) {
+      merged.push_back(
+          ReplayDisjunct(universe, *method, prev, access->input_table));
+    }
+    out.Middleware(access->output_table, std::move(merged));
+    prevs.push_back(
+        PreviousAccess{access->input_table, access->output_table});
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Plan> MakeCachedMonotonePlan(const Plan& plan,
+                                      const ServiceSchema& schema) {
+  return Transform(plan, schema, /*use_difference=*/false);
+}
+
+StatusOr<Plan> MakeCachedRaPlan(const Plan& plan,
+                                const ServiceSchema& schema) {
+  return Transform(plan, schema, /*use_difference=*/true);
+}
+
+}  // namespace rbda

@@ -1,0 +1,33 @@
+// Plan transformations for the two access-selection semantics
+// (Appendix A).
+//
+// Under the paper's idempotent semantics, repeating an access returns the
+// same output; under the non-idempotent semantics every access may pick a
+// different valid subset. Prop A.2 shows the semantics are interchangeable
+// *for answerability* via explicit caching constructions, implemented
+// here:
+//
+//  * MakeCachedMonotonePlan — the USPJ construction: every access also
+//    unions back the outputs of earlier accesses on the same method whose
+//    bindings repeat. Stays monotone.
+//  * MakeCachedRaPlan — the RA construction: each access is pre-filtered
+//    (set difference) to the not-yet-performed bindings, and cached
+//    outputs are merged back. Never performs the same access twice, so
+//    its non-idempotent behaviour equals the original plan's idempotent
+//    behaviour exactly.
+#ifndef RBDA_RUNTIME_PLAN_TRANSFORM_H_
+#define RBDA_RUNTIME_PLAN_TRANSFORM_H_
+
+#include "runtime/plan.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+StatusOr<Plan> MakeCachedMonotonePlan(const Plan& plan,
+                                      const ServiceSchema& schema);
+
+StatusOr<Plan> MakeCachedRaPlan(const Plan& plan, const ServiceSchema& schema);
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_PLAN_TRANSFORM_H_

@@ -1,0 +1,315 @@
+#include "runtime/ra_expr.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+
+namespace rbda {
+
+RaExprPtr RaExpr::Table(std::string name, uint32_t arity) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kTable;
+  e->arity_ = arity;
+  e->table_ = std::move(name);
+  return e;
+}
+
+RaExprPtr RaExpr::ConstRows(std::vector<std::vector<Term>> rows,
+                            uint32_t arity) {
+  for (const auto& row : rows) RBDA_CHECK(row.size() == arity);
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kConstRows;
+  e->arity_ = arity;
+  e->rows_ = std::move(rows);
+  return e;
+}
+
+RaExprPtr RaExpr::SelectEq(RaExprPtr child, uint32_t col_a, uint32_t col_b) {
+  RBDA_CHECK(col_a < child->arity() && col_b < child->arity());
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kSelectEq;
+  e->arity_ = child->arity();
+  e->col_a_ = col_a;
+  e->col_b_ = col_b;
+  e->left_ = std::move(child);
+  return e;
+}
+
+RaExprPtr RaExpr::SelectConst(RaExprPtr child, uint32_t col, Term constant) {
+  RBDA_CHECK(col < child->arity());
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kSelectConst;
+  e->arity_ = child->arity();
+  e->col_a_ = col;
+  e->constant_ = constant;
+  e->left_ = std::move(child);
+  return e;
+}
+
+RaExprPtr RaExpr::Project(RaExprPtr child,
+                          std::vector<ProjectionEntry> entries) {
+  for (const ProjectionEntry& entry : entries) {
+    if (const uint32_t* col = std::get_if<uint32_t>(&entry)) {
+      RBDA_CHECK(*col < child->arity());
+    }
+  }
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kProject;
+  e->arity_ = static_cast<uint32_t>(entries.size());
+  e->projection_ = std::move(entries);
+  e->left_ = std::move(child);
+  return e;
+}
+
+RaExprPtr RaExpr::Join(RaExprPtr left, RaExprPtr right,
+                       std::vector<std::pair<uint32_t, uint32_t>> on) {
+  for (const auto& [l, r] : on) {
+    RBDA_CHECK(l < left->arity() && r < right->arity());
+  }
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kJoin;
+  e->arity_ = left->arity() + right->arity();
+  e->join_on_ = std::move(on);
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+RaExprPtr RaExpr::Union(RaExprPtr left, RaExprPtr right) {
+  RBDA_CHECK(left->arity() == right->arity());
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kUnion;
+  e->arity_ = left->arity();
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+std::string RaExpr::ToString(const Universe& universe) const {
+  switch (kind_) {
+    case Kind::kTable:
+      return table_;
+    case Kind::kConstRows: {
+      std::vector<std::string> rows;
+      for (const auto& row : rows_) {
+        std::vector<std::string> vals;
+        for (Term t : row) vals.push_back(universe.TermName(t));
+        rows.push_back("(" + rbda::Join(vals, ",") + ")");
+      }
+      return "{" + rbda::Join(rows, ", ") + "}";
+    }
+    case Kind::kSelectEq:
+      return "sel[$" + std::to_string(col_a_) + "=$" +
+             std::to_string(col_b_) + "](" + left_->ToString(universe) + ")";
+    case Kind::kSelectConst:
+      return "sel[$" + std::to_string(col_a_) + "=" +
+             universe.TermName(constant_) + "](" +
+             left_->ToString(universe) + ")";
+    case Kind::kProject: {
+      std::vector<std::string> cols;
+      for (const ProjectionEntry& entry : projection_) {
+        if (const uint32_t* col = std::get_if<uint32_t>(&entry)) {
+          cols.push_back("$" + std::to_string(*col));
+        } else {
+          cols.push_back(universe.TermName(std::get<Term>(entry)));
+        }
+      }
+      return "proj[" + rbda::Join(cols, ",") + "](" + left_->ToString(universe) +
+             ")";
+    }
+    case Kind::kJoin: {
+      std::vector<std::string> conds;
+      for (const auto& [l, r] : join_on_) {
+        conds.push_back("$" + std::to_string(l) + "=$" + std::to_string(r));
+      }
+      return "(" + left_->ToString(universe) + " join[" + rbda::Join(conds, ",") +
+             "] " + right_->ToString(universe) + ")";
+    }
+    case Kind::kUnion:
+      return "(" + left_->ToString(universe) + " union " +
+             right_->ToString(universe) + ")";
+  }
+  return "?";
+}
+
+StatusOr<Table> EvalRa(const RaExprPtr& expr,
+                       const std::map<std::string, Table>& tables) {
+  switch (expr->kind()) {
+    case RaExpr::Kind::kTable: {
+      auto it = tables.find(expr->table());
+      if (it == tables.end()) {
+        return Status::NotFound("unknown table '" + expr->table() + "'");
+      }
+      for (const auto& row : it->second) {
+        if (row.size() != expr->arity()) {
+          return Status::InvalidArgument("table arity mismatch for '" +
+                                         expr->table() + "'");
+        }
+      }
+      return it->second;
+    }
+    case RaExpr::Kind::kConstRows: {
+      Table out;
+      for (const auto& row : expr->rows()) out.insert(row);
+      return out;
+    }
+    case RaExpr::Kind::kSelectEq: {
+      StatusOr<Table> child = EvalRa(expr->left(), tables);
+      RBDA_RETURN_IF_ERROR(child.status());
+      Table out;
+      for (const auto& row : *child) {
+        if (row[expr->col_a()] == row[expr->col_b()]) out.insert(row);
+      }
+      return out;
+    }
+    case RaExpr::Kind::kSelectConst: {
+      StatusOr<Table> child = EvalRa(expr->left(), tables);
+      RBDA_RETURN_IF_ERROR(child.status());
+      Table out;
+      for (const auto& row : *child) {
+        if (row[expr->col_a()] == expr->constant()) out.insert(row);
+      }
+      return out;
+    }
+    case RaExpr::Kind::kProject: {
+      StatusOr<Table> child = EvalRa(expr->left(), tables);
+      RBDA_RETURN_IF_ERROR(child.status());
+      Table out;
+      for (const auto& row : *child) {
+        std::vector<Term> projected;
+        projected.reserve(expr->projection().size());
+        for (const ProjectionEntry& entry : expr->projection()) {
+          if (const uint32_t* col = std::get_if<uint32_t>(&entry)) {
+            projected.push_back(row[*col]);
+          } else {
+            projected.push_back(std::get<Term>(entry));
+          }
+        }
+        out.insert(std::move(projected));
+      }
+      return out;
+    }
+    case RaExpr::Kind::kJoin: {
+      StatusOr<Table> left = EvalRa(expr->left(), tables);
+      RBDA_RETURN_IF_ERROR(left.status());
+      StatusOr<Table> right = EvalRa(expr->right(), tables);
+      RBDA_RETURN_IF_ERROR(right.status());
+      Table out;
+      for (const auto& l : *left) {
+        for (const auto& r : *right) {
+          bool match = true;
+          for (const auto& [lc, rc] : expr->join_on()) {
+            if (l[lc] != r[rc]) {
+              match = false;
+              break;
+            }
+          }
+          if (!match) continue;
+          std::vector<Term> combined = l;
+          combined.insert(combined.end(), r.begin(), r.end());
+          out.insert(std::move(combined));
+        }
+      }
+      return out;
+    }
+    case RaExpr::Kind::kUnion: {
+      StatusOr<Table> left = EvalRa(expr->left(), tables);
+      RBDA_RETURN_IF_ERROR(left.status());
+      StatusOr<Table> right = EvalRa(expr->right(), tables);
+      RBDA_RETURN_IF_ERROR(right.status());
+      Table out = *left;
+      out.insert(right->begin(), right->end());
+      return out;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<RaExprPtr> CompileCqToRa(
+    const TableCq& cq, const std::map<std::string, uint32_t>& table_arity) {
+  // Fold the atoms into a join tree, tracking which term each running
+  // column carries.
+  RaExprPtr expr = RaExpr::ConstRows({{}}, 0);  // one empty tuple
+  std::vector<Term> columns;
+
+  for (const TableAtom& atom : cq.atoms) {
+    auto it = table_arity.find(atom.table);
+    if (it == table_arity.end()) {
+      return Status::NotFound("unknown table '" + atom.table + "'");
+    }
+    if (atom.args.size() != it->second) {
+      return Status::InvalidArgument("atom arity mismatch for '" +
+                                     atom.table + "'");
+    }
+    RaExprPtr scan = RaExpr::Table(atom.table, it->second);
+    // Constants and repeated variables become selections on the scan.
+    for (uint32_t p = 0; p < atom.args.size(); ++p) {
+      Term t = atom.args[p];
+      if (t.IsConstant()) {
+        scan = RaExpr::SelectConst(scan, p, t);
+        continue;
+      }
+      for (uint32_t q = 0; q < p; ++q) {
+        if (atom.args[q] == t) {
+          scan = RaExpr::SelectEq(scan, q, p);
+          break;
+        }
+      }
+    }
+    // Join on variables shared with the running columns.
+    std::vector<std::pair<uint32_t, uint32_t>> on;
+    for (uint32_t p = 0; p < atom.args.size(); ++p) {
+      Term t = atom.args[p];
+      if (!t.IsVariable()) continue;
+      for (uint32_t c = 0; c < columns.size(); ++c) {
+        if (columns[c] == t) {
+          on.emplace_back(c, p);
+          break;
+        }
+      }
+    }
+    expr = RaExpr::Join(expr, scan, std::move(on));
+    columns.insert(columns.end(), atom.args.begin(), atom.args.end());
+  }
+
+  // Head: project columns (first occurrence of each variable) and emit
+  // constants directly.
+  std::vector<ProjectionEntry> entries;
+  for (Term t : cq.head) {
+    if (t.IsConstant()) {
+      entries.emplace_back(t);
+      continue;
+    }
+    bool found = false;
+    for (uint32_t c = 0; c < columns.size(); ++c) {
+      if (columns[c] == t) {
+        entries.emplace_back(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "head variable does not occur in the body (unsafe query)");
+    }
+  }
+  return RaExpr::Project(std::move(expr), std::move(entries));
+}
+
+StatusOr<RaExprPtr> CompileUnionToRa(
+    const std::vector<TableCq>& union_of,
+    const std::map<std::string, uint32_t>& table_arity) {
+  if (union_of.empty()) {
+    return Status::InvalidArgument(
+        "empty unions have no defined arity; use ConstRows({}, arity)");
+  }
+  RaExprPtr out;
+  for (const TableCq& cq : union_of) {
+    StatusOr<RaExprPtr> compiled = CompileCqToRa(cq, table_arity);
+    RBDA_RETURN_IF_ERROR(compiled.status());
+    out = out == nullptr ? *compiled : RaExpr::Union(out, *compiled);
+  }
+  return out;
+}
+
+}  // namespace rbda

@@ -1,0 +1,103 @@
+// Monotone relational algebra expressions (paper §2: middleware commands
+// are "monotone relational algebra expressions over the temporary tables",
+// i.e. select / project / join / union — no difference).
+//
+// The AST is immutable (shared children), evaluates over named tables with
+// set semantics, and interconverts with the UCQ middleware used by plan
+// synthesis: CompileCqToRa turns a TableCq into an RA tree, and the
+// evaluation-equivalence of the two forms is covered by tests. Plans may
+// carry RA middleware directly via RaCommand.
+#ifndef RBDA_RUNTIME_RA_EXPR_H_
+#define RBDA_RUNTIME_RA_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "base/status.h"
+#include "data/universe.h"
+#include "runtime/plan.h"
+
+namespace rbda {
+
+class RaExpr;
+using RaExprPtr = std::shared_ptr<const RaExpr>;
+
+/// A projection entry: an existing column index or a constant to emit.
+using ProjectionEntry = std::variant<uint32_t, Term>;
+
+class RaExpr {
+ public:
+  enum class Kind {
+    kTable,       // scan of a named temporary table
+    kConstRows,   // literal rows
+    kSelectEq,    // σ_{col_a = col_b}
+    kSelectConst, // σ_{col = constant}
+    kProject,     // π over ProjectionEntry list (may introduce constants)
+    kJoin,        // ⋈ on (left col, right col) pairs; output = left ++ right
+    kUnion,       // ∪ (same arity)
+  };
+
+  Kind kind() const { return kind_; }
+  uint32_t arity() const { return arity_; }
+
+  // Accessors (meaningful per kind).
+  const std::string& table() const { return table_; }
+  const std::vector<std::vector<Term>>& rows() const { return rows_; }
+  uint32_t col_a() const { return col_a_; }
+  uint32_t col_b() const { return col_b_; }
+  Term constant() const { return constant_; }
+  const std::vector<ProjectionEntry>& projection() const { return projection_; }
+  const std::vector<std::pair<uint32_t, uint32_t>>& join_on() const {
+    return join_on_;
+  }
+  const RaExprPtr& left() const { return left_; }
+  const RaExprPtr& right() const { return right_; }
+
+  std::string ToString(const Universe& universe) const;
+
+  // ---- Builders (validate arities; abort on structural misuse). ----
+  static RaExprPtr Table(std::string name, uint32_t arity);
+  static RaExprPtr ConstRows(std::vector<std::vector<Term>> rows,
+                             uint32_t arity);
+  static RaExprPtr SelectEq(RaExprPtr child, uint32_t col_a, uint32_t col_b);
+  static RaExprPtr SelectConst(RaExprPtr child, uint32_t col, Term constant);
+  static RaExprPtr Project(RaExprPtr child,
+                           std::vector<ProjectionEntry> entries);
+  static RaExprPtr Join(RaExprPtr left, RaExprPtr right,
+                        std::vector<std::pair<uint32_t, uint32_t>> on);
+  static RaExprPtr Union(RaExprPtr left, RaExprPtr right);
+
+ private:
+  RaExpr() = default;
+
+  Kind kind_ = Kind::kTable;
+  uint32_t arity_ = 0;
+  std::string table_;
+  std::vector<std::vector<Term>> rows_;
+  uint32_t col_a_ = 0, col_b_ = 0;
+  Term constant_;
+  std::vector<ProjectionEntry> projection_;
+  std::vector<std::pair<uint32_t, uint32_t>> join_on_;
+  RaExprPtr left_, right_;
+};
+
+/// Evaluates an expression over named tables (set semantics).
+StatusOr<Table> EvalRa(const RaExprPtr& expr,
+                       const std::map<std::string, Table>& tables);
+
+/// Compiles one UCQ middleware disjunct to an RA tree. `table_arity` maps
+/// each referenced table to its column count.
+StatusOr<RaExprPtr> CompileCqToRa(
+    const TableCq& cq, const std::map<std::string, uint32_t>& table_arity);
+
+/// Compiles a whole middleware union (UCQ) to a single RA tree.
+StatusOr<RaExprPtr> CompileUnionToRa(
+    const std::vector<TableCq>& union_of,
+    const std::map<std::string, uint32_t>& table_arity);
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_RA_EXPR_H_

@@ -1,0 +1,202 @@
+#include "runtime/schema_generators.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rbda {
+
+namespace {
+
+std::vector<RelationId> MakeRelations(Universe* universe,
+                                      ServiceSchema* schema,
+                                      const SchemaFamilyOptions& options,
+                                      Rng* rng) {
+  std::vector<RelationId> relations;
+  for (size_t i = 0; i < options.num_relations; ++i) {
+    uint32_t arity = static_cast<uint32_t>(
+        rng->Range(options.min_arity, options.max_arity));
+    StatusOr<RelationId> r = schema->AddRelation(
+        options.prefix + "_R" + std::to_string(i), arity);
+    RBDA_CHECK(r.ok());
+    relations.push_back(*r);
+    (void)universe;
+  }
+  return relations;
+}
+
+void AddRandomMethods(ServiceSchema* schema,
+                      const std::vector<RelationId>& relations,
+                      const SchemaFamilyOptions& options, Rng* rng) {
+  const Universe& universe = schema->universe();
+  for (size_t i = 0; i < options.num_methods; ++i) {
+    AccessMethod m;
+    m.name = options.prefix + "_mt" + std::to_string(i);
+    m.relation = relations[rng->Below(relations.size())];
+    uint32_t arity = universe.Arity(m.relation);
+    for (uint32_t p = 0; p < arity; ++p) {
+      if (rng->Chance(1, 3)) m.input_positions.push_back(p);
+    }
+    if (rng->Chance(options.bounded_pct, 100) &&
+        m.input_positions.size() < arity) {
+      m.bound_kind = BoundKind::kResultBound;
+      m.bound = 1 + static_cast<uint32_t>(rng->Below(options.max_bound));
+    }
+    RBDA_CHECK(schema->AddMethod(std::move(m)).ok());
+  }
+}
+
+// A random ID between two relations, with width at most `max_width`
+// (0 = no limit beyond the arities).
+Tgd RandomId(Universe* universe, RelationId from, RelationId to,
+             size_t max_width, Rng* rng) {
+  uint32_t from_arity = universe->Arity(from);
+  uint32_t to_arity = universe->Arity(to);
+  size_t limit = std::min(from_arity, to_arity);
+  if (max_width > 0) limit = std::min(limit, max_width);
+  size_t width = 1 + rng->Below(std::max<size_t>(limit, 1));
+
+  // Pick `width` distinct positions on each side.
+  auto pick = [&](uint32_t arity) {
+    std::vector<uint32_t> all(arity);
+    for (uint32_t p = 0; p < arity; ++p) all[p] = p;
+    for (uint32_t p = 0; p + 1 < arity; ++p) {
+      std::swap(all[p], all[p + rng->Below(arity - p)]);
+    }
+    all.resize(width);
+    return all;
+  };
+  std::vector<uint32_t> from_pos = pick(from_arity);
+  std::vector<uint32_t> to_pos = pick(to_arity);
+
+  std::vector<Term> body_args, head_args;
+  for (uint32_t p = 0; p < from_arity; ++p) {
+    body_args.push_back(universe->FreshVariable());
+  }
+  for (uint32_t p = 0; p < to_arity; ++p) {
+    head_args.push_back(universe->FreshVariable());
+  }
+  for (size_t i = 0; i < width; ++i) {
+    head_args[to_pos[i]] = body_args[from_pos[i]];
+  }
+  return Tgd({Atom(from, body_args)}, {Atom(to, head_args)});
+}
+
+}  // namespace
+
+ServiceSchema GenerateIdSchema(Universe* universe,
+                               const SchemaFamilyOptions& options, Rng* rng) {
+  ServiceSchema schema(universe);
+  std::vector<RelationId> relations =
+      MakeRelations(universe, &schema, options, rng);
+  for (size_t i = 0; i < options.num_constraints; ++i) {
+    RelationId from = relations[rng->Below(relations.size())];
+    RelationId to = relations[rng->Below(relations.size())];
+    schema.constraints().tgds.push_back(
+        RandomId(universe, from, to, options.max_id_width, rng));
+  }
+  AddRandomMethods(&schema, relations, options, rng);
+  return schema;
+}
+
+ServiceSchema GenerateFdSchema(Universe* universe,
+                               const SchemaFamilyOptions& options, Rng* rng) {
+  ServiceSchema schema(universe);
+  std::vector<RelationId> relations =
+      MakeRelations(universe, &schema, options, rng);
+  for (size_t i = 0; i < options.num_constraints; ++i) {
+    RelationId rel = relations[rng->Below(relations.size())];
+    uint32_t arity = universe->Arity(rel);
+    if (arity < 2) continue;
+    std::vector<uint32_t> lhs;
+    for (uint32_t p = 0; p < arity; ++p) {
+      if (rng->Chance(1, 2)) lhs.push_back(p);
+    }
+    if (lhs.empty()) lhs.push_back(static_cast<uint32_t>(rng->Below(arity)));
+    uint32_t rhs = static_cast<uint32_t>(rng->Below(arity));
+    Fd fd(rel, lhs, rhs);
+    if (!fd.IsTrivial()) schema.constraints().fds.push_back(std::move(fd));
+  }
+  AddRandomMethods(&schema, relations, options, rng);
+  return schema;
+}
+
+ServiceSchema GenerateUidFdSchema(Universe* universe,
+                                  const SchemaFamilyOptions& options,
+                                  Rng* rng) {
+  SchemaFamilyOptions uid_options = options;
+  uid_options.max_id_width = 1;
+  ServiceSchema schema = GenerateIdSchema(universe, uid_options, rng);
+  // Sprinkle FDs on top.
+  for (size_t i = 0; i < options.num_constraints; ++i) {
+    RelationId rel =
+        schema.relations()[rng->Below(schema.relations().size())];
+    uint32_t arity = universe->Arity(rel);
+    if (arity < 2) continue;
+    uint32_t lhs = static_cast<uint32_t>(rng->Below(arity));
+    uint32_t rhs = static_cast<uint32_t>(rng->Below(arity));
+    if (lhs == rhs) continue;
+    schema.constraints().fds.emplace_back(rel, std::vector<uint32_t>{lhs},
+                                          rhs);
+  }
+  return schema;
+}
+
+ServiceSchema GenerateChainSchema(Universe* universe, size_t length,
+                                  uint32_t arity, size_t bounded_prefix,
+                                  uint32_t bound, const std::string& prefix) {
+  RBDA_CHECK(length >= 1 && arity >= 1);
+  ServiceSchema schema(universe);
+  std::vector<RelationId> relations;
+  for (size_t i = 0; i < length; ++i) {
+    relations.push_back(
+        *schema.AddRelation(prefix + "_C" + std::to_string(i), arity));
+  }
+  // R_i[0] ⊆ R_{i+1}[0] linking the chain (width 1).
+  for (size_t i = 0; i + 1 < length; ++i) {
+    std::vector<Term> body_args, head_args;
+    Term shared = universe->FreshVariable();
+    body_args.push_back(shared);
+    head_args.push_back(shared);
+    for (uint32_t p = 1; p < arity; ++p) {
+      body_args.push_back(universe->FreshVariable());
+      head_args.push_back(universe->FreshVariable());
+    }
+    schema.constraints().tgds.emplace_back(
+        std::vector<Atom>{Atom(relations[i], body_args)},
+        std::vector<Atom>{Atom(relations[i + 1], head_args)});
+  }
+  for (size_t i = 0; i < length; ++i) {
+    AccessMethod m;
+    m.name = prefix + "_m" + std::to_string(i);
+    m.relation = relations[i];
+    if (i > 0) m.input_positions.push_back(0);  // lookup by the chain key
+    if (i < bounded_prefix) {
+      m.bound_kind = BoundKind::kResultBound;
+      m.bound = bound;
+    }
+    RBDA_CHECK(schema.AddMethod(std::move(m)).ok());
+  }
+  return schema;
+}
+
+ConjunctiveQuery GenerateQuery(const ServiceSchema& schema, size_t num_atoms,
+                               size_t num_variables, Rng* rng) {
+  const Universe& universe = schema.universe();
+  std::vector<Term> vars;
+  for (size_t i = 0; i < std::max<size_t>(num_variables, 1); ++i) {
+    vars.push_back(const_cast<Universe&>(universe).FreshVariable());
+  }
+  std::vector<Atom> atoms;
+  for (size_t i = 0; i < num_atoms; ++i) {
+    RelationId rel =
+        schema.relations()[rng->Below(schema.relations().size())];
+    std::vector<Term> args;
+    for (uint32_t p = 0; p < universe.Arity(rel); ++p) {
+      args.push_back(vars[rng->Below(vars.size())]);
+    }
+    atoms.emplace_back(rel, std::move(args));
+  }
+  return ConjunctiveQuery::Boolean(std::move(atoms));
+}
+
+}  // namespace rbda

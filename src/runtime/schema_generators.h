@@ -1,0 +1,55 @@
+// Random schema/query families for property tests and the Table 1
+// benchmarks: parameterized generators for ID schemas (chains, stars,
+// random inclusion graphs), FD schemas, UID+FD schemas, and TGD schemas,
+// each with a mix of bounded and unbounded access methods.
+#ifndef RBDA_RUNTIME_SCHEMA_GENERATORS_H_
+#define RBDA_RUNTIME_SCHEMA_GENERATORS_H_
+
+#include "base/rng.h"
+#include "logic/conjunctive_query.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+struct SchemaFamilyOptions {
+  size_t num_relations = 4;
+  uint32_t min_arity = 1;
+  uint32_t max_arity = 3;
+  size_t num_constraints = 4;
+  size_t num_methods = 3;
+  /// Probability (out of 100) that a method carries a result bound.
+  uint64_t bounded_pct = 50;
+  uint32_t max_bound = 5;
+  /// Maximum ID width for GenerateIdSchema (0 = unconstrained).
+  size_t max_id_width = 0;
+  /// Name prefix so several generated schemas can share a Universe.
+  std::string prefix = "G";
+};
+
+/// A schema whose TGDs are random IDs over random relations.
+ServiceSchema GenerateIdSchema(Universe* universe,
+                               const SchemaFamilyOptions& options, Rng* rng);
+
+/// A schema whose constraints are random FDs.
+ServiceSchema GenerateFdSchema(Universe* universe,
+                               const SchemaFamilyOptions& options, Rng* rng);
+
+/// A schema mixing random UIDs and FDs.
+ServiceSchema GenerateUidFdSchema(Universe* universe,
+                                  const SchemaFamilyOptions& options,
+                                  Rng* rng);
+
+/// A "chain" ID schema: R0 -> R1 -> ... -> R(n-1), one method per relation,
+/// the first `bounded_prefix` of them result-bounded. Used by the scaling
+/// benchmarks (the chase depth grows with the chain length).
+ServiceSchema GenerateChainSchema(Universe* universe, size_t length,
+                                  uint32_t arity, size_t bounded_prefix,
+                                  uint32_t bound, const std::string& prefix);
+
+/// A random Boolean CQ over the schema's relations.
+ConjunctiveQuery GenerateQuery(const ServiceSchema& schema, size_t num_atoms,
+                               size_t num_variables, Rng* rng);
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_SCHEMA_GENERATORS_H_

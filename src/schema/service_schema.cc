@@ -1,0 +1,147 @@
+#include "schema/service_schema.h"
+
+#include <algorithm>
+
+#include "base/str_util.h"
+
+namespace rbda {
+
+std::vector<uint32_t> AccessMethod::OutputPositions(
+    const Universe& universe) const {
+  std::vector<uint32_t> out;
+  for (uint32_t p = 0; p < universe.Arity(relation); ++p) {
+    if (!std::binary_search(input_positions.begin(), input_positions.end(),
+                            p)) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::string AccessMethod::ToString(const Universe& universe) const {
+  std::string out = "method " + name + " on " +
+                    universe.RelationName(relation) + " inputs(";
+  for (size_t i = 0; i < input_positions.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(input_positions[i]);
+  }
+  out += ")";
+  if (bound_kind == BoundKind::kResultBound) {
+    out += " limit " + std::to_string(bound);
+  } else if (bound_kind == BoundKind::kResultLowerBound) {
+    out += " lower-limit " + std::to_string(bound);
+  }
+  return out;
+}
+
+StatusOr<RelationId> ServiceSchema::AddRelation(std::string_view name,
+                                                uint32_t arity) {
+  StatusOr<RelationId> id = universe_->AddRelation(name, arity);
+  if (!id.ok()) return id;
+  AdoptRelation(*id);
+  return id;
+}
+
+void ServiceSchema::AdoptRelation(RelationId relation) {
+  if (!HasRelation(relation)) relations_.push_back(relation);
+}
+
+bool ServiceSchema::HasRelation(RelationId relation) const {
+  return std::find(relations_.begin(), relations_.end(), relation) !=
+         relations_.end();
+}
+
+Status ServiceSchema::AddMethod(AccessMethod method) {
+  std::sort(method.input_positions.begin(), method.input_positions.end());
+  method.input_positions.erase(
+      std::unique(method.input_positions.begin(),
+                  method.input_positions.end()),
+      method.input_positions.end());
+  if (!HasRelation(method.relation)) {
+    return Status::InvalidArgument("method '" + method.name +
+                                   "' targets a relation outside the schema");
+  }
+  uint32_t arity = universe_->Arity(method.relation);
+  for (uint32_t p : method.input_positions) {
+    if (p >= arity) {
+      return Status::InvalidArgument("method '" + method.name +
+                                     "' has input position out of range");
+    }
+  }
+  if (FindMethod(method.name) != nullptr) {
+    return Status::InvalidArgument("duplicate method name '" + method.name +
+                                   "'");
+  }
+  if (method.HasBound() && method.bound == 0) {
+    return Status::InvalidArgument("method '" + method.name +
+                                   "' has a zero result bound");
+  }
+  methods_.push_back(std::move(method));
+  return Status::Ok();
+}
+
+const AccessMethod* ServiceSchema::FindMethod(std::string_view name) const {
+  for (const AccessMethod& m : methods_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+bool ServiceSchema::HasResultBoundedMethods() const {
+  for (const AccessMethod& m : methods_) {
+    if (m.HasBound()) return true;
+  }
+  return false;
+}
+
+Status ServiceSchema::Validate() const {
+  for (const Tgd& tgd : constraints_.tgds) {
+    for (const Atom& a : tgd.body()) {
+      if (!HasRelation(a.relation)) {
+        return Status::InvalidArgument("constraint uses unknown relation");
+      }
+      if (a.args.size() != universe_->Arity(a.relation)) {
+        return Status::InvalidArgument("constraint atom arity mismatch");
+      }
+    }
+    for (const Atom& a : tgd.head()) {
+      if (!HasRelation(a.relation)) {
+        return Status::InvalidArgument("constraint uses unknown relation");
+      }
+      if (a.args.size() != universe_->Arity(a.relation)) {
+        return Status::InvalidArgument("constraint atom arity mismatch");
+      }
+    }
+  }
+  for (const Fd& fd : constraints_.fds) {
+    uint32_t arity = universe_->Arity(fd.relation);
+    if (fd.determined >= arity) {
+      return Status::InvalidArgument("FD determined position out of range");
+    }
+    for (uint32_t p : fd.determiners) {
+      if (p >= arity) {
+        return Status::InvalidArgument("FD determiner position out of range");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ServiceSchema::ToString() const {
+  std::string out;
+  for (RelationId r : relations_) {
+    std::vector<std::string> cols;
+    for (uint32_t p = 0; p < universe_->Arity(r); ++p) {
+      cols.push_back("p" + std::to_string(p));
+    }
+    out += "relation " + universe_->RelationName(r) + "(" + Join(cols, ", ") +
+           ")\n";
+  }
+  for (const AccessMethod& m : methods_) {
+    out += m.ToString(*universe_) + "\n";
+  }
+  out += constraints_.ToString(*universe_);
+  return out;
+}
+
+}  // namespace rbda

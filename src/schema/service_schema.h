@@ -1,0 +1,93 @@
+// Service schemas (paper §2, "Query and access model").
+//
+// A schema bundles a relational signature, integrity constraints, and a set
+// of access methods. A method exposes one relation: callers supply values
+// for the input positions and receive matching tuples, possibly limited by
+// a result bound (return at most k matching tuples; if at most k exist,
+// return all of them) or a result lower bound (only the completeness half).
+#ifndef RBDA_SCHEMA_SERVICE_SCHEMA_H_
+#define RBDA_SCHEMA_SERVICE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "constraints/constraint_set.h"
+
+namespace rbda {
+
+enum class BoundKind {
+  kNone,             // every matching tuple is returned
+  kResultBound,      // at most k returned; complete when ≤ k matches exist
+  kResultLowerBound, // complete when ≤ k matches exist; no upper limit
+};
+
+struct AccessMethod {
+  std::string name;
+  RelationId relation = 0;
+  std::vector<uint32_t> input_positions;  // sorted, deduplicated
+  BoundKind bound_kind = BoundKind::kNone;
+  uint32_t bound = 0;  // k, meaningful unless bound_kind == kNone
+
+  bool IsInputFree() const { return input_positions.empty(); }
+  bool HasBound() const { return bound_kind != BoundKind::kNone; }
+
+  /// A Boolean method has every position as an input position (accessing it
+  /// just tests membership; bounds are irrelevant).
+  bool IsBoolean(const Universe& universe) const {
+    return input_positions.size() == universe.Arity(relation);
+  }
+
+  /// Positions of the relation that are not inputs.
+  std::vector<uint32_t> OutputPositions(const Universe& universe) const;
+
+  std::string ToString(const Universe& universe) const;
+};
+
+/// A relational signature + integrity constraints + access methods.
+/// The schema references (does not own) a Universe; schemas derived by the
+/// §4/§6 transformations share the original schema's Universe so relation
+/// ids and terms stay comparable across the pipeline.
+class ServiceSchema {
+ public:
+  explicit ServiceSchema(Universe* universe) : universe_(universe) {}
+
+  Universe& universe() const { return *universe_; }
+  Universe* mutable_universe() { return universe_; }
+
+  /// Declares a relation (interning it in the Universe) as part of this
+  /// schema's signature.
+  StatusOr<RelationId> AddRelation(std::string_view name, uint32_t arity);
+
+  /// Adopts an already-interned relation into this schema's signature.
+  void AdoptRelation(RelationId relation);
+
+  const std::vector<RelationId>& relations() const { return relations_; }
+  bool HasRelation(RelationId relation) const;
+
+  ConstraintSet& constraints() { return constraints_; }
+  const ConstraintSet& constraints() const { return constraints_; }
+
+  Status AddMethod(AccessMethod method);
+  const std::vector<AccessMethod>& methods() const { return methods_; }
+  std::vector<AccessMethod>& mutable_methods() { return methods_; }
+  const AccessMethod* FindMethod(std::string_view name) const;
+
+  /// True if some method carries a result bound or result lower bound.
+  bool HasResultBoundedMethods() const;
+
+  /// Structural sanity checks (arities, positions, duplicate names).
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  Universe* universe_;
+  std::vector<RelationId> relations_;
+  ConstraintSet constraints_;
+  std::vector<AccessMethod> methods_;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_SCHEMA_SERVICE_SCHEMA_H_

@@ -1,0 +1,100 @@
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/str_util.h"
+#include "base/symbol_table.h"
+#include "gtest/gtest.h"
+
+namespace rbda {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad arity");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  SymbolId a = table.Intern("alpha");
+  SymbolId b = table.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("alpha"), a);
+  EXPECT_EQ(table.NameOf(a), "alpha");
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, LookupMissing) {
+  SymbolTable table;
+  SymbolId id;
+  EXPECT_FALSE(table.Lookup("ghost", &id));
+  table.Intern("ghost");
+  EXPECT_TRUE(table.Lookup("ghost", &id));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StrUtilTest, Strip) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("\t\n"), "");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("relation Foo", "relation"));
+  EXPECT_FALSE(StartsWith("rel", "relation"));
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,131 @@
+// Executable proof checks: the blow-up constructions behind Thm 4.2 and
+// Thm 6.3, validated on concrete instances.
+#include "core/blowup.h"
+
+#include "core/answerability.h"
+#include "core/simplification.h"
+#include "gtest/gtest.h"
+#include "paper_fixtures.h"
+
+namespace rbda {
+namespace {
+
+class CloneBlowupTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *universe_.AddRelation("R", 2);
+    s_ = *universe_.AddRelation("S", 1);
+    a_ = universe_.Constant("a");
+    b_ = universe_.Constant("b");
+    x_ = universe_.Variable("x");
+    y_ = universe_.Variable("y");
+  }
+  Universe universe_;
+  RelationId r_, s_;
+  Term a_, b_, x_, y_;
+};
+
+TEST_F(CloneBlowupTest, MultipliesFacts) {
+  Instance inst;
+  inst.AddFact(r_, {a_, b_});
+  inst.AddFact(s_, {a_});
+  Instance blown = CloneBlowup(inst, 3, &universe_);
+  // R(a,b) -> 9 combinations; S(a) -> 3.
+  EXPECT_EQ(blown.NumFacts(), 12u);
+  EXPECT_TRUE(inst.IsSubinstanceOf(blown));  // copy 0 = original
+}
+
+TEST_F(CloneBlowupTest, IdentityAtOneCopy) {
+  Instance inst;
+  inst.AddFact(r_, {a_, b_});
+  EXPECT_EQ(CloneBlowup(inst, 1, &universe_), inst);
+}
+
+TEST_F(CloneBlowupTest, PreservesTgdSatisfactionAndQueries) {
+  // Blowup preserves equality-free FO; we check the TGD + CQ fragment.
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(s_, {x_})},
+                       std::vector<Atom>{Atom(r_, {x_, y_})});
+  Instance inst;
+  inst.AddFact(s_, {a_});
+  inst.AddFact(r_, {a_, b_});
+  ASSERT_TRUE(cs.SatisfiedBy(inst));
+  Instance blown = CloneBlowup(inst, 4, &universe_);
+  EXPECT_TRUE(cs.SatisfiedBy(blown));
+
+  ConjunctiveQuery q =
+      ConjunctiveQuery::Boolean({Atom(r_, {x_, y_}), Atom(s_, {x_})});
+  EXPECT_EQ(q.HoldsIn(inst), q.HoldsIn(blown));
+  ConjunctiveQuery q_false = ConjunctiveQuery::Boolean({Atom(r_, {b_, y_})});
+  EXPECT_EQ(q_false.HoldsIn(inst), q_false.HoldsIn(blown));
+
+  // Blowup(I) maps homomorphically back to I (clones collapse).
+  EXPECT_TRUE(InstanceHomomorphismExists(blown, inst));
+}
+
+TEST_F(CloneBlowupTest, DefeatsResultBounds) {
+  // The Thm 6.3 purpose: after blowing up, every non-empty access matches
+  // more tuples than any fixed bound.
+  Instance inst;
+  inst.AddFact(r_, {a_, b_});
+  Instance blown = CloneBlowup(inst, 6, &universe_);
+  ServiceSchema schema(&universe_);
+  schema.AdoptRelation(r_);
+  AccessMethod m{"m", r_, {}, BoundKind::kResultBound, 5};
+  ASSERT_TRUE(schema.AddMethod(m).ok());
+  EXPECT_GT(blown.FactsOf(r_).size(), 5u);
+}
+
+// ---- Thm 4.2's blow-up on a real counterexample. ----
+
+TEST(ExistenceCheckBlowupTest, UpgradesCounterexampleToOriginalSchema) {
+  // Example 1.3: Q1 is not answerable over the bounded schema. Find a
+  // counterexample over the existence-check simplification, then blow it
+  // up into a counterexample for the original schema and verify every
+  // property Lemma 4.3 demands.
+  Universe u;
+  ParsedDocument doc = MustParse(R"(
+relation Prof(id, name, salary)
+relation Udirectory(id, address, phone)
+method pr on Prof inputs(0)
+method ud on Udirectory inputs() limit 2
+tgd Prof(i, n, s) -> Udirectory(i, a, p)
+query Q1() :- Prof(i, n, "10000")
+)",
+                                 &u);
+  ServiceSchema simplified = ExistenceCheckSimplification(doc.schema);
+  const ConjunctiveQuery& q1 = doc.queries.at("Q1");
+
+  CounterexampleSearchOptions options;
+  options.attempts = 400;
+  options.noise_facts = 5;
+  std::optional<AMonDetCounterexample> ce =
+      SearchAMonDetCounterexample(simplified, q1, options);
+  ASSERT_TRUE(ce.has_value())
+      << "no counterexample found over the simplification";
+
+  StatusOr<BlowUpResult> blown =
+      BlowUpExistenceCheck(doc.schema, simplified, *ce, /*copies=*/3);
+  ASSERT_TRUE(blown.ok()) << blown.status().ToString();
+
+  // (1) Both sides satisfy the original constraints.
+  EXPECT_TRUE(doc.schema.constraints().SatisfiedBy(blown->i1));
+  EXPECT_TRUE(doc.schema.constraints().SatisfiedBy(blown->i2));
+  // (2) Q separates them the right way.
+  EXPECT_TRUE(q1.HoldsIn(blown->i1));
+  EXPECT_FALSE(q1.HoldsIn(blown->i2));
+  // (3) The blown-up accessed part is a common subinstance...
+  EXPECT_TRUE(blown->accessed.IsSubinstanceOf(blown->i1));
+  EXPECT_TRUE(blown->accessed.IsSubinstanceOf(blown->i2));
+  // ...which is access-valid in I1+ for the ORIGINAL bounded schema.
+  EXPECT_TRUE(IsAccessValid(doc.schema, blown->accessed, blown->i1));
+  // (4) Each side maps homomorphically back to the original side
+  // (Lemma 4.3's preservation of ¬Q on I2).
+  std::unordered_set<RelationId> original_relations(
+      doc.schema.relations().begin(), doc.schema.relations().end());
+  EXPECT_TRUE(InstanceHomomorphismExists(
+      blown->i2, ce->i2.RestrictTo(original_relations)));
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,155 @@
+#include "chase/certain_answers.h"
+
+#include "chase/semi_width.h"
+#include "gtest/gtest.h"
+
+namespace rbda {
+namespace {
+
+class CertainAnswersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *universe_.AddRelation("R", 2);
+    p_ = *universe_.AddRelation("P", 1);
+    t_ = *universe_.AddRelation("T", 1);
+    x_ = universe_.Variable("x");
+    y_ = universe_.Variable("y");
+    a_ = universe_.Constant("a");
+    b_ = universe_.Constant("b");
+  }
+  Universe universe_;
+  RelationId r_, p_, t_;
+  Term x_, y_, a_, b_;
+};
+
+TEST_F(CertainAnswersTest, EntailedBooleanAnswer) {
+  // Σ: P(x) -> ∃y R(x,y). From P(a), "∃xy R(x,y)" is certain even though
+  // no R fact is present.
+  ConstraintSet sigma;
+  sigma.tgds.emplace_back(std::vector<Atom>{Atom(p_, {x_})},
+                          std::vector<Atom>{Atom(r_, {x_, y_})});
+  Instance data;
+  data.AddFact(p_, {a_});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {x_, y_})});
+  StatusOr<CertainAnswersResult> result =
+      CertainAnswers(q, data, sigma, &universe_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->complete);
+  ASSERT_EQ(result->answers.size(), 1u);  // the empty tuple
+  EXPECT_TRUE(result->answers[0].empty());
+}
+
+TEST_F(CertainAnswersTest, NullsAreNotCertainAnswerValues) {
+  // Same setup, but ask for the R-values: the witness y is a labeled null,
+  // so only x = a is certain.
+  ConstraintSet sigma;
+  sigma.tgds.emplace_back(std::vector<Atom>{Atom(p_, {x_})},
+                          std::vector<Atom>{Atom(r_, {x_, y_})});
+  Instance data;
+  data.AddFact(p_, {a_});
+  ConjunctiveQuery first({Atom(r_, {x_, y_})}, {x_});
+  ConjunctiveQuery second({Atom(r_, {x_, y_})}, {y_});
+  StatusOr<CertainAnswersResult> firsts =
+      CertainAnswers(first, data, sigma, &universe_);
+  StatusOr<CertainAnswersResult> seconds =
+      CertainAnswers(second, data, sigma, &universe_);
+  ASSERT_TRUE(firsts.ok() && seconds.ok());
+  ASSERT_EQ(firsts->answers.size(), 1u);
+  EXPECT_EQ(firsts->answers[0][0], a_);
+  EXPECT_TRUE(seconds->answers.empty());
+}
+
+TEST_F(CertainAnswersTest, PlainEvaluationWithoutConstraints) {
+  ConstraintSet sigma;
+  Instance data;
+  data.AddFact(r_, {a_, b_});
+  ConjunctiveQuery q({Atom(r_, {x_, y_})}, {y_});
+  StatusOr<CertainAnswersResult> result =
+      CertainAnswers(q, data, sigma, &universe_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->answers.size(), 1u);
+  EXPECT_EQ(result->answers[0][0], b_);
+}
+
+TEST_F(CertainAnswersTest, InconsistencyIsReported) {
+  ConstraintSet sigma;
+  sigma.fds.emplace_back(r_, std::vector<uint32_t>{0}, 1);
+  Instance data;
+  data.AddFact(r_, {a_, b_});
+  data.AddFact(r_, {a_, universe_.Constant("c")});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(t_, {x_})});
+  StatusOr<CertainAnswersResult> result =
+      CertainAnswers(q, data, sigma, &universe_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->inconsistent);
+}
+
+TEST_F(CertainAnswersTest, BudgetMarksIncomplete) {
+  // Non-terminating chase: the sound subset comes back with
+  // complete=false.
+  ConstraintSet sigma;
+  sigma.tgds.emplace_back(
+      std::vector<Atom>{Atom(r_, {x_, y_})},
+      std::vector<Atom>{Atom(r_, {y_, universe_.Variable("z")})});
+  Instance data;
+  data.AddFact(r_, {a_, b_});
+  ConjunctiveQuery q({Atom(r_, {x_, y_})}, {x_});
+  ChaseOptions options;
+  options.max_rounds = 3;
+  StatusOr<CertainAnswersResult> result =
+      CertainAnswers(q, data, sigma, &universe_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->complete);
+  EXPECT_GE(result->answers.size(), 2u);  // a and b are already certain
+}
+
+// ---- Semi-width decomposition. ----
+
+TEST(SemiWidthTest, AcyclicRulesGoToSigma2) {
+  Universe u;
+  RelationId r = *u.AddRelation("SR", 2);
+  RelationId s = *u.AddRelation("SS", 2);
+  Term x = u.Variable("swx"), y = u.Variable("swy");
+  std::vector<Tgd> tgds;
+  // Width-2 but acyclic: R -> S.
+  tgds.emplace_back(std::vector<Atom>{Atom(r, {x, y})},
+                    std::vector<Atom>{Atom(s, {x, y})});
+  SemiWidthDecomposition d = ComputeSemiWidth(tgds);
+  EXPECT_EQ(d.acyclic.size(), 1u);
+  EXPECT_EQ(d.semi_width, 0u);
+}
+
+TEST(SemiWidthTest, CyclicWideRulesStayBounded) {
+  Universe u;
+  RelationId r = *u.AddRelation("SR2", 2);
+  RelationId s = *u.AddRelation("SS2", 2);
+  Term x = u.Variable("swa"), y = u.Variable("swb");
+  std::vector<Tgd> tgds;
+  tgds.emplace_back(std::vector<Atom>{Atom(r, {x, y})},
+                    std::vector<Atom>{Atom(s, {x, y})});
+  tgds.emplace_back(std::vector<Atom>{Atom(s, {x, y})},
+                    std::vector<Atom>{Atom(r, {x, y})});
+  SemiWidthDecomposition d = ComputeSemiWidth(tgds);
+  // One direction can be acyclic; the other must stay in the bounded part
+  // with width 2.
+  EXPECT_EQ(d.acyclic.size(), 1u);
+  EXPECT_EQ(d.bounded.size(), 1u);
+  EXPECT_EQ(d.semi_width, 2u);
+}
+
+TEST(SemiWidthTest, MixedWidths) {
+  Universe u;
+  RelationId r = *u.AddRelation("SR3", 3);
+  Term x = u.Variable("swc"), y = u.Variable("swd"), z = u.Variable("swe");
+  std::vector<Tgd> tgds;
+  // Self-loop of width 1 (cyclic, narrow).
+  tgds.emplace_back(std::vector<Atom>{Atom(r, {x, y, z})},
+                    std::vector<Atom>{
+                        Atom(r, {x, u.Variable("swf"), u.Variable("swg")})});
+  SemiWidthDecomposition d = ComputeSemiWidth(tgds);
+  EXPECT_EQ(d.bounded.size(), 1u);
+  EXPECT_EQ(d.semi_width, 1u);
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,106 @@
+// The decider's "not answerable" verdicts come with checkable witnesses.
+#include "core/certificates.h"
+
+#include "core/answerability.h"
+#include "core/simplification.h"
+#include "gtest/gtest.h"
+#include "paper_fixtures.h"
+
+namespace rbda {
+namespace {
+
+void VerifyCertificate(const ServiceSchema& schema,
+                       const ConjunctiveQuery& q,
+                       const AMonDetCounterexample& ce) {
+  // The three Prop 3.2 conditions, checked from scratch.
+  EXPECT_TRUE(schema.constraints().SatisfiedBy(ce.i1));
+  EXPECT_TRUE(schema.constraints().SatisfiedBy(ce.i2));
+  EXPECT_TRUE(q.HoldsIn(ce.i1));
+  EXPECT_FALSE(q.HoldsIn(ce.i2));
+  EXPECT_TRUE(ce.accessed.IsSubinstanceOf(ce.i1));
+  EXPECT_TRUE(ce.accessed.IsSubinstanceOf(ce.i2));
+  EXPECT_TRUE(IsAccessValid(schema, ce.accessed, ce.i1));
+}
+
+TEST(CertificatesTest, Example13CertificateChecksOut) {
+  // Q1 over the bounded university schema (choice-simplified to bound 1,
+  // verdict-preserving for IDs by Thm 4.2 + 6.3).
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  ServiceSchema choice = ChoiceSimplification(doc.schema);
+  ConjunctiveQuery q1 =
+      ConjunctiveQuery::Boolean(doc.queries.at("Q1").atoms());
+  StatusOr<AMonDetCounterexample> ce = CertifyNotAnswerable(choice, q1);
+  ASSERT_TRUE(ce.ok()) << ce.status().ToString();
+  VerifyCertificate(choice, q1, *ce);
+  // The same witness also refutes the original bound-100 schema: a valid
+  // bound-1 output is a valid bound-100 lower-bound output here because
+  // the accessed part stays access-valid when bounds grow only if the
+  // matching sets stay small — check directly instead.
+  EXPECT_TRUE(q1.HoldsIn(ce->i1));
+}
+
+TEST(CertificatesTest, FdPhoneQueryCertificate) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityFd, &u);
+  FrozenQuery frozen = FreezeQuery(doc.queries.at("Qphone"), &u);
+  StatusOr<AMonDetCounterexample> ce =
+      CertifyNotAnswerable(doc.schema, frozen.boolean_q);
+  ASSERT_TRUE(ce.ok()) << ce.status().ToString();
+  VerifyCertificate(doc.schema, frozen.boolean_q, *ce);
+}
+
+TEST(CertificatesTest, AnswerableQueriesHaveNoCertificate) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  ServiceSchema choice = ChoiceSimplification(doc.schema);
+  EXPECT_FALSE(CertifyNotAnswerable(choice, doc.queries.at("Q2")).ok());
+}
+
+TEST(CertificatesTest, RefusesLargeBounds) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  ConjunctiveQuery q1 =
+      ConjunctiveQuery::Boolean(doc.queries.at("Q1").atoms());
+  EXPECT_FALSE(CertifyNotAnswerable(doc.schema, q1).ok());
+}
+
+TEST(CertificatesTest, ExtractRejectsGoalReachingChase) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  ServiceSchema choice = ChoiceSimplification(doc.schema);
+  StatusOr<AmonDetReduction> red =
+      BuildAmonDetReduction(choice, doc.queries.at("Q2"));
+  ASSERT_TRUE(red.ok());
+  bool goal = false;
+  ChaseResult chase =
+      RunChaseUntil(red->start, red->gamma, red->q_prime.atoms(),
+                    &u, &goal, {});
+  ASSERT_TRUE(goal);
+  EXPECT_FALSE(ExtractCertificate(*red, chase).ok());
+}
+
+TEST(CertificatesTest, NaiveModeCertificate) {
+  // Certificates also decode from the naive §3 reduction, where the
+  // accessed part is explicit (R_Accessed relations).
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  ConjunctiveQuery q1 =
+      ConjunctiveQuery::Boolean(doc.queries.at("Q1").atoms());
+  ReductionOptions opts;
+  opts.mode = ReductionMode::kNaive;
+  StatusOr<AmonDetReduction> red =
+      BuildAmonDetReduction(ElimUB(doc.schema), q1, opts);
+  ASSERT_TRUE(red.ok());
+  bool goal = false;
+  ChaseResult chase =
+      RunChaseUntil(red->start, red->gamma, red->q_prime.atoms(), &u, &goal,
+                    {}, red->cardinality_rules);
+  ASSERT_FALSE(goal);
+  StatusOr<AMonDetCounterexample> ce = ExtractCertificate(*red, chase);
+  ASSERT_TRUE(ce.ok()) << ce.status().ToString();
+  VerifyCertificate(ElimUB(doc.schema), q1, *ce);
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,183 @@
+// Parameterized property sweeps for the chase engine: soundness (results
+// satisfy the constraints), universality (results embed into every model
+// extending the start instance), and UCQ containment behaviour.
+#include "chase/chase.h"
+#include "chase/containment.h"
+#include "gtest/gtest.h"
+#include "runtime/generators.h"
+#include "runtime/schema_generators.h"
+
+namespace rbda {
+namespace {
+
+class ChaseSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaseSoundness, CompletedChasesSatisfyConstraints) {
+  Rng rng(GetParam() * 7 + 5);
+  Universe u;
+  SchemaFamilyOptions options;
+  options.num_relations = 3;
+  options.max_arity = 3;
+  options.num_constraints = 3;
+  options.num_methods = 0;
+  options.prefix = "CS" + std::to_string(GetParam());
+  ServiceSchema schema = GenerateIdSchema(&u, options, &rng);
+  Instance start = RandomInstance(&u, schema.relations(), 4, 8, &rng);
+
+  ChaseOptions chase_options;
+  chase_options.max_rounds = 200;
+  chase_options.max_facts = 20000;
+  ChaseResult result =
+      RunChase(start, schema.constraints(), &u, chase_options);
+  if (result.status != ChaseStatus::kCompleted) return;
+  EXPECT_TRUE(schema.constraints().SatisfiedBy(result.instance))
+      << schema.ToString();
+  EXPECT_TRUE(start.IsSubinstanceOf(result.instance));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseSoundness,
+                         ::testing::Range<uint64_t>(1, 31));
+
+class ChaseUniversality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaseUniversality, ChaseEmbedsIntoEveryExtension) {
+  Rng rng(GetParam() * 11 + 3);
+  Universe u;
+  SchemaFamilyOptions options;
+  options.num_relations = 2;
+  options.max_arity = 2;
+  options.num_constraints = 2;
+  options.num_methods = 0;
+  options.prefix = "CU" + std::to_string(GetParam());
+  ServiceSchema schema = GenerateIdSchema(&u, options, &rng);
+  Instance start = RandomInstance(&u, schema.relations(), 3, 5, &rng);
+
+  ChaseOptions chase_options;
+  chase_options.max_rounds = 100;
+  chase_options.max_facts = 5000;
+  ChaseResult chased =
+      RunChase(start, schema.constraints(), &u, chase_options);
+  if (chased.status != ChaseStatus::kCompleted) return;
+
+  // Any model built from the start plus extra noise must receive a
+  // homomorphism from the chase result.
+  for (int trial = 0; trial < 3; ++trial) {
+    Instance seed = start;
+    seed.UnionWith(RandomInstance(&u, schema.relations(), 3, 4, &rng));
+    StatusOr<Instance> model =
+        CompleteToModel(seed, schema.constraints(), &u, chase_options);
+    if (!model.ok()) continue;
+    EXPECT_TRUE(InstanceHomomorphismExists(chased.instance, *model))
+        << "trial " << trial << "\nschema:\n"
+        << schema.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseUniversality,
+                         ::testing::Range<uint64_t>(1, 21));
+
+class FdChaseSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FdChaseSweep, EgdRepairsAlwaysSatisfyFds) {
+  Rng rng(GetParam() * 13 + 1);
+  Universe u;
+  SchemaFamilyOptions options;
+  options.num_relations = 2;
+  options.min_arity = 2;
+  options.max_arity = 3;
+  options.num_constraints = 4;
+  options.num_methods = 0;
+  options.prefix = "FS" + std::to_string(GetParam());
+  ServiceSchema schema = GenerateFdSchema(&u, options, &rng);
+
+  // Mix constants and nulls so merges actually happen.
+  Instance start = RandomInstance(&u, schema.relations(), 3, 6, &rng);
+  Instance with_nulls;
+  start.ForEachFact([&](const Fact& f) {
+    Fact g = f;
+    for (Term& t : g.args) {
+      if (rng.Chance(1, 3)) t = u.FreshNull();
+    }
+    with_nulls.AddFact(g);
+    with_nulls.AddFact(f);
+  });
+
+  ChaseResult result = RunChase(with_nulls, schema.constraints(), &u);
+  if (result.status == ChaseStatus::kFdConflict) return;  // legal outcome
+  ASSERT_EQ(result.status, ChaseStatus::kCompleted);
+  for (const Fd& fd : schema.constraints().fds) {
+    EXPECT_TRUE(fd.SatisfiedBy(result.instance)) << fd.ToString(u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdChaseSweep,
+                         ::testing::Range<uint64_t>(1, 31));
+
+// ---- UCQ containment. ----
+
+class UcqContainmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *universe_.AddRelation("R", 2);
+    s_ = *universe_.AddRelation("S", 2);
+    t_ = *universe_.AddRelation("T", 1);
+    x_ = universe_.Variable("x");
+    y_ = universe_.Variable("y");
+  }
+  Universe universe_;
+  RelationId r_, s_, t_;
+  Term x_, y_;
+};
+
+TEST_F(UcqContainmentTest, DisjunctsCoveredSeparately) {
+  // Σ: R(x,y) -> T(x); S(x,y) -> T(x). Then (R ∪ S) ⊆_Σ T.
+  ConstraintSet sigma;
+  sigma.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                          std::vector<Atom>{Atom(t_, {x_})});
+  sigma.tgds.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                          std::vector<Atom>{Atom(t_, {x_})});
+  UnionQuery q({ConjunctiveQuery::Boolean({Atom(r_, {x_, y_})}),
+                ConjunctiveQuery::Boolean({Atom(s_, {x_, y_})})});
+  UnionQuery t_query({ConjunctiveQuery::Boolean({Atom(t_, {x_})})});
+  EXPECT_EQ(CheckUcqContainment(q, t_query, sigma, &universe_).verdict,
+            ContainmentVerdict::kContained);
+  // The converse fails: T alone entails neither R nor S.
+  EXPECT_EQ(CheckUcqContainment(t_query, q, sigma, &universe_).verdict,
+            ContainmentVerdict::kNotContained);
+}
+
+TEST_F(UcqContainmentTest, RightSideDisjunction) {
+  // No constraints: R ⊆ (R ∪ S) but R ⊄ S.
+  ConstraintSet sigma;
+  UnionQuery r_query({ConjunctiveQuery::Boolean({Atom(r_, {x_, y_})})});
+  UnionQuery either({ConjunctiveQuery::Boolean({Atom(r_, {x_, y_})}),
+                     ConjunctiveQuery::Boolean({Atom(s_, {x_, y_})})});
+  UnionQuery s_query({ConjunctiveQuery::Boolean({Atom(s_, {x_, y_})})});
+  EXPECT_EQ(CheckUcqContainment(r_query, either, sigma, &universe_).verdict,
+            ContainmentVerdict::kContained);
+  EXPECT_EQ(CheckUcqContainment(r_query, s_query, sigma, &universe_).verdict,
+            ContainmentVerdict::kNotContained);
+}
+
+TEST_F(UcqContainmentTest, EmptyLeftIsContained) {
+  ConstraintSet sigma;
+  UnionQuery empty;
+  UnionQuery s_query({ConjunctiveQuery::Boolean({Atom(s_, {x_, y_})})});
+  EXPECT_EQ(CheckUcqContainment(empty, s_query, sigma, &universe_).verdict,
+            ContainmentVerdict::kContained);
+}
+
+TEST_F(UcqContainmentTest, AgreesWithCqContainment) {
+  ConstraintSet sigma;
+  sigma.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                          std::vector<Atom>{Atom(s_, {y_, x_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {x_, y_})});
+  ConjunctiveQuery qp = ConjunctiveQuery::Boolean({Atom(s_, {y_, x_})});
+  ContainmentOutcome single = CheckContainment(q, qp, sigma, &universe_);
+  ContainmentOutcome as_ucq = CheckUcqContainment(
+      UnionQuery({q}), UnionQuery({qp}), sigma, &universe_);
+  EXPECT_EQ(single.verdict, as_ucq.verdict);
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,315 @@
+#include "chase/chase.h"
+#include "chase/containment.h"
+#include "chase/weak_acyclicity.h"
+#include "gtest/gtest.h"
+
+namespace rbda {
+namespace {
+
+class ChaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *universe_.AddRelation("R", 2);
+    s_ = *universe_.AddRelation("S", 2);
+    t_ = *universe_.AddRelation("T", 1);
+    x_ = universe_.Variable("x");
+    y_ = universe_.Variable("y");
+    z_ = universe_.Variable("z");
+    a_ = universe_.Constant("a");
+    b_ = universe_.Constant("b");
+    c_ = universe_.Constant("c");
+  }
+  Universe universe_;
+  RelationId r_, s_, t_;
+  Term x_, y_, z_, a_, b_, c_;
+};
+
+TEST_F(ChaseTest, FiresTgdWithFreshNull) {
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(t_, {x_})},
+                       std::vector<Atom>{Atom(r_, {x_, y_})});
+  Instance start;
+  start.AddFact(t_, {a_});
+  ChaseResult result = RunChase(start, cs, &universe_);
+  EXPECT_EQ(result.status, ChaseStatus::kCompleted);
+  EXPECT_EQ(result.instance.NumFacts(), 2u);
+  // The created fact has a null in the second position.
+  const std::vector<Fact>& rf = result.instance.FactsOf(r_);
+  ASSERT_EQ(rf.size(), 1u);
+  EXPECT_EQ(rf[0].args[0], a_);
+  EXPECT_TRUE(rf[0].args[1].IsNull());
+}
+
+TEST_F(ChaseTest, RestrictedChaseSkipsSatisfiedTriggers) {
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(t_, {x_})},
+                       std::vector<Atom>{Atom(r_, {x_, y_})});
+  Instance start;
+  start.AddFact(t_, {a_});
+  start.AddFact(r_, {a_, b_});  // witness already present
+  ChaseResult result = RunChase(start, cs, &universe_);
+  EXPECT_EQ(result.status, ChaseStatus::kCompleted);
+  EXPECT_EQ(result.instance.NumFacts(), 2u);
+  EXPECT_EQ(result.tgd_steps, 0u);
+}
+
+TEST_F(ChaseTest, ResultSatisfiesConstraints) {
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                       std::vector<Atom>{Atom(s_, {y_, z_})});
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                       std::vector<Atom>{Atom(t_, {x_})});
+  Instance start;
+  start.AddFact(r_, {a_, b_});
+  ChaseResult result = RunChase(start, cs, &universe_);
+  EXPECT_EQ(result.status, ChaseStatus::kCompleted);
+  EXPECT_TRUE(cs.SatisfiedBy(result.instance));
+}
+
+TEST_F(ChaseTest, UniversalityOfChaseResult) {
+  // The chase result embeds homomorphically into any model containing the
+  // start instance.
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(t_, {x_})},
+                       std::vector<Atom>{Atom(r_, {x_, y_})});
+  Instance start;
+  start.AddFact(t_, {a_});
+  ChaseResult result = RunChase(start, cs, &universe_);
+
+  Instance model;  // a different model of the constraints
+  model.AddFact(t_, {a_});
+  model.AddFact(r_, {a_, c_});
+  EXPECT_TRUE(InstanceHomomorphismExists(result.instance, model));
+}
+
+TEST_F(ChaseTest, EgdMergesNulls) {
+  ConstraintSet cs;
+  cs.fds.emplace_back(r_, std::vector<uint32_t>{0}, 1);
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(t_, {x_})},
+                       std::vector<Atom>{Atom(r_, {x_, y_})});
+  Instance start;
+  start.AddFact(t_, {a_});
+  start.AddFact(r_, {a_, b_});
+  ChaseResult result = RunChase(start, cs, &universe_);
+  EXPECT_EQ(result.status, ChaseStatus::kCompleted);
+  // The TGD never fires (witness exists), so no merge was even needed; the
+  // FD holds.
+  EXPECT_TRUE(cs.SatisfiedBy(result.instance));
+  EXPECT_EQ(result.instance.FactsOf(r_).size(), 1u);
+}
+
+TEST_F(ChaseTest, EgdMergePrefersConstants) {
+  ConstraintSet cs;
+  cs.fds.emplace_back(r_, std::vector<uint32_t>{0}, 1);
+  Instance start;
+  Term n = universe_.FreshNull();
+  start.AddFact(r_, {a_, b_});
+  start.AddFact(r_, {a_, n});
+  ChaseResult result = RunChase(start, cs, &universe_);
+  EXPECT_EQ(result.status, ChaseStatus::kCompleted);
+  EXPECT_EQ(result.egd_merges, 1u);
+  EXPECT_TRUE(result.instance.Contains(Fact(r_, {a_, b_})));
+  EXPECT_EQ(result.instance.NumFacts(), 1u);
+}
+
+TEST_F(ChaseTest, EgdConstantConflictFails) {
+  ConstraintSet cs;
+  cs.fds.emplace_back(r_, std::vector<uint32_t>{0}, 1);
+  Instance start;
+  start.AddFact(r_, {a_, b_});
+  start.AddFact(r_, {a_, c_});
+  ChaseResult result = RunChase(start, cs, &universe_);
+  EXPECT_EQ(result.status, ChaseStatus::kFdConflict);
+}
+
+TEST_F(ChaseTest, BudgetExceededOnInfiniteChase) {
+  // R(x,y) -> S(y,z); S(x,y) -> R(y,z): generates an infinite chain.
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                       std::vector<Atom>{Atom(s_, {y_, z_})});
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                       std::vector<Atom>{Atom(r_, {y_, z_})});
+  Instance start;
+  start.AddFact(r_, {a_, b_});
+  ChaseOptions options;
+  options.max_rounds = 10;
+  ChaseResult result = RunChase(start, cs, &universe_, options);
+  EXPECT_EQ(result.status, ChaseStatus::kBudgetExceeded);
+}
+
+TEST_F(ChaseTest, TraceRecordsFirings) {
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(t_, {x_})},
+                       std::vector<Atom>{Atom(r_, {x_, y_})});
+  Instance start;
+  start.AddFact(t_, {a_});
+  ChaseOptions options;
+  options.record_trace = true;
+  ChaseResult result = RunChase(start, cs, &universe_, options);
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].tgd_index, 0u);
+  EXPECT_EQ(result.trace[0].added.size(), 1u);
+}
+
+TEST_F(ChaseTest, CardinalityRuleCreatesWitnesses) {
+  RelationId acc = *universe_.AddRelation("acc", 1);
+  RelationId racc = *universe_.AddRelation("Racc", 2);
+  CardinalityRule rule;
+  rule.source_rel = r_;
+  rule.input_positions = {0};
+  rule.target_rel = racc;
+  rule.bound = 2;
+  rule.accessible_rel = acc;
+
+  Instance start;
+  start.AddFact(acc, {a_});
+  start.AddFact(r_, {a_, b_});
+  start.AddFact(r_, {a_, c_});
+  start.AddFact(r_, {a_, universe_.Constant("d")});  // 3 matches, bound 2
+  start.AddFact(r_, {b_, c_});                       // binding b not accessible
+
+  ConstraintSet cs;
+  ChaseResult result = RunChase(start, cs, &universe_, {}, {rule});
+  EXPECT_EQ(result.status, ChaseStatus::kCompleted);
+  // Exactly min(2, 3) = 2 accessed witnesses for binding a; none for b.
+  size_t count_a = 0, count_b = 0;
+  for (const Fact& f : result.instance.FactsOf(racc)) {
+    if (f.args[0] == a_) ++count_a;
+    if (f.args[0] == b_) ++count_b;
+  }
+  EXPECT_EQ(count_a, 2u);
+  EXPECT_EQ(count_b, 0u);
+}
+
+TEST_F(ChaseTest, CardinalityRuleRespectsExistingWitnesses) {
+  RelationId acc = *universe_.AddRelation("acc", 1);
+  RelationId racc = *universe_.AddRelation("Racc", 2);
+  CardinalityRule rule{r_, {0}, racc, 2, acc};
+
+  Instance start;
+  start.AddFact(acc, {a_});
+  start.AddFact(r_, {a_, b_});
+  start.AddFact(r_, {a_, c_});
+  start.AddFact(racc, {a_, b_});  // one witness already there
+  ConstraintSet cs;
+  ChaseResult result = RunChase(start, cs, &universe_, {}, {rule});
+  EXPECT_EQ(result.instance.FactsOf(racc).size(), 2u);
+}
+
+// ---- Containment. ----
+
+TEST_F(ChaseTest, ContainmentUnderIds) {
+  // Σ: R(x,y) -> S(y,x).  Q: R(a,b)  ⊆_Σ  Q': S(b,a)? Yes.
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                       std::vector<Atom>{Atom(s_, {y_, x_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a_, b_})});
+  ConjunctiveQuery good = ConjunctiveQuery::Boolean({Atom(s_, {b_, a_})});
+  ConjunctiveQuery bad = ConjunctiveQuery::Boolean({Atom(s_, {a_, b_})});
+  EXPECT_EQ(CheckContainment(q, good, cs, &universe_).verdict,
+            ContainmentVerdict::kContained);
+  EXPECT_EQ(CheckContainment(q, bad, cs, &universe_).verdict,
+            ContainmentVerdict::kNotContained);
+}
+
+TEST_F(ChaseTest, ContainmentVacuousOnFdConflict) {
+  ConstraintSet cs;
+  cs.fds.emplace_back(r_, std::vector<uint32_t>{0}, 1);
+  // Q forces two distinct constants at a determined position.
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean(
+      {Atom(r_, {a_, b_}), Atom(r_, {a_, c_})});
+  ConjunctiveQuery qp = ConjunctiveQuery::Boolean({Atom(t_, {x_})});
+  EXPECT_EQ(CheckContainment(q, qp, cs, &universe_).verdict,
+            ContainmentVerdict::kContained);
+}
+
+TEST_F(ChaseTest, ContainmentUnknownOnBudget) {
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                       std::vector<Atom>{Atom(s_, {y_, z_})});
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                       std::vector<Atom>{Atom(r_, {y_, z_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a_, b_})});
+  ConjunctiveQuery qp = ConjunctiveQuery::Boolean({Atom(t_, {x_})});
+  ChaseOptions options;
+  options.max_rounds = 5;
+  EXPECT_EQ(CheckContainment(q, qp, cs, &universe_, options).verdict,
+            ContainmentVerdict::kUnknown);
+}
+
+TEST_F(ChaseTest, LinearContainmentMatchesGeneric) {
+  // Chain of UIDs: R[1] ⊆ S[0], S[1] ⊆ T[0].
+  std::vector<Tgd> ids;
+  ids.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                   std::vector<Atom>{Atom(s_, {y_, z_})});
+  ids.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                   std::vector<Atom>{Atom(t_, {y_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a_, b_})});
+  ConjunctiveQuery yes = ConjunctiveQuery::Boolean({Atom(t_, {x_})});
+  ConjunctiveQuery no = ConjunctiveQuery::Boolean({Atom(t_, {a_})});
+
+  uint64_t depth = JohnsonKlugDepthBound(1, ids.size(), 0, 2, 1);
+  EXPECT_EQ(CheckLinearContainment(q, yes, ids, &universe_, depth).verdict,
+            ContainmentVerdict::kContained);
+  EXPECT_EQ(CheckLinearContainment(q, no, ids, &universe_, depth).verdict,
+            ContainmentVerdict::kNotContained);
+}
+
+TEST_F(ChaseTest, LinearContainmentInfiniteChaseDecided) {
+  // Cyclic UIDs: infinite restricted chase, but the JK bound still decides.
+  std::vector<Tgd> ids;
+  ids.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                   std::vector<Atom>{Atom(s_, {y_, z_})});
+  ids.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                   std::vector<Atom>{Atom(r_, {y_, z_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a_, b_})});
+  ConjunctiveQuery no = ConjunctiveQuery::Boolean({Atom(t_, {x_})});
+  uint64_t depth = JohnsonKlugDepthBound(1, ids.size(), 0, 2, 1);
+  ContainmentOutcome outcome =
+      CheckLinearContainment(q, no, ids, &universe_, depth);
+  EXPECT_EQ(outcome.verdict, ContainmentVerdict::kNotContained);
+  EXPECT_EQ(outcome.depth_reached, depth);  // ran to the bound
+}
+
+TEST_F(ChaseTest, JohnsonKlugBoundPositive) {
+  EXPECT_GT(JohnsonKlugDepthBound(0, 0, 0, 0, 0), 0u);
+  EXPECT_GE(JohnsonKlugDepthBound(3, 10, 5, 3, 2),
+            JohnsonKlugDepthBound(1, 10, 5, 3, 2));
+}
+
+// ---- Weak acyclicity. ----
+
+TEST_F(ChaseTest, WeaklyAcyclicDetection) {
+  // T(x) -> R(x,y) alone: acyclic.
+  std::vector<Tgd> wa;
+  wa.emplace_back(std::vector<Atom>{Atom(t_, {x_})},
+                  std::vector<Atom>{Atom(r_, {x_, y_})});
+  EXPECT_TRUE(IsWeaklyAcyclic(wa));
+
+  // Add R(x,y) -> T(y): cycle through a special edge.
+  wa.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                  std::vector<Atom>{Atom(t_, {y_})});
+  EXPECT_FALSE(IsWeaklyAcyclic(wa));
+}
+
+TEST_F(ChaseTest, FullTgdsAreWeaklyAcyclic) {
+  std::vector<Tgd> full;
+  full.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                    std::vector<Atom>{Atom(s_, {y_, x_})});
+  full.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                    std::vector<Atom>{Atom(r_, {y_, x_})});
+  EXPECT_TRUE(IsWeaklyAcyclic(full));
+}
+
+TEST_F(ChaseTest, PositionGraphAcyclicity) {
+  std::vector<Tgd> chain;
+  chain.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                     std::vector<Atom>{Atom(s_, {x_, y_})});
+  EXPECT_TRUE(HasAcyclicPositionGraph(chain));
+  chain.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                     std::vector<Atom>{Atom(r_, {x_, y_})});
+  EXPECT_FALSE(HasAcyclicPositionGraph(chain));
+}
+
+}  // namespace
+}  // namespace rbda

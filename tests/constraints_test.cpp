@@ -1,0 +1,211 @@
+#include "constraints/constraint_set.h"
+#include "constraints/fd_reasoning.h"
+#include "constraints/uid_reasoning.h"
+#include "gtest/gtest.h"
+
+namespace rbda {
+namespace {
+
+class ConstraintsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *universe_.AddRelation("R", 3);
+    s_ = *universe_.AddRelation("S", 2);
+    t_ = *universe_.AddRelation("T", 1);
+    x_ = universe_.Variable("x");
+    y_ = universe_.Variable("y");
+    z_ = universe_.Variable("z");
+    w_ = universe_.Variable("w");
+  }
+  Universe universe_;
+  RelationId r_, s_, t_;
+  Term x_, y_, z_, w_;
+};
+
+TEST_F(ConstraintsTest, TgdClassificationId) {
+  // R(x,y,z) -> S(z,w): single atoms, no repeats: an ID of width 1 (UID).
+  Tgd uid({Atom(r_, {x_, y_, z_})}, {Atom(s_, {z_, w_})});
+  EXPECT_TRUE(uid.IsId());
+  EXPECT_TRUE(uid.IsUid());
+  EXPECT_EQ(uid.Width(), 1u);
+  EXPECT_TRUE(uid.IsGuarded());
+  EXPECT_TRUE(uid.IsFrontierGuarded());
+  EXPECT_TRUE(uid.IsLinear());
+  EXPECT_FALSE(uid.IsFull());
+}
+
+TEST_F(ConstraintsTest, TgdClassificationWiderId) {
+  // S(x,y) -> R(x,y,z): width 2.
+  Tgd id({Atom(s_, {x_, y_})}, {Atom(r_, {x_, y_, z_})});
+  EXPECT_TRUE(id.IsId());
+  EXPECT_FALSE(id.IsUid());
+  EXPECT_EQ(id.Width(), 2u);
+}
+
+TEST_F(ConstraintsTest, RepeatedVariableIsNotId) {
+  Tgd not_id({Atom(s_, {x_, x_})}, {Atom(t_, {x_})});
+  EXPECT_FALSE(not_id.IsId());
+  EXPECT_TRUE(not_id.IsLinear());
+}
+
+TEST_F(ConstraintsTest, GuardedVsFrontierGuarded) {
+  // T(y) & S(x,w) -> T(x): no body atom has all body vars {x,y,w}: not
+  // guarded; frontier {x} is covered by S(x,w): frontier-guarded.
+  Tgd tgd({Atom(t_, {y_}), Atom(s_, {x_, w_})}, {Atom(t_, {x_})});
+  EXPECT_FALSE(tgd.IsGuarded());
+  EXPECT_TRUE(tgd.IsFrontierGuarded());
+  EXPECT_TRUE(tgd.IsFull());
+}
+
+TEST_F(ConstraintsTest, ExportedAndExistentialVariables) {
+  Tgd tgd({Atom(s_, {x_, y_})}, {Atom(r_, {x_, z_, w_})});
+  EXPECT_EQ(tgd.ExportedVariables(), std::vector<Term>{x_});
+  EXPECT_EQ(tgd.ExistentialVariables().size(), 2u);
+}
+
+TEST_F(ConstraintsTest, HasActiveTrigger) {
+  Tgd tgd({Atom(t_, {x_})}, {Atom(s_, {x_, y_})});
+  Instance data;
+  Term a = universe_.Constant("a");
+  data.AddFact(t_, {a});
+  EXPECT_TRUE(HasActiveTrigger(tgd, data));
+  data.AddFact(s_, {a, universe_.Constant("b")});
+  EXPECT_FALSE(HasActiveTrigger(tgd, data));
+}
+
+TEST_F(ConstraintsTest, ConstraintSetSatisfaction) {
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(t_, {x_})},
+                       std::vector<Atom>{Atom(s_, {x_, y_})});
+  cs.fds.emplace_back(s_, std::vector<uint32_t>{0}, 1);
+  Instance data;
+  Term a = universe_.Constant("a"), b = universe_.Constant("b"),
+       c = universe_.Constant("c");
+  data.AddFact(t_, {a});
+  data.AddFact(s_, {a, b});
+  EXPECT_TRUE(cs.SatisfiedBy(data));
+  data.AddFact(s_, {a, c});  // FD violation
+  EXPECT_FALSE(cs.SatisfiedBy(data));
+}
+
+TEST_F(ConstraintsTest, FragmentClassification) {
+  ConstraintSet empty;
+  EXPECT_EQ(empty.Classify(), Fragment::kEmpty);
+
+  ConstraintSet fds;
+  fds.fds.emplace_back(s_, std::vector<uint32_t>{0}, 1);
+  EXPECT_EQ(fds.Classify(), Fragment::kFdsOnly);
+
+  ConstraintSet ids;
+  ids.tgds.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                        std::vector<Atom>{Atom(r_, {x_, y_, z_})});
+  EXPECT_EQ(ids.Classify(), Fragment::kIdsOnly);
+
+  ConstraintSet uids_fds = fds;
+  uids_fds.tgds.emplace_back(std::vector<Atom>{Atom(t_, {x_})},
+                             std::vector<Atom>{Atom(s_, {x_, y_})});
+  EXPECT_EQ(uids_fds.Classify(), Fragment::kUidsAndFds);
+
+  ConstraintSet wide_ids_fds = fds;
+  wide_ids_fds.tgds.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                                 std::vector<Atom>{Atom(r_, {x_, y_, z_})});
+  EXPECT_EQ(wide_ids_fds.Classify(), Fragment::kIdsAndFds);
+
+  ConstraintSet fg;
+  fg.tgds.emplace_back(std::vector<Atom>{Atom(t_, {y_}), Atom(s_, {x_, w_})},
+                       std::vector<Atom>{Atom(t_, {x_})});
+  EXPECT_EQ(fg.Classify(), Fragment::kFrontierGuardedTgds);
+}
+
+TEST_F(ConstraintsTest, FdAttributeClosure) {
+  std::vector<Fd> fds;
+  fds.emplace_back(r_, std::vector<uint32_t>{0}, 1);
+  fds.emplace_back(r_, std::vector<uint32_t>{1}, 2);
+  std::vector<uint32_t> closure = AttributeClosure(fds, r_, {0});
+  EXPECT_EQ(closure, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_TRUE(ImpliesFd(fds, Fd(r_, {0}, 2)));
+  EXPECT_FALSE(ImpliesFd(fds, Fd(r_, {2}, 0)));
+}
+
+TEST_F(ConstraintsTest, FdClosureRespectsRelation) {
+  std::vector<Fd> fds;
+  fds.emplace_back(r_, std::vector<uint32_t>{0}, 1);
+  // Different relation: closure of {0} on S is just {0}.
+  EXPECT_EQ(AttributeClosure(fds, s_, {0}), (std::vector<uint32_t>{0}));
+}
+
+TEST_F(ConstraintsTest, ImpliedUnaryFds) {
+  std::vector<Fd> fds;
+  fds.emplace_back(r_, std::vector<uint32_t>{0}, 1);
+  fds.emplace_back(r_, std::vector<uint32_t>{1}, 2);
+  std::vector<Fd> unary = ImpliedUnaryFds(fds, r_, 3);
+  // 0->1, 0->2 (transitively), 1->2.
+  EXPECT_EQ(unary.size(), 3u);
+}
+
+TEST_F(ConstraintsTest, UidExtractionRoundTrip) {
+  Tgd tgd({Atom(r_, {x_, y_, z_})}, {Atom(s_, {w_, y_})});
+  std::optional<Uid> uid = UidFromTgd(tgd);
+  ASSERT_TRUE(uid.has_value());
+  EXPECT_EQ(uid->from_rel, r_);
+  EXPECT_EQ(uid->from_pos, 1u);
+  EXPECT_EQ(uid->to_rel, s_);
+  EXPECT_EQ(uid->to_pos, 1u);
+
+  Tgd back = UidToTgd(*uid, &universe_);
+  std::optional<Uid> uid2 = UidFromTgd(back);
+  ASSERT_TRUE(uid2.has_value());
+  EXPECT_EQ(*uid2, *uid);
+}
+
+TEST_F(ConstraintsTest, UidClosureTransitivity) {
+  std::vector<Uid> uids{{r_, 0, s_, 0}, {s_, 0, t_, 0}};
+  std::vector<Uid> closed = UidClosure(uids);
+  EXPECT_EQ(closed.size(), 3u);  // adds R[0] ⊆ T[0]
+  EXPECT_TRUE(std::find(closed.begin(), closed.end(),
+                        Uid{r_, 0, t_, 0}) != closed.end());
+}
+
+TEST_F(ConstraintsTest, FiniteClosureReversesUidCycle) {
+  // Cycle in the cardinality graph: UIDs give |R[0]| ≤ |S[0]| ≤ |R[1]| and
+  // the unary FD 0 -> 1 gives |R[1]| ≤ |R[0]|. In finite instances all of
+  // these are equalities, so every dependency on the cycle reverses (CKV).
+  std::vector<Uid> uids{{r_, 0, s_, 0}, {s_, 0, r_, 1}};
+  std::vector<Fd> fds{Fd(r_, {0}, 1)};
+  UidFdClosure closure = FiniteClosure(uids, fds, universe_);
+  // The reverse UIDs S[0] ⊆ R[0] and R[1] ⊆ S[0] must appear.
+  EXPECT_TRUE(std::find(closure.uids.begin(), closure.uids.end(),
+                        Uid{s_, 0, r_, 0}) != closure.uids.end());
+  EXPECT_TRUE(std::find(closure.uids.begin(), closure.uids.end(),
+                        Uid{r_, 1, s_, 0}) != closure.uids.end());
+  // And the reverse FD R: 1 -> 0.
+  EXPECT_TRUE(std::find(closure.fds.begin(), closure.fds.end(),
+                        Fd(r_, {1}, 0)) != closure.fds.end());
+}
+
+TEST_F(ConstraintsTest, FiniteClosureNoCycleNoReversal) {
+  std::vector<Uid> uids{{r_, 0, s_, 0}};
+  std::vector<Fd> fds;
+  UidFdClosure closure = FiniteClosure(uids, fds, universe_);
+  EXPECT_EQ(closure.uids.size(), 1u);
+  EXPECT_TRUE(closure.fds.empty());
+}
+
+TEST_F(ConstraintsTest, FdSatisfiedBy) {
+  Fd fd(s_, {0}, 1);
+  Instance data;
+  Term a = universe_.Constant("a"), b = universe_.Constant("b"),
+       c = universe_.Constant("c");
+  data.AddFact(s_, {a, b});
+  EXPECT_TRUE(fd.SatisfiedBy(data));
+  data.AddFact(s_, {a, c});
+  EXPECT_FALSE(fd.SatisfiedBy(data));
+}
+
+TEST_F(ConstraintsTest, FdTrivial) {
+  EXPECT_TRUE(Fd(s_, {0, 1}, 1).IsTrivial());
+  EXPECT_FALSE(Fd(s_, {0}, 1).IsTrivial());
+}
+
+}  // namespace
+}  // namespace rbda

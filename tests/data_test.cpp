@@ -1,0 +1,144 @@
+#include "data/instance.h"
+#include "data/term.h"
+#include "data/universe.h"
+#include "gtest/gtest.h"
+
+namespace rbda {
+namespace {
+
+TEST(TermTest, KindsAndIds) {
+  Term c = Term::Constant(5);
+  Term v = Term::Variable(5);
+  Term n = Term::Null(5);
+  EXPECT_TRUE(c.IsConstant());
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_TRUE(n.IsNull());
+  EXPECT_NE(c, v);
+  EXPECT_NE(v, n);
+  EXPECT_EQ(c.id(), 5u);
+}
+
+TEST(UniverseTest, RelationArityEnforced) {
+  Universe u;
+  ASSERT_TRUE(u.AddRelation("R", 2).ok());
+  EXPECT_TRUE(u.AddRelation("R", 2).ok());   // same arity: fine
+  EXPECT_FALSE(u.AddRelation("R", 3).ok());  // mismatch
+  RelationId id;
+  ASSERT_TRUE(u.LookupRelation("R", &id));
+  EXPECT_EQ(u.Arity(id), 2u);
+  EXPECT_EQ(u.RelationName(id), "R");
+}
+
+TEST(UniverseTest, TermNames) {
+  Universe u;
+  Term c = u.Constant("paris");
+  Term v = u.Variable("x");
+  Term n = u.FreshNull();
+  EXPECT_EQ(u.TermName(c), "paris");
+  EXPECT_EQ(u.TermName(v), "x");
+  EXPECT_EQ(u.TermName(n), "_n0");
+  EXPECT_EQ(u.Constant("paris"), c);  // interned
+}
+
+TEST(UniverseTest, FreshVariablesAreFresh) {
+  Universe u;
+  Term a = u.FreshVariable();
+  Term b = u.FreshVariable();
+  EXPECT_NE(a, b);
+  Term x = u.Variable("_v17");  // collide on purpose with the pattern
+  for (int i = 0; i < 40; ++i) EXPECT_NE(u.FreshVariable(), x);
+}
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *universe_.AddRelation("R", 2);
+    s_ = *universe_.AddRelation("S", 1);
+    a_ = universe_.Constant("a");
+    b_ = universe_.Constant("b");
+    c_ = universe_.Constant("c");
+  }
+  Universe universe_;
+  RelationId r_, s_;
+  Term a_, b_, c_;
+};
+
+TEST_F(InstanceTest, AddFactDeduplicates) {
+  Instance inst;
+  EXPECT_TRUE(inst.AddFact(r_, {a_, b_}));
+  EXPECT_FALSE(inst.AddFact(r_, {a_, b_}));
+  EXPECT_EQ(inst.NumFacts(), 1u);
+  EXPECT_TRUE(inst.Contains(Fact(r_, {a_, b_})));
+  EXPECT_FALSE(inst.Contains(Fact(r_, {b_, a_})));
+}
+
+TEST_F(InstanceTest, IndexFindsFactsByPositionValue) {
+  Instance inst;
+  inst.AddFact(r_, {a_, b_});
+  inst.AddFact(r_, {a_, c_});
+  inst.AddFact(r_, {b_, c_});
+  EXPECT_EQ(inst.FactsWith(r_, 0, a_).size(), 2u);
+  EXPECT_EQ(inst.FactsWith(r_, 1, c_).size(), 2u);
+  EXPECT_EQ(inst.FactsWith(r_, 0, c_).size(), 0u);
+}
+
+TEST_F(InstanceTest, ActiveDomain) {
+  Instance inst;
+  inst.AddFact(r_, {a_, b_});
+  inst.AddFact(s_, {c_});
+  TermSet adom = inst.ActiveDomain();
+  EXPECT_EQ(adom.size(), 3u);
+  EXPECT_TRUE(adom.count(a_));
+  EXPECT_TRUE(adom.count(c_));
+}
+
+TEST_F(InstanceTest, UnionAndSubinstance) {
+  Instance i1, i2;
+  i1.AddFact(r_, {a_, b_});
+  i2.AddFact(r_, {a_, b_});
+  i2.AddFact(s_, {c_});
+  EXPECT_TRUE(i1.IsSubinstanceOf(i2));
+  EXPECT_FALSE(i2.IsSubinstanceOf(i1));
+  i1.UnionWith(i2);
+  EXPECT_TRUE(i2.IsSubinstanceOf(i1));
+  EXPECT_EQ(i1.NumFacts(), 2u);
+}
+
+TEST_F(InstanceTest, ReplaceTermMergesFacts) {
+  Instance inst;
+  inst.AddFact(r_, {a_, b_});
+  inst.AddFact(r_, {a_, c_});
+  inst.ReplaceTerm(c_, b_);
+  EXPECT_EQ(inst.NumFacts(), 1u);
+  EXPECT_TRUE(inst.Contains(Fact(r_, {a_, b_})));
+  // The index must have been rebuilt consistently.
+  EXPECT_EQ(inst.FactsWith(r_, 1, b_).size(), 1u);
+  EXPECT_EQ(inst.FactsWith(r_, 1, c_).size(), 0u);
+}
+
+TEST_F(InstanceTest, RestrictTo) {
+  Instance inst;
+  inst.AddFact(r_, {a_, b_});
+  inst.AddFact(s_, {c_});
+  Instance only_r = inst.RestrictTo({r_});
+  EXPECT_EQ(only_r.NumFacts(), 1u);
+  EXPECT_TRUE(only_r.Contains(Fact(r_, {a_, b_})));
+}
+
+TEST_F(InstanceTest, ToStringSortedDeterministic) {
+  Instance inst;
+  inst.AddFact(s_, {c_});
+  inst.AddFact(r_, {a_, b_});
+  EXPECT_EQ(inst.ToString(universe_), "R(a, b)\nS(c)\n");
+}
+
+TEST_F(InstanceTest, PopulatedRelations) {
+  Instance inst;
+  inst.AddFact(s_, {a_});
+  std::vector<RelationId> pops = inst.PopulatedRelations();
+  ASSERT_EQ(pops.size(), 1u);
+  EXPECT_EQ(pops[0], s_);
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,66 @@
+// Shared fixtures: the paper's running examples, built through the DSL.
+#ifndef RBDA_TESTS_PAPER_FIXTURES_H_
+#define RBDA_TESTS_PAPER_FIXTURES_H_
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace rbda {
+
+// Parses a document, failing the test on parse errors.
+inline ParsedDocument MustParse(const std::string& text, Universe* universe) {
+  StatusOr<ParsedDocument> doc = ParseDocument(text, universe);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(*doc);
+}
+
+// Example 1.1 + 1.2: university directory, no result bounds.
+// Constraint τ: every Prof id occurs in Udirectory.
+inline const char* kUniversityNoBounds = R"(
+relation Prof(id, name, salary)
+relation Udirectory(id, address, phone)
+method pr on Prof inputs(0)
+method ud on Udirectory inputs()
+tgd Prof(i, n, s) -> Udirectory(i, a, p)
+query Q1(n) :- Prof(i, n, "10000")
+query Q2() :- Udirectory(i, a, p)
+)";
+
+// Example 1.3: same, but ud returns at most 100 tuples.
+inline const char* kUniversityBounded = R"(
+relation Prof(id, name, salary)
+relation Udirectory(id, address, phone)
+method pr on Prof inputs(0)
+method ud on Udirectory inputs() limit 100
+tgd Prof(i, n, s) -> Udirectory(i, a, p)
+query Q1(n) :- Prof(i, n, "10000")
+query Q2() :- Udirectory(i, a, p)
+)";
+
+// Example 1.5: FD schema. Each id has one address (position 1); ud2 looks
+// up by id with result bound 1.
+inline const char* kUniversityFd = R"(
+relation Udirectory(id, address, phone)
+method ud2 on Udirectory inputs(0) limit 1
+fd Udirectory: 0 -> 1
+query Q3(a) :- Udirectory("12345", a, p)
+query Qphone(p) :- Udirectory("12345", a, p)
+)";
+
+// Example 6.1: TGDs where only choice simplification works.
+inline const char* kExample61 = R"(
+relation T(x)
+relation S(x)
+method mtS on S inputs() limit 1
+method mtT on T inputs(0)
+tgd T(y) & S(x) -> T(x)
+tgd T(y) -> S(x)
+query Q() :- T(y)
+)";
+
+}  // namespace rbda
+
+#endif  // RBDA_TESTS_PAPER_FIXTURES_H_

@@ -1,0 +1,176 @@
+// Prop 2.2 machinery: monotone plans over bound-free schemas compile to
+// equivalent UCQs over the base relations.
+#include "runtime/plan_compile.h"
+
+#include "core/plan_synthesis.h"
+#include "gtest/gtest.h"
+#include "paper_fixtures.h"
+#include "runtime/executor.h"
+#include "runtime/generators.h"
+#include "runtime/schema_generators.h"
+
+namespace rbda {
+namespace {
+
+Table Evaluate(const UnionQuery& ucq, const Instance& data) {
+  Table out;
+  for (auto& tuple : ucq.Evaluate(data)) out.insert(tuple);
+  return out;
+}
+
+Table Execute(const ServiceSchema& schema, const Plan& plan,
+              const Instance& data) {
+  auto selector = MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK));
+  PlanExecutor exec(schema, data, selector.get());
+  StatusOr<Table> out = exec.Execute(plan);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : Table{};
+}
+
+TEST(PlanCompileTest, SimpleAccessAndProjection) {
+  Universe u;
+  ParsedDocument doc = MustParse(R"(
+relation R(a, b)
+method all on R inputs()
+)",
+                                 &u);
+  Term x = u.Variable("cx"), y = u.Variable("cy");
+  Plan plan;
+  plan.Access("T", "all");
+  plan.Middleware("OUT", {TableCq{{TableAtom{"T", {x, y}}}, {x}}});
+  plan.Return("OUT");
+
+  StatusOr<UnionQuery> ucq = CompilePlanToUcq(plan, doc.schema);
+  ASSERT_TRUE(ucq.ok()) << ucq.status().ToString();
+  ASSERT_EQ(ucq->disjuncts().size(), 1u);
+
+  Instance data;
+  RelationId r;
+  ASSERT_TRUE(u.LookupRelation("R", &r));
+  data.AddFact(r, {u.Constant("1"), u.Constant("2")});
+  data.AddFact(r, {u.Constant("3"), u.Constant("4")});
+  EXPECT_EQ(Evaluate(*ucq, data), Execute(doc.schema, plan, data));
+}
+
+TEST(PlanCompileTest, AccessThroughInputTable) {
+  // The Example 1.2 plan shape (unbounded): ud feeds pr.
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityNoBounds, &u);
+  Term i = u.Variable("ci"), a = u.Variable("ca"), p = u.Variable("cp");
+  Term n = u.Variable("cn");
+  Plan plan;
+  plan.Access("T", "ud");
+  plan.Middleware("IN", {TableCq{{TableAtom{"T", {i, a, p}}}, {i}}});
+  plan.Access("P", "pr", "IN");
+  plan.Middleware("OUT",
+                  {TableCq{{TableAtom{"P", {i, n, u.Constant("10000")}}},
+                           {n}}});
+  plan.Return("OUT");
+
+  StatusOr<UnionQuery> ucq = CompilePlanToUcq(plan, doc.schema);
+  ASSERT_TRUE(ucq.ok()) << ucq.status().ToString();
+
+  RelationId prof, udir;
+  ASSERT_TRUE(u.LookupRelation("Prof", &prof));
+  ASSERT_TRUE(u.LookupRelation("Udirectory", &udir));
+  Instance data;
+  data.AddFact(udir, {u.Constant("i1"), u.Constant("a1"), u.Constant("p1")});
+  data.AddFact(udir, {u.Constant("i2"), u.Constant("a2"), u.Constant("p2")});
+  data.AddFact(prof, {u.Constant("i1"), u.Constant("alice"),
+                      u.Constant("10000")});
+  data.AddFact(prof, {u.Constant("i3"), u.Constant("bob"),
+                      u.Constant("10000")});  // id not in the directory
+  Table compiled = Evaluate(*ucq, data);
+  Table executed = Execute(doc.schema, plan, data);
+  EXPECT_EQ(compiled, executed);
+  // Only alice: bob's id is not discoverable through ud.
+  EXPECT_EQ(executed.size(), 1u);
+}
+
+TEST(PlanCompileTest, ConstantsInMiddleware) {
+  Universe u;
+  ParsedDocument doc = MustParse(R"(
+relation R(a, b)
+method all on R inputs()
+)",
+                                 &u);
+  Term x = u.Variable("kx");
+  Plan plan;
+  plan.Access("T", "all");
+  // Rows whose first column is the constant "k".
+  plan.Middleware("OUT",
+                  {TableCq{{TableAtom{"T", {u.Constant("k"), x}}}, {x}}});
+  plan.Return("OUT");
+  StatusOr<UnionQuery> ucq = CompilePlanToUcq(plan, doc.schema);
+  ASSERT_TRUE(ucq.ok());
+
+  Instance data;
+  RelationId r;
+  ASSERT_TRUE(u.LookupRelation("R", &r));
+  data.AddFact(r, {u.Constant("k"), u.Constant("v")});
+  data.AddFact(r, {u.Constant("other"), u.Constant("w")});
+  EXPECT_EQ(Evaluate(*ucq, data), Execute(doc.schema, plan, data));
+}
+
+TEST(PlanCompileTest, RejectsBoundedSchemas) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  Plan plan;
+  plan.Access("T", "ud");
+  plan.Return("T");
+  EXPECT_FALSE(CompilePlanToUcq(plan, doc.schema).ok());
+}
+
+TEST(PlanCompileTest, RejectsRaPlans) {
+  Universe u;
+  ParsedDocument doc = MustParse(R"(
+relation R(a)
+method all on R inputs()
+)",
+                                 &u);
+  Plan plan;
+  plan.Access("T1", "all");
+  plan.Access("T2", "all");
+  plan.Difference("OUT", "T1", "T2");
+  plan.Return("OUT");
+  EXPECT_FALSE(CompilePlanToUcq(plan, doc.schema).ok());
+}
+
+// Property: on random bound-free schemas, compiled universal plans agree
+// with execution on random instances (Prop 2.2's "PL can be rewritten as a
+// UCQ", checked extensionally).
+class CompileRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompileRoundTrip, CompiledUcqMatchesExecution) {
+  Rng rng(GetParam() * 23 + 9);
+  Universe u;
+  SchemaFamilyOptions options;
+  options.num_relations = 2;
+  options.max_arity = 2;
+  options.num_constraints = 1;
+  options.num_methods = 2;
+  options.bounded_pct = 0;  // Prop 2.2 needs a bound-free schema
+  options.prefix = "CC" + std::to_string(GetParam());
+  ServiceSchema schema = GenerateIdSchema(&u, options, &rng);
+  ConjunctiveQuery q = GenerateQuery(schema, 1, 2, &rng);
+
+  SynthesisOptions syn;
+  syn.access_rounds = 2;
+  StatusOr<Plan> plan = SynthesizeUniversalPlan(schema, q, syn);
+  if (!plan.ok()) return;
+  StatusOr<UnionQuery> ucq = CompilePlanToUcq(*plan, schema);
+  ASSERT_TRUE(ucq.ok()) << ucq.status().ToString();
+
+  for (int trial = 0; trial < 4; ++trial) {
+    Instance data = RandomInstance(&u, schema.relations(), 4, 8, &rng);
+    EXPECT_EQ(Evaluate(*ucq, data), Execute(schema, *plan, data))
+        << "seed " << GetParam() << " trial " << trial << "\nplan:\n"
+        << plan->ToString(u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompileRoundTrip,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,169 @@
+// Appendix A: idempotent vs non-idempotent access-selection semantics and
+// the caching constructions of Prop A.2.
+#include "runtime/plan_transform.h"
+
+#include "gtest/gtest.h"
+#include "paper_fixtures.h"
+#include "runtime/executor.h"
+
+namespace rbda {
+namespace {
+
+// Example A.1's plan: access mt twice and intersect.
+Plan DoubleAccessPlan(Universe* u) {
+  Term x = u->Variable("xa1");
+  Plan plan;
+  plan.Access("T1", "mt");
+  plan.Access("T2", "mt");
+  plan.Middleware("OUT",
+                  {TableCq{{TableAtom{"T1", {x}}, TableAtom{"T2", {x}}}, {x}}});
+  plan.Return("OUT");
+  return plan;
+}
+
+class PlanTransformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<ParsedDocument> doc = ParseDocument(R"(
+relation R(a)
+method mt on R inputs() limit 5
+)",
+                                                 &universe_);
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::make_unique<ParsedDocument>(std::move(*doc));
+    RelationId r;
+    ASSERT_TRUE(universe_.LookupRelation("R", &r));
+    for (int i = 0; i < 20; ++i) {
+      data_.AddFact(r, {universe_.Constant("v" + std::to_string(i))});
+    }
+  }
+
+  Table Run(const Plan& plan, std::unique_ptr<AccessSelector> selector) {
+    PlanExecutor exec(doc_->schema, data_, selector.get());
+    StatusOr<Table> out = exec.Execute(plan);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? *out : Table{};
+  }
+
+  Universe universe_;
+  std::unique_ptr<ParsedDocument> doc_;
+  Instance data_;
+};
+
+TEST_F(PlanTransformTest, RawPlanDivergesUnderNonIdempotentSemantics) {
+  Plan plan = DoubleAccessPlan(&universe_);
+  // Idempotent: the intersection is a full 5-subset.
+  Table idem = Run(plan, MakeIdempotent(MakeSelector(SelectionPolicy::kRandomK, 5)));
+  EXPECT_EQ(idem.size(), 5u);
+  // Non-idempotent: two independent draws rarely coincide.
+  bool smaller = false;
+  for (uint64_t seed = 0; seed < 10 && !smaller; ++seed) {
+    Table fresh = Run(plan, MakeSelector(SelectionPolicy::kRandomK, seed));
+    if (fresh.size() < 5u) smaller = true;
+  }
+  EXPECT_TRUE(smaller);
+}
+
+TEST_F(PlanTransformTest, CachedMonotonePlanIsStable) {
+  StatusOr<Plan> cached =
+      MakeCachedMonotonePlan(DoubleAccessPlan(&universe_), doc_->schema);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  EXPECT_TRUE(cached->IsMonotone());
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Table out = Run(*cached, MakeSelector(SelectionPolicy::kRandomK, seed));
+    // The union-back makes T2 a superset of T1, so the intersection is a
+    // full valid output again.
+    EXPECT_EQ(out.size(), 5u) << "seed " << seed;
+  }
+}
+
+TEST_F(PlanTransformTest, CachedRaPlanNeverRepeatsAccesses) {
+  StatusOr<Plan> cached =
+      MakeCachedRaPlan(DoubleAccessPlan(&universe_), doc_->schema);
+  ASSERT_TRUE(cached.ok());
+  // Only one access command survives for the repeated input-free method.
+  EXPECT_EQ(cached->MethodsUsed().size(), 1u);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Table out = Run(*cached, MakeSelector(SelectionPolicy::kRandomK, seed));
+    EXPECT_EQ(out.size(), 5u) << "seed " << seed;
+  }
+}
+
+TEST_F(PlanTransformTest, TransformsPreserveIdempotentSemantics) {
+  Plan plan = DoubleAccessPlan(&universe_);
+  Table base = Run(plan, MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK)));
+  StatusOr<Plan> mono = MakeCachedMonotonePlan(plan, doc_->schema);
+  StatusOr<Plan> ra = MakeCachedRaPlan(plan, doc_->schema);
+  ASSERT_TRUE(mono.ok());
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ(Run(*mono, MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK))),
+            base);
+  EXPECT_EQ(Run(*ra, MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK))),
+            base);
+}
+
+TEST_F(PlanTransformTest, InputCarryingAccessesAreCached) {
+  // A schema with a keyed, bounded lookup accessed twice with overlapping
+  // binding sets.
+  Universe u;
+  StatusOr<ParsedDocument> doc = ParseDocument(R"(
+relation S(k, v)
+method lookup on S inputs(0) limit 1
+)",
+                                               &u);
+  ASSERT_TRUE(doc.ok());
+  RelationId s;
+  ASSERT_TRUE(u.LookupRelation("S", &s));
+  Instance data;
+  Term k = u.Constant("k");
+  for (int i = 0; i < 6; ++i) {
+    data.AddFact(s, {k, u.Constant("w" + std::to_string(i))});
+  }
+
+  Term x = u.Variable("xpt"), y = u.Variable("ypt");
+  Plan plan;
+  plan.Middleware("IN", {TableCq{{}, {k}}});
+  plan.Access("A1", "lookup", "IN");
+  plan.Access("A2", "lookup", "IN");
+  plan.Middleware("OUT", {TableCq{{TableAtom{"A1", {x, y}},
+                                   TableAtom{"A2", {x, y}}},
+                                  {x, y}}});
+  plan.Return("OUT");
+
+  StatusOr<Plan> ra = MakeCachedRaPlan(plan, doc->schema);
+  ASSERT_TRUE(ra.ok());
+  EXPECT_FALSE(ra->IsMonotone());
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    auto selector = MakeSelector(SelectionPolicy::kRandomK, seed);
+    PlanExecutor exec(doc->schema, data, selector.get());
+    StatusOr<Table> out = exec.Execute(*ra);
+    ASSERT_TRUE(out.ok());
+    // Without caching, two bound-1 draws could differ and intersect empty;
+    // with the RA caching the second access is suppressed, so the
+    // intersection always holds the one cached row.
+    EXPECT_EQ(out->size(), 1u) << "seed " << seed;
+  }
+
+  StatusOr<Plan> mono = MakeCachedMonotonePlan(plan, doc->schema);
+  ASSERT_TRUE(mono.ok());
+  EXPECT_TRUE(mono->IsMonotone());
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    auto selector = MakeSelector(SelectionPolicy::kRandomK, seed);
+    PlanExecutor exec(doc->schema, data, selector.get());
+    StatusOr<Table> out = exec.Execute(*mono);
+    ASSERT_TRUE(out.ok());
+    // The monotone construction unions the first draw back into the
+    // second output, so the intersection is never empty.
+    EXPECT_GE(out->size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST_F(PlanTransformTest, UnknownMethodIsAnError) {
+  Plan plan;
+  plan.Access("T", "ghost");
+  plan.Return("T");
+  EXPECT_FALSE(MakeCachedRaPlan(plan, doc_->schema).ok());
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,182 @@
+#include "core/proof_plans.h"
+
+#include "core/simplification.h"
+#include "gtest/gtest.h"
+#include "paper_fixtures.h"
+#include "runtime/generators.h"
+#include "runtime/oracle.h"
+#include "runtime/schema_generators.h"
+
+namespace rbda {
+namespace {
+
+TEST(ProofSliceTest, SliceCoversGoalDerivation) {
+  // University schema without bounds; Q2 needs only the ud access.
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityNoBounds, &u);
+  StatusOr<AmonDetReduction> red =
+      BuildAmonDetReduction(doc.schema, doc.queries.at("Q2"));
+  ASSERT_TRUE(red.ok());
+  ChaseOptions options;
+  options.record_trace = true;
+  bool goal = false;
+  ChaseResult chase = RunChaseUntil(red->start, red->gamma,
+                                    red->q_prime.atoms(), &u, &goal, options);
+  ASSERT_TRUE(goal);
+  StatusOr<ProofSlice> slice = ExtractProofSlice(*red, chase);
+  ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+  EXPECT_FALSE(slice->steps.empty());
+  ASSERT_EQ(slice->method_rounds.size(), 1u);
+  EXPECT_EQ(slice->method_rounds.begin()->first, "ud");
+}
+
+TEST(ProofSliceTest, FailsWhenGoalNotReached) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  ConjunctiveQuery q1 =
+      ConjunctiveQuery::Boolean(doc.queries.at("Q1").atoms());
+  StatusOr<AmonDetReduction> red =
+      BuildAmonDetReduction(ChoiceSimplification(doc.schema), q1);
+  ASSERT_TRUE(red.ok());
+  ChaseOptions options;
+  options.record_trace = true;
+  ChaseResult chase = RunChase(red->start, red->gamma, &u, options);
+  EXPECT_FALSE(ExtractProofSlice(*red, chase).ok());
+}
+
+TEST(ProofPlanTest, LeanerThanUniversalPlan) {
+  // Q2 only needs ud; the proof-driven plan must not call pr.
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  StatusOr<Plan> proof_plan =
+      ExtractPlanFromProof(doc.schema, doc.queries.at("Q2"));
+  ASSERT_TRUE(proof_plan.ok()) << proof_plan.status().ToString();
+  for (const std::string& m : proof_plan->MethodsUsed()) {
+    EXPECT_EQ(m, "ud");
+  }
+  StatusOr<Plan> universal =
+      SynthesizeUniversalPlan(doc.schema, doc.queries.at("Q2"));
+  ASSERT_TRUE(universal.ok());
+  EXPECT_LT(proof_plan->commands.size(), universal->commands.size());
+}
+
+TEST(ProofPlanTest, ExtractedPlanValidates) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  StatusOr<Plan> plan =
+      ExtractPlanFromProof(doc.schema, doc.queries.at("Q2"));
+  ASSERT_TRUE(plan.ok());
+
+  RelationId udir;
+  ASSERT_TRUE(u.LookupRelation("Udirectory", &udir));
+  Instance data;
+  for (int i = 0; i < 180; ++i) {
+    data.AddFact(udir, {u.Constant("i" + std::to_string(i)),
+                        u.Constant("a"), u.Constant("p")});
+  }
+  PlanValidation v =
+      ValidatePlan(doc.schema, *plan, doc.queries.at("Q2"), data);
+  EXPECT_TRUE(v.answers) << v.failure;
+
+  Instance empty;
+  PlanValidation v2 =
+      ValidatePlan(doc.schema, *plan, doc.queries.at("Q2"), empty);
+  EXPECT_TRUE(v2.answers) << v2.failure;
+}
+
+TEST(ProofPlanTest, RefusesNonAnswerableQueries) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  ConjunctiveQuery q1 =
+      ConjunctiveQuery::Boolean(doc.queries.at("Q1").atoms());
+  EXPECT_FALSE(ExtractPlanFromProof(doc.schema, q1).ok());
+}
+
+TEST(ProofPlanTest, WorksOnExample61) {
+  Universe u;
+  ParsedDocument doc = MustParse(kExample61, &u);
+  StatusOr<Plan> plan =
+      ExtractPlanFromProof(doc.schema, doc.queries.at("Q"));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The proof uses both the bounded S access and the T membership check.
+  std::set<std::string> used;
+  for (const std::string& m : plan->MethodsUsed()) used.insert(m);
+  EXPECT_TRUE(used.count("mtS"));
+  EXPECT_TRUE(used.count("mtT"));
+
+  // Validate on a model of the constraints where Q is true: T = S = {a}.
+  RelationId t_rel, s_rel;
+  ASSERT_TRUE(u.LookupRelation("T", &t_rel));
+  ASSERT_TRUE(u.LookupRelation("S", &s_rel));
+  Instance data;
+  Term a = u.Constant("a61");
+  data.AddFact(t_rel, {a});
+  data.AddFact(s_rel, {a});
+  ASSERT_TRUE(doc.schema.constraints().SatisfiedBy(data));
+  PlanValidation v =
+      ValidatePlan(doc.schema, *plan, doc.queries.at("Q"), data);
+  EXPECT_TRUE(v.answers) << v.failure << "\n" << plan->ToString(u);
+
+  // And on a model where Q is false: T empty, S empty.
+  Instance empty;
+  PlanValidation v2 =
+      ValidatePlan(doc.schema, *plan, doc.queries.at("Q"), empty);
+  EXPECT_TRUE(v2.answers) << v2.failure;
+}
+
+TEST(ProofRenderTest, RendersSlicedProof) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityNoBounds, &u);
+  StatusOr<AmonDetReduction> red =
+      BuildAmonDetReduction(doc.schema, doc.queries.at("Q2"));
+  ASSERT_TRUE(red.ok());
+  ChaseOptions options;
+  options.record_trace = true;
+  bool goal = false;
+  ChaseResult chase = RunChaseUntil(red->start, red->gamma,
+                                    red->q_prime.atoms(), &u, &goal, options);
+  ASSERT_TRUE(goal);
+  StatusOr<ProofSlice> slice = ExtractProofSlice(*red, chase);
+  ASSERT_TRUE(slice.ok());
+  std::string sliced = RenderProof(*red, chase, u, &*slice);
+  std::string full = RenderProof(*red, chase, u);
+  EXPECT_NE(sliced.find("access ud"), std::string::npos);
+  EXPECT_NE(sliced.find("[round"), std::string::npos);
+  EXPECT_LE(sliced.size(), full.size());
+}
+
+class ProofPlanRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProofPlanRoundTrip, ExtractedPlansValidateOnRandomIdSchemas) {
+  Rng rng(GetParam() * 19 + 5);
+  Universe u;
+  SchemaFamilyOptions options;
+  options.num_relations = 3;
+  options.max_arity = 2;
+  options.num_constraints = 2;
+  options.num_methods = 3;
+  options.bounded_pct = 40;
+  options.prefix = "PP" + std::to_string(GetParam());
+  ServiceSchema schema = GenerateIdSchema(&u, options, &rng);
+  ConjunctiveQuery q = GenerateQuery(schema, 1, 2, &rng);
+
+  StatusOr<Plan> plan = ExtractPlanFromProof(schema, q);
+  if (!plan.ok()) return;  // not answerable (or budget): nothing to check
+
+  for (int trial = 0; trial < 3; ++trial) {
+    Instance seed = RandomInstance(&u, schema.relations(), 4, 6, &rng);
+    seed.UnionWith(GroundQuery(q, &u, &rng));
+    StatusOr<Instance> data = CompleteToModel(seed, schema.constraints(), &u);
+    if (!data.ok()) continue;
+    PlanValidation v = ValidatePlan(schema, *plan, q, *data);
+    EXPECT_TRUE(v.answers)
+        << v.failure << "\nschema:\n"
+        << schema.ToString() << "query: " << q.ToString(u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProofPlanRoundTrip,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,156 @@
+#include "core/rewriting.h"
+
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "gtest/gtest.h"
+
+namespace rbda {
+namespace {
+
+class RewritingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *universe_.AddRelation("R", 2);
+    p_ = *universe_.AddRelation("P", 1);
+    s_ = *universe_.AddRelation("S", 2);
+    x_ = universe_.Variable("x");
+    y_ = universe_.Variable("y");
+    z_ = universe_.Variable("z");
+  }
+
+  // Σ: P(x) -> ∃y R(x,y).
+  std::vector<Tgd> PGivesR() {
+    std::vector<Tgd> ids;
+    ids.emplace_back(std::vector<Atom>{Atom(p_, {x_})},
+                     std::vector<Atom>{Atom(r_, {x_, y_})});
+    return ids;
+  }
+
+  Universe universe_;
+  RelationId r_, p_, s_;
+  Term x_, y_, z_;
+};
+
+TEST_F(RewritingTest, RewritesExistentialAtomToBody) {
+  // Q: ∃x,y R(x,y). Under P(x) -> ∃y R(x,y), also P(x) suffices.
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {x_, y_})});
+  UnionQuery rewriting = RewriteUnderIds(q, PGivesR(), &universe_);
+  ASSERT_EQ(rewriting.disjuncts().size(), 2u);
+
+  Instance only_p;
+  only_p.AddFact(p_, {universe_.Constant("a")});
+  EXPECT_TRUE(rewriting.HoldsIn(only_p));
+  EXPECT_FALSE(q.HoldsIn(only_p));
+}
+
+TEST_F(RewritingTest, DoesNotRewriteWhenExistentialPositionIsJoined) {
+  // Q: ∃x,y R(x,y) & S(y,x): y is shared, so P(x) does NOT entail Q.
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean(
+      {Atom(r_, {x_, y_}), Atom(s_, {y_, x_})});
+  UnionQuery rewriting = RewriteUnderIds(q, PGivesR(), &universe_);
+  EXPECT_EQ(rewriting.disjuncts().size(), 1u);
+}
+
+TEST_F(RewritingTest, DoesNotRewriteConstantAtExistentialPosition) {
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean(
+      {Atom(r_, {x_, universe_.Constant("c")})});
+  UnionQuery rewriting = RewriteUnderIds(q, PGivesR(), &universe_);
+  EXPECT_EQ(rewriting.disjuncts().size(), 1u);
+}
+
+TEST_F(RewritingTest, DoesNotRewriteFreeVariable) {
+  ConjunctiveQuery q({Atom(r_, {x_, y_})}, {y_});
+  UnionQuery rewriting = RewriteUnderIds(q, PGivesR(), &universe_);
+  EXPECT_EQ(rewriting.disjuncts().size(), 1u);
+}
+
+TEST_F(RewritingTest, FactorizationEnablesRewriting) {
+  // Q: R(x,y) & R(z,y): factorizing x=z merges the atoms, after which the
+  // ID applies. Without factorization y is shared between two atoms.
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean(
+      {Atom(r_, {x_, y_}), Atom(r_, {z_, y_})});
+  UnionQuery rewriting = RewriteUnderIds(q, PGivesR(), &universe_);
+  Instance only_p;
+  only_p.AddFact(p_, {universe_.Constant("a")});
+  EXPECT_TRUE(rewriting.HoldsIn(only_p));
+}
+
+TEST_F(RewritingTest, ChainOfIds) {
+  // S(x,y) -> ∃z R(y,z) and P(x) -> ∃y S(x,y): Q = ∃ R(u,v) rewrites all
+  // the way down to P.
+  std::vector<Tgd> ids;
+  ids.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                   std::vector<Atom>{Atom(r_, {y_, z_})});
+  ids.emplace_back(std::vector<Atom>{Atom(p_, {x_})},
+                   std::vector<Atom>{Atom(s_, {x_, y_})});
+  Term u = universe_.Variable("u"), v = universe_.Variable("v");
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {u, v})});
+  UnionQuery rewriting = RewriteUnderIds(q, ids, &universe_);
+  Instance only_p;
+  only_p.AddFact(p_, {universe_.Constant("a")});
+  EXPECT_TRUE(rewriting.HoldsIn(only_p));
+}
+
+// Property: on random small instances, the rewriting evaluates exactly like
+// "chase then evaluate Q".
+TEST_F(RewritingTest, AgreesWithChaseSemantics) {
+  std::vector<Tgd> ids;
+  ids.emplace_back(std::vector<Atom>{Atom(p_, {x_})},
+                   std::vector<Atom>{Atom(r_, {x_, y_})});
+  ids.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                   std::vector<Atom>{Atom(s_, {y_, x_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean(
+      {Atom(s_, {x_, y_}), Atom(r_, {y_, x_})});
+  UnionQuery rewriting = RewriteUnderIds(q, ids, &universe_);
+
+  ConstraintSet cs;
+  cs.tgds = ids;
+  Rng rng(11);
+  std::vector<Term> pool;
+  for (int i = 0; i < 4; ++i) {
+    pool.push_back(universe_.Constant("k" + std::to_string(i)));
+  }
+  for (int trial = 0; trial < 60; ++trial) {
+    Instance data;
+    size_t nfacts = 1 + rng.Below(5);
+    for (size_t f = 0; f < nfacts; ++f) {
+      switch (rng.Below(3)) {
+        case 0:
+          data.AddFact(p_, {pool[rng.Below(pool.size())]});
+          break;
+        case 1:
+          data.AddFact(r_, {pool[rng.Below(pool.size())],
+                            pool[rng.Below(pool.size())]});
+          break;
+        default:
+          data.AddFact(s_, {pool[rng.Below(pool.size())],
+                            pool[rng.Below(pool.size())]});
+          break;
+      }
+    }
+    ChaseResult chased = RunChase(data, cs, &universe_);
+    ASSERT_EQ(chased.status, ChaseStatus::kCompleted);
+    EXPECT_EQ(rewriting.HoldsIn(data), q.HoldsIn(chased.instance))
+        << "trial " << trial << "\n"
+        << data.ToString(universe_);
+  }
+}
+
+TEST_F(RewritingTest, CapLimitsDisjuncts) {
+  std::vector<Tgd> ids;
+  ids.emplace_back(std::vector<Atom>{Atom(p_, {x_})},
+                   std::vector<Atom>{Atom(r_, {x_, y_})});
+  ids.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                   std::vector<Atom>{Atom(s_, {y_, x_})});
+  ids.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                   std::vector<Atom>{Atom(r_, {y_, x_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean(
+      {Atom(s_, {x_, y_}), Atom(r_, {y_, z_})});
+  RewriteOptions options;
+  options.max_cqs = 3;
+  UnionQuery rewriting = RewriteUnderIds(q, ids, &universe_, options);
+  EXPECT_LE(rewriting.disjuncts().size(), 3u);
+}
+
+}  // namespace
+}  // namespace rbda

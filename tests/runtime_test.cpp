@@ -1,0 +1,375 @@
+#include "runtime/accessible_part.h"
+#include "runtime/executor.h"
+#include "runtime/generators.h"
+#include "runtime/oracle.h"
+
+#include "gtest/gtest.h"
+#include "paper_fixtures.h"
+
+namespace rbda {
+namespace {
+
+// Builds the university instance: n directory entries, of which the first
+// `profs` are professors with salary 10000 and the rest (if any professors
+// remain) salary 20000.
+Instance UniversityInstance(Universe* universe, const ServiceSchema& schema,
+                            size_t entries, size_t profs_10k,
+                            size_t profs_20k) {
+  RelationId prof, udir;
+  RBDA_CHECK(universe->LookupRelation("Prof", &prof));
+  RBDA_CHECK(universe->LookupRelation("Udirectory", &udir));
+  (void)schema;
+  Instance data;
+  for (size_t i = 0; i < entries; ++i) {
+    Term id = universe->Constant("id" + std::to_string(i));
+    data.AddFact(udir, {id, universe->Constant("addr" + std::to_string(i)),
+                        universe->Constant("phone" + std::to_string(i))});
+    if (i < profs_10k) {
+      data.AddFact(prof, {id, universe->Constant("prof" + std::to_string(i)),
+                          universe->Constant("10000")});
+    } else if (i < profs_10k + profs_20k) {
+      data.AddFact(prof, {id, universe->Constant("prof" + std::to_string(i)),
+                          universe->Constant("20000")});
+    }
+  }
+  return data;
+}
+
+// The Example 1.2 plan: T <= ud; IN := project ids; P <= pr <= IN;
+// OUT := names with salary 10000.
+Plan Example12Plan(Universe* universe) {
+  Term i = universe->Variable("pi");
+  Term a = universe->Variable("pa");
+  Term p = universe->Variable("pp");
+  Term n = universe->Variable("pn");
+  Plan plan;
+  plan.Access("T", "ud");
+  plan.Middleware("IN", {TableCq{{TableAtom{"T", {i, a, p}}}, {i}}});
+  plan.Access("P", "pr", "IN");
+  plan.Middleware(
+      "OUT", {TableCq{{TableAtom{"P", {i, n, universe->Constant("10000")}}},
+                      {n}}});
+  plan.Return("OUT");
+  return plan;
+}
+
+// The Example 1.4 / 2.1 plan: T <= ud; T0 := project to (); Return T0.
+Plan Example14Plan(Universe* universe) {
+  Term i = universe->Variable("qi");
+  Term a = universe->Variable("qa");
+  Term p = universe->Variable("qp");
+  Plan plan;
+  plan.Access("T", "ud");
+  plan.Middleware("T0", {TableCq{{TableAtom{"T", {i, a, p}}}, {}}});
+  plan.Return("T0");
+  return plan;
+}
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  Universe universe_;
+};
+
+TEST_F(RuntimeTest, PlanAnswersQ1WithoutBounds) {
+  ParsedDocument doc = MustParse(kUniversityNoBounds, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 20, 3, 2);
+  PlanValidation v = ValidatePlan(doc.schema, Example12Plan(&universe_),
+                                  doc.queries.at("Q1"), data);
+  EXPECT_TRUE(v.answers) << v.failure;
+}
+
+TEST_F(RuntimeTest, Example13PlanFailsUnderResultBound) {
+  // With ud limited to 100 results and 150 directory entries, the plan of
+  // Example 1.2 misses professors under adversarial selections.
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 150, 10, 5);
+  PlanValidation v = ValidatePlan(doc.schema, Example12Plan(&universe_),
+                                  doc.queries.at("Q1"), data);
+  EXPECT_FALSE(v.answers);
+}
+
+TEST_F(RuntimeTest, Example13PlanStillWorksOnSmallData) {
+  // Fewer than 100 entries: the bound never bites.
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 50, 4, 3);
+  PlanValidation v = ValidatePlan(doc.schema, Example12Plan(&universe_),
+                                  doc.queries.at("Q1"), data);
+  EXPECT_TRUE(v.answers) << v.failure;
+}
+
+TEST_F(RuntimeTest, Example14PlanAnswersQ2DespiteBound) {
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 150, 10, 5);
+  PlanValidation v = ValidatePlan(doc.schema, Example14Plan(&universe_),
+                                  doc.queries.at("Q2"), data);
+  EXPECT_TRUE(v.answers) << v.failure;
+
+  Instance empty;
+  PlanValidation v2 = ValidatePlan(doc.schema, Example14Plan(&universe_),
+                                   doc.queries.at("Q2"), empty);
+  EXPECT_TRUE(v2.answers) << v2.failure;
+}
+
+TEST_F(RuntimeTest, SelectorRespectsBoundSemantics) {
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 150, 0, 0);
+  const AccessMethod* ud = doc.schema.FindMethod("ud");
+  std::vector<Fact> matching = MatchingTuples(data, *ud, {});
+  EXPECT_EQ(matching.size(), 150u);
+
+  auto first = MakeSelector(SelectionPolicy::kFirstK);
+  auto last = MakeSelector(SelectionPolicy::kLastK);
+  auto random = MakeSelector(SelectionPolicy::kRandomK, 42);
+  std::vector<Fact> f = first->Choose(*ud, {}, matching);
+  std::vector<Fact> l = last->Choose(*ud, {}, matching);
+  std::vector<Fact> r = random->Choose(*ud, {}, matching);
+  EXPECT_EQ(f.size(), 100u);
+  EXPECT_EQ(l.size(), 100u);
+  EXPECT_EQ(r.size(), 100u);
+  EXPECT_NE(f, l);
+  // Every selected tuple is a matching tuple.
+  for (const Fact& fact : r) {
+    EXPECT_TRUE(std::binary_search(matching.begin(), matching.end(), fact));
+  }
+}
+
+TEST_F(RuntimeTest, SelectorReturnsAllWhenUnderBound) {
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 30, 0, 0);
+  const AccessMethod* ud = doc.schema.FindMethod("ud");
+  std::vector<Fact> matching = MatchingTuples(data, *ud, {});
+  auto sel = MakeSelector(SelectionPolicy::kRandomK, 1);
+  EXPECT_EQ(sel->Choose(*ud, {}, matching).size(), 30u);
+}
+
+TEST_F(RuntimeTest, IdempotentCacheStabilizesAccesses) {
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 150, 0, 0);
+  const AccessMethod* ud = doc.schema.FindMethod("ud");
+  std::vector<Fact> matching = MatchingTuples(data, *ud, {});
+  auto sel = MakeIdempotent(MakeSelector(SelectionPolicy::kRandomK, 5));
+  std::vector<Fact> first = sel->Choose(*ud, {}, matching);
+  std::vector<Fact> second = sel->Choose(*ud, {}, matching);
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(RuntimeTest, PreferringSelectorStaysInPreferredSet) {
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 150, 0, 0);
+  const AccessMethod* ud = doc.schema.FindMethod("ud");
+  std::vector<Fact> matching = MatchingTuples(data, *ud, {});
+
+  // Preferred subset: 120 of the 150 rows.
+  Instance preferred;
+  for (size_t i = 0; i < 120; ++i) preferred.AddFact(matching[i]);
+  auto selector = MakePreferringSelector(&preferred);
+  std::vector<Fact> out = selector->Choose(*ud, {}, matching);
+  ASSERT_EQ(out.size(), 100u);
+  for (const Fact& f : out) EXPECT_TRUE(preferred.Contains(f));
+  // Deterministic.
+  EXPECT_EQ(out, selector->Choose(*ud, {}, matching));
+}
+
+TEST_F(RuntimeTest, PreferringSelectorTopsUpWhenPreferredIsSmall) {
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 150, 0, 0);
+  const AccessMethod* ud = doc.schema.FindMethod("ud");
+  std::vector<Fact> matching = MatchingTuples(data, *ud, {});
+  Instance preferred;
+  for (size_t i = 0; i < 10; ++i) preferred.AddFact(matching[i]);
+  auto selector = MakePreferringSelector(&preferred);
+  std::vector<Fact> out = selector->Choose(*ud, {}, matching);
+  EXPECT_EQ(out.size(), 100u);  // a valid output despite the small cache
+  size_t preferred_count = 0;
+  for (const Fact& f : out) {
+    if (preferred.Contains(f)) ++preferred_count;
+  }
+  EXPECT_EQ(preferred_count, 10u);  // all of the preferred facts came first
+}
+
+TEST_F(RuntimeTest, PreferringSelectorReturnsAllWhenUnderBound) {
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 20, 0, 0);
+  const AccessMethod* ud = doc.schema.FindMethod("ud");
+  std::vector<Fact> matching = MatchingTuples(data, *ud, {});
+  Instance preferred;  // empty
+  auto selector = MakePreferringSelector(&preferred);
+  EXPECT_EQ(selector->Choose(*ud, {}, matching).size(), 20u);
+}
+
+TEST_F(RuntimeTest, ExecutorErrorsOnBadPlans) {
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data;
+  auto sel = MakeSelector(SelectionPolicy::kFirstK);
+  PlanExecutor exec(doc.schema, data, sel.get());
+
+  Plan unknown_method;
+  unknown_method.Access("T", "nope").Return("T");
+  EXPECT_FALSE(exec.Execute(unknown_method).ok());
+
+  Plan missing_input;
+  missing_input.Access("T", "pr").Return("T");  // pr needs inputs
+  PlanExecutor exec2(doc.schema, data, sel.get());
+  EXPECT_FALSE(exec2.Execute(missing_input).ok());
+
+  Plan missing_output;
+  missing_output.Access("T", "ud");
+  missing_output.Return("ZZZ");
+  PlanExecutor exec3(doc.schema, data, sel.get());
+  EXPECT_FALSE(exec3.Execute(missing_output).ok());
+}
+
+TEST_F(RuntimeTest, MiddlewareJoinAndUnion) {
+  Universe u;
+  ServiceSchema schema(&u);
+  RelationId r = *schema.AddRelation("R", 2);
+  AccessMethod m{"all", r, {}, BoundKind::kNone, 0};
+  ASSERT_TRUE(schema.AddMethod(m).ok());
+  Instance data;
+  Term a = u.Constant("a"), b = u.Constant("b"), c = u.Constant("c");
+  data.AddFact(r, {a, b});
+  data.AddFact(r, {b, c});
+
+  Term x = u.Variable("x"), y = u.Variable("y"), z = u.Variable("z");
+  Plan plan;
+  plan.Access("T", "all");
+  // Join: pairs connected by a path of length 2, unioned with direct edges.
+  plan.Middleware(
+      "OUT",
+      {TableCq{{TableAtom{"T", {x, y}}, TableAtom{"T", {y, z}}}, {x, z}},
+       TableCq{{TableAtom{"T", {x, y}}}, {x, y}}});
+  plan.Return("OUT");
+
+  auto sel = MakeSelector(SelectionPolicy::kFirstK);
+  PlanExecutor exec(schema, data, sel.get());
+  StatusOr<Table> out = exec.Execute(plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->size(), 3u);  // (a,c), (a,b), (b,c)
+  EXPECT_TRUE(out->count({a, c}));
+}
+
+TEST_F(RuntimeTest, AccessiblePartFixpoint) {
+  ParsedDocument doc = MustParse(kUniversityNoBounds, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 10, 3, 0);
+  auto sel = MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK));
+  AccessiblePartResult result =
+      ComputeAccessiblePart(doc.schema, data, sel.get());
+  // ud exposes all 10 directory rows; pr then exposes the 3 professors.
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.part.NumFacts(), 13u);
+}
+
+TEST_F(RuntimeTest, AccessiblePartRespectsBounds) {
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 150, 10, 0);
+  auto sel = MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK));
+  AccessiblePartResult result =
+      ComputeAccessiblePart(doc.schema, data, sel.get());
+  // Only 100 directory rows are reachable; professor lookups only for ids
+  // among those 100.
+  size_t udir_facts = 0;
+  RelationId udir;
+  ASSERT_TRUE(universe_.LookupRelation("Udirectory", &udir));
+  udir_facts = result.part.FactsOf(udir).size();
+  EXPECT_EQ(udir_facts, 100u);
+}
+
+TEST_F(RuntimeTest, AccessiblePartEmptyWithoutSeeds) {
+  // A schema whose only method needs an input can never start.
+  Universe u;
+  ServiceSchema schema(&u);
+  RelationId r = *schema.AddRelation("R", 2);
+  ASSERT_TRUE(
+      schema.AddMethod(AccessMethod{"m", r, {0}, BoundKind::kNone, 0}).ok());
+  Instance data;
+  data.AddFact(r, {u.Constant("a"), u.Constant("b")});
+  auto sel = MakeSelector(SelectionPolicy::kFirstK);
+  AccessiblePartResult result = ComputeAccessiblePart(schema, data, sel.get());
+  EXPECT_TRUE(result.part.Empty());
+
+  // Seeding with "a" unlocks the fact.
+  AccessiblePartResult seeded =
+      ComputeAccessiblePart(schema, data, sel.get(), {u.Constant("a")});
+  EXPECT_EQ(seeded.part.NumFacts(), 1u);
+}
+
+TEST_F(RuntimeTest, RandomInstanceGeneratorShape) {
+  Universe u;
+  RelationId r = *u.AddRelation("R", 2);
+  Rng rng(3);
+  Instance inst = RandomInstance(&u, {r}, 5, 40, &rng);
+  EXPECT_LE(inst.NumFacts(), 40u);
+  EXPECT_GT(inst.NumFacts(), 0u);
+  EXPECT_LE(inst.ActiveDomain().size(), 5u);
+}
+
+TEST_F(RuntimeTest, CompleteToModelChases) {
+  Universe u;
+  RelationId r = *u.AddRelation("R", 2);
+  RelationId s = *u.AddRelation("S", 1);
+  ConstraintSet cs;
+  Term x = u.Variable("x"), y = u.Variable("y");
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(r, {x, y})},
+                       std::vector<Atom>{Atom(s, {y})});
+  Instance seed;
+  seed.AddFact(r, {u.Constant("a"), u.Constant("b")});
+  StatusOr<Instance> model = CompleteToModel(seed, cs, &u);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(cs.SatisfiedBy(*model));
+}
+
+TEST_F(RuntimeTest, IsAccessValidChecks) {
+  ParsedDocument doc = MustParse(kUniversityBounded, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 150, 2, 0);
+  // The full instance is always access-valid in itself.
+  EXPECT_TRUE(IsAccessValid(doc.schema, data, data));
+  // An empty subinstance is NOT access-valid: the input-free ud access must
+  // return 100 of the 150 matching tuples.
+  Instance empty;
+  EXPECT_FALSE(IsAccessValid(doc.schema, empty, data));
+}
+
+TEST_F(RuntimeTest, CounterexampleSearchRefutesQ1UnderBounds) {
+  // Example 1.3: Q1 is not answerable once ud is bounded; the randomized
+  // search should find an AMonDet counterexample.
+  Universe u;
+  ParsedDocument doc = MustParse(R"(
+relation Prof(id, name, salary)
+relation Udirectory(id, address, phone)
+method pr on Prof inputs(0)
+method ud on Udirectory inputs() limit 2
+tgd Prof(i, n, s) -> Udirectory(i, a, p)
+query Q1() :- Prof(i, n, "10000")
+)",
+                                 &u);
+  CounterexampleSearchOptions options;
+  options.attempts = 300;
+  options.noise_facts = 6;
+  std::optional<AMonDetCounterexample> ce =
+      SearchAMonDetCounterexample(doc.schema, doc.queries.at("Q1"), options);
+  ASSERT_TRUE(ce.has_value());
+  EXPECT_TRUE(doc.queries.at("Q1").HoldsIn(ce->i1));
+  EXPECT_FALSE(doc.queries.at("Q1").HoldsIn(ce->i2));
+  EXPECT_TRUE(ce->accessed.IsSubinstanceOf(ce->i1));
+  EXPECT_TRUE(ce->accessed.IsSubinstanceOf(ce->i2));
+  EXPECT_TRUE(IsAccessValid(doc.schema, ce->accessed, ce->i1));
+}
+
+TEST_F(RuntimeTest, CounterexampleSearchFindsNothingForAnswerable) {
+  // Example 1.4: Q2 is answerable, so no counterexample should exist.
+  Universe u;
+  ParsedDocument doc = MustParse(R"(
+relation Udirectory(id, address, phone)
+method ud on Udirectory inputs() limit 2
+query Q2() :- Udirectory(i, a, p)
+)",
+                                 &u);
+  CounterexampleSearchOptions options;
+  options.attempts = 100;
+  std::optional<AMonDetCounterexample> ce =
+      SearchAMonDetCounterexample(doc.schema, doc.queries.at("Q2"), options);
+  EXPECT_FALSE(ce.has_value());
+}
+
+}  // namespace
+}  // namespace rbda

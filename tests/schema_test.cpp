@@ -1,0 +1,88 @@
+#include "schema/service_schema.h"
+#include "gtest/gtest.h"
+
+namespace rbda {
+namespace {
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  Universe universe_;
+};
+
+TEST_F(SchemaTest, AddRelationAndMethod) {
+  ServiceSchema schema(&universe_);
+  StatusOr<RelationId> r = schema.AddRelation("R", 3);
+  ASSERT_TRUE(r.ok());
+  AccessMethod m;
+  m.name = "mt";
+  m.relation = *r;
+  m.input_positions = {2, 0, 2};  // unsorted + dup: normalized
+  ASSERT_TRUE(schema.AddMethod(m).ok());
+  const AccessMethod* found = schema.FindMethod("mt");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->input_positions, (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(found->OutputPositions(universe_), (std::vector<uint32_t>{1}));
+}
+
+TEST_F(SchemaTest, RejectsBadMethods) {
+  ServiceSchema schema(&universe_);
+  RelationId r = *schema.AddRelation("R", 2);
+  AccessMethod out_of_range{"m1", r, {5}, BoundKind::kNone, 0};
+  EXPECT_FALSE(schema.AddMethod(out_of_range).ok());
+
+  AccessMethod ok{"m2", r, {0}, BoundKind::kNone, 0};
+  EXPECT_TRUE(schema.AddMethod(ok).ok());
+  AccessMethod dup{"m2", r, {1}, BoundKind::kNone, 0};
+  EXPECT_FALSE(schema.AddMethod(dup).ok());
+
+  AccessMethod zero_bound{"m3", r, {0}, BoundKind::kResultBound, 0};
+  EXPECT_FALSE(schema.AddMethod(zero_bound).ok());
+}
+
+TEST_F(SchemaTest, MethodPredicates) {
+  ServiceSchema schema(&universe_);
+  RelationId r = *schema.AddRelation("R", 2);
+  AccessMethod input_free{"f", r, {}, BoundKind::kResultBound, 5};
+  AccessMethod boolean{"b", r, {0, 1}, BoundKind::kNone, 0};
+  ASSERT_TRUE(schema.AddMethod(input_free).ok());
+  ASSERT_TRUE(schema.AddMethod(boolean).ok());
+  EXPECT_TRUE(schema.FindMethod("f")->IsInputFree());
+  EXPECT_TRUE(schema.FindMethod("f")->HasBound());
+  EXPECT_TRUE(schema.FindMethod("b")->IsBoolean(universe_));
+  EXPECT_TRUE(schema.HasResultBoundedMethods());
+}
+
+TEST_F(SchemaTest, ValidateChecksConstraints) {
+  ServiceSchema schema(&universe_);
+  RelationId r = *schema.AddRelation("R", 2);
+  Term x = universe_.Variable("x"), y = universe_.Variable("y");
+  schema.constraints().tgds.emplace_back(
+      std::vector<Atom>{Atom(r, {x, y})},
+      std::vector<Atom>{Atom(r, {y, x})});
+  schema.constraints().fds.emplace_back(r, std::vector<uint32_t>{0}, 1);
+  EXPECT_TRUE(schema.Validate().ok());
+
+  schema.constraints().fds.emplace_back(r, std::vector<uint32_t>{0}, 7);
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST_F(SchemaTest, ValidateCatchesArityMismatch) {
+  ServiceSchema schema(&universe_);
+  RelationId r = *schema.AddRelation("R", 2);
+  Term x = universe_.Variable("x");
+  schema.constraints().tgds.emplace_back(
+      std::vector<Atom>{Atom(r, {x})},  // wrong arity
+      std::vector<Atom>{Atom(r, {x, x})});
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST_F(SchemaTest, SchemaCopySharesUniverse) {
+  ServiceSchema schema(&universe_);
+  schema.AddRelation("R", 1).value();
+  ServiceSchema copy = schema;
+  EXPECT_EQ(&copy.universe(), &universe_);
+  EXPECT_EQ(copy.relations(), schema.relations());
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,125 @@
+// §8: constraints beyond TGDs/FDs (Example 8.1) exercised through the
+// SemanticConstraint machinery and the runtime.
+#include "constraints/semantic_constraint.h"
+
+#include "core/simplification.h"
+#include "gtest/gtest.h"
+#include "paper_fixtures.h"
+#include "runtime/executor.h"
+
+namespace rbda {
+namespace {
+
+class SemanticTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p_ = *universe_.AddRelation("P", 1);
+    u_rel_ = *universe_.AddRelation("U", 1);
+    x_ = universe_.Variable("x");
+  }
+
+  // |P| = 7 with `overlap` of them in U.
+  Instance Model(size_t overlap) {
+    Instance inst;
+    for (int i = 0; i < 7; ++i) {
+      Term v = universe_.Constant("e" + std::to_string(i));
+      inst.AddFact(p_, {v});
+      if (static_cast<size_t>(i) < overlap) inst.AddFact(u_rel_, {v});
+    }
+    return inst;
+  }
+
+  Universe universe_;
+  RelationId p_, u_rel_;
+  Term x_;
+};
+
+TEST_F(SemanticTest, AnswerCountConstraint) {
+  ConjunctiveQuery members({Atom(p_, {x_})}, {x_});
+  AnswerCountConstraint exactly7(members, 7, 7);
+  EXPECT_TRUE(exactly7.SatisfiedBy(Model(0)));
+  Instance six;
+  for (int i = 0; i < 6; ++i) {
+    six.AddFact(p_, {universe_.Constant("e" + std::to_string(i))});
+  }
+  EXPECT_FALSE(exactly7.SatisfiedBy(six));
+
+  AnswerCountConstraint at_least2(members, 2, std::nullopt);
+  EXPECT_TRUE(at_least2.SatisfiedBy(six));
+  EXPECT_FALSE(at_least2.SatisfiedBy(Instance()));
+  EXPECT_FALSE(at_least2.Describe(universe_).empty());
+}
+
+TEST_F(SemanticTest, ConditionalConstraint) {
+  std::vector<SemanticConstraintPtr> ex81 =
+      Example81Constraints(&universe_, p_, u_rel_);
+  // Overlap 0: premise false, constraint holds vacuously.
+  EXPECT_TRUE(AllSatisfied(ex81, Model(0)));
+  // Overlap 4..7: fine.
+  EXPECT_TRUE(AllSatisfied(ex81, Model(4)));
+  EXPECT_TRUE(AllSatisfied(ex81, Model(7)));
+  // Overlap 1..3: premise true but the count is short.
+  EXPECT_FALSE(AllSatisfied(ex81, Model(1)));
+  EXPECT_FALSE(AllSatisfied(ex81, Model(3)));
+}
+
+// The heart of Example 8.1: with result bound 5 the intersection plan is
+// complete on every model of the constraints; with bound 1 (the choice
+// simplification) it is not — so choice simplification is unsound here.
+TEST_F(SemanticTest, Example81PlanCompleteness) {
+  ServiceSchema schema(&universe_);
+  schema.AdoptRelation(p_);
+  schema.AdoptRelation(u_rel_);
+  ASSERT_TRUE(schema
+                  .AddMethod(AccessMethod{"mtP", p_, {},
+                                          BoundKind::kResultBound, 5})
+                  .ok());
+  ASSERT_TRUE(schema
+                  .AddMethod(AccessMethod{"mtU", u_rel_, {},
+                                          BoundKind::kNone, 0})
+                  .ok());
+  ConjunctiveQuery q =
+      ConjunctiveQuery::Boolean({Atom(p_, {x_}), Atom(u_rel_, {x_})});
+
+  Plan plan;
+  plan.Access("TP", "mtP");
+  plan.Access("TU", "mtU");
+  plan.Middleware("OUT", {TableCq{{TableAtom{"TP", {x_}},
+                                   TableAtom{"TU", {x_}}},
+                                  {}}});
+  plan.Return("OUT");
+
+  std::vector<SemanticConstraintPtr> ex81 =
+      Example81Constraints(&universe_, p_, u_rel_);
+
+  // Sweep every model shape (overlap 0 or 4..7) and many selections.
+  for (size_t overlap : {0u, 4u, 5u, 6u, 7u}) {
+    Instance model = Model(overlap);
+    ASSERT_TRUE(AllSatisfied(ex81, model)) << overlap;
+    bool expected = q.HoldsIn(model);
+    for (uint64_t seed = 0; seed < 30; ++seed) {
+      auto sel = MakeIdempotent(MakeSelector(SelectionPolicy::kRandomK, seed));
+      PlanExecutor exec(schema, model, sel.get());
+      StatusOr<Table> out = exec.Execute(plan);
+      ASSERT_TRUE(out.ok());
+      EXPECT_EQ(!out->empty(), expected)
+          << "overlap " << overlap << " seed " << seed;
+    }
+  }
+
+  // Choice-simplified (bound 1): completeness breaks on overlap-4 models.
+  ServiceSchema choice = ChoiceSimplification(schema);
+  Instance model = Model(4);
+  bool missed = false;
+  for (uint64_t seed = 0; seed < 30 && !missed; ++seed) {
+    auto sel = MakeIdempotent(MakeSelector(SelectionPolicy::kLastK, seed));
+    PlanExecutor exec(choice, model, sel.get());
+    StatusOr<Table> out = exec.Execute(plan);
+    ASSERT_TRUE(out.ok());
+    if (out->empty()) missed = true;  // query is true but the plan said no
+  }
+  EXPECT_TRUE(missed);
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,95 @@
+// DSL serialization round trips.
+#include "parser/serializer.h"
+
+#include "gtest/gtest.h"
+#include "core/answerability.h"
+#include "paper_fixtures.h"
+
+namespace rbda {
+namespace {
+
+TEST(SerializerTest, RoundTripsTheUniversityDocument) {
+  Universe u1;
+  ParsedDocument original = MustParse(kUniversityBounded, &u1);
+  std::string text = SerializeDocument(original.schema, original.queries);
+
+  Universe u2;
+  StatusOr<ParsedDocument> reparsed = ParseDocument(text, &u2);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  EXPECT_EQ(reparsed->schema.relations().size(),
+            original.schema.relations().size());
+  EXPECT_EQ(reparsed->schema.methods().size(),
+            original.schema.methods().size());
+  EXPECT_EQ(reparsed->schema.constraints().tgds.size(),
+            original.schema.constraints().tgds.size());
+  EXPECT_EQ(reparsed->queries.size(), original.queries.size());
+  const AccessMethod* ud = reparsed->schema.FindMethod("ud");
+  ASSERT_NE(ud, nullptr);
+  EXPECT_EQ(ud->bound_kind, BoundKind::kResultBound);
+  EXPECT_EQ(ud->bound, 100u);
+}
+
+TEST(SerializerTest, RoundTripsFdsAndLowerBounds) {
+  Universe u1;
+  ParsedDocument original = MustParse(R"(
+relation R(a, b, c)
+method m on R inputs(0, 2) lowerlimit 4
+fd R: 0, 2 -> 1
+)",
+                                      &u1);
+  std::string text = SerializeDocument(original.schema);
+  Universe u2;
+  StatusOr<ParsedDocument> reparsed = ParseDocument(text, &u2);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  const AccessMethod* m = reparsed->schema.FindMethod("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->bound_kind, BoundKind::kResultLowerBound);
+  EXPECT_EQ(m->bound, 4u);
+  EXPECT_EQ(m->input_positions, (std::vector<uint32_t>{0, 2}));
+  ASSERT_EQ(reparsed->schema.constraints().fds.size(), 1u);
+  EXPECT_EQ(reparsed->schema.constraints().fds[0].determiners,
+            (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(SerializerTest, FactsWithNullsAndVariablesBecomeConstants) {
+  Universe u1;
+  ParsedDocument original = MustParse("relation R(a, b)", &u1);
+  RelationId r;
+  ASSERT_TRUE(u1.LookupRelation("R", &r));
+  Instance data;
+  data.AddFact(r, {u1.Constant("c"), u1.FreshNull()});
+  data.AddFact(r, {u1.Variable("frozen"), u1.Constant("d")});
+
+  std::string text = SerializeDocument(original.schema, {}, data);
+  Universe u2;
+  StatusOr<ParsedDocument> reparsed = ParseDocument(text, &u2);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->data.NumFacts(), 2u);
+  reparsed->data.ForEachFact([](const Fact& f) {
+    for (Term t : f.args) EXPECT_TRUE(t.IsConstant());
+  });
+}
+
+TEST(SerializerTest, SemanticsSurviveTheRoundTrip) {
+  // The reparsed schema answers the same queries the same way.
+  Universe u1;
+  ParsedDocument original = MustParse(kUniversityBounded, &u1);
+  std::string text = SerializeDocument(original.schema, original.queries);
+  Universe u2;
+  StatusOr<ParsedDocument> reparsed = ParseDocument(text, &u2);
+  ASSERT_TRUE(reparsed.ok());
+
+  for (const char* name : {"Q1", "Q2"}) {
+    ConjunctiveQuery q1 =
+        ConjunctiveQuery::Boolean(original.queries.at(name).atoms());
+    ConjunctiveQuery q2 =
+        ConjunctiveQuery::Boolean(reparsed->queries.at(name).atoms());
+    StatusOr<Decision> d1 = DecideMonotoneAnswerability(original.schema, q1);
+    StatusOr<Decision> d2 = DecideMonotoneAnswerability(reparsed->schema, q2);
+    ASSERT_TRUE(d1.ok() && d2.ok());
+    EXPECT_EQ(d1->verdict, d2->verdict) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,138 @@
+#include "core/simplification.h"
+
+#include "gtest/gtest.h"
+#include "paper_fixtures.h"
+
+namespace rbda {
+namespace {
+
+TEST(SimplificationTest, ElimUbRelaxesBounds) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  ServiceSchema relaxed = ElimUB(doc.schema);
+  const AccessMethod* ud = relaxed.FindMethod("ud");
+  ASSERT_NE(ud, nullptr);
+  EXPECT_EQ(ud->bound_kind, BoundKind::kResultLowerBound);
+  EXPECT_EQ(ud->bound, 100u);
+  // Unbounded methods untouched.
+  EXPECT_EQ(relaxed.FindMethod("pr")->bound_kind, BoundKind::kNone);
+}
+
+TEST(SimplificationTest, ChoiceSetsBoundsToOne) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  ServiceSchema choice = ChoiceSimplification(doc.schema);
+  EXPECT_EQ(choice.FindMethod("ud")->bound, 1u);
+  EXPECT_EQ(choice.FindMethod("ud")->bound_kind, BoundKind::kResultBound);
+  EXPECT_EQ(choice.FindMethod("pr")->bound_kind, BoundKind::kNone);
+  // Constraints and relations are unchanged.
+  EXPECT_EQ(choice.constraints().tgds.size(),
+            doc.schema.constraints().tgds.size());
+  EXPECT_EQ(choice.relations().size(), doc.schema.relations().size());
+}
+
+TEST(SimplificationTest, ExistenceCheckBuildsViews) {
+  // Example 4.1-like: ud2 on Udirectory with inputs(0) and a bound.
+  Universe u;
+  ParsedDocument doc = MustParse(R"(
+relation Udirectory(id, address, phone)
+method ud2 on Udirectory inputs(0) limit 1
+)",
+                                 &u);
+  ServiceSchema simplified = ExistenceCheckSimplification(doc.schema);
+  EXPECT_FALSE(simplified.HasResultBoundedMethods());
+  // New view relation of arity 1 (the input position).
+  RelationId view;
+  ASSERT_TRUE(u.LookupRelation("Udirectory__ud2", &view));
+  EXPECT_EQ(u.Arity(view), 1u);
+  // The replacement method is Boolean on the view.
+  const AccessMethod* m = simplified.FindMethod("ud2__exists");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->IsBoolean(u));
+  // Two new IDs were added.
+  EXPECT_EQ(simplified.constraints().tgds.size(), 2u);
+  for (const Tgd& tgd : simplified.constraints().tgds) {
+    EXPECT_TRUE(tgd.IsId());
+  }
+  EXPECT_TRUE(simplified.Validate().ok());
+}
+
+TEST(SimplificationTest, ExistenceCheckKeepsUnboundedMethods) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  ServiceSchema simplified = ExistenceCheckSimplification(doc.schema);
+  EXPECT_NE(simplified.FindMethod("pr"), nullptr);
+  EXPECT_EQ(simplified.FindMethod("ud"), nullptr);
+  EXPECT_NE(simplified.FindMethod("ud__exists"), nullptr);
+  // Input-free bounded method => arity-0 view.
+  RelationId view;
+  ASSERT_TRUE(u.LookupRelation("Udirectory__ud", &view));
+  EXPECT_EQ(u.Arity(view), 0u);
+}
+
+TEST(SimplificationTest, DetByUsesFdClosure) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityFd, &u);
+  const AccessMethod* ud2 = doc.schema.FindMethod("ud2");
+  ASSERT_NE(ud2, nullptr);
+  EXPECT_EQ(DetByMethod(doc.schema, *ud2), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(SimplificationTest, FdSimplificationExample44) {
+  // Example 4.4: Udirectory_ud2(id, address) with method input id.
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityFd, &u);
+  ServiceSchema simplified = FdSimplification(doc.schema);
+  EXPECT_FALSE(simplified.HasResultBoundedMethods());
+  RelationId view;
+  ASSERT_TRUE(u.LookupRelation("Udirectory__ud2", &view));
+  EXPECT_EQ(u.Arity(view), 2u);  // id + determined address
+  const AccessMethod* m = simplified.FindMethod("ud2__det");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->input_positions, (std::vector<uint32_t>{0}));
+  EXPECT_FALSE(m->IsBoolean(u));
+  // The FD itself is kept.
+  EXPECT_EQ(simplified.constraints().fds.size(), 1u);
+  EXPECT_TRUE(simplified.Validate().ok());
+}
+
+TEST(SimplificationTest, FdSimplificationEqualsExistenceCheckWithoutFds) {
+  // Paper remark: with no implied FDs, the FD simplification view keeps
+  // exactly the input positions.
+  Universe u;
+  ParsedDocument doc = MustParse(R"(
+relation R(a, b, c)
+method m on R inputs(1) limit 3
+)",
+                                 &u);
+  ServiceSchema fd = FdSimplification(doc.schema);
+  RelationId view;
+  ASSERT_TRUE(u.LookupRelation("R__m", &view));
+  EXPECT_EQ(u.Arity(view), 1u);
+}
+
+TEST(SimplificationTest, ViewConstraintsRelateViewAndBase) {
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityFd, &u);
+  ServiceSchema simplified = FdSimplification(doc.schema);
+  // R(x,y,z) -> V(x,y) and V(x,y) -> ∃z R(x,y,z).
+  RelationId udir, view;
+  ASSERT_TRUE(u.LookupRelation("Udirectory", &udir));
+  ASSERT_TRUE(u.LookupRelation("Udirectory__ud2", &view));
+  bool to_view = false, to_base = false;
+  for (const Tgd& tgd : simplified.constraints().tgds) {
+    if (tgd.body()[0].relation == udir && tgd.head()[0].relation == view) {
+      to_view = true;
+      EXPECT_TRUE(tgd.IsFull());
+    }
+    if (tgd.body()[0].relation == view && tgd.head()[0].relation == udir) {
+      to_base = true;
+      EXPECT_FALSE(tgd.IsFull());
+    }
+  }
+  EXPECT_TRUE(to_view);
+  EXPECT_TRUE(to_base);
+}
+
+}  // namespace
+}  // namespace rbda

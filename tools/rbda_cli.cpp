@@ -1,0 +1,321 @@
+// rbda — command-line front end to the library.
+//
+//   rbda decide <schema.rbda> [--finite] [--naive]
+//       Decide monotone answerability of every query in the document.
+//   rbda plan <schema.rbda> <query-name> [--rounds=N]
+//       Synthesize a monotone plan (proof-driven, universal fallback).
+//   rbda run <schema.rbda> <query-name> [--selector=first|last|random]
+//            [--seed=N]
+//       Execute the synthesized plan against the document's `fact` data
+//       and compare with direct evaluation.
+//   rbda containment <schema.rbda> <q1> <q2>
+//       Decide q1 ⊆_Σ q2 under the document's constraints.
+//   rbda simplify <schema.rbda> <existence|fd|choice|elimub>
+//       Print the simplified schema.
+//   rbda oracle <schema.rbda> <query-name> [--attempts=N]
+//       Randomized AMonDet counterexample search.
+//   rbda explain <schema.rbda> <query-name>
+//       Answerable: print the chase proof slice and the extracted plan.
+//       Not answerable: print a checkable counterexample certificate.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chase/containment.h"
+#include "core/answerability.h"
+#include "core/proof_plans.h"
+#include "core/certificates.h"
+#include "core/simplification.h"
+#include "parser/parser.h"
+#include "parser/serializer.h"
+#include "runtime/oracle.h"
+
+using namespace rbda;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rbda <decide|plan|run|containment|simplify|oracle|explain> "
+               "<schema.rbda> [args...]\n");
+  return 2;
+}
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream file(path);
+  if (!file) return false;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Tiny flag helpers over argv[3..].
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+std::string FlagValue(int argc, char** argv, const char* prefix,
+                      const std::string& fallback) {
+  size_t len = std::strlen(prefix);
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return argv[i] + len;
+  }
+  return fallback;
+}
+
+const ConjunctiveQuery* FindQuery(const ParsedDocument& doc,
+                                  const std::string& name) {
+  auto it = doc.queries.find(name);
+  if (it == doc.queries.end()) {
+    std::fprintf(stderr, "no query named '%s' in the document\n",
+                 name.c_str());
+    return nullptr;
+  }
+  return &it->second;
+}
+
+int CmdDecide(const ParsedDocument& doc, Universe* universe, int argc,
+              char** argv) {
+  DecisionOptions options;
+  options.force_naive = HasFlag(argc, argv, "--naive");
+  bool finite = HasFlag(argc, argv, "--finite");
+  for (const auto& [name, query] : doc.queries) {
+    FrozenQuery frozen = FreezeQuery(query, universe);
+    DecisionOptions adjusted = options;
+    adjusted.accessible_constants = frozen.accessible_constants;
+    StatusOr<Decision> d =
+        finite ? DecideFiniteMonotoneAnswerability(doc.schema,
+                                                   frozen.boolean_q, adjusted)
+               : DecideQueryAnswerability(doc.schema, query, options);
+    if (!d.ok()) {
+      std::printf("%-12s ERROR %s\n", name.c_str(),
+                  d.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-12s %-16s %s%s\n    via %s\n", name.c_str(),
+                AnswerabilityName(d->verdict), FragmentName(d->fragment),
+                d->complete ? "" : "  [budget-limited]",
+                d->procedure.c_str());
+  }
+  return 0;
+}
+
+int CmdPlan(const ParsedDocument& doc, Universe* universe, int argc,
+            char** argv) {
+  if (argc < 4) return Usage();
+  const ConjunctiveQuery* query = FindQuery(doc, argv[3]);
+  if (query == nullptr) return 1;
+  SynthesisOptions options;
+  options.access_rounds = static_cast<size_t>(
+      std::stoul(FlagValue(argc, argv, "--rounds=", "3")));
+  StatusOr<Plan> plan = ExtractPlanFromProof(doc.schema, *query, options);
+  const char* kind = "proof-driven";
+  if (!plan.ok()) {
+    plan = SynthesizeUniversalPlan(doc.schema, *query, options);
+    kind = "universal";
+  }
+  if (!plan.ok()) {
+    std::fprintf(stderr, "no plan: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# %s plan for %s\n%s", kind, argv[3],
+              plan->ToString(*universe).c_str());
+  return 0;
+}
+
+int CmdRun(const ParsedDocument& doc, Universe* universe, int argc,
+           char** argv) {
+  if (argc < 4) return Usage();
+  const ConjunctiveQuery* query = FindQuery(doc, argv[3]);
+  if (query == nullptr) return 1;
+  StatusOr<Plan> plan = ExtractPlanFromProof(doc.schema, *query);
+  if (!plan.ok()) plan = SynthesizeUniversalPlan(doc.schema, *query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "no plan: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::string policy_name = FlagValue(argc, argv, "--selector=", "first");
+  SelectionPolicy policy = policy_name == "last" ? SelectionPolicy::kLastK
+                           : policy_name == "random"
+                               ? SelectionPolicy::kRandomK
+                               : SelectionPolicy::kFirstK;
+  uint64_t seed =
+      std::stoull(FlagValue(argc, argv, "--seed=", "1"));
+  auto selector = MakeIdempotent(MakeSelector(policy, seed));
+  PlanExecutor executor(doc.schema, doc.data, selector.get());
+  StatusOr<Table> out = executor.Execute(*plan);
+  if (!out.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# plan output (%zu tuples, %zu service calls)\n", out->size(),
+              executor.stats().accesses);
+  for (const auto& tuple : *out) {
+    std::printf("(");
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  universe->TermName(tuple[i]).c_str());
+    }
+    std::printf(")\n");
+  }
+  Table expected;
+  for (auto& t : query->Evaluate(doc.data)) expected.insert(t);
+  std::printf("# direct evaluation: %zu tuples -> %s\n", expected.size(),
+              expected == *out ? "MATCH" : "MISMATCH (incomplete answers!)");
+  return 0;
+}
+
+int CmdContainment(ParsedDocument& doc, Universe* universe, int argc,
+                   char** argv) {
+  if (argc < 5) return Usage();
+  const ConjunctiveQuery* q1 = FindQuery(doc, argv[3]);
+  const ConjunctiveQuery* q2 = FindQuery(doc, argv[4]);
+  if (q1 == nullptr || q2 == nullptr) return 1;
+  ConjunctiveQuery b1 = ConjunctiveQuery::Boolean(q1->atoms());
+  ConjunctiveQuery b2 = ConjunctiveQuery::Boolean(q2->atoms());
+  ContainmentOutcome outcome =
+      CheckContainment(b1, b2, doc.schema.constraints(), universe);
+  const char* verdict = outcome.verdict == ContainmentVerdict::kContained
+                            ? "CONTAINED"
+                        : outcome.verdict == ContainmentVerdict::kNotContained
+                            ? "NOT CONTAINED"
+                            : "UNKNOWN (budget)";
+  std::printf("%s ⊆_Σ %s : %s  (chase: %llu rounds, %zu facts)\n", argv[3],
+              argv[4], verdict,
+              static_cast<unsigned long long>(outcome.chase.rounds),
+              outcome.chase.instance.NumFacts());
+  return 0;
+}
+
+int CmdSimplify(const ParsedDocument& doc, int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string mode = argv[3];
+  ServiceSchema out = doc.schema;
+  if (mode == "existence") {
+    out = ExistenceCheckSimplification(doc.schema);
+  } else if (mode == "fd") {
+    out = FdSimplification(doc.schema);
+  } else if (mode == "choice") {
+    out = ChoiceSimplification(doc.schema);
+  } else if (mode == "elimub") {
+    out = ElimUB(doc.schema);
+  } else {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  std::printf("%s", out.ToString().c_str());
+  return 0;
+}
+
+int CmdOracle(const ParsedDocument& doc, Universe* universe, int argc,
+              char** argv) {
+  if (argc < 4) return Usage();
+  const ConjunctiveQuery* query = FindQuery(doc, argv[3]);
+  if (query == nullptr) return 1;
+  FrozenQuery frozen = FreezeQuery(*query, universe);
+  CounterexampleSearchOptions options;
+  options.attempts = static_cast<size_t>(
+      std::stoul(FlagValue(argc, argv, "--attempts=", "300")));
+  std::optional<AMonDetCounterexample> ce =
+      SearchAMonDetCounterexample(doc.schema, frozen.boolean_q, options);
+  if (!ce.has_value()) {
+    std::printf("no counterexample found in %zu attempts (consistent with "
+                "answerability)\n",
+                options.attempts);
+    return 0;
+  }
+  std::printf("counterexample found — the query is NOT monotone "
+              "answerable.\nI1 (satisfies Q):\n%s\nI2 (violates Q):\n%s\n"
+              "common access-valid subinstance:\n%s",
+              ce->i1.ToString(*universe).c_str(),
+              ce->i2.ToString(*universe).c_str(),
+              ce->accessed.ToString(*universe).c_str());
+  return 0;
+}
+
+int CmdExplain(const ParsedDocument& doc, Universe* universe, int argc,
+               char** argv) {
+  if (argc < 4) return Usage();
+  const ConjunctiveQuery* query = FindQuery(doc, argv[3]);
+  if (query == nullptr) return 1;
+  FrozenQuery frozen = FreezeQuery(*query, universe);
+
+  ServiceSchema choice = ChoiceSimplification(doc.schema);
+  StatusOr<AmonDetReduction> red = BuildAmonDetReduction(
+      choice, frozen.boolean_q, {}, &frozen.accessible_constants);
+  if (!red.ok()) {
+    std::fprintf(stderr, "reduction failed: %s\n",
+                 red.status().ToString().c_str());
+    return 1;
+  }
+  ChaseOptions chase_options;
+  chase_options.record_trace = true;
+  chase_options.max_rounds = 300;
+  chase_options.max_facts = 50000;
+  bool goal = false;
+  ChaseResult chase =
+      RunChaseUntil(red->start, red->gamma, red->q_prime.atoms(), universe,
+                    &goal, chase_options);
+  if (goal) {
+    std::printf("%s is ANSWERABLE. Chase proof (backward slice):\n\n",
+                argv[3]);
+    StatusOr<ProofSlice> slice = ExtractProofSlice(*red, chase);
+    std::printf("%s", RenderProof(*red, chase, *universe,
+                                  slice.ok() ? &*slice : nullptr)
+                          .c_str());
+    StatusOr<Plan> plan = ExtractPlanFromProof(doc.schema, *query);
+    if (plan.ok()) {
+      std::printf("\nExtracted plan:\n%s", plan->ToString(*universe).c_str());
+    }
+    return 0;
+  }
+  std::printf("%s is NOT answerable", argv[3]);
+  StatusOr<AMonDetCounterexample> ce = ExtractCertificate(*red, chase);
+  if (!ce.ok()) {
+    std::printf(" (no finite certificate: %s)\n",
+                ce.status().ToString().c_str());
+    return 0;
+  }
+  std::printf(". Certificate:\n\n# I1 — satisfies the query\n%s\n"
+              "# I2 — violates the query, same accessible data\n%s\n"
+              "# common access-valid subinstance\n%s",
+              SerializeDocument(doc.schema, {}, ce->i1).c_str(),
+              SerializeDocument(doc.schema, {}, ce->i2).c_str(),
+              SerializeDocument(doc.schema, {}, ce->accessed).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string text;
+  if (!ReadFile(argv[2], &text)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  Universe universe;
+  StatusOr<ParsedDocument> doc = ParseDocument(text, &universe);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string cmd = argv[1];
+  if (cmd == "decide") return CmdDecide(*doc, &universe, argc, argv);
+  if (cmd == "plan") return CmdPlan(*doc, &universe, argc, argv);
+  if (cmd == "run") return CmdRun(*doc, &universe, argc, argv);
+  if (cmd == "containment") return CmdContainment(*doc, &universe, argc, argv);
+  if (cmd == "simplify") return CmdSimplify(*doc, argc, argv);
+  if (cmd == "oracle") return CmdOracle(*doc, &universe, argc, argv);
+  if (cmd == "explain") return CmdExplain(*doc, &universe, argc, argv);
+  return Usage();
+}
