@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_elimub.dir/ablation_elimub.cpp.o"
+  "CMakeFiles/ablation_elimub.dir/ablation_elimub.cpp.o.d"
+  "ablation_elimub"
+  "ablation_elimub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_elimub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

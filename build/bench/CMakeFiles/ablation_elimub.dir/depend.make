@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_elimub.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_naive_vs_simplified.dir/ablation_naive_vs_simplified.cpp.o"
+  "CMakeFiles/ablation_naive_vs_simplified.dir/ablation_naive_vs_simplified.cpp.o.d"
+  "ablation_naive_vs_simplified"
+  "ablation_naive_vs_simplified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_naive_vs_simplified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

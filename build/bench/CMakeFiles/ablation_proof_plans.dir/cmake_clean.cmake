@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_proof_plans.dir/ablation_proof_plans.cpp.o"
+  "CMakeFiles/ablation_proof_plans.dir/ablation_proof_plans.cpp.o.d"
+  "ablation_proof_plans"
+  "ablation_proof_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_proof_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

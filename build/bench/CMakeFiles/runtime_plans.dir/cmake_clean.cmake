@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_plans.dir/runtime_plans.cpp.o"
+  "CMakeFiles/runtime_plans.dir/runtime_plans.cpp.o.d"
+  "runtime_plans"
+  "runtime_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

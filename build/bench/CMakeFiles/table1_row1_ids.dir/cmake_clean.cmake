@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_row1_ids.dir/table1_row1_ids.cpp.o"
+  "CMakeFiles/table1_row1_ids.dir/table1_row1_ids.cpp.o.d"
+  "table1_row1_ids"
+  "table1_row1_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_row1_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_row2_bwids.dir/table1_row2_bwids.cpp.o"
+  "CMakeFiles/table1_row2_bwids.dir/table1_row2_bwids.cpp.o.d"
+  "table1_row2_bwids"
+  "table1_row2_bwids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_row2_bwids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_row2_bwids.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_row3_fds.dir/table1_row3_fds.cpp.o"
+  "CMakeFiles/table1_row3_fds.dir/table1_row3_fds.cpp.o.d"
+  "table1_row3_fds"
+  "table1_row3_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_row3_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

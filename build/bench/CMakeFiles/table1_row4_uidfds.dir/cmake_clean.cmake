@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_row4_uidfds.dir/table1_row4_uidfds.cpp.o"
+  "CMakeFiles/table1_row4_uidfds.dir/table1_row4_uidfds.cpp.o.d"
+  "table1_row4_uidfds"
+  "table1_row4_uidfds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_row4_uidfds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_row5_eqfree.dir/table1_row5_eqfree.cpp.o"
+  "CMakeFiles/table1_row5_eqfree.dir/table1_row5_eqfree.cpp.o.d"
+  "table1_row5_eqfree"
+  "table1_row5_eqfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_row5_eqfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

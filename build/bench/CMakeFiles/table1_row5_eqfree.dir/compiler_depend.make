@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_row5_eqfree.
+# This may be replaced when dependencies are built.

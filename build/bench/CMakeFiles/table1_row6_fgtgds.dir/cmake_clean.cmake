@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_row6_fgtgds.dir/table1_row6_fgtgds.cpp.o"
+  "CMakeFiles/table1_row6_fgtgds.dir/table1_row6_fgtgds.cpp.o.d"
+  "table1_row6_fgtgds"
+  "table1_row6_fgtgds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_row6_fgtgds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography_service.dir/bibliography_service.cpp.o"
+  "CMakeFiles/bibliography_service.dir/bibliography_service.cpp.o.d"
+  "bibliography_service"
+  "bibliography_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

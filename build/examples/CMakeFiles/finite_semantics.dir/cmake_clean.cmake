@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_semantics.dir/finite_semantics.cpp.o"
+  "CMakeFiles/finite_semantics.dir/finite_semantics.cpp.o.d"
+  "finite_semantics"
+  "finite_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

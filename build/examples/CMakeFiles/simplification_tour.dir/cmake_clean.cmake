@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplification_tour.dir/simplification_tour.cpp.o"
+  "CMakeFiles/simplification_tour.dir/simplification_tour.cpp.o.d"
+  "simplification_tour"
+  "simplification_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplification_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_base.dir/status.cc.o"
+  "CMakeFiles/rbda_base.dir/status.cc.o.d"
+  "CMakeFiles/rbda_base.dir/str_util.cc.o"
+  "CMakeFiles/rbda_base.dir/str_util.cc.o.d"
+  "CMakeFiles/rbda_base.dir/symbol_table.cc.o"
+  "CMakeFiles/rbda_base.dir/symbol_table.cc.o.d"
+  "librbda_base.a"
+  "librbda_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

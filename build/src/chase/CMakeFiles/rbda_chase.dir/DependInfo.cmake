@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/certain_answers.cc" "src/chase/CMakeFiles/rbda_chase.dir/certain_answers.cc.o" "gcc" "src/chase/CMakeFiles/rbda_chase.dir/certain_answers.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "src/chase/CMakeFiles/rbda_chase.dir/chase.cc.o" "gcc" "src/chase/CMakeFiles/rbda_chase.dir/chase.cc.o.d"
+  "/root/repo/src/chase/containment.cc" "src/chase/CMakeFiles/rbda_chase.dir/containment.cc.o" "gcc" "src/chase/CMakeFiles/rbda_chase.dir/containment.cc.o.d"
+  "/root/repo/src/chase/semi_width.cc" "src/chase/CMakeFiles/rbda_chase.dir/semi_width.cc.o" "gcc" "src/chase/CMakeFiles/rbda_chase.dir/semi_width.cc.o.d"
+  "/root/repo/src/chase/weak_acyclicity.cc" "src/chase/CMakeFiles/rbda_chase.dir/weak_acyclicity.cc.o" "gcc" "src/chase/CMakeFiles/rbda_chase.dir/weak_acyclicity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/rbda_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rbda_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rbda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rbda_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

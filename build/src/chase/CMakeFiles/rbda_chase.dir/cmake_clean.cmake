@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_chase.dir/certain_answers.cc.o"
+  "CMakeFiles/rbda_chase.dir/certain_answers.cc.o.d"
+  "CMakeFiles/rbda_chase.dir/chase.cc.o"
+  "CMakeFiles/rbda_chase.dir/chase.cc.o.d"
+  "CMakeFiles/rbda_chase.dir/containment.cc.o"
+  "CMakeFiles/rbda_chase.dir/containment.cc.o.d"
+  "CMakeFiles/rbda_chase.dir/semi_width.cc.o"
+  "CMakeFiles/rbda_chase.dir/semi_width.cc.o.d"
+  "CMakeFiles/rbda_chase.dir/weak_acyclicity.cc.o"
+  "CMakeFiles/rbda_chase.dir/weak_acyclicity.cc.o.d"
+  "librbda_chase.a"
+  "librbda_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/constraint_set.cc" "src/constraints/CMakeFiles/rbda_constraints.dir/constraint_set.cc.o" "gcc" "src/constraints/CMakeFiles/rbda_constraints.dir/constraint_set.cc.o.d"
+  "/root/repo/src/constraints/fd.cc" "src/constraints/CMakeFiles/rbda_constraints.dir/fd.cc.o" "gcc" "src/constraints/CMakeFiles/rbda_constraints.dir/fd.cc.o.d"
+  "/root/repo/src/constraints/fd_reasoning.cc" "src/constraints/CMakeFiles/rbda_constraints.dir/fd_reasoning.cc.o" "gcc" "src/constraints/CMakeFiles/rbda_constraints.dir/fd_reasoning.cc.o.d"
+  "/root/repo/src/constraints/semantic_constraint.cc" "src/constraints/CMakeFiles/rbda_constraints.dir/semantic_constraint.cc.o" "gcc" "src/constraints/CMakeFiles/rbda_constraints.dir/semantic_constraint.cc.o.d"
+  "/root/repo/src/constraints/tgd.cc" "src/constraints/CMakeFiles/rbda_constraints.dir/tgd.cc.o" "gcc" "src/constraints/CMakeFiles/rbda_constraints.dir/tgd.cc.o.d"
+  "/root/repo/src/constraints/uid_reasoning.cc" "src/constraints/CMakeFiles/rbda_constraints.dir/uid_reasoning.cc.o" "gcc" "src/constraints/CMakeFiles/rbda_constraints.dir/uid_reasoning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/rbda_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rbda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rbda_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

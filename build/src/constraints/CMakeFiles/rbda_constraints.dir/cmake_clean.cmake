@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_constraints.dir/constraint_set.cc.o"
+  "CMakeFiles/rbda_constraints.dir/constraint_set.cc.o.d"
+  "CMakeFiles/rbda_constraints.dir/fd.cc.o"
+  "CMakeFiles/rbda_constraints.dir/fd.cc.o.d"
+  "CMakeFiles/rbda_constraints.dir/fd_reasoning.cc.o"
+  "CMakeFiles/rbda_constraints.dir/fd_reasoning.cc.o.d"
+  "CMakeFiles/rbda_constraints.dir/semantic_constraint.cc.o"
+  "CMakeFiles/rbda_constraints.dir/semantic_constraint.cc.o.d"
+  "CMakeFiles/rbda_constraints.dir/tgd.cc.o"
+  "CMakeFiles/rbda_constraints.dir/tgd.cc.o.d"
+  "CMakeFiles/rbda_constraints.dir/uid_reasoning.cc.o"
+  "CMakeFiles/rbda_constraints.dir/uid_reasoning.cc.o.d"
+  "librbda_constraints.a"
+  "librbda_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

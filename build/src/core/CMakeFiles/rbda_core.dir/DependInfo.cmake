@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/answerability.cc" "src/core/CMakeFiles/rbda_core.dir/answerability.cc.o" "gcc" "src/core/CMakeFiles/rbda_core.dir/answerability.cc.o.d"
+  "/root/repo/src/core/axiom_rb.cc" "src/core/CMakeFiles/rbda_core.dir/axiom_rb.cc.o" "gcc" "src/core/CMakeFiles/rbda_core.dir/axiom_rb.cc.o.d"
+  "/root/repo/src/core/blowup.cc" "src/core/CMakeFiles/rbda_core.dir/blowup.cc.o" "gcc" "src/core/CMakeFiles/rbda_core.dir/blowup.cc.o.d"
+  "/root/repo/src/core/certificates.cc" "src/core/CMakeFiles/rbda_core.dir/certificates.cc.o" "gcc" "src/core/CMakeFiles/rbda_core.dir/certificates.cc.o.d"
+  "/root/repo/src/core/linearization.cc" "src/core/CMakeFiles/rbda_core.dir/linearization.cc.o" "gcc" "src/core/CMakeFiles/rbda_core.dir/linearization.cc.o.d"
+  "/root/repo/src/core/plan_synthesis.cc" "src/core/CMakeFiles/rbda_core.dir/plan_synthesis.cc.o" "gcc" "src/core/CMakeFiles/rbda_core.dir/plan_synthesis.cc.o.d"
+  "/root/repo/src/core/proof_plans.cc" "src/core/CMakeFiles/rbda_core.dir/proof_plans.cc.o" "gcc" "src/core/CMakeFiles/rbda_core.dir/proof_plans.cc.o.d"
+  "/root/repo/src/core/reduction.cc" "src/core/CMakeFiles/rbda_core.dir/reduction.cc.o" "gcc" "src/core/CMakeFiles/rbda_core.dir/reduction.cc.o.d"
+  "/root/repo/src/core/rewriting.cc" "src/core/CMakeFiles/rbda_core.dir/rewriting.cc.o" "gcc" "src/core/CMakeFiles/rbda_core.dir/rewriting.cc.o.d"
+  "/root/repo/src/core/simplification.cc" "src/core/CMakeFiles/rbda_core.dir/simplification.cc.o" "gcc" "src/core/CMakeFiles/rbda_core.dir/simplification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/rbda_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/rbda_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rbda_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/rbda_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rbda_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rbda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rbda_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

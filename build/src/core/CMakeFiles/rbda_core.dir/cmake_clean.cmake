@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_core.dir/answerability.cc.o"
+  "CMakeFiles/rbda_core.dir/answerability.cc.o.d"
+  "CMakeFiles/rbda_core.dir/axiom_rb.cc.o"
+  "CMakeFiles/rbda_core.dir/axiom_rb.cc.o.d"
+  "CMakeFiles/rbda_core.dir/blowup.cc.o"
+  "CMakeFiles/rbda_core.dir/blowup.cc.o.d"
+  "CMakeFiles/rbda_core.dir/certificates.cc.o"
+  "CMakeFiles/rbda_core.dir/certificates.cc.o.d"
+  "CMakeFiles/rbda_core.dir/linearization.cc.o"
+  "CMakeFiles/rbda_core.dir/linearization.cc.o.d"
+  "CMakeFiles/rbda_core.dir/plan_synthesis.cc.o"
+  "CMakeFiles/rbda_core.dir/plan_synthesis.cc.o.d"
+  "CMakeFiles/rbda_core.dir/proof_plans.cc.o"
+  "CMakeFiles/rbda_core.dir/proof_plans.cc.o.d"
+  "CMakeFiles/rbda_core.dir/reduction.cc.o"
+  "CMakeFiles/rbda_core.dir/reduction.cc.o.d"
+  "CMakeFiles/rbda_core.dir/rewriting.cc.o"
+  "CMakeFiles/rbda_core.dir/rewriting.cc.o.d"
+  "CMakeFiles/rbda_core.dir/simplification.cc.o"
+  "CMakeFiles/rbda_core.dir/simplification.cc.o.d"
+  "librbda_core.a"
+  "librbda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

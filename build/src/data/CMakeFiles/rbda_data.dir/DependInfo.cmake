@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/instance.cc" "src/data/CMakeFiles/rbda_data.dir/instance.cc.o" "gcc" "src/data/CMakeFiles/rbda_data.dir/instance.cc.o.d"
+  "/root/repo/src/data/term.cc" "src/data/CMakeFiles/rbda_data.dir/term.cc.o" "gcc" "src/data/CMakeFiles/rbda_data.dir/term.cc.o.d"
+  "/root/repo/src/data/universe.cc" "src/data/CMakeFiles/rbda_data.dir/universe.cc.o" "gcc" "src/data/CMakeFiles/rbda_data.dir/universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rbda_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_data.dir/instance.cc.o"
+  "CMakeFiles/rbda_data.dir/instance.cc.o.d"
+  "CMakeFiles/rbda_data.dir/term.cc.o"
+  "CMakeFiles/rbda_data.dir/term.cc.o.d"
+  "CMakeFiles/rbda_data.dir/universe.cc.o"
+  "CMakeFiles/rbda_data.dir/universe.cc.o.d"
+  "librbda_data.a"
+  "librbda_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

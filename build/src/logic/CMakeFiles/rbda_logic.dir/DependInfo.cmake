@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/conjunctive_query.cc" "src/logic/CMakeFiles/rbda_logic.dir/conjunctive_query.cc.o" "gcc" "src/logic/CMakeFiles/rbda_logic.dir/conjunctive_query.cc.o.d"
+  "/root/repo/src/logic/homomorphism.cc" "src/logic/CMakeFiles/rbda_logic.dir/homomorphism.cc.o" "gcc" "src/logic/CMakeFiles/rbda_logic.dir/homomorphism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/rbda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rbda_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_logic.dir/conjunctive_query.cc.o"
+  "CMakeFiles/rbda_logic.dir/conjunctive_query.cc.o.d"
+  "CMakeFiles/rbda_logic.dir/homomorphism.cc.o"
+  "CMakeFiles/rbda_logic.dir/homomorphism.cc.o.d"
+  "librbda_logic.a"
+  "librbda_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

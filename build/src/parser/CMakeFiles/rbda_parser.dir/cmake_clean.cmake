@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_parser.dir/parser.cc.o"
+  "CMakeFiles/rbda_parser.dir/parser.cc.o.d"
+  "CMakeFiles/rbda_parser.dir/serializer.cc.o"
+  "CMakeFiles/rbda_parser.dir/serializer.cc.o.d"
+  "librbda_parser.a"
+  "librbda_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/access_selection.cc" "src/runtime/CMakeFiles/rbda_runtime.dir/access_selection.cc.o" "gcc" "src/runtime/CMakeFiles/rbda_runtime.dir/access_selection.cc.o.d"
+  "/root/repo/src/runtime/accessible_part.cc" "src/runtime/CMakeFiles/rbda_runtime.dir/accessible_part.cc.o" "gcc" "src/runtime/CMakeFiles/rbda_runtime.dir/accessible_part.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "src/runtime/CMakeFiles/rbda_runtime.dir/executor.cc.o" "gcc" "src/runtime/CMakeFiles/rbda_runtime.dir/executor.cc.o.d"
+  "/root/repo/src/runtime/generators.cc" "src/runtime/CMakeFiles/rbda_runtime.dir/generators.cc.o" "gcc" "src/runtime/CMakeFiles/rbda_runtime.dir/generators.cc.o.d"
+  "/root/repo/src/runtime/oracle.cc" "src/runtime/CMakeFiles/rbda_runtime.dir/oracle.cc.o" "gcc" "src/runtime/CMakeFiles/rbda_runtime.dir/oracle.cc.o.d"
+  "/root/repo/src/runtime/plan.cc" "src/runtime/CMakeFiles/rbda_runtime.dir/plan.cc.o" "gcc" "src/runtime/CMakeFiles/rbda_runtime.dir/plan.cc.o.d"
+  "/root/repo/src/runtime/plan_compile.cc" "src/runtime/CMakeFiles/rbda_runtime.dir/plan_compile.cc.o" "gcc" "src/runtime/CMakeFiles/rbda_runtime.dir/plan_compile.cc.o.d"
+  "/root/repo/src/runtime/plan_transform.cc" "src/runtime/CMakeFiles/rbda_runtime.dir/plan_transform.cc.o" "gcc" "src/runtime/CMakeFiles/rbda_runtime.dir/plan_transform.cc.o.d"
+  "/root/repo/src/runtime/ra_expr.cc" "src/runtime/CMakeFiles/rbda_runtime.dir/ra_expr.cc.o" "gcc" "src/runtime/CMakeFiles/rbda_runtime.dir/ra_expr.cc.o.d"
+  "/root/repo/src/runtime/schema_generators.cc" "src/runtime/CMakeFiles/rbda_runtime.dir/schema_generators.cc.o" "gcc" "src/runtime/CMakeFiles/rbda_runtime.dir/schema_generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/rbda_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/rbda_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/rbda_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rbda_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rbda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rbda_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

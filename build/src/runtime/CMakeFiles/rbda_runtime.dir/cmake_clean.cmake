@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_runtime.dir/access_selection.cc.o"
+  "CMakeFiles/rbda_runtime.dir/access_selection.cc.o.d"
+  "CMakeFiles/rbda_runtime.dir/accessible_part.cc.o"
+  "CMakeFiles/rbda_runtime.dir/accessible_part.cc.o.d"
+  "CMakeFiles/rbda_runtime.dir/executor.cc.o"
+  "CMakeFiles/rbda_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/rbda_runtime.dir/generators.cc.o"
+  "CMakeFiles/rbda_runtime.dir/generators.cc.o.d"
+  "CMakeFiles/rbda_runtime.dir/oracle.cc.o"
+  "CMakeFiles/rbda_runtime.dir/oracle.cc.o.d"
+  "CMakeFiles/rbda_runtime.dir/plan.cc.o"
+  "CMakeFiles/rbda_runtime.dir/plan.cc.o.d"
+  "CMakeFiles/rbda_runtime.dir/plan_compile.cc.o"
+  "CMakeFiles/rbda_runtime.dir/plan_compile.cc.o.d"
+  "CMakeFiles/rbda_runtime.dir/plan_transform.cc.o"
+  "CMakeFiles/rbda_runtime.dir/plan_transform.cc.o.d"
+  "CMakeFiles/rbda_runtime.dir/ra_expr.cc.o"
+  "CMakeFiles/rbda_runtime.dir/ra_expr.cc.o.d"
+  "CMakeFiles/rbda_runtime.dir/schema_generators.cc.o"
+  "CMakeFiles/rbda_runtime.dir/schema_generators.cc.o.d"
+  "librbda_runtime.a"
+  "librbda_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_schema.dir/service_schema.cc.o"
+  "CMakeFiles/rbda_schema.dir/service_schema.cc.o.d"
+  "librbda_schema.a"
+  "librbda_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

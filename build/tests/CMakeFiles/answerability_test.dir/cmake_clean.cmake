@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answerability_test.dir/answerability_test.cpp.o"
+  "CMakeFiles/answerability_test.dir/answerability_test.cpp.o.d"
+  "answerability_test"
+  "answerability_test.pdb"
+  "answerability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answerability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blowup_test.dir/blowup_test.cpp.o"
+  "CMakeFiles/blowup_test.dir/blowup_test.cpp.o.d"
+  "blowup_test"
+  "blowup_test.pdb"
+  "blowup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blowup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearization_test.dir/linearization_test.cpp.o"
+  "CMakeFiles/linearization_test.dir/linearization_test.cpp.o.d"
+  "linearization_test"
+  "linearization_test.pdb"
+  "linearization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

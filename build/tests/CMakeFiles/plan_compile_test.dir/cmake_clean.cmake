@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_compile_test.dir/plan_compile_test.cpp.o"
+  "CMakeFiles/plan_compile_test.dir/plan_compile_test.cpp.o.d"
+  "plan_compile_test"
+  "plan_compile_test.pdb"
+  "plan_compile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

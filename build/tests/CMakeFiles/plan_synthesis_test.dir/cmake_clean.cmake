@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_synthesis_test.dir/plan_synthesis_test.cpp.o"
+  "CMakeFiles/plan_synthesis_test.dir/plan_synthesis_test.cpp.o.d"
+  "plan_synthesis_test"
+  "plan_synthesis_test.pdb"
+  "plan_synthesis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

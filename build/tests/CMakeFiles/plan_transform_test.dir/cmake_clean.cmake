@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_transform_test.dir/plan_transform_test.cpp.o"
+  "CMakeFiles/plan_transform_test.dir/plan_transform_test.cpp.o.d"
+  "plan_transform_test"
+  "plan_transform_test.pdb"
+  "plan_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_plans_test.dir/proof_plans_test.cpp.o"
+  "CMakeFiles/proof_plans_test.dir/proof_plans_test.cpp.o.d"
+  "proof_plans_test"
+  "proof_plans_test.pdb"
+  "proof_plans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_plans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

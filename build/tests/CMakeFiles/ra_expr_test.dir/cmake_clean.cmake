@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_expr_test.dir/ra_expr_test.cpp.o"
+  "CMakeFiles/ra_expr_test.dir/ra_expr_test.cpp.o.d"
+  "ra_expr_test"
+  "ra_expr_test.pdb"
+  "ra_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

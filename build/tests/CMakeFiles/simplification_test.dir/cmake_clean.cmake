@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplification_test.dir/simplification_test.cpp.o"
+  "CMakeFiles/simplification_test.dir/simplification_test.cpp.o.d"
+  "simplification_test"
+  "simplification_test.pdb"
+  "simplification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/logic_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/chase_test[1]_include.cmake")
+include("/root/repo/build/tests/chase_property_test[1]_include.cmake")
+include("/root/repo/build/tests/certain_answers_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/serializer_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/simplification_test[1]_include.cmake")
+include("/root/repo/build/tests/reduction_test[1]_include.cmake")
+include("/root/repo/build/tests/linearization_test[1]_include.cmake")
+include("/root/repo/build/tests/rewriting_test[1]_include.cmake")
+include("/root/repo/build/tests/answerability_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_synthesis_test[1]_include.cmake")
+include("/root/repo/build/tests/proof_plans_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_transform_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_compile_test[1]_include.cmake")
+include("/root/repo/build/tests/ra_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/blowup_test[1]_include.cmake")
+include("/root/repo/build/tests/axiom_rb_test[1]_include.cmake")
+include("/root/repo/build/tests/certificates_test[1]_include.cmake")
+include("/root/repo/build/tests/semantic_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_cli.dir/rbda_cli.cpp.o"
+  "CMakeFiles/rbda_cli.dir/rbda_cli.cpp.o.d"
+  "rbda_cli"
+  "rbda_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
