@@ -78,6 +78,7 @@ BENCHMARK(BM_DecideLowerBoundsOnly)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   rbda::AgreementTable();
+  rbda::PrintBenchMetricsJson("ablation_elimub");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -87,6 +87,7 @@ BENCHMARK(BM_SimplifiedVsBound)
 
 int main(int argc, char** argv) {
   rbda::SizeTable();
+  rbda::PrintBenchMetricsJson("ablation_naive_vs_simplified");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

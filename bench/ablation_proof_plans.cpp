@@ -109,6 +109,7 @@ BENCHMARK(BM_UniversalPlanExecution)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   rbda::CallCountTable();
+  rbda::PrintBenchMetricsJson("ablation_proof_plans");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

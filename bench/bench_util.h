@@ -6,10 +6,54 @@
 #include <string>
 
 #include "core/answerability.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "runtime/schema_generators.h"
 
 namespace rbda {
+
+// Accumulates name → value pairs (keys and strings JSON-escaped) and
+// prints them as one `BENCH_JSON {...}` line, so every bench binary's
+// headline numbers — plus the metrics-registry snapshot — are ingestible
+// as a BENCH_*.json trajectory point:
+//
+//   ./table1_summary | sed -n 's/^BENCH_JSON //p' > BENCH_table1.json
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string_view bench_name) {
+    obj_.AddString("bench", bench_name);
+  }
+
+  void Add(std::string_view key, uint64_t value) { obj_.AddUint(key, value); }
+  void Add(std::string_view key, int value) { obj_.AddInt(key, value); }
+  void Add(std::string_view key, double value) { obj_.AddDouble(key, value); }
+  void Add(std::string_view key, std::string_view value) {
+    obj_.AddString(key, value);
+  }
+
+  /// Embeds the current default-registry snapshot under "metrics".
+  void AddMetricsSnapshot() {
+    obj_.AddRaw("metrics", SnapshotToJson(MetricsRegistry::Default()));
+  }
+
+  std::string ToJson() const { return obj_.ToJson(); }
+
+  /// Prints the `BENCH_JSON {...}` line to stdout.
+  void Print() const { std::printf("BENCH_JSON %s\n", ToJson().c_str()); }
+
+ private:
+  JsonObjectWriter obj_;
+};
+
+// Emits the standard end-of-table metrics block for a bench binary: the
+// registry snapshot accumulated while the deterministic table ran (the
+// part of the output that is diffable across commits).
+inline void PrintBenchMetricsJson(std::string_view bench_name) {
+  BenchJsonWriter writer(bench_name);
+  writer.AddMetricsSnapshot();
+  writer.Print();
+}
 
 // The university fixture with a configurable bound on ud (0 = unbounded).
 inline std::string UniversityText(uint32_t bound) {

@@ -106,4 +106,10 @@ BENCHMARK(BM_SelectorOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace rbda
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  // Snapshot after the runs so the block reflects the measured activity.
+  rbda::PrintBenchMetricsJson("runtime_plans");
+  return 0;
+}

@@ -99,6 +99,7 @@ BENCHMARK(BM_DecideVsChainLength)
 
 int main(int argc, char** argv) {
   rbda::VerdictTable();
+  rbda::PrintBenchMetricsJson("table1_row1_ids");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

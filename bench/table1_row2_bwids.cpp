@@ -177,6 +177,7 @@ BENCHMARK(BM_LinearizedVsSchemaSize)
 
 int main(int argc, char** argv) {
   rbda::CompletenessTable();
+  rbda::PrintBenchMetricsJson("table1_row2_bwids");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -115,6 +115,7 @@ BENCHMARK(BM_DecideVsNumFds)
 
 int main(int argc, char** argv) {
   rbda::VerdictTable();
+  rbda::PrintBenchMetricsJson("table1_row3_fds");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

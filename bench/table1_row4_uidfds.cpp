@@ -154,6 +154,7 @@ BENCHMARK(BM_FiniteClosure)
 
 int main(int argc, char** argv) {
   rbda::VerdictTable();
+  rbda::PrintBenchMetricsJson("table1_row4_uidfds");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -128,6 +128,7 @@ BENCHMARK(BM_RandomTgdCompleteness)
 
 int main(int argc, char** argv) {
   rbda::VerdictTable();
+  rbda::PrintBenchMetricsJson("table1_row5_eqfree");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -85,6 +85,7 @@ BENCHMARK(BM_ProofSearchVsRules)
 
 int main(int argc, char** argv) {
   rbda::VerdictTable();
+  rbda::PrintBenchMetricsJson("table1_row6_fgtgds");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

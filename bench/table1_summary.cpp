@@ -164,17 +164,39 @@ void Table1() {
               "decided");
   std::printf("-----------------------+------------------------------+------"
               "------------------------+-------------+------------\n");
-  PrintRow("IDs", "Existence-check (Thm 4.2)", "EXPTIME-c (Thm 5.3)",
-           IdsRow());
+  RowStats ids = IdsRow();
+  RowStats bwids = BwIdsRow();
+  RowStats fds = FdsRow();
+  RowStats uidfds = UidFdRow();
+  RowStats eqfree = TgdRow();
+  RowStats fgtgds = TgdRow();
+  PrintRow("IDs", "Existence-check (Thm 4.2)", "EXPTIME-c (Thm 5.3)", ids);
   PrintRow("Bounded-width IDs", "Existence-check (see above)",
-           "NP-c (Thm 5.4, lineariz.)", BwIdsRow());
-  PrintRow("FDs", "FD (Thm 4.5)", "NP-c (Thm 5.2)", FdsRow());
+           "NP-c (Thm 5.4, lineariz.)", bwids);
+  PrintRow("FDs", "FD (Thm 4.5)", "NP-c (Thm 5.2)", fds);
   PrintRow("FDs and UIDs", "Choice (Thm 6.4)", "NP-hard, in EXPTIME (7.2)",
-           UidFdRow());
+           uidfds);
   PrintRow("Equality-free FO", "Choice (Thm 6.3)",
-           "Undecidable (Prop 8.2)", TgdRow());
+           "Undecidable (Prop 8.2)", eqfree);
   PrintRow("Frontier-guarded TGDs", "Choice (see above)",
-           "2EXPTIME-c (Thm 7.1)", TgdRow());
+           "2EXPTIME-c (Thm 7.1)", fgtgds);
+
+  BenchJsonWriter writer("table1_summary");
+  auto add_row = [&writer](const std::string& key, const RowStats& stats) {
+    writer.Add(key + ".agree", stats.agree);
+    writer.Add(key + ".compared", stats.compared);
+    writer.Add(key + ".decided", stats.decided);
+    writer.Add(key + ".total", stats.total);
+  };
+  add_row("ids", ids);
+  add_row("bwids", bwids);
+  add_row("fds", fds);
+  add_row("uidfds", uidfds);
+  add_row("eqfree", eqfree);
+  add_row("fgtgds", fgtgds);
+  writer.AddMetricsSnapshot();
+  writer.Print();
+
   std::printf("\nCounterexample rows (simplification must FAIL where the "
               "paper says so):\n");
 

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/parser/CMakeFiles/rbda_parser.dir/DependInfo.cmake"
   "/root/repo/build/src/runtime/CMakeFiles/rbda_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/chase/CMakeFiles/rbda_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/rbda_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/schema/CMakeFiles/rbda_schema.dir/DependInfo.cmake"
   "/root/repo/build/src/constraints/CMakeFiles/rbda_constraints.dir/DependInfo.cmake"
   "/root/repo/build/src/logic/CMakeFiles/rbda_logic.dir/DependInfo.cmake"

@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/constraints/CMakeFiles/rbda_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/rbda_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/logic/CMakeFiles/rbda_logic.dir/DependInfo.cmake"
   "/root/repo/build/src/data/CMakeFiles/rbda_data.dir/DependInfo.cmake"
   "/root/repo/build/src/base/CMakeFiles/rbda_base.dir/DependInfo.cmake"

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbda_obs.dir/json.cc.o"
+  "CMakeFiles/rbda_obs.dir/json.cc.o.d"
+  "CMakeFiles/rbda_obs.dir/metrics.cc.o"
+  "CMakeFiles/rbda_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/rbda_obs.dir/trace.cc.o"
+  "CMakeFiles/rbda_obs.dir/trace.cc.o.d"
+  "librbda_obs.a"
+  "librbda_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbda_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librbda_obs.a"
+)

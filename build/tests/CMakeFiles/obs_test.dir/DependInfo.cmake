@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rbda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/rbda_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rbda_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/rbda_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/rbda_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/rbda_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/rbda_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rbda_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rbda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rbda_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

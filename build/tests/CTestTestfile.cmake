@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/data_test[1]_include.cmake")
 include("/root/repo/build/tests/logic_test[1]_include.cmake")
 include("/root/repo/build/tests/constraints_test[1]_include.cmake")

@@ -5,10 +5,66 @@
 #include <set>
 
 #include "logic/conjunctive_query.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rbda {
 
+const char* ChaseExhaustedName(ChaseExhausted e) {
+  switch (e) {
+    case ChaseExhausted::kNone:
+      return "none";
+    case ChaseExhausted::kRounds:
+      return "rounds";
+    case ChaseExhausted::kFacts:
+      return "facts";
+  }
+  return "?";
+}
+
 namespace {
+
+// Handles into the default registry, resolved once per process. Goal
+// checks count under the containment.* namespace: testing Q' against the
+// chased instance IS the homomorphism check the containment engines are
+// built from (docs/OBSERVABILITY.md).
+struct ChaseMetrics {
+  Counter* runs;
+  Counter* rounds;
+  Counter* triggers_tgd;
+  Counter* triggers_egd;
+  Counter* triggers_cardinality;
+  Counter* facts_created;
+  Counter* fd_conflicts;
+  Counter* exhausted_rounds;
+  Counter* exhausted_facts;
+  Counter* hom_checks;
+  Counter* hom_checks_ok;
+  Distribution* run_us;
+  Distribution* rounds_per_run;
+};
+
+const ChaseMetrics& Metrics() {
+  static const ChaseMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return ChaseMetrics{
+        r.GetCounter("chase.runs"),
+        r.GetCounter("chase.rounds"),
+        r.GetCounter("chase.triggers.tgd"),
+        r.GetCounter("chase.triggers.egd"),
+        r.GetCounter("chase.triggers.cardinality"),
+        r.GetCounter("chase.facts_created"),
+        r.GetCounter("chase.fd_conflicts"),
+        r.GetCounter("chase.exhausted.rounds"),
+        r.GetCounter("chase.exhausted.facts"),
+        r.GetCounter("containment.hom_checks"),
+        r.GetCounter("containment.hom_checks.succeeded"),
+        r.GetDistribution("chase.run_us"),
+        r.GetDistribution("chase.rounds_per_run"),
+    };
+  }();
+  return m;
+}
 
 // Preference order for the term kept by an EGD merge: constants survive,
 // then variables (frozen query variables), then nulls; ties break on id so
@@ -39,11 +95,45 @@ class Engine {
 
   ChaseResult Run(const std::vector<std::vector<Atom>>* goals,
                   bool* goal_reached) {
+    Metrics().runs->Increment();
+    ScopedTimer run_timer(Metrics().run_us);
+    TraceSpan span("chase.run");
+    ChaseResult result = RunImpl(goals, goal_reached);
+    Metrics().rounds_per_run->Record(result.rounds);
+    if (result.status == ChaseStatus::kFdConflict) {
+      Metrics().fd_conflicts->Increment();
+    }
+    if (result.exhausted == ChaseExhausted::kRounds) {
+      Metrics().exhausted_rounds->Increment();
+    } else if (result.exhausted == ChaseExhausted::kFacts) {
+      Metrics().exhausted_facts->Increment();
+    }
+    if (span.active()) {
+      span.AddInt("rounds", static_cast<int64_t>(result.rounds));
+      span.AddInt("tgd_steps", static_cast<int64_t>(result.tgd_steps));
+      span.AddInt("egd_merges", static_cast<int64_t>(result.egd_merges));
+      span.AddInt("facts", static_cast<int64_t>(result.instance.NumFacts()));
+      span.AddStr("status",
+                  result.status == ChaseStatus::kCompleted   ? "completed"
+                  : result.status == ChaseStatus::kFdConflict ? "fd_conflict"
+                                                              : "budget");
+      span.AddStr("exhausted", ChaseExhaustedName(result.exhausted));
+    }
+    return result;
+  }
+
+ private:
+  ChaseResult RunImpl(const std::vector<std::vector<Atom>>* goals,
+                      bool* goal_reached) {
     if (goal_reached) *goal_reached = false;
     auto goal_holds = [&]() {
       if (goals == nullptr) return false;
       for (const std::vector<Atom>& goal : *goals) {
-        if (FindHomomorphism(goal, result_.instance).has_value()) return true;
+        Metrics().hom_checks->Increment();
+        if (FindHomomorphism(goal, result_.instance).has_value()) {
+          Metrics().hom_checks_ok->Increment();
+          return true;
+        }
       }
       return false;
     };
@@ -60,7 +150,15 @@ class Engine {
 
     for (uint64_t round = 1; round <= options_.max_rounds; ++round) {
       result_.rounds = round;
+      Metrics().rounds->Increment();
       uint64_t fired = FireTgdRound(round) + FireCardinalityRound();
+      if (TraceEnabled()) {
+        TraceEventRecord(
+            "chase.round",
+            {{"round", static_cast<int64_t>(round)},
+             {"fired", static_cast<int64_t>(fired)},
+             {"facts", static_cast<int64_t>(result_.instance.NumFacts())}});
+      }
       if (!ApplyFdsToFixpoint()) {
         result_.status = ChaseStatus::kFdConflict;
         return std::move(result_);
@@ -76,10 +174,12 @@ class Engine {
       }
       if (result_.instance.NumFacts() > options_.max_facts) {
         result_.status = ChaseStatus::kBudgetExceeded;
+        result_.exhausted = ChaseExhausted::kFacts;
         return std::move(result_);
       }
     }
     result_.status = ChaseStatus::kBudgetExceeded;
+    result_.exhausted = ChaseExhausted::kRounds;
     return std::move(result_);
   }
 
@@ -132,6 +232,8 @@ class Engine {
         }
         ++fired;
         ++result_.tgd_steps;
+        Metrics().triggers_tgd->Increment();
+        Metrics().facts_created->Increment(added.size());
         if (options_.record_trace) {
           // Record the full body homomorphism plus the fresh witnesses so
           // consumers (plan extraction) can reconstruct both the trigger
@@ -199,6 +301,8 @@ class Engine {
           result_.instance.AddFact(rule.target_rel, std::move(args));
           ++have;
           ++fired;
+          Metrics().triggers_cardinality->Increment();
+          Metrics().facts_created->Increment();
         }
       }
     }
@@ -229,6 +333,7 @@ class Engine {
             }
             result_.instance.ReplaceTerm(b, a);
             ++result_.egd_merges;
+            Metrics().triggers_egd->Increment();
             changed = true;
             break;  // the index was rebuilt; restart this FD
           }

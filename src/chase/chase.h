@@ -44,9 +44,20 @@ struct ChaseOptions {
 
 enum class ChaseStatus {
   kCompleted,       // no active triggers remain
-  kBudgetExceeded,  // ran out of rounds or facts
+  kBudgetExceeded,  // ran out of budget (see ChaseResult::exhausted)
   kFdConflict,      // an EGD step tried to merge two distinct constants
 };
+
+/// Which budget a kBudgetExceeded run actually tripped. Rounds and facts
+/// call for different tuning (deeper recursion vs. wider breadth), so the
+/// result distinguishes them.
+enum class ChaseExhausted {
+  kNone,    // status != kBudgetExceeded
+  kRounds,  // hit ChaseOptions::max_rounds (or the linear depth bound)
+  kFacts,   // hit ChaseOptions::max_facts
+};
+
+const char* ChaseExhaustedName(ChaseExhausted e);
 
 /// One fired TGD trigger, for proof traces.
 struct ChaseStep {
@@ -58,6 +69,7 @@ struct ChaseStep {
 
 struct ChaseResult {
   ChaseStatus status = ChaseStatus::kCompleted;
+  ChaseExhausted exhausted = ChaseExhausted::kNone;  // set iff budget trip
   Instance instance;
   uint64_t rounds = 0;
   uint64_t tgd_steps = 0;

@@ -4,7 +4,62 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rbda {
+
+namespace {
+
+struct ContainmentMetrics {
+  Counter* checks;
+  Counter* checks_linear;
+  Counter* hom_checks;
+  Counter* hom_checks_ok;
+  Counter* activeness_checks;
+  Distribution* check_us;
+  Distribution* linear_depth;
+  // The linear engine bypasses chase.cc's Engine, so it feeds the shared
+  // chase.* counters itself (the registry hands back the same handles).
+  Counter* chase_rounds;
+  Counter* chase_triggers_tgd;
+  Counter* chase_facts_created;
+  Counter* chase_exhausted_facts;
+};
+
+const ContainmentMetrics& Metrics() {
+  static const ContainmentMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return ContainmentMetrics{
+        r.GetCounter("containment.checks"),
+        r.GetCounter("containment.checks.linear"),
+        r.GetCounter("containment.hom_checks"),
+        r.GetCounter("containment.hom_checks.succeeded"),
+        r.GetCounter("containment.activeness_checks"),
+        r.GetDistribution("containment.check_us"),
+        r.GetDistribution("containment.linear.depth"),
+        r.GetCounter("chase.rounds"),
+        r.GetCounter("chase.triggers.tgd"),
+        r.GetCounter("chase.facts_created"),
+        r.GetCounter("chase.exhausted.facts"),
+    };
+  }();
+  return m;
+}
+
+const char* VerdictName(ContainmentVerdict v) {
+  switch (v) {
+    case ContainmentVerdict::kContained:
+      return "contained";
+    case ContainmentVerdict::kNotContained:
+      return "not_contained";
+    case ContainmentVerdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace
 
 ContainmentOutcome CheckContainment(
     const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
@@ -20,6 +75,9 @@ ContainmentOutcome CheckContainmentFrom(
     const ConstraintSet& sigma, Universe* universe,
     const ChaseOptions& options,
     const std::vector<CardinalityRule>& cardinality_rules) {
+  Metrics().checks->Increment();
+  ScopedTimer timer(Metrics().check_us);
+  TraceSpan span("containment.check");
   ContainmentOutcome out;
   bool goal_reached = false;
   out.chase = RunChaseUntil(start, sigma, goal, universe, &goal_reached,
@@ -34,6 +92,12 @@ ContainmentOutcome CheckContainmentFrom(
     out.verdict = ContainmentVerdict::kNotContained;
   } else {
     out.verdict = ContainmentVerdict::kUnknown;
+  }
+  if (span.active()) {
+    span.AddStr("verdict", VerdictName(out.verdict));
+    span.AddInt("rounds", static_cast<int64_t>(out.chase.rounds));
+    span.AddInt("facts",
+                static_cast<int64_t>(out.chase.instance.NumFacts()));
   }
   return out;
 }
@@ -118,6 +182,11 @@ ContainmentOutcome CheckLinearContainmentFrom(
     RBDA_CHECK(tgd.IsLinear());
   }
 
+  Metrics().checks->Increment();
+  Metrics().checks_linear->Increment();
+  ScopedTimer timer(Metrics().check_us);
+  TraceSpan span("containment.check.linear");
+
   ContainmentOutcome out;
   Instance& inst = out.chase.instance;
 
@@ -130,12 +199,25 @@ ContainmentOutcome CheckLinearContainmentFrom(
   });
 
   auto goal_holds = [&]() {
-    return FindHomomorphism(goal, inst).has_value();
+    Metrics().hom_checks->Increment();
+    bool found = FindHomomorphism(goal, inst).has_value();
+    if (found) Metrics().hom_checks_ok->Increment();
+    return found;
+  };
+
+  auto finish = [&](ContainmentVerdict verdict) {
+    out.verdict = verdict;
+    Metrics().linear_depth->Record(out.depth_reached);
+    if (span.active()) {
+      span.AddStr("verdict", VerdictName(verdict));
+      span.AddInt("depth", static_cast<int64_t>(out.depth_reached));
+      span.AddInt("facts", static_cast<int64_t>(inst.NumFacts()));
+    }
+    return std::move(out);
   };
 
   if (goal_holds()) {
-    out.verdict = ContainmentVerdict::kContained;
-    return out;
+    return finish(ContainmentVerdict::kContained);
   }
 
   for (uint64_t depth = 1; depth <= max_depth && !frontier.empty(); ++depth) {
@@ -153,6 +235,7 @@ ContainmentOutcome CheckLinearContainmentFrom(
               for (Term x : tgd.ExportedVariables()) {
                 seed.emplace(x, ApplyToTerm(sub, x));
               }
+              Metrics().activeness_checks->Increment();
               if (FindHomomorphism(tgd.head(), inst, &seed).has_value()) {
                 return true;  // not active
               }
@@ -160,38 +243,47 @@ ContainmentOutcome CheckLinearContainmentFrom(
               for (Term y : tgd.ExistentialVariables()) {
                 extension.emplace(y, universe->FreshNull());
               }
+              uint64_t created_count = 0;
               for (const Atom& h : tgd.head()) {
                 Fact created = ApplyToAtom(extension, h);
-                if (inst.AddFact(created)) next.push_back(created);
+                if (inst.AddFact(created)) {
+                  next.push_back(created);
+                  ++created_count;
+                }
               }
               ++out.chase.tgd_steps;
+              Metrics().chase_triggers_tgd->Increment();
+              Metrics().chase_facts_created->Increment(created_count);
               return true;
             });
       }
     }
     out.chase.rounds = depth;
+    Metrics().chase_rounds->Increment();
+    if (TraceEnabled()) {
+      TraceEventRecord("chase.round.linear",
+                       {{"depth", static_cast<int64_t>(depth)},
+                        {"frontier", static_cast<int64_t>(next.size())},
+                        {"facts", static_cast<int64_t>(inst.NumFacts())}});
+    }
     if (goal_holds()) {
-      out.verdict = ContainmentVerdict::kContained;
-      return out;
+      return finish(ContainmentVerdict::kContained);
     }
     if (inst.NumFacts() > max_facts) {
-      out.verdict = ContainmentVerdict::kUnknown;
       out.chase.status = ChaseStatus::kBudgetExceeded;
-      return out;
+      out.chase.exhausted = ChaseExhausted::kFacts;
+      Metrics().chase_exhausted_facts->Increment();
+      return finish(ContainmentVerdict::kUnknown);
     }
     frontier = std::move(next);
   }
 
-  if (frontier.empty()) {
-    // Chase terminated before the depth bound: exact answer.
-    out.verdict = ContainmentVerdict::kNotContained;
-  } else {
-    // Depth bound reached: complete by the Johnson–Klug argument when
-    // max_depth is the JK bound for this constraint set.
-    out.verdict = ContainmentVerdict::kNotContained;
-  }
+  // Empty frontier: the chase terminated before the depth bound — exact
+  // answer. Otherwise the depth bound was reached: complete by the
+  // Johnson–Klug argument when max_depth is the JK bound for this
+  // constraint set.
   out.chase.status = ChaseStatus::kCompleted;
-  return out;
+  return finish(ContainmentVerdict::kNotContained);
 }
 
 }  // namespace rbda

@@ -6,6 +6,8 @@
 #include "constraints/uid_reasoning.h"
 #include "core/linearization.h"
 #include "core/simplification.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rbda {
 
@@ -22,6 +24,39 @@ const char* AnswerabilityName(Answerability a) {
 }
 
 namespace {
+
+// Per-stage timing distributions and decision counters (namespace
+// "answerability.*", docs/OBSERVABILITY.md).
+struct StageMetrics {
+  Counter* decisions;
+  Counter* decisions_complete;
+  Distribution* decide_us;
+  Distribution* simplification_us;
+  Distribution* reduction_us;
+  Distribution* containment_us;
+};
+
+const StageMetrics& Stages() {
+  static const StageMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return StageMetrics{
+        r.GetCounter("answerability.decisions"),
+        r.GetCounter("answerability.decisions.complete"),
+        r.GetDistribution("answerability.decide_us"),
+        r.GetDistribution("answerability.simplification_us"),
+        r.GetDistribution("answerability.reduction_us"),
+        r.GetDistribution("answerability.containment_us"),
+    };
+  }();
+  return m;
+}
+
+// Runs `fn` with its wall time recorded in `dist`.
+template <typename Fn>
+auto TimedStage(Distribution* dist, Fn&& fn) {
+  ScopedTimer timer(dist);
+  return fn();
+}
 
 Answerability FromVerdict(ContainmentVerdict v) {
   switch (v) {
@@ -40,6 +75,7 @@ void FillStats(Decision* d, const ContainmentOutcome& outcome) {
   d->chase_facts = outcome.chase.instance.NumFacts();
   d->tgd_steps = outcome.chase.tgd_steps;
   d->depth_reached = outcome.depth_reached;
+  d->exhausted = outcome.chase.exhausted;
 }
 
 // Generic pipeline: build the AMonDet reduction over `work` and chase.
@@ -49,13 +85,16 @@ StatusOr<Decision> GenericPipeline(const ServiceSchema& work,
                                    const ReductionOptions& red_opts,
                                    const DecisionOptions& options,
                                    std::string procedure) {
-  StatusOr<AmonDetReduction> red = BuildAmonDetReduction(
-      work, q, red_opts, &accessible_constants);
+  StatusOr<AmonDetReduction> red = TimedStage(Stages().reduction_us, [&] {
+    return BuildAmonDetReduction(work, q, red_opts, &accessible_constants);
+  });
   RBDA_RETURN_IF_ERROR(red.status());
   Universe* universe = const_cast<Universe*>(&work.universe());
-  ContainmentOutcome outcome = CheckContainmentFrom(
-      red->start, red->q_prime.atoms(), red->gamma, universe, options.chase,
-      red->cardinality_rules);
+  ContainmentOutcome outcome = TimedStage(Stages().containment_us, [&] {
+    return CheckContainmentFrom(red->start, red->q_prime.atoms(), red->gamma,
+                                universe, options.chase,
+                                red->cardinality_rules);
+  });
   Decision d;
   d.procedure = std::move(procedure);
   d.verdict = FromVerdict(outcome.verdict);
@@ -73,14 +112,17 @@ StatusOr<Decision> LinearPipeline(const ServiceSchema& work,
                                   const std::vector<LinearizedMethod>& methods,
                                   const DecisionOptions& options,
                                   std::string procedure) {
-  StatusOr<LinearizedProblem> lin =
-      LinearizeAnswerability(work, q, methods, &accessible_constants);
+  StatusOr<LinearizedProblem> lin = TimedStage(Stages().reduction_us, [&] {
+    return LinearizeAnswerability(work, q, methods, &accessible_constants);
+  });
   RBDA_RETURN_IF_ERROR(lin.status());
   Universe* universe = const_cast<Universe*>(&work.universe());
   uint64_t depth = std::min(lin->jk_depth_bound, options.linear_depth_cap);
-  ContainmentOutcome outcome =
-      CheckLinearContainmentFrom(lin->start, lin->goal, lin->tgds, universe,
-                                 depth, options.linear_max_facts);
+  ContainmentOutcome outcome = TimedStage(Stages().containment_us, [&] {
+    return CheckLinearContainmentFrom(lin->start, lin->goal, lin->tgds,
+                                      universe, depth,
+                                      options.linear_max_facts);
+  });
   Decision d;
   d.procedure = std::move(procedure);
   d.verdict = FromVerdict(outcome.verdict);
@@ -145,17 +187,27 @@ StatusOr<Decision> DecideMonotoneAnswerability(const ServiceSchema& schema,
                                      : q.Constants();
   Fragment fragment = schema.constraints().Classify();
 
+  Stages().decisions->Increment();
+  ScopedTimer decide_timer(Stages().decide_us);
+  TraceSpan decide_span("decide");
+  if (decide_span.active()) {
+    decide_span.AddStr("fragment", FragmentName(fragment));
+  }
+
   StatusOr<Decision> decision = Status::Internal("unset");
   if (options.force_naive) {
     ReductionOptions red;
     red.mode = ReductionMode::kNaive;
-    decision = GenericPipeline(ElimUB(schema), q, accessible_constants, red,
+    ServiceSchema simplified =
+        TimedStage(Stages().simplification_us, [&] { return ElimUB(schema); });
+    decision = GenericPipeline(simplified, q, accessible_constants, red,
                                options, "naive §3 reduction (ablation)");
   } else {
     switch (fragment) {
       case Fragment::kEmpty:
       case Fragment::kFdsOnly: {
-        ServiceSchema simplified = FdSimplification(schema);
+        ServiceSchema simplified = TimedStage(
+            Stages().simplification_us, [&] { return FdSimplification(schema); });
         ReductionOptions red;
         red.mode = ReductionMode::kRewritten;
         decision = GenericPipeline(
@@ -180,7 +232,9 @@ StatusOr<Decision> DecideMonotoneAnswerability(const ServiceSchema& schema,
         } else {
           // Reference pipeline: existence-check simplification + generic
           // chase (used for the linearization crossover benchmark).
-          ServiceSchema simplified = ExistenceCheckSimplification(schema);
+          ServiceSchema simplified =
+              TimedStage(Stages().simplification_us,
+                         [&] { return ExistenceCheckSimplification(schema); });
           ReductionOptions red;
           red.mode = ReductionMode::kRewritten;
           decision = GenericPipeline(
@@ -190,7 +244,9 @@ StatusOr<Decision> DecideMonotoneAnswerability(const ServiceSchema& schema,
         break;
       }
       case Fragment::kUidsAndFds: {
-        ServiceSchema choice = ChoiceSimplification(schema);
+        ServiceSchema choice =
+            TimedStage(Stages().simplification_us,
+                       [&] { return ChoiceSimplification(schema); });
         ConjunctiveQuery minimized = MinimizeUnderFds(
             q, schema.constraints().fds,
             const_cast<Universe*>(&schema.universe()));
@@ -214,7 +270,9 @@ StatusOr<Decision> DecideMonotoneAnswerability(const ServiceSchema& schema,
       }
       case Fragment::kFrontierGuardedTgds:
       case Fragment::kGeneralTgds: {
-        ServiceSchema choice = ChoiceSimplification(schema);
+        ServiceSchema choice =
+            TimedStage(Stages().simplification_us,
+                       [&] { return ChoiceSimplification(schema); });
         ReductionOptions red;
         red.mode = ReductionMode::kRewritten;
         decision = GenericPipeline(
@@ -229,8 +287,10 @@ StatusOr<Decision> DecideMonotoneAnswerability(const ServiceSchema& schema,
         // reduction with a budgeted chase.
         ReductionOptions red;
         red.mode = ReductionMode::kNaive;
+        ServiceSchema simplified = TimedStage(Stages().simplification_us,
+                                              [&] { return ElimUB(schema); });
         decision = GenericPipeline(
-            ElimUB(schema), q, accessible_constants, red, options,
+            simplified, q, accessible_constants, red, options,
             "naive §3 reduction (no simplification theorem applies)");
         break;
       }
@@ -238,6 +298,16 @@ StatusOr<Decision> DecideMonotoneAnswerability(const ServiceSchema& schema,
   }
   RBDA_RETURN_IF_ERROR(decision.status());
   decision->fragment = fragment;
+  if (decision->complete) Stages().decisions_complete->Increment();
+  if (decide_span.active()) {
+    decide_span.AddStr("verdict", AnswerabilityName(decision->verdict));
+    decide_span.AddStr("procedure", decision->procedure);
+    decide_span.AddInt("complete", decision->complete ? 1 : 0);
+    decide_span.AddInt("chase_rounds",
+                       static_cast<int64_t>(decision->chase_rounds));
+    decide_span.AddInt("chase_facts",
+                       static_cast<int64_t>(decision->chase_facts));
+  }
   return decision;
 }
 

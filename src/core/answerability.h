@@ -51,6 +51,9 @@ struct Decision {
   Fragment fragment = Fragment::kEmpty;
   std::string procedure;  // human-readable pipeline description
   bool complete = false;  // true when the verdict is a real decision
+  /// When !complete because a chase budget tripped, which budget it was
+  /// (rounds vs. facts call for different tuning).
+  ChaseExhausted exhausted = ChaseExhausted::kNone;
   // Evidence / statistics.
   uint64_t chase_rounds = 0;
   uint64_t chase_facts = 0;

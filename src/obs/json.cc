@@ -1,0 +1,278 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace rbda {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonObjectWriter::Key(std::string_view key) {
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"" + JsonEscape(key) + "\":";
+}
+
+void JsonObjectWriter::AddString(std::string_view key, std::string_view value) {
+  Key(key);
+  body_ += "\"" + JsonEscape(value) + "\"";
+}
+
+void JsonObjectWriter::AddInt(std::string_view key, int64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+}
+
+void JsonObjectWriter::AddUint(std::string_view key, uint64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+}
+
+void JsonObjectWriter::AddDouble(std::string_view key, double value) {
+  Key(key);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  body_ += buf;
+}
+
+void JsonObjectWriter::AddBool(std::string_view key, bool value) {
+  Key(key);
+  body_ += value ? "true" : "false";
+}
+
+void JsonObjectWriter::AddRaw(std::string_view key,
+                              std::string_view json_value) {
+  Key(key);
+  body_ += json_value;
+}
+
+std::string SnapshotToJson(const MetricsRegistry& registry) {
+  JsonObjectWriter counters;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    counters.AddUint(name, value);
+  }
+  JsonObjectWriter distributions;
+  for (const auto& [name, stats] : registry.DistributionValues()) {
+    JsonObjectWriter d;
+    d.AddUint("count", stats.count);
+    d.AddUint("sum", stats.sum);
+    d.AddUint("min", stats.min);
+    d.AddUint("max", stats.max);
+    distributions.AddRaw(name, d.ToJson());
+  }
+  JsonObjectWriter out;
+  out.AddRaw("counters", counters.ToJson());
+  out.AddRaw("distributions", distributions.ToJson());
+  return out.ToJson();
+}
+
+namespace {
+
+// Recursive-descent well-formedness checker over [p, end).
+class JsonChecker {
+ public:
+  JsonChecker(const char* p, const char* end) : p_(p), end_(end) {}
+
+  bool Check() {
+    SkipWs();
+    if (!Value(/*depth=*/0)) return false;
+    SkipWs();
+    return p_ == end_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (static_cast<size_t>(end_ - p_) < word.size()) return false;
+    if (std::string_view(p_, word.size()) != word) return false;
+    p_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ != end_) {
+      unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        char e = *p_;
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
+              return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Digits() {
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+      return false;
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    return true;
+  }
+
+  bool Number() {
+    if (p_ != end_ && *p_ == '-') ++p_;
+    if (p_ == end_) return false;
+    if (*p_ == '0') {
+      ++p_;
+    } else if (!Digits()) {
+      return false;
+    }
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      if (!Digits()) return false;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth || p_ == end_) return false;
+    switch (*p_) {
+      case '{':
+        return Object(depth);
+      case '[':
+        return Array(depth);
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object(int depth) {
+    ++p_;  // '{'
+    SkipWs();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      SkipWs();
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array(int depth) {
+    ++p_;  // '['
+    SkipWs();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+bool IsValidJson(std::string_view s) {
+  return JsonChecker(s.data(), s.data() + s.size()).Check();
+}
+
+}  // namespace rbda

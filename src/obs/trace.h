@@ -1,0 +1,145 @@
+// Structured tracing: spans and events describing what the decision
+// procedures actually did — chase rounds, trigger firings, containment
+// checks, per-stage timings — routed to a pluggable sink.
+//
+// Design constraints (in priority order):
+//   1. Zero cost when disabled: every instrumentation site is guarded by
+//      TraceEnabled(), a single relaxed atomic load; no TraceRecord is
+//      built, no string is allocated, unless a sink is installed.
+//   2. Structured, machine-readable records: a record carries a name, a
+//      kind (span-begin / span-end / event), a steady-clock timestamp, and
+//      typed key-value payloads, so sinks can render JSON-lines without
+//      parsing anything back.
+//   3. Sinks are dumb and swappable: a bounded in-memory ring buffer for
+//      tests and post-mortem inspection, and a JSON-lines file sink for
+//      the CLI's --trace flag.
+//
+// The record schema is documented in docs/OBSERVABILITY.md.
+#ifndef RBDA_OBS_TRACE_H_
+#define RBDA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rbda {
+
+struct TraceRecord {
+  enum class Kind { kSpanBegin, kSpanEnd, kEvent };
+  Kind kind = Kind::kEvent;
+  std::string name;       // e.g. "chase.run", "decide", "chase.round"
+  uint64_t ts_us = 0;     // steady-clock microseconds since trace start
+  uint64_t duration_us = 0;  // span-end only
+  std::vector<std::pair<std::string, int64_t>> ints;
+  std::vector<std::pair<std::string, std::string>> strs;
+
+  /// Renders this record as a single-line JSON object (the JSON-lines
+  /// trace schema).
+  std::string ToJson() const;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Record(TraceRecord record) = 0;
+  virtual void Flush() {}
+};
+
+/// Installs `sink` as the process-wide trace sink (nullptr disables
+/// tracing). The caller keeps ownership and must keep the sink alive until
+/// it is uninstalled. Returns the previously installed sink.
+TraceSink* SetTraceSink(TraceSink* sink);
+
+/// The currently installed sink, or nullptr.
+TraceSink* ActiveTraceSink();
+
+/// True iff a sink is installed. One relaxed atomic load — this is the
+/// guard every instrumentation site checks first.
+inline bool TraceEnabled();
+
+/// Bounded in-memory sink keeping the most recent `capacity` records;
+/// older records are dropped (counted in dropped()).
+class RingBufferSink : public TraceSink {
+ public:
+  explicit RingBufferSink(size_t capacity) : capacity_(capacity) {}
+
+  void Record(TraceRecord record) override;
+
+  /// Snapshot of the buffered records, oldest first.
+  std::vector<TraceRecord> records() const;
+  uint64_t dropped() const;
+  size_t size() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceRecord> buffer_;
+  uint64_t dropped_ = 0;
+};
+
+/// Writes one JSON object per record to a file (JSON-lines). Records are
+/// serialized under a lock; the file is flushed on Flush() and close.
+class JsonLinesFileSink : public TraceSink {
+ public:
+  /// Opens `path` for writing (truncates). ok() is false if that failed.
+  explicit JsonLinesFileSink(const std::string& path);
+  ~JsonLinesFileSink() override;
+
+  bool ok() const { return file_ != nullptr; }
+  void Record(TraceRecord record) override;
+  void Flush() override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+namespace obs_internal {
+extern std::atomic<TraceSink*> g_trace_sink;
+uint64_t TraceNowMicros();
+void Emit(TraceRecord record);
+}  // namespace obs_internal
+
+inline bool TraceEnabled() {
+  return obs_internal::g_trace_sink.load(std::memory_order_relaxed) !=
+         nullptr;
+}
+
+/// Emits a standalone event if tracing is enabled. Payload vectors are
+/// only constructed at call sites that already checked TraceEnabled().
+void TraceEventRecord(std::string_view name,
+                      std::vector<std::pair<std::string, int64_t>> ints = {},
+                      std::vector<std::pair<std::string, std::string>> strs =
+                          {});
+
+/// RAII span: emits span-begin at construction and span-end (with
+/// duration and any payload added via AddInt/AddStr) at destruction.
+/// Construction is a no-op when tracing is disabled at that moment.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  void AddInt(std::string_view key, int64_t value);
+  void AddStr(std::string_view key, std::string_view value);
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, int64_t>> ints_;
+  std::vector<std::pair<std::string, std::string>> strs_;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_OBS_TRACE_H_

@@ -2,9 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/ra_expr.h"
 
 namespace rbda {
+
+namespace {
+
+struct ExecutorMetrics {
+  Counter* access_calls;
+  Counter* tuples_fetched;
+  Counter* truncations;
+  Counter* plans_executed;
+  Distribution* execute_us;
+};
+
+const ExecutorMetrics& Metrics() {
+  static const ExecutorMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return ExecutorMetrics{
+        r.GetCounter("executor.access_calls"),
+        r.GetCounter("executor.tuples_fetched"),
+        r.GetCounter("executor.truncations"),
+        r.GetCounter("executor.plans_executed"),
+        r.GetDistribution("executor.execute_us"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
 
 std::vector<Fact> MatchingTuples(const Instance& data,
                                  const AccessMethod& method,
@@ -69,6 +97,13 @@ StatusOr<Table> PlanExecutor::RunAccess(
         selector_->Choose(*method, binding, matching);
     ++stats_.accesses;
     stats_.tuples_fetched += selected.size();
+    Metrics().access_calls->Increment();
+    Metrics().tuples_fetched->Increment(selected.size());
+    if (method->bound_kind == BoundKind::kResultBound &&
+        matching.size() > method->bound) {
+      ++stats_.truncations;
+      Metrics().truncations->Increment();
+    }
     for (const Fact& f : selected) out.insert(f.args);
   }
   return out;
@@ -127,6 +162,9 @@ StatusOr<Table> PlanExecutor::RunMiddleware(
 }
 
 StatusOr<Table> PlanExecutor::Execute(const Plan& plan) {
+  Metrics().plans_executed->Increment();
+  ScopedTimer timer(Metrics().execute_us);
+  TraceSpan span("plan.execute");
   std::map<std::string, Table> tables;
   for (const PlanCommand& cmd : plan.commands) {
     std::string output_name;
@@ -165,6 +203,13 @@ StatusOr<Table> PlanExecutor::Execute(const Plan& plan) {
   if (it == tables.end()) {
     return Status::NotFound("output table '" + plan.output_table +
                             "' was never produced");
+  }
+  if (span.active()) {
+    span.AddInt("commands", static_cast<int64_t>(plan.commands.size()));
+    span.AddInt("accesses", static_cast<int64_t>(stats_.accesses));
+    span.AddInt("tuples_fetched",
+                static_cast<int64_t>(stats_.tuples_fetched));
+    span.AddInt("output_tuples", static_cast<int64_t>(it->second.size()));
   }
   return it->second;
 }

@@ -16,9 +16,15 @@
 
 namespace rbda {
 
+/// Per-executor view of the access activity. The same quantities also
+/// feed the process-wide registry ("executor.access_calls",
+/// "executor.tuples_fetched", "executor.truncations" —
+/// docs/OBSERVABILITY.md); this struct remains for callers that want the
+/// numbers of one execution in isolation.
 struct ExecutionStats {
   size_t accesses = 0;          // individual (method, binding) calls
   size_t tuples_fetched = 0;    // tuples returned by the service
+  size_t truncations = 0;       // accesses where a result bound cut matches
 };
 
 class PlanExecutor {

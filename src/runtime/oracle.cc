@@ -2,11 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/generators.h"
 
 namespace rbda {
 
 namespace {
+
+struct OracleMetrics {
+  Counter* plan_validations;
+  Counter* plan_validation_failures;
+  Counter* ce_attempts;
+  Counter* ce_found;
+  Distribution* validate_us;
+};
+
+const OracleMetrics& Metrics() {
+  static const OracleMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return OracleMetrics{
+        r.GetCounter("oracle.plan_validations"),
+        r.GetCounter("oracle.plan_validation_failures"),
+        r.GetCounter("oracle.counterexample_attempts"),
+        r.GetCounter("oracle.counterexamples_found"),
+        r.GetDistribution("oracle.validate_us"),
+    };
+  }();
+  return m;
+}
 
 Table ExpectedAnswers(const ConjunctiveQuery& query, const Instance& data) {
   Table out;
@@ -68,6 +92,8 @@ PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
                             const ConjunctiveQuery& query,
                             const Instance& data,
                             size_t num_random_selections, uint64_t seed) {
+  Metrics().plan_validations->Increment();
+  ScopedTimer timer(Metrics().validate_us);
   PlanValidation result;
   Table expected = ExpectedAnswers(query, data);
 
@@ -87,6 +113,7 @@ PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
     if (!output.ok()) {
       result.answers = false;
       result.failure = "execution error: " + output.status().ToString();
+      Metrics().plan_validation_failures->Increment();
       return result;
     }
     if (*output != expected) {
@@ -95,6 +122,7 @@ PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
                        TableToString(*output, schema.universe()) +
                        " != query answer " +
                        TableToString(expected, schema.universe());
+      Metrics().plan_validation_failures->Increment();
       return result;
     }
   }
@@ -151,6 +179,7 @@ std::optional<AMonDetCounterexample> SearchAMonDetCounterexample(
   Universe& universe = schema.universe();
 
   for (size_t attempt = 0; attempt < options.attempts; ++attempt) {
+    Metrics().ce_attempts->Increment();
     // Build I1: noise + a planted match of Q, completed to a model.
     Instance seed1 = RandomInstance(&universe, schema.relations(),
                                     options.domain_size,
@@ -207,6 +236,9 @@ std::optional<AMonDetCounterexample> SearchAMonDetCounterexample(
     out.i1 = std::move(*i1);
     out.i2 = std::move(*i2);
     out.accessed = std::move(accessed);
+    Metrics().ce_found->Increment();
+    TraceEventRecord("oracle.counterexample",
+                     {{"attempt", static_cast<int64_t>(attempt)}});
     return out;
   }
   return std::nullopt;

@@ -2,6 +2,7 @@
 
 #include "core/simplification.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "paper_fixtures.h"
 
 namespace rbda {
@@ -488,6 +489,42 @@ query Q() :- R(x, y, z)
   EXPECT_EQ(d.fragment, Fragment::kIdsAndFds);
   EXPECT_NE(d.procedure.find("naive"), std::string::npos);
   EXPECT_EQ(d.verdict, Answerability::kAnswerable);
+}
+
+TEST(AnswerabilityTest, DecideLeavesObservabilityCounters) {
+  // Integration with src/obs: a Decide run must record chase rounds and
+  // containment homomorphism checks in the default metrics registry.
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.Reset();
+
+  Universe u;
+  ParsedDocument doc = MustParse(kUniversityBounded, &u);
+  // Q2 decides at depth 0; Q1 (not answerable under the bound) forces the
+  // linear engine to actually chase, so both counters move.
+  ConjunctiveQuery q1 =
+      ConjunctiveQuery::Boolean(doc.queries.at("Q1").atoms());
+  EXPECT_TRUE(MustDecide(doc.schema, q1).complete);
+  EXPECT_TRUE(MustDecide(doc.schema, doc.queries.at("Q2")).complete);
+
+  auto counter = [&registry](std::string_view name) -> uint64_t {
+    for (const auto& [key, value] : registry.CounterValues()) {
+      if (key == name) return value;
+    }
+    return 0;
+  };
+  EXPECT_GT(counter("answerability.decisions"), 0u);
+  EXPECT_GT(counter("chase.rounds"), 0u);
+  EXPECT_GT(counter("containment.checks"), 0u);
+  EXPECT_GT(counter("containment.hom_checks"), 0u);
+  // Stage timings land in distributions.
+  auto samples = [&registry](std::string_view name) -> uint64_t {
+    for (const auto& [key, stats] : registry.DistributionValues()) {
+      if (key == name) return stats.count;
+    }
+    return 0;
+  };
+  EXPECT_GT(samples("answerability.decide_us"), 0u);
+  EXPECT_GT(samples("answerability.containment_us"), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,245 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rbda {
+namespace {
+
+TEST(MetricsTest, CounterRegistersAndIncrements) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Same name resolves to the same handle.
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+}
+
+TEST(MetricsTest, CountersAndDistributionsAreSeparateNamespaces) {
+  MetricsRegistry registry;
+  registry.GetCounter("x");
+  registry.GetDistribution("x");
+  EXPECT_EQ(registry.CounterValues().size(), 1u);
+  EXPECT_EQ(registry.DistributionValues().size(), 1u);
+}
+
+TEST(MetricsTest, DistributionTracksCountSumMinMax) {
+  MetricsRegistry registry;
+  Distribution* d = registry.GetDistribution("test.dist");
+  EXPECT_EQ(d->count(), 0u);
+  EXPECT_EQ(d->min(), 0u);  // empty
+  d->Record(7);
+  d->Record(3);
+  d->Record(11);
+  EXPECT_EQ(d->count(), 3u);
+  EXPECT_EQ(d->sum(), 21u);
+  EXPECT_EQ(d->min(), 3u);
+  EXPECT_EQ(d->max(), 11u);
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  Distribution* d = registry.GetDistribution("test.dist");
+  c->Increment(5);
+  d->Record(9);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(d->count(), 0u);
+  EXPECT_EQ(d->min(), 0u);
+  c->Increment();
+  EXPECT_EQ(registry.GetCounter("test.counter")->value(), 1u);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreNotLost) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.parallel");
+  Distribution* d = registry.GetDistribution("test.parallel");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        d->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(d->count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(d->min(), 0u);
+  EXPECT_EQ(d->max(), uint64_t{kPerThread - 1});
+}
+
+TEST(MetricsTest, ScopedTimerFeedsDistributionMonotonically) {
+  MetricsRegistry registry;
+  Distribution* d = registry.GetDistribution("test.timer_us");
+  uint64_t first = 0;
+  {
+    ScopedTimer timer(d);
+    // Do a little work so the clock advances at least 0 microseconds.
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+    first = timer.ElapsedMicros();
+    uint64_t second = timer.ElapsedMicros();
+    EXPECT_GE(second, first);  // steady_clock never goes backwards
+  }
+  EXPECT_EQ(d->count(), 1u);
+  EXPECT_GE(d->max(), first);
+  ScopedTimer(nullptr);  // null distribution is a safe no-op
+}
+
+TEST(JsonTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonTest, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("  {\"a\": [1, 2.5, -3e2, \"x\", true, null]} "));
+  EXPECT_TRUE(IsValidJson("[{\"nested\": {\"deep\": []}}]"));
+  EXPECT_TRUE(IsValidJson("\"just a string\""));
+  EXPECT_TRUE(IsValidJson("-0.5"));
+  EXPECT_FALSE(IsValidJson(""));
+  EXPECT_FALSE(IsValidJson("{"));
+  EXPECT_FALSE(IsValidJson("{\"a\":}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":1,}"));
+  EXPECT_FALSE(IsValidJson("[1 2]"));
+  EXPECT_FALSE(IsValidJson("{\"a\":1} extra"));
+  EXPECT_FALSE(IsValidJson("01"));
+  EXPECT_FALSE(IsValidJson("\"unterminated"));
+}
+
+TEST(JsonTest, ObjectWriterProducesValidJson) {
+  JsonObjectWriter obj;
+  obj.AddString("name", "va\"lue");
+  obj.AddUint("big", ~uint64_t{0});
+  obj.AddInt("neg", -7);
+  obj.AddBool("flag", true);
+  obj.AddRaw("inner", "{\"x\":1}");
+  std::string json = obj.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"va\\\"lue\""), std::string::npos);
+}
+
+TEST(JsonTest, SnapshotIsWellFormedAndContainsMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("chase.rounds")->Increment(3);
+  registry.GetDistribution("decide_us")->Record(12);
+  std::string json = SnapshotToJson(registry);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"chase.rounds\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"decide_us\":{\"count\":1,\"sum\":12"),
+            std::string::npos)
+      << json;
+  // Empty registry snapshots are valid too.
+  MetricsRegistry empty;
+  EXPECT_TRUE(IsValidJson(SnapshotToJson(empty)));
+}
+
+TEST(TraceTest, DisabledByDefaultAndCheapToProbe) {
+  ASSERT_EQ(ActiveTraceSink(), nullptr);
+  EXPECT_FALSE(TraceEnabled());
+  // With no sink, spans and events are no-ops.
+  TraceSpan span("noop");
+  EXPECT_FALSE(span.active());
+  TraceEventRecord("noop", {{"k", 1}});
+}
+
+TEST(TraceTest, SpansAndEventsReachTheSink) {
+  RingBufferSink sink(16);
+  ASSERT_EQ(SetTraceSink(&sink), nullptr);
+  {
+    TraceSpan span("outer");
+    span.AddInt("rounds", 3);
+    span.AddStr("verdict", "contained");
+    TraceEventRecord("tick", {{"n", 1}}, {{"tag", "x"}});
+  }
+  SetTraceSink(nullptr);
+
+  std::vector<TraceRecord> records = sink.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, TraceRecord::Kind::kSpanBegin);
+  EXPECT_EQ(records[0].name, "outer");
+  EXPECT_EQ(records[1].kind, TraceRecord::Kind::kEvent);
+  EXPECT_EQ(records[1].name, "tick");
+  EXPECT_EQ(records[2].kind, TraceRecord::Kind::kSpanEnd);
+  EXPECT_EQ(records[2].ints.size(), 1u);
+  EXPECT_EQ(records[2].ints[0].second, 3);
+  EXPECT_GE(records[2].ts_us, records[0].ts_us);
+  for (const TraceRecord& r : records) {
+    EXPECT_TRUE(IsValidJson(r.ToJson())) << r.ToJson();
+  }
+}
+
+TEST(TraceTest, RingBufferDropsOldestOnOverflow) {
+  RingBufferSink sink(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceRecord r;
+    r.name = "e" + std::to_string(i);
+    sink.Record(std::move(r));
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  std::vector<TraceRecord> records = sink.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().name, "e6");  // oldest surviving
+  EXPECT_EQ(records.back().name, "e9");   // most recent
+}
+
+TEST(TraceTest, ZeroCapacityRingBufferDropsEverything) {
+  RingBufferSink sink(0);
+  sink.Record(TraceRecord{});
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped(), 1u);
+}
+
+TEST(TraceTest, JsonLinesFileSinkWritesParseableLines) {
+  std::string path = ::testing::TempDir() + "/obs_trace_test.jsonl";
+  {
+    JsonLinesFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    ASSERT_EQ(SetTraceSink(&sink), nullptr);
+    {
+      TraceSpan span("chase.run");
+      span.AddInt("rounds", 2);
+      TraceEventRecord("chase.round", {{"round", 1}, {"fired", 5}});
+    }
+    SetTraceSink(nullptr);
+    sink.Flush();
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_TRUE(IsValidJson(line)) << line;
+    EXPECT_NE(line.find("\"kind\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"ts_us\""), std::string::npos) << line;
+  }
+  EXPECT_EQ(lines, 3);  // span_begin + event + span_end
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, FileSinkReportsUnwritablePath) {
+  JsonLinesFileSink sink("/nonexistent-dir/trace.jsonl");
+  EXPECT_FALSE(sink.ok());
+}
+
+}  // namespace
+}  // namespace rbda

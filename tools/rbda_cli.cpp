@@ -17,17 +17,28 @@
 //   rbda explain <schema.rbda> <query-name>
 //       Answerable: print the chase proof slice and the extracted plan.
 //       Not answerable: print a checkable counterexample certificate.
+//
+// Observability flags, valid with every subcommand
+// (docs/OBSERVABILITY.md):
+//   --metrics[=path]   Print (or write to `path`) a JSON snapshot of the
+//                      metrics registry after the command finishes.
+//   --trace=path       Stream structured span/event records to `path` as
+//                      JSON lines while the command runs.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "chase/containment.h"
 #include "core/answerability.h"
 #include "core/proof_plans.h"
 #include "core/certificates.h"
 #include "core/simplification.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 #include "parser/serializer.h"
 #include "runtime/oracle.h"
@@ -39,7 +50,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: rbda <decide|plan|run|containment|simplify|oracle|explain> "
-               "<schema.rbda> [args...]\n");
+               "<schema.rbda> [args...] [--metrics[=path]] [--trace=path]\n");
   return 2;
 }
 
@@ -52,21 +63,93 @@ bool ReadFile(const char* path, std::string* out) {
   return true;
 }
 
-// Tiny flag helpers over argv[3..].
-bool HasFlag(int argc, char** argv, const char* flag) {
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return true;
+// Parsed view of argv[3..]: every recognized --flag in one place, so the
+// observability flags compose with the per-command ones across all
+// subcommands, plus the remaining positional arguments (query names,
+// simplify mode). Unknown --flags are an error instead of being silently
+// ignored.
+struct CliOptions {
+  bool finite = false;           // decide
+  bool naive = false;            // decide
+  bool metrics = false;          // all commands
+  std::string metrics_path;      // empty = print to stdout
+  std::string trace_path;        // empty = tracing off
+  std::string selector = "first";  // run
+  uint64_t seed = 1;             // run
+  size_t rounds = 3;             // plan
+  size_t attempts = 300;         // oracle
+  std::vector<std::string> positional;
+
+  static bool Parse(int argc, char** argv, CliOptions* out);
+};
+
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
   }
-  return false;
+  *out = value;
+  return true;
 }
 
-std::string FlagValue(int argc, char** argv, const char* prefix,
-                      const std::string& fallback) {
-  size_t len = std::strlen(prefix);
+bool CliOptions::Parse(int argc, char** argv, CliOptions* out) {
   for (int i = 3; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix, len) == 0) return argv[i] + len;
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out->positional.push_back(std::move(arg));
+      continue;
+    }
+    std::string key = arg;
+    std::string value;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    uint64_t n = 0;
+    if (key == "--finite") {
+      out->finite = true;
+    } else if (key == "--naive") {
+      out->naive = true;
+    } else if (key == "--metrics") {
+      out->metrics = true;
+      out->metrics_path = value;
+    } else if (key == "--trace") {
+      if (value.empty()) {
+        std::fprintf(stderr, "--trace requires a path: --trace=out.jsonl\n");
+        return false;
+      }
+      out->trace_path = value;
+    } else if (key == "--selector") {
+      out->selector = value;
+    } else if (key == "--seed") {
+      if (!ParseUint(value, &out->seed)) {
+        std::fprintf(stderr, "--seed expects a number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (key == "--rounds") {
+      if (!ParseUint(value, &n)) {
+        std::fprintf(stderr, "--rounds expects a number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      out->rounds = static_cast<size_t>(n);
+    } else if (key == "--attempts") {
+      if (!ParseUint(value, &n)) {
+        std::fprintf(stderr, "--attempts expects a number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      out->attempts = static_cast<size_t>(n);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return false;
+    }
   }
-  return fallback;
+  return true;
 }
 
 const ConjunctiveQuery* FindQuery(const ParsedDocument& doc,
@@ -80,40 +163,48 @@ const ConjunctiveQuery* FindQuery(const ParsedDocument& doc,
   return &it->second;
 }
 
-int CmdDecide(const ParsedDocument& doc, Universe* universe, int argc,
-              char** argv) {
+int CmdDecide(const ParsedDocument& doc, Universe* universe,
+              const CliOptions& cli) {
   DecisionOptions options;
-  options.force_naive = HasFlag(argc, argv, "--naive");
-  bool finite = HasFlag(argc, argv, "--finite");
+  options.force_naive = cli.naive;
   for (const auto& [name, query] : doc.queries) {
     FrozenQuery frozen = FreezeQuery(query, universe);
     DecisionOptions adjusted = options;
     adjusted.accessible_constants = frozen.accessible_constants;
     StatusOr<Decision> d =
-        finite ? DecideFiniteMonotoneAnswerability(doc.schema,
-                                                   frozen.boolean_q, adjusted)
-               : DecideQueryAnswerability(doc.schema, query, options);
+        cli.finite
+            ? DecideFiniteMonotoneAnswerability(doc.schema, frozen.boolean_q,
+                                                adjusted)
+            : DecideQueryAnswerability(doc.schema, query, options);
     if (!d.ok()) {
       std::printf("%-12s ERROR %s\n", name.c_str(),
                   d.status().ToString().c_str());
       continue;
     }
+    // An incomplete verdict names the budget that tripped (rounds vs.
+    // facts ask for different tuning).
+    std::string limited;
+    if (!d->complete) {
+      limited = "  [budget-limited";
+      if (d->exhausted != ChaseExhausted::kNone) {
+        limited += std::string(": ") + ChaseExhaustedName(d->exhausted);
+      }
+      limited += "]";
+    }
     std::printf("%-12s %-16s %s%s\n    via %s\n", name.c_str(),
                 AnswerabilityName(d->verdict), FragmentName(d->fragment),
-                d->complete ? "" : "  [budget-limited]",
-                d->procedure.c_str());
+                limited.c_str(), d->procedure.c_str());
   }
   return 0;
 }
 
-int CmdPlan(const ParsedDocument& doc, Universe* universe, int argc,
-            char** argv) {
-  if (argc < 4) return Usage();
-  const ConjunctiveQuery* query = FindQuery(doc, argv[3]);
+int CmdPlan(const ParsedDocument& doc, Universe* universe,
+            const CliOptions& cli) {
+  if (cli.positional.empty()) return Usage();
+  const ConjunctiveQuery* query = FindQuery(doc, cli.positional[0]);
   if (query == nullptr) return 1;
   SynthesisOptions options;
-  options.access_rounds = static_cast<size_t>(
-      std::stoul(FlagValue(argc, argv, "--rounds=", "3")));
+  options.access_rounds = cli.rounds;
   StatusOr<Plan> plan = ExtractPlanFromProof(doc.schema, *query, options);
   const char* kind = "proof-driven";
   if (!plan.ok()) {
@@ -124,15 +215,15 @@ int CmdPlan(const ParsedDocument& doc, Universe* universe, int argc,
     std::fprintf(stderr, "no plan: %s\n", plan.status().ToString().c_str());
     return 1;
   }
-  std::printf("# %s plan for %s\n%s", kind, argv[3],
+  std::printf("# %s plan for %s\n%s", kind, cli.positional[0].c_str(),
               plan->ToString(*universe).c_str());
   return 0;
 }
 
-int CmdRun(const ParsedDocument& doc, Universe* universe, int argc,
-           char** argv) {
-  if (argc < 4) return Usage();
-  const ConjunctiveQuery* query = FindQuery(doc, argv[3]);
+int CmdRun(const ParsedDocument& doc, Universe* universe,
+           const CliOptions& cli) {
+  if (cli.positional.empty()) return Usage();
+  const ConjunctiveQuery* query = FindQuery(doc, cli.positional[0]);
   if (query == nullptr) return 1;
   StatusOr<Plan> plan = ExtractPlanFromProof(doc.schema, *query);
   if (!plan.ok()) plan = SynthesizeUniversalPlan(doc.schema, *query);
@@ -140,14 +231,11 @@ int CmdRun(const ParsedDocument& doc, Universe* universe, int argc,
     std::fprintf(stderr, "no plan: %s\n", plan.status().ToString().c_str());
     return 1;
   }
-  std::string policy_name = FlagValue(argc, argv, "--selector=", "first");
-  SelectionPolicy policy = policy_name == "last" ? SelectionPolicy::kLastK
-                           : policy_name == "random"
+  SelectionPolicy policy = cli.selector == "last" ? SelectionPolicy::kLastK
+                           : cli.selector == "random"
                                ? SelectionPolicy::kRandomK
                                : SelectionPolicy::kFirstK;
-  uint64_t seed =
-      std::stoull(FlagValue(argc, argv, "--seed=", "1"));
-  auto selector = MakeIdempotent(MakeSelector(policy, seed));
+  auto selector = MakeIdempotent(MakeSelector(policy, cli.seed));
   PlanExecutor executor(doc.schema, doc.data, selector.get());
   StatusOr<Table> out = executor.Execute(*plan);
   if (!out.ok()) {
@@ -172,11 +260,11 @@ int CmdRun(const ParsedDocument& doc, Universe* universe, int argc,
   return 0;
 }
 
-int CmdContainment(ParsedDocument& doc, Universe* universe, int argc,
-                   char** argv) {
-  if (argc < 5) return Usage();
-  const ConjunctiveQuery* q1 = FindQuery(doc, argv[3]);
-  const ConjunctiveQuery* q2 = FindQuery(doc, argv[4]);
+int CmdContainment(ParsedDocument& doc, Universe* universe,
+                   const CliOptions& cli) {
+  if (cli.positional.size() < 2) return Usage();
+  const ConjunctiveQuery* q1 = FindQuery(doc, cli.positional[0]);
+  const ConjunctiveQuery* q2 = FindQuery(doc, cli.positional[1]);
   if (q1 == nullptr || q2 == nullptr) return 1;
   ConjunctiveQuery b1 = ConjunctiveQuery::Boolean(q1->atoms());
   ConjunctiveQuery b2 = ConjunctiveQuery::Boolean(q2->atoms());
@@ -187,16 +275,16 @@ int CmdContainment(ParsedDocument& doc, Universe* universe, int argc,
                         : outcome.verdict == ContainmentVerdict::kNotContained
                             ? "NOT CONTAINED"
                             : "UNKNOWN (budget)";
-  std::printf("%s ⊆_Σ %s : %s  (chase: %llu rounds, %zu facts)\n", argv[3],
-              argv[4], verdict,
+  std::printf("%s ⊆_Σ %s : %s  (chase: %llu rounds, %zu facts)\n",
+              cli.positional[0].c_str(), cli.positional[1].c_str(), verdict,
               static_cast<unsigned long long>(outcome.chase.rounds),
               outcome.chase.instance.NumFacts());
   return 0;
 }
 
-int CmdSimplify(const ParsedDocument& doc, int argc, char** argv) {
-  if (argc < 4) return Usage();
-  std::string mode = argv[3];
+int CmdSimplify(const ParsedDocument& doc, const CliOptions& cli) {
+  if (cli.positional.empty()) return Usage();
+  const std::string& mode = cli.positional[0];
   ServiceSchema out = doc.schema;
   if (mode == "existence") {
     out = ExistenceCheckSimplification(doc.schema);
@@ -214,15 +302,14 @@ int CmdSimplify(const ParsedDocument& doc, int argc, char** argv) {
   return 0;
 }
 
-int CmdOracle(const ParsedDocument& doc, Universe* universe, int argc,
-              char** argv) {
-  if (argc < 4) return Usage();
-  const ConjunctiveQuery* query = FindQuery(doc, argv[3]);
+int CmdOracle(const ParsedDocument& doc, Universe* universe,
+              const CliOptions& cli) {
+  if (cli.positional.empty()) return Usage();
+  const ConjunctiveQuery* query = FindQuery(doc, cli.positional[0]);
   if (query == nullptr) return 1;
   FrozenQuery frozen = FreezeQuery(*query, universe);
   CounterexampleSearchOptions options;
-  options.attempts = static_cast<size_t>(
-      std::stoul(FlagValue(argc, argv, "--attempts=", "300")));
+  options.attempts = cli.attempts;
   std::optional<AMonDetCounterexample> ce =
       SearchAMonDetCounterexample(doc.schema, frozen.boolean_q, options);
   if (!ce.has_value()) {
@@ -240,10 +327,11 @@ int CmdOracle(const ParsedDocument& doc, Universe* universe, int argc,
   return 0;
 }
 
-int CmdExplain(const ParsedDocument& doc, Universe* universe, int argc,
-               char** argv) {
-  if (argc < 4) return Usage();
-  const ConjunctiveQuery* query = FindQuery(doc, argv[3]);
+int CmdExplain(const ParsedDocument& doc, Universe* universe,
+               const CliOptions& cli) {
+  if (cli.positional.empty()) return Usage();
+  const char* query_name = cli.positional[0].c_str();
+  const ConjunctiveQuery* query = FindQuery(doc, cli.positional[0]);
   if (query == nullptr) return 1;
   FrozenQuery frozen = FreezeQuery(*query, universe);
 
@@ -265,7 +353,7 @@ int CmdExplain(const ParsedDocument& doc, Universe* universe, int argc,
                     &goal, chase_options);
   if (goal) {
     std::printf("%s is ANSWERABLE. Chase proof (backward slice):\n\n",
-                argv[3]);
+                query_name);
     StatusOr<ProofSlice> slice = ExtractProofSlice(*red, chase);
     std::printf("%s", RenderProof(*red, chase, *universe,
                                   slice.ok() ? &*slice : nullptr)
@@ -276,7 +364,7 @@ int CmdExplain(const ParsedDocument& doc, Universe* universe, int argc,
     }
     return 0;
   }
-  std::printf("%s is NOT answerable", argv[3]);
+  std::printf("%s is NOT answerable", query_name);
   StatusOr<AMonDetCounterexample> ce = ExtractCertificate(*red, chase);
   if (!ce.ok()) {
     std::printf(" (no finite certificate: %s)\n",
@@ -292,10 +380,30 @@ int CmdExplain(const ParsedDocument& doc, Universe* universe, int argc,
   return 0;
 }
 
+// Emits the metrics snapshot requested via --metrics[=path].
+int EmitMetrics(const CliOptions& cli) {
+  std::string snapshot = SnapshotToJson(MetricsRegistry::Default());
+  if (cli.metrics_path.empty()) {
+    std::printf("%s\n", snapshot.c_str());
+    return 0;
+  }
+  std::ofstream out(cli.metrics_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics to %s\n",
+                 cli.metrics_path.c_str());
+    return 1;
+  }
+  out << snapshot << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
+  CliOptions cli;
+  if (!CliOptions::Parse(argc, argv, &cli)) return 2;
+
   std::string text;
   if (!ReadFile(argv[2], &text)) {
     std::fprintf(stderr, "cannot read %s\n", argv[2]);
@@ -309,13 +417,41 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::unique_ptr<JsonLinesFileSink> trace_sink;
+  if (!cli.trace_path.empty()) {
+    trace_sink = std::make_unique<JsonLinesFileSink>(cli.trace_path);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   cli.trace_path.c_str());
+      return 1;
+    }
+    SetTraceSink(trace_sink.get());
+  }
+
   std::string cmd = argv[1];
-  if (cmd == "decide") return CmdDecide(*doc, &universe, argc, argv);
-  if (cmd == "plan") return CmdPlan(*doc, &universe, argc, argv);
-  if (cmd == "run") return CmdRun(*doc, &universe, argc, argv);
-  if (cmd == "containment") return CmdContainment(*doc, &universe, argc, argv);
-  if (cmd == "simplify") return CmdSimplify(*doc, argc, argv);
-  if (cmd == "oracle") return CmdOracle(*doc, &universe, argc, argv);
-  if (cmd == "explain") return CmdExplain(*doc, &universe, argc, argv);
-  return Usage();
+  int code;
+  if (cmd == "decide") {
+    code = CmdDecide(*doc, &universe, cli);
+  } else if (cmd == "plan") {
+    code = CmdPlan(*doc, &universe, cli);
+  } else if (cmd == "run") {
+    code = CmdRun(*doc, &universe, cli);
+  } else if (cmd == "containment") {
+    code = CmdContainment(*doc, &universe, cli);
+  } else if (cmd == "simplify") {
+    code = CmdSimplify(*doc, cli);
+  } else if (cmd == "oracle") {
+    code = CmdOracle(*doc, &universe, cli);
+  } else if (cmd == "explain") {
+    code = CmdExplain(*doc, &universe, cli);
+  } else {
+    code = Usage();
+  }
+
+  if (trace_sink != nullptr) {
+    SetTraceSink(nullptr);
+    trace_sink->Flush();
+  }
+  if (cli.metrics && code == 0) code = EmitMetrics(cli);
+  return code;
 }
