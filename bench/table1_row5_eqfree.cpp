@@ -66,6 +66,7 @@ void BM_LayeredProofSearch(benchmark::State& state) {
   options.chase.max_rounds = 200;
   Answerability verdict = Answerability::kUnknown;
   for (auto _ : state) {
+    ClearContainmentCache();
     StatusOr<Decision> d = DecideMonotoneAnswerability(
         doc->schema, doc->queries.at("Q"), options);
     benchmark::DoNotOptimize(d);

@@ -31,6 +31,8 @@ namespace {
 struct ChaseMetrics {
   Counter* runs;
   Counter* rounds;
+  Counter* delta_rounds;
+  Counter* delta_full_rounds;
   Counter* triggers_tgd;
   Counter* triggers_egd;
   Counter* triggers_cardinality;
@@ -42,6 +44,7 @@ struct ChaseMetrics {
   Counter* hom_checks_ok;
   Distribution* run_us;
   Distribution* rounds_per_run;
+  Distribution* delta_size;
 };
 
 const ChaseMetrics& Metrics() {
@@ -50,6 +53,8 @@ const ChaseMetrics& Metrics() {
     return ChaseMetrics{
         r.GetCounter("chase.runs"),
         r.GetCounter("chase.rounds"),
+        r.GetCounter("chase.delta.rounds"),
+        r.GetCounter("chase.delta.full_rounds"),
         r.GetCounter("chase.triggers.tgd"),
         r.GetCounter("chase.triggers.egd"),
         r.GetCounter("chase.triggers.cardinality"),
@@ -61,6 +66,7 @@ const ChaseMetrics& Metrics() {
         r.GetCounter("containment.hom_checks.succeeded"),
         r.GetDistribution("chase.run_us"),
         r.GetDistribution("chase.rounds_per_run"),
+        r.GetDistribution("chase.delta.size"),
     };
   }();
   return m;
@@ -126,11 +132,20 @@ class Engine {
   ChaseResult RunImpl(const std::vector<std::vector<Atom>>* goals,
                       bool* goal_reached) {
     if (goal_reached) *goal_reached = false;
-    auto goal_holds = [&]() {
+    // Delta-restricted when `delta` is non-null: the pre-delta state was
+    // already goal-checked, so only homomorphisms touching the delta can
+    // newly satisfy a goal.
+    auto goal_holds = [&](const Instance::DeltaMark* delta) {
       if (goals == nullptr) return false;
       for (const std::vector<Atom>& goal : *goals) {
         Metrics().hom_checks->Increment();
-        if (FindHomomorphism(goal, result_.instance).has_value()) {
+        bool found =
+            delta != nullptr
+                ? FindHomomorphismDelta(goal, result_.instance, nullptr,
+                                        *delta)
+                      .has_value()
+                : FindHomomorphism(goal, result_.instance).has_value();
+        if (found) {
           Metrics().hom_checks_ok->Increment();
           return true;
         }
@@ -142,41 +157,66 @@ class Engine {
       result_.status = ChaseStatus::kFdConflict;
       return std::move(result_);
     }
-    if (goal_holds()) {
+    if (goal_holds(nullptr)) {
       if (goal_reached) *goal_reached = true;
       result_.status = ChaseStatus::kCompleted;
       return std::move(result_);
     }
 
+    // Facts visible at the start of the previous round's firing phase;
+    // valid only while no EGD rebuild intervened (see chase.h).
+    Instance::DeltaMark prev_mark;
+    bool prev_mark_valid = false;
+
     for (uint64_t round = 1; round <= options_.max_rounds; ++round) {
       result_.rounds = round;
       Metrics().rounds->Increment();
-      uint64_t fired = FireTgdRound(round) + FireCardinalityRound();
+      Instance::DeltaMark round_mark = result_.instance.Mark();
+      bool semi = options_.use_semi_naive && prev_mark_valid &&
+                  result_.instance.MarkValid(prev_mark);
+      const Instance::DeltaMark* delta = semi ? &prev_mark : nullptr;
+      if (semi) {
+        Metrics().delta_rounds->Increment();
+        Metrics().delta_size->Record(result_.instance.generation() -
+                                     prev_mark.generation);
+      } else {
+        Metrics().delta_full_rounds->Increment();
+      }
+      uint64_t fired = FireTgdRound(round, delta);
+      if (!budget_tripped_) fired += FireCardinalityRound(delta);
       if (TraceEnabled()) {
         TraceEventRecord(
             "chase.round",
             {{"round", static_cast<int64_t>(round)},
              {"fired", static_cast<int64_t>(fired)},
-             {"facts", static_cast<int64_t>(result_.instance.NumFacts())}});
+             {"facts", static_cast<int64_t>(result_.instance.NumFacts())}},
+            {{"mode", semi ? "delta" : "full"}});
       }
       if (!ApplyFdsToFixpoint()) {
         result_.status = ChaseStatus::kFdConflict;
         return std::move(result_);
       }
-      if (goal_holds()) {
+      // A goal reached within budget still wins, even on a truncated
+      // round: check before reporting the budget trip.
+      bool round_mark_ok = options_.use_semi_naive &&
+                           result_.instance.MarkValid(round_mark);
+      if (goal_holds(round_mark_ok ? &round_mark : nullptr)) {
         if (goal_reached) *goal_reached = true;
         result_.status = ChaseStatus::kCompleted;
+        return std::move(result_);
+      }
+      if (budget_tripped_ ||
+          result_.instance.NumFacts() > options_.max_facts) {
+        result_.status = ChaseStatus::kBudgetExceeded;
+        result_.exhausted = ChaseExhausted::kFacts;
         return std::move(result_);
       }
       if (fired == 0) {
         result_.status = ChaseStatus::kCompleted;
         return std::move(result_);
       }
-      if (result_.instance.NumFacts() > options_.max_facts) {
-        result_.status = ChaseStatus::kBudgetExceeded;
-        result_.exhausted = ChaseExhausted::kFacts;
-        return std::move(result_);
-      }
+      prev_mark = std::move(round_mark);
+      prev_mark_valid = round_mark_ok;
     }
     result_.status = ChaseStatus::kBudgetExceeded;
     result_.exhausted = ChaseExhausted::kRounds;
@@ -185,9 +225,12 @@ class Engine {
 
  private:
   // Fires all TGD triggers that are active at the start of the round
-  // (re-checking activeness right before each firing). Returns the number
-  // of firings.
-  uint64_t FireTgdRound(uint64_t round) {
+  // (re-checking activeness right before each firing). When `delta` is
+  // non-null, only enumerates triggers with at least one body atom in the
+  // delta (semi-naive); pre-delta triggers were handled in earlier rounds.
+  // Stops early (budget_tripped_) when a firing pushes the instance past
+  // the fact budget. Returns the number of firings.
+  uint64_t FireTgdRound(uint64_t round, const Instance::DeltaMark* delta) {
     uint64_t fired = 0;
     for (size_t i = 0; i < constraints_.tgds.size(); ++i) {
       const Tgd& tgd = constraints_.tgds[i];
@@ -199,18 +242,23 @@ class Engine {
       // image need only one head witness).
       std::set<std::vector<Term>> seen;
       std::vector<Substitution> triggers;
-      ForEachHomomorphism(tgd.body(), result_.instance, nullptr,
-                          [&](const Substitution& sub) {
-                            std::vector<Term> key;
-                            key.reserve(exported.size());
-                            for (Term x : exported) {
-                              key.push_back(ApplyToTerm(sub, x));
-                            }
-                            if (seen.insert(std::move(key)).second) {
-                              triggers.push_back(sub);
-                            }
-                            return true;
-                          });
+      auto collect = [&](const Substitution& sub) {
+        std::vector<Term> key;
+        key.reserve(exported.size());
+        for (Term x : exported) {
+          key.push_back(ApplyToTerm(sub, x));
+        }
+        if (seen.insert(std::move(key)).second) {
+          triggers.push_back(sub);
+        }
+        return true;
+      };
+      if (delta != nullptr) {
+        ForEachHomomorphismDelta(tgd.body(), result_.instance, nullptr,
+                                 *delta, collect);
+      } else {
+        ForEachHomomorphism(tgd.body(), result_.instance, nullptr, collect);
+      }
 
       for (const Substitution& trigger : triggers) {
         Substitution seed;
@@ -243,15 +291,49 @@ class Engine {
           result_.trace.push_back(
               ChaseStep{i, std::move(full), std::move(added), round});
         }
+        if (result_.instance.NumFacts() > options_.max_facts) {
+          budget_tripped_ = true;
+          return fired;
+        }
       }
     }
     return fired;
   }
 
   // Fires the naive §3 cardinality-transfer rules: see CardinalityRule.
-  uint64_t FireCardinalityRound() {
+  // Semi-naive (`delta` non-null): a binding can only newly need witnesses
+  // if a delta fact raised its source-match count or newly made one of its
+  // values accessible, so all other bindings are skipped — they were
+  // satisfied when last processed, and `have` only grows while `j` grows
+  // only through new source facts.
+  uint64_t FireCardinalityRound(const Instance::DeltaMark* delta) {
     uint64_t fired = 0;
     for (const CardinalityRule& rule : rules_) {
+      std::set<std::vector<Term>> dirty;  // bindings with new source facts
+      TermSet newly_accessible;
+      if (delta != nullptr) {
+        const std::vector<Fact>& src =
+            result_.instance.FactsOf(rule.source_rel);
+        for (uint32_t i = result_.instance.DeltaBegin(*delta, rule.source_rel);
+             i < src.size(); ++i) {
+          std::vector<Term> key;
+          key.reserve(rule.input_positions.size());
+          for (uint32_t p : rule.input_positions) {
+            key.push_back(src[i].args[p]);
+          }
+          dirty.insert(std::move(key));
+        }
+        if (rule.require_accessible) {
+          const std::vector<Fact>& acc =
+              result_.instance.FactsOf(rule.accessible_rel);
+          for (uint32_t i =
+                   result_.instance.DeltaBegin(*delta, rule.accessible_rel);
+               i < acc.size(); ++i) {
+            newly_accessible.insert(acc[i].args[0]);
+          }
+        }
+        if (dirty.empty() && newly_accessible.empty()) continue;
+      }
       // Group source facts by their input-position tuple.
       std::map<std::vector<Term>, std::set<std::vector<Term>>> groups;
       for (const Fact& f : result_.instance.FactsOf(rule.source_rel)) {
@@ -261,6 +343,16 @@ class Engine {
         groups[std::move(key)].insert(f.args);
       }
       for (const auto& [binding, matches] : groups) {
+        if (delta != nullptr && dirty.count(binding) == 0) {
+          bool touched = false;
+          for (Term t : binding) {
+            if (newly_accessible.count(t) > 0) {
+              touched = true;
+              break;
+            }
+          }
+          if (!touched) continue;
+        }
         // The binding values must all be accessible (unless the rule is
         // unconditional).
         if (rule.require_accessible) {
@@ -303,6 +395,12 @@ class Engine {
           ++fired;
           Metrics().triggers_cardinality->Increment();
           Metrics().facts_created->Increment();
+          if (result_.instance.NumFacts() > options_.max_facts) {
+            // Stop at the point of violation: a single rule with a large
+            // bound must not blow past the fact budget within one round.
+            budget_tripped_ = true;
+            return fired;
+          }
         }
       }
     }
@@ -311,7 +409,33 @@ class Engine {
 
   // Repairs FD violations by merging terms. Returns false on an attempt to
   // merge two distinct constants (the chase fails).
+  //
+  // Merges are accumulated in a union-find over terms (representative =
+  // highest-priority member, see KindRank) and the instance is rewritten
+  // once at the end, instead of rebuilding it after every single merge and
+  // restarting the scan — the old behaviour was quadratic in the length of
+  // merge chains. Scans repeat, resolving terms through the union-find,
+  // until a full pass over all FDs finds no new merge; that final clean
+  // pass certifies the fixpoint.
   bool ApplyFdsToFixpoint() {
+    if (constraints_.fds.empty()) return true;
+    std::unordered_map<Term, Term, TermHash> parent;
+    auto find = [&](Term t) {
+      Term root = t;
+      for (auto it = parent.find(root); it != parent.end();
+           it = parent.find(root)) {
+        root = it->second;
+      }
+      // Path compression.
+      while (t != root) {
+        Term next = parent[t];
+        parent[t] = root;
+        t = next;
+      }
+      return root;
+    };
+
+    uint64_t unions = 0;
     bool changed = true;
     while (changed) {
       changed = false;
@@ -320,26 +444,35 @@ class Engine {
         for (const Fact& f : result_.instance.FactsOf(fd.relation)) {
           std::vector<Term> key;
           key.reserve(fd.determiners.size());
-          for (uint32_t p : fd.determiners) key.push_back(f.args[p]);
-          Term value = f.args[fd.determined];
+          for (uint32_t p : fd.determiners) key.push_back(find(f.args[p]));
+          Term value = find(f.args[fd.determined]);
           auto [it, inserted] = witness.emplace(std::move(key), value);
-          if (!inserted && it->second != value) {
-            Term a = it->second, b = value;
-            if (a.IsConstant() && b.IsConstant()) return false;
-            // Keep the higher-priority term.
-            if (std::make_pair(KindRank(a), a.id()) >
-                std::make_pair(KindRank(b), b.id())) {
-              std::swap(a, b);
-            }
-            result_.instance.ReplaceTerm(b, a);
-            ++result_.egd_merges;
-            Metrics().triggers_egd->Increment();
-            changed = true;
-            break;  // the index was rebuilt; restart this FD
+          if (inserted) continue;
+          Term a = find(it->second);
+          Term b = value;
+          if (a == b) continue;
+          if (a.IsConstant() && b.IsConstant()) return false;
+          // Keep the higher-priority term as the representative.
+          if (std::make_pair(KindRank(a), a.id()) >
+              std::make_pair(KindRank(b), b.id())) {
+            std::swap(a, b);
           }
+          parent[b] = a;
+          it->second = a;
+          ++unions;
+          ++result_.egd_merges;
+          Metrics().triggers_egd->Increment();
+          changed = true;
         }
-        if (changed) break;
       }
+    }
+    if (unions > 0) {
+      std::unordered_map<Term, Term, TermHash> mapping;
+      mapping.reserve(parent.size());
+      for (const auto& [term, unused] : parent) {
+        mapping.emplace(term, find(term));
+      }
+      result_.instance.ReplaceTerms(mapping);
     }
     return true;
   }
@@ -349,6 +482,9 @@ class Engine {
   const ChaseOptions& options_;
   const std::vector<CardinalityRule>& rules_;
   ChaseResult result_;
+  // Set by the firing helpers when a firing pushed the instance past
+  // options_.max_facts; RunImpl then stops with exhausted = kFacts.
+  bool budget_tripped_ = false;
 };
 
 }  // namespace

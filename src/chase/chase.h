@@ -6,6 +6,20 @@
 // budgeted; it records a proof trace that later stages (plan synthesis)
 // consume.
 //
+// Trigger enumeration is *semi-naive* (delta-driven): each round only
+// looks for body homomorphisms with at least one atom in the facts added
+// since the previous round started (the delta), because a trigger whose
+// atoms all predate the delta was already considered — and the restricted
+// chase's activeness test is monotone, so a once-inactive trigger stays
+// inactive while facts only accumulate. The engine falls back to full
+// (naive) evaluation exactly when that argument breaks down:
+//   * on round 1, where there is no previous delta;
+//   * for the round after an EGD repair merged terms — the merge rebuilds
+//     the fact vectors (invalidating delta ranges) and remaps terms, so
+//     activeness conclusions from before the merge no longer transfer;
+//   * when ChaseOptions::use_semi_naive is off (ablation/testing).
+// Goal checks in RunChaseUntil* are delta-restricted under the same rules.
+//
 // The engine also supports the cardinality-transfer rules produced by the
 // *naive* AMonDet reduction of §3 — the "∃≥j" accessibility axioms for
 // result lower bounds — under the standard chase convention that distinct
@@ -38,8 +52,19 @@ struct CardinalityRule {
 
 struct ChaseOptions {
   uint64_t max_rounds = 1000;
+  /// Fact budget, enforced *inside* rounds: a round stops at the trigger
+  /// whose firing pushed the instance past the budget (exhausted=kFacts),
+  /// so no single round can overshoot unboundedly.
   uint64_t max_facts = 200000;
   bool record_trace = false;
+  /// Delta-driven trigger enumeration (see file comment). Off = the naive
+  /// re-enumeration of every body homomorphism each round; results are
+  /// homomorphically equivalent either way (ablation/property tests).
+  bool use_semi_naive = true;
+  /// Consult/populate the process-wide containment memoization cache when
+  /// this options bag reaches CheckContainment* (no effect on RunChase
+  /// itself; see chase/containment.h).
+  bool use_containment_cache = true;
 };
 
 enum class ChaseStatus {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <mutex>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -17,6 +19,9 @@ struct ContainmentMetrics {
   Counter* hom_checks;
   Counter* hom_checks_ok;
   Counter* activeness_checks;
+  Counter* cache_hits;
+  Counter* cache_misses;
+  Counter* cache_evictions;
   Distribution* check_us;
   Distribution* linear_depth;
   // The linear engine bypasses chase.cc's Engine, so it feeds the shared
@@ -36,6 +41,9 @@ const ContainmentMetrics& Metrics() {
         r.GetCounter("containment.hom_checks"),
         r.GetCounter("containment.hom_checks.succeeded"),
         r.GetCounter("containment.activeness_checks"),
+        r.GetCounter("containment.cache.hits"),
+        r.GetCounter("containment.cache.misses"),
+        r.GetCounter("containment.cache.evictions"),
         r.GetDistribution("containment.check_us"),
         r.GetDistribution("containment.linear.depth"),
         r.GetCounter("chase.rounds"),
@@ -46,6 +54,183 @@ const ContainmentMetrics& Metrics() {
   }();
   return m;
 }
+
+// ---- Containment memoization (see the header comment). ----
+//
+// A key is a canonical word sequence: the start instance's facts sorted
+// (its in-memory order is hash-map dependent), then the goal, constraints,
+// and engine options in caller order with length prefixes so adjacent
+// sections cannot alias. Variables and nulls are renamed to dense ids by
+// first occurrence in that encoding order, so repeated Decide calls —
+// whose reductions mint FreshVariable/FreshNull terms at ever-increasing
+// ids but with identical structure — canonicalize to the same key.
+// (Constants stay rigid: their identity links the instance to the goal and
+// to interned accessible-constant facts.) Full keys are compared on
+// lookup, so a 64-bit hash collision cannot produce a wrong verdict.
+
+using CacheKey = std::vector<uint64_t>;
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    uint64_t h = 0x243f6a8885a308d3ULL ^ key.size();
+    for (uint64_t w : key) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xbf58476d1ce4e5b9ULL;
+    }
+    return static_cast<size_t>(h ^ (h >> 29));
+  }
+};
+
+// Renames variables and nulls to first-occurrence dense ids (kind-tagged
+// in the top bits so a variable can never alias a null or a constant).
+// Canonical under any order-preserving renaming: sorting the start facts
+// by raw term bits yields the same relative order before and after such a
+// renaming, so the first-occurrence sequence matches too.
+class TermCanonicalizer {
+ public:
+  uint64_t Encode(Term t) {
+    if (t.IsConstant()) return (1ULL << 62) | t.raw();
+    uint64_t tag = t.IsVariable() ? (2ULL << 62) : (3ULL << 62);
+    auto [it, inserted] = ids_.emplace(t.raw(), next_);
+    if (inserted) ++next_;
+    return tag | it->second;
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> ids_;
+  uint64_t next_ = 0;
+};
+
+void AppendAtom(const Atom& atom, TermCanonicalizer* canon, CacheKey* key) {
+  key->push_back(atom.relation);
+  key->push_back(atom.args.size());
+  for (const Term& t : atom.args) key->push_back(canon->Encode(t));
+}
+
+void AppendAtoms(const std::vector<Atom>& atoms, TermCanonicalizer* canon,
+                 CacheKey* key) {
+  key->push_back(atoms.size());
+  for (const Atom& a : atoms) AppendAtom(a, canon, key);
+}
+
+void AppendInstance(const Instance& instance, TermCanonicalizer* canon,
+                    CacheKey* key) {
+  std::vector<Fact> sorted;
+  sorted.reserve(instance.NumFacts());
+  instance.ForEachFact([&](const Fact& f) { sorted.push_back(f); });
+  std::sort(sorted.begin(), sorted.end());
+  key->push_back(sorted.size());
+  for (const Fact& f : sorted) {
+    key->push_back(f.relation);
+    key->push_back(f.args.size());
+    for (const Term& t : f.args) key->push_back(canon->Encode(t));
+  }
+}
+
+void AppendSigma(const ConstraintSet& sigma, TermCanonicalizer* canon,
+                 CacheKey* key) {
+  key->push_back(sigma.tgds.size());
+  for (const Tgd& tgd : sigma.tgds) {
+    AppendAtoms(tgd.body(), canon, key);
+    AppendAtoms(tgd.head(), canon, key);
+  }
+  key->push_back(sigma.fds.size());
+  for (const Fd& fd : sigma.fds) {
+    key->push_back(fd.relation);
+    key->push_back(fd.determiners.size());
+    for (uint32_t p : fd.determiners) key->push_back(p);
+    key->push_back(fd.determined);
+  }
+}
+
+CacheKey MakeGenericKey(const Instance& start, const std::vector<Atom>& goal,
+                        const ConstraintSet& sigma,
+                        const ChaseOptions& options,
+                        const std::vector<CardinalityRule>& rules) {
+  CacheKey key;
+  TermCanonicalizer canon;
+  key.push_back(0);  // engine tag: generic
+  AppendInstance(start, &canon, &key);
+  AppendAtoms(goal, &canon, &key);
+  AppendSigma(sigma, &canon, &key);
+  key.push_back(options.max_rounds);
+  key.push_back(options.max_facts);
+  key.push_back((options.record_trace ? 1u : 0u) |
+                (options.use_semi_naive ? 2u : 0u));
+  key.push_back(rules.size());
+  for (const CardinalityRule& rule : rules) {
+    key.push_back(rule.source_rel);
+    key.push_back(rule.input_positions.size());
+    for (uint32_t p : rule.input_positions) key.push_back(p);
+    key.push_back(rule.target_rel);
+    key.push_back(rule.bound);
+    key.push_back(rule.accessible_rel);
+    key.push_back(rule.require_accessible ? 1 : 0);
+  }
+  return key;
+}
+
+CacheKey MakeLinearKey(const Instance& start, const std::vector<Atom>& goal,
+                       const std::vector<Tgd>& linear_tgds,
+                       uint64_t max_depth, uint64_t max_facts) {
+  CacheKey key;
+  TermCanonicalizer canon;
+  key.push_back(1);  // engine tag: linear
+  AppendInstance(start, &canon, &key);
+  AppendAtoms(goal, &canon, &key);
+  key.push_back(linear_tgds.size());
+  for (const Tgd& tgd : linear_tgds) {
+    AppendAtoms(tgd.body(), &canon, &key);
+    AppendAtoms(tgd.head(), &canon, &key);
+  }
+  key.push_back(max_depth);
+  key.push_back(max_facts);
+  return key;
+}
+
+class ContainmentCache {
+ public:
+  static ContainmentCache& Get() {
+    static ContainmentCache* cache = new ContainmentCache();
+    return *cache;
+  }
+
+  bool Lookup(const CacheKey& key, ContainmentOutcome* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  void Store(const CacheKey& key, const ContainmentOutcome& outcome) {
+    // Entries hold the final chase instance; keep the biggest ones out so
+    // the cache stays a cache, not a leak.
+    if (outcome.chase.instance.NumFacts() > kMaxCachedFacts) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.size() >= kMaxEntries) {
+      Metrics().cache_evictions->Increment(map_.size());
+      map_.clear();  // epoch eviction: simple and O(1) amortized
+    }
+    map_.emplace(key, outcome);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+  }
+
+  size_t Size() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  static constexpr size_t kMaxEntries = 256;
+  static constexpr size_t kMaxCachedFacts = 50000;
+  std::mutex mu_;
+  std::unordered_map<CacheKey, ContainmentOutcome, CacheKeyHash> map_;
+};
 
 const char* VerdictName(ContainmentVerdict v) {
   switch (v) {
@@ -78,6 +263,22 @@ ContainmentOutcome CheckContainmentFrom(
   Metrics().checks->Increment();
   ScopedTimer timer(Metrics().check_us);
   TraceSpan span("containment.check");
+
+  CacheKey key;
+  if (options.use_containment_cache) {
+    key = MakeGenericKey(start, goal, sigma, options, cardinality_rules);
+    ContainmentOutcome cached;
+    if (ContainmentCache::Get().Lookup(key, &cached)) {
+      Metrics().cache_hits->Increment();
+      if (span.active()) {
+        span.AddStr("cache", "hit");
+        span.AddStr("verdict", VerdictName(cached.verdict));
+      }
+      return cached;
+    }
+    Metrics().cache_misses->Increment();
+  }
+
   ContainmentOutcome out;
   bool goal_reached = false;
   out.chase = RunChaseUntil(start, sigma, goal, universe, &goal_reached,
@@ -94,10 +295,14 @@ ContainmentOutcome CheckContainmentFrom(
     out.verdict = ContainmentVerdict::kUnknown;
   }
   if (span.active()) {
+    span.AddStr("cache", options.use_containment_cache ? "miss" : "off");
     span.AddStr("verdict", VerdictName(out.verdict));
     span.AddInt("rounds", static_cast<int64_t>(out.chase.rounds));
     span.AddInt("facts",
                 static_cast<int64_t>(out.chase.instance.NumFacts()));
+  }
+  if (options.use_containment_cache) {
+    ContainmentCache::Get().Store(key, out);
   }
   return out;
 }
@@ -177,7 +382,7 @@ ContainmentOutcome CheckLinearContainment(const ConjunctiveQuery& q,
 ContainmentOutcome CheckLinearContainmentFrom(
     const Instance& start, const std::vector<Atom>& goal,
     const std::vector<Tgd>& linear_tgds, Universe* universe,
-    uint64_t max_depth, uint64_t max_facts) {
+    uint64_t max_depth, uint64_t max_facts, bool use_cache) {
   for (const Tgd& tgd : linear_tgds) {
     RBDA_CHECK(tgd.IsLinear());
   }
@@ -186,6 +391,21 @@ ContainmentOutcome CheckLinearContainmentFrom(
   Metrics().checks_linear->Increment();
   ScopedTimer timer(Metrics().check_us);
   TraceSpan span("containment.check.linear");
+
+  CacheKey key;
+  if (use_cache) {
+    key = MakeLinearKey(start, goal, linear_tgds, max_depth, max_facts);
+    ContainmentOutcome cached;
+    if (ContainmentCache::Get().Lookup(key, &cached)) {
+      Metrics().cache_hits->Increment();
+      if (span.active()) {
+        span.AddStr("cache", "hit");
+        span.AddStr("verdict", VerdictName(cached.verdict));
+      }
+      return cached;
+    }
+    Metrics().cache_misses->Increment();
+  }
 
   ContainmentOutcome out;
   Instance& inst = out.chase.instance;
@@ -209,10 +429,12 @@ ContainmentOutcome CheckLinearContainmentFrom(
     out.verdict = verdict;
     Metrics().linear_depth->Record(out.depth_reached);
     if (span.active()) {
+      span.AddStr("cache", use_cache ? "miss" : "off");
       span.AddStr("verdict", VerdictName(verdict));
       span.AddInt("depth", static_cast<int64_t>(out.depth_reached));
       span.AddInt("facts", static_cast<int64_t>(inst.NumFacts()));
     }
+    if (use_cache) ContainmentCache::Get().Store(key, out);
     return std::move(out);
   };
 
@@ -285,5 +507,9 @@ ContainmentOutcome CheckLinearContainmentFrom(
   out.chase.status = ChaseStatus::kCompleted;
   return finish(ContainmentVerdict::kNotContained);
 }
+
+void ClearContainmentCache() { ContainmentCache::Get().Clear(); }
+
+size_t ContainmentCacheSize() { return ContainmentCache::Get().Size(); }
 
 }  // namespace rbda

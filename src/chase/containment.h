@@ -10,6 +10,18 @@
 //    sound AND complete when run to the JK depth bound for IDs / linear
 //    TGDs of bounded semi-width (paper Prop 5.6 / E.8). This is the engine
 //    behind the paper's NP results after linearization.
+//
+// Both engines consult a process-wide memoization cache keyed by a
+// canonical encoding of (start instance, goal, constraint set, engine
+// options): Answerability's per-access-method checks and repeated Decide
+// calls over the same schema re-pose identical containment problems, and a
+// hit replays the stored outcome (verdict, chase statistics, final
+// instance) without re-chasing. Opt out per call via
+// ChaseOptions::use_containment_cache / the linear engine's use_cache
+// parameter; observe via the containment.cache.{hits,misses,evictions}
+// counters. Cached outcomes may reference labeled nulls minted by the run
+// that populated the entry rather than by the caller's universe — null
+// identity is only meaningful within an outcome anyway.
 #ifndef RBDA_CHASE_CONTAINMENT_H_
 #define RBDA_CHASE_CONTAINMENT_H_
 
@@ -76,7 +88,14 @@ ContainmentOutcome CheckLinearContainment(const ConjunctiveQuery& q,
 ContainmentOutcome CheckLinearContainmentFrom(
     const Instance& start, const std::vector<Atom>& goal,
     const std::vector<Tgd>& linear_tgds, Universe* universe,
-    uint64_t max_depth, uint64_t max_facts = 500000);
+    uint64_t max_depth, uint64_t max_facts = 500000, bool use_cache = true);
+
+/// Drops every memoized containment outcome (tests and benchmarks that
+/// want to measure the uncached engines call this between runs).
+void ClearContainmentCache();
+
+/// Number of outcomes currently memoized.
+size_t ContainmentCacheSize();
 
 }  // namespace rbda
 

@@ -121,7 +121,8 @@ StatusOr<Decision> LinearPipeline(const ServiceSchema& work,
   ContainmentOutcome outcome = TimedStage(Stages().containment_us, [&] {
     return CheckLinearContainmentFrom(lin->start, lin->goal, lin->tgds,
                                       universe, depth,
-                                      options.linear_max_facts);
+                                      options.linear_max_facts,
+                                      options.chase.use_containment_cache);
   });
   Decision d;
   d.procedure = std::move(procedure);

@@ -20,7 +20,25 @@ bool Instance::AddFact(const Fact& fact) {
   for (uint32_t p = 0; p < fact.args.size(); ++p) {
     index_[IndexKey{fact.relation, p, fact.args[p]}].push_back(idx);
   }
+  ++generation_;
   return true;
+}
+
+Instance::DeltaMark Instance::Mark() const {
+  DeltaMark mark;
+  mark.rebuilds = rebuilds_;
+  mark.generation = generation_;
+  mark.sizes.reserve(by_relation_.size());
+  for (const auto& [rel, facts] : by_relation_) {
+    mark.sizes.emplace(rel, static_cast<uint32_t>(facts.size()));
+  }
+  return mark;
+}
+
+uint32_t Instance::DeltaBegin(const DeltaMark& mark,
+                              RelationId relation) const {
+  auto it = mark.sizes.find(relation);
+  return it == mark.sizes.end() ? 0 : it->second;
 }
 
 const std::vector<Fact>& Instance::FactsOf(RelationId relation) const {
@@ -67,14 +85,28 @@ bool Instance::IsSubinstanceOf(const Instance& other) const {
 
 void Instance::ReplaceTerm(Term from, Term to) {
   if (from == to) return;
+  std::unordered_map<Term, Term, TermHash> mapping;
+  mapping.emplace(from, to);
+  ReplaceTerms(mapping);
+}
+
+void Instance::ReplaceTerms(
+    const std::unordered_map<Term, Term, TermHash>& mapping) {
+  if (mapping.empty()) return;
   Instance rewritten;
   ForEachFact([&](const Fact& f) {
     Fact g = f;
     for (Term& t : g.args) {
-      if (t == from) t = to;
+      auto it = mapping.find(t);
+      if (it != mapping.end()) t = it->second;
     }
     rewritten.AddFact(std::move(g));
   });
+  // Keep the growth counters monotone across the rebuild: the structural
+  // change invalidates outstanding DeltaMarks via rebuilds_, and
+  // generation_ must never repeat a value for a different state.
+  rewritten.generation_ = generation_ + 1;
+  rewritten.rebuilds_ = rebuilds_ + 1;
   *this = std::move(rewritten);
 }
 

@@ -6,6 +6,14 @@
 //
 // The instance maintains a positional index (relation, position, term) ->
 // facts, which drives homomorphism search and chase trigger enumeration.
+//
+// For semi-naive (delta-driven) evaluation the instance also tracks how it
+// grows: per-relation fact vectors are append-only, so a DeltaMark — a
+// snapshot of the per-relation sizes plus the structural-rebuild counter —
+// identifies exactly the facts added since the snapshot. ReplaceTerm (EGD
+// merges) rebuilds the fact vectors and bumps the rebuild counter, which
+// invalidates every outstanding mark; callers must fall back to full
+// evaluation after a rebuild (see MarkValid).
 #ifndef RBDA_DATA_INSTANCE_H_
 #define RBDA_DATA_INSTANCE_H_
 
@@ -49,6 +57,18 @@ using TermSet = std::unordered_set<Term, TermHash>;
 
 class Instance {
  public:
+  /// A point-in-time snapshot of the instance's growth state, for
+  /// semi-naive delta evaluation: the facts of `relation` appended after
+  /// the mark are exactly FactsOf(relation)[DeltaBegin(mark, relation)..].
+  /// A mark is invalidated by structural rebuilds (ReplaceTerm); check
+  /// MarkValid before using DeltaBegin.
+  struct DeltaMark {
+    uint64_t rebuilds = 0;
+    uint64_t generation = 0;  // generation() at mark time; the delta holds
+                              // generation() - generation facts
+    std::unordered_map<RelationId, uint32_t> sizes;
+  };
+
   /// Adds a fact; returns true if it was not already present.
   bool AddFact(const Fact& fact);
   bool AddFact(RelationId relation, std::vector<Term> args) {
@@ -81,11 +101,39 @@ class Instance {
   /// Used by EGD (functional dependency) chase steps.
   void ReplaceTerm(Term from, Term to);
 
+  /// Applies `mapping` to every term occurrence in one rebuild (terms not
+  /// in the mapping are kept), merging duplicate facts. Equivalent to a
+  /// sequence of ReplaceTerm calls over an idempotent mapping, but costs a
+  /// single rebuild — the FD-repair worklist in the chase relies on this.
+  void ReplaceTerms(const std::unordered_map<Term, Term, TermHash>& mapping);
+
   /// Restricts the instance to the given relations, dropping all others.
   Instance RestrictTo(const std::unordered_set<RelationId>& relations) const;
 
   size_t NumFacts() const { return all_.size(); }
   bool Empty() const { return all_.empty(); }
+
+  /// Monotonic count of successful AddFact calls (also bumped once per
+  /// structural rebuild so it never repeats a value for different states).
+  uint64_t generation() const { return generation_; }
+
+  /// Count of structural rebuilds (ReplaceTerm / ReplaceTerms calls that
+  /// changed anything). A rebuild reorders the per-relation fact vectors,
+  /// so it invalidates every DeltaMark taken before it.
+  uint64_t rebuilds() const { return rebuilds_; }
+
+  /// Snapshots the current growth state.
+  DeltaMark Mark() const;
+
+  /// True if no structural rebuild happened since `mark` was taken, i.e.
+  /// DeltaBegin ranges computed against it are meaningful.
+  bool MarkValid(const DeltaMark& mark) const {
+    return mark.rebuilds == rebuilds_;
+  }
+
+  /// First index into FactsOf(relation) of the facts appended since
+  /// `mark`. Requires MarkValid(mark).
+  uint32_t DeltaBegin(const DeltaMark& mark, RelationId relation) const;
 
   /// Iteration over all facts, relation by relation.
   template <typename Fn>
@@ -122,6 +170,8 @@ class Instance {
     }
   };
   std::unordered_map<IndexKey, std::vector<uint32_t>, IndexKeyHash> index_;
+  uint64_t generation_ = 0;
+  uint64_t rebuilds_ = 0;
 };
 
 /// Renders one fact, e.g. "Prof(p1, alice, 10000)".

@@ -25,14 +25,25 @@ std::vector<Atom> ApplyToAtoms(const Substitution& sub,
 
 namespace {
 
+// Half-open range of fact indexes (into FactsOf(relation)) an atom may
+// match. The default admits every fact; semi-naive pivot partitioning
+// narrows ranges per atom.
+struct AtomRange {
+  uint32_t lo = 0;
+  uint32_t hi = UINT32_MAX;
+  bool Contains(uint32_t i) const { return i >= lo && i < hi; }
+};
+
 // Backtracking join over the atoms. The atom order is chosen dynamically:
 // at each level we pick the remaining atom with the most bound arguments,
 // which keeps intermediate candidate sets small.
 class Searcher {
  public:
   Searcher(const std::vector<Atom>& atoms, const Instance& target,
-           std::function<bool(const Substitution&)> callback)
-      : atoms_(atoms), target_(target), callback_(std::move(callback)) {}
+           std::function<bool(const Substitution&)> callback,
+           const std::vector<AtomRange>* ranges = nullptr)
+      : atoms_(atoms), target_(target), callback_(std::move(callback)),
+        ranges_(ranges) {}
 
   // Returns false if enumeration was aborted by the callback.
   bool Run(Substitution* sub) {
@@ -79,8 +90,8 @@ class Searcher {
     const std::vector<Fact>& facts = target_.FactsOf(atom.relation);
     const std::vector<uint32_t>* postings = nullptr;
     for (uint32_t p = 0; p < atom.args.size(); ++p) {
+      if (!Bound(*sub, atom.args[p])) continue;
       Term t = ApplyToTerm(*sub, atom.args[p]);
-      if (!t.IsConstant() && !sub->count(atom.args[p]) && !atom.args[p].IsConstant()) continue;
       const std::vector<uint32_t>& list = target_.FactsWith(atom.relation, p, t);
       if (postings == nullptr || list.size() < postings->size()) {
         postings = &list;
@@ -123,16 +134,21 @@ class Searcher {
       return true;
     };
 
+    AtomRange range;  // default: all facts
+    if (ranges_ != nullptr) range = (*ranges_)[idx];
     if (postings != nullptr) {
       for (uint32_t i : *postings) {
+        if (!range.Contains(i)) continue;
         if (!try_fact(facts[i])) {
           keep_going = false;
           break;
         }
       }
     } else {
-      for (const Fact& fact : facts) {
-        if (!try_fact(fact)) {
+      uint32_t end = std::min<uint32_t>(static_cast<uint32_t>(facts.size()),
+                                        range.hi);
+      for (uint32_t i = range.lo; i < end; ++i) {
+        if (!try_fact(facts[i])) {
           keep_going = false;
           break;
         }
@@ -145,6 +161,7 @@ class Searcher {
   const std::vector<Atom>& atoms_;
   const Instance& target_;
   std::function<bool(const Substitution&)> callback_;
+  const std::vector<AtomRange>* ranges_;
   std::vector<bool> used_;
   size_t count_ = 0;
 };
@@ -173,6 +190,51 @@ size_t ForEachHomomorphism(
   Searcher searcher(atoms, target, callback);
   searcher.Run(&sub);
   return searcher.count();
+}
+
+size_t ForEachHomomorphismDelta(
+    const std::vector<Atom>& atoms, const Instance& target,
+    const Substitution* seed, const Instance::DeltaMark& delta,
+    const std::function<bool(const Substitution&)>& callback) {
+  size_t total = 0;
+  // Pivot partitioning: for pivot p, atom p matches inside the delta,
+  // atoms before p match strictly before it, atoms after p match anywhere.
+  // The union over pivots covers every homomorphism touching the delta,
+  // and the partitions are disjoint, so nothing is visited twice.
+  std::vector<AtomRange> ranges(atoms.size());
+  for (size_t p = 0; p < atoms.size(); ++p) {
+    uint32_t begin = target.DeltaBegin(delta, atoms[p].relation);
+    if (begin >= target.FactsOf(atoms[p].relation).size()) {
+      continue;  // no delta facts for this pivot's relation
+    }
+    for (size_t j = 0; j < atoms.size(); ++j) {
+      if (j < p) {
+        ranges[j] = AtomRange{0, target.DeltaBegin(delta, atoms[j].relation)};
+      } else if (j == p) {
+        ranges[j] = AtomRange{begin, UINT32_MAX};
+      } else {
+        ranges[j] = AtomRange{};
+      }
+    }
+    Substitution sub = seed ? *seed : Substitution();
+    Searcher searcher(atoms, target, callback, &ranges);
+    bool keep_going = searcher.Run(&sub);
+    total += searcher.count();
+    if (!keep_going) break;  // callback asked to stop
+  }
+  return total;
+}
+
+std::optional<Substitution> FindHomomorphismDelta(
+    const std::vector<Atom>& atoms, const Instance& target,
+    const Substitution* seed, const Instance::DeltaMark& delta) {
+  std::optional<Substitution> found;
+  ForEachHomomorphismDelta(atoms, target, seed, delta,
+                           [&](const Substitution& sub) {
+                             found = sub;
+                             return false;  // stop at first
+                           });
+  return found;
 }
 
 bool InstanceHomomorphismExists(const Instance& source,

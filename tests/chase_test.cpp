@@ -2,6 +2,7 @@
 #include "chase/containment.h"
 #include "chase/weak_acyclicity.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 
 namespace rbda {
 namespace {
@@ -135,6 +136,99 @@ TEST_F(ChaseTest, BudgetExceededOnInfiniteChase) {
   options.max_rounds = 10;
   ChaseResult result = RunChase(start, cs, &universe_, options);
   EXPECT_EQ(result.status, ChaseStatus::kBudgetExceeded);
+}
+
+TEST_F(ChaseTest, FactBudgetEnforcedInsideRound) {
+  // Ten triggers are simultaneously active in round 1, each adding a
+  // 2-fact head. A round-granularity budget check would let the round run
+  // to completion (30 facts); the in-round check must stop at the trigger
+  // whose firing crossed the budget.
+  ConstraintSet cs;
+  cs.tgds.emplace_back(
+      std::vector<Atom>{Atom(t_, {x_})},
+      std::vector<Atom>{Atom(r_, {x_, y_}), Atom(s_, {y_, x_})});
+  Instance start;
+  for (int i = 0; i < 10; ++i) {
+    start.AddFact(t_, {universe_.Constant("k" + std::to_string(i))});
+  }
+  ChaseOptions options;
+  options.max_facts = 14;
+  ChaseResult result = RunChase(start, cs, &universe_, options);
+  EXPECT_EQ(result.status, ChaseStatus::kBudgetExceeded);
+  EXPECT_EQ(result.exhausted, ChaseExhausted::kFacts);
+  // Overshoot is bounded by one head, not by the rest of the round.
+  EXPECT_GT(result.instance.NumFacts(), 14u);
+  EXPECT_LE(result.instance.NumFacts(), 16u);
+}
+
+TEST_F(ChaseTest, FactBudgetDoesNotMaskReachedGoal) {
+  // The same budget trip, but the goal appears before the budget does:
+  // RunChaseUntil must report the goal, not the trip.
+  ConstraintSet cs;
+  cs.tgds.emplace_back(
+      std::vector<Atom>{Atom(t_, {x_})},
+      std::vector<Atom>{Atom(r_, {x_, y_}), Atom(s_, {y_, x_})});
+  Instance start;
+  for (int i = 0; i < 10; ++i) {
+    start.AddFact(t_, {universe_.Constant("g" + std::to_string(i))});
+  }
+  ChaseOptions options;
+  options.max_facts = 14;
+  bool goal_reached = false;
+  std::vector<Atom> goal{Atom(r_, {x_, y_})};
+  ChaseResult result = RunChaseUntil(start, cs, goal, &universe_,
+                                     &goal_reached, options);
+  EXPECT_TRUE(goal_reached);
+  EXPECT_EQ(result.status, ChaseStatus::kCompleted);
+}
+
+TEST_F(ChaseTest, FdRepairResolvesLongMergeChain) {
+  // R(k_i, m_i) and R(k_i, m_{i+1}) force m_i = m_{i+1} for a chain of 400
+  // nulls ending in the constant b: the whole chain must collapse onto b in
+  // one chase, with exactly one merge per link. The union-find repair
+  // resolves this without restarting the scan after every merge (the old
+  // restart-on-merge repair was quadratic here).
+  constexpr int kChain = 400;
+  ConstraintSet cs;
+  cs.fds.emplace_back(r_, std::vector<uint32_t>{0}, 1);
+  std::vector<Term> m;
+  for (int i = 0; i < kChain; ++i) m.push_back(universe_.FreshNull());
+  m.push_back(b_);
+  Instance start;
+  for (int i = 0; i < kChain; ++i) {
+    Term key = universe_.Constant("key" + std::to_string(i));
+    start.AddFact(r_, {key, m[i]});
+    start.AddFact(r_, {key, m[i + 1]});
+  }
+  ChaseResult result = RunChase(start, cs, &universe_);
+  EXPECT_EQ(result.status, ChaseStatus::kCompleted);
+  EXPECT_EQ(result.egd_merges, static_cast<uint64_t>(kChain));
+  // Every merged class resolved to the constant end of the chain.
+  EXPECT_EQ(result.instance.NumFacts(), static_cast<size_t>(kChain));
+  for (const Fact& f : result.instance.FactsOf(r_)) {
+    EXPECT_EQ(f.args[1], b_);
+  }
+  EXPECT_TRUE(cs.SatisfiedBy(result.instance));
+}
+
+TEST_F(ChaseTest, FdRepairConflictAcrossMergeChain) {
+  // As above but both ends of the chain are distinct constants: resolving
+  // the chain must surface the conflict rather than pick a winner.
+  constexpr int kChain = 50;
+  ConstraintSet cs;
+  cs.fds.emplace_back(r_, std::vector<uint32_t>{0}, 1);
+  std::vector<Term> m;
+  m.push_back(a_);
+  for (int i = 0; i < kChain - 1; ++i) m.push_back(universe_.FreshNull());
+  m.push_back(c_);
+  Instance start;
+  for (int i = 0; i < kChain; ++i) {
+    Term key = universe_.Constant("ckey" + std::to_string(i));
+    start.AddFact(r_, {key, m[i]});
+    start.AddFact(r_, {key, m[i + 1]});
+  }
+  ChaseResult result = RunChase(start, cs, &universe_);
+  EXPECT_EQ(result.status, ChaseStatus::kFdConflict);
 }
 
 TEST_F(ChaseTest, TraceRecordsFirings) {
@@ -275,6 +369,88 @@ TEST_F(ChaseTest, JohnsonKlugBoundPositive) {
   EXPECT_GT(JohnsonKlugDepthBound(0, 0, 0, 0, 0), 0u);
   EXPECT_GE(JohnsonKlugDepthBound(3, 10, 5, 3, 2),
             JohnsonKlugDepthBound(1, 10, 5, 3, 2));
+}
+
+// ---- Containment memoization. ----
+
+TEST_F(ChaseTest, ContainmentCacheReplaysVerdict) {
+  ClearContainmentCache();
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  uint64_t hits0 = reg.GetCounter("containment.cache.hits")->value();
+  uint64_t misses0 = reg.GetCounter("containment.cache.misses")->value();
+
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                       std::vector<Atom>{Atom(s_, {y_, x_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a_, b_})});
+  ConjunctiveQuery qp = ConjunctiveQuery::Boolean({Atom(s_, {b_, a_})});
+
+  ContainmentOutcome first = CheckContainment(q, qp, cs, &universe_);
+  EXPECT_EQ(reg.GetCounter("containment.cache.misses")->value(), misses0 + 1);
+  EXPECT_EQ(ContainmentCacheSize(), 1u);
+
+  ContainmentOutcome second = CheckContainment(q, qp, cs, &universe_);
+  EXPECT_EQ(reg.GetCounter("containment.cache.hits")->value(), hits0 + 1);
+  EXPECT_EQ(second.verdict, first.verdict);
+  EXPECT_EQ(second.chase.rounds, first.chase.rounds);
+  EXPECT_EQ(second.chase.instance.NumFacts(), first.chase.instance.NumFacts());
+  EXPECT_EQ(ContainmentCacheSize(), 1u);
+}
+
+TEST_F(ChaseTest, ContainmentCacheKeySeparatesProblems) {
+  // A different goal over the same start instance must not collide.
+  ClearContainmentCache();
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                       std::vector<Atom>{Atom(s_, {y_, x_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a_, b_})});
+  ConjunctiveQuery good = ConjunctiveQuery::Boolean({Atom(s_, {b_, a_})});
+  ConjunctiveQuery bad = ConjunctiveQuery::Boolean({Atom(s_, {a_, b_})});
+  EXPECT_EQ(CheckContainment(q, good, cs, &universe_).verdict,
+            ContainmentVerdict::kContained);
+  EXPECT_EQ(CheckContainment(q, bad, cs, &universe_).verdict,
+            ContainmentVerdict::kNotContained);
+  EXPECT_EQ(ContainmentCacheSize(), 2u);
+  // Replay both from cache: verdicts unchanged.
+  EXPECT_EQ(CheckContainment(q, good, cs, &universe_).verdict,
+            ContainmentVerdict::kContained);
+  EXPECT_EQ(CheckContainment(q, bad, cs, &universe_).verdict,
+            ContainmentVerdict::kNotContained);
+}
+
+TEST_F(ChaseTest, ContainmentCacheOptOut) {
+  ClearContainmentCache();
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                       std::vector<Atom>{Atom(s_, {y_, x_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a_, b_})});
+  ConjunctiveQuery qp = ConjunctiveQuery::Boolean({Atom(s_, {b_, a_})});
+  ChaseOptions options;
+  options.use_containment_cache = false;
+  CheckContainment(q, qp, cs, &universe_, options);
+  EXPECT_EQ(ContainmentCacheSize(), 0u);
+}
+
+TEST_F(ChaseTest, LinearContainmentCacheReplaysVerdict) {
+  ClearContainmentCache();
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  uint64_t hits0 = reg.GetCounter("containment.cache.hits")->value();
+
+  std::vector<Tgd> ids;
+  ids.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                   std::vector<Atom>{Atom(s_, {y_, z_})});
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a_, b_})});
+  ConjunctiveQuery qp = ConjunctiveQuery::Boolean({Atom(s_, {x_, y_})});
+  uint64_t depth = JohnsonKlugDepthBound(1, ids.size(), 0, 2, 1);
+
+  ContainmentOutcome first =
+      CheckLinearContainment(q, qp, ids, &universe_, depth);
+  EXPECT_EQ(ContainmentCacheSize(), 1u);
+  ContainmentOutcome second =
+      CheckLinearContainment(q, qp, ids, &universe_, depth);
+  EXPECT_EQ(reg.GetCounter("containment.cache.hits")->value(), hits0 + 1);
+  EXPECT_EQ(second.verdict, first.verdict);
+  EXPECT_EQ(second.depth_reached, first.depth_reached);
 }
 
 // ---- Weak acyclicity. ----
