@@ -1,0 +1,354 @@
+#include "fuzz/checkers.h"
+
+#include <algorithm>
+#include <map>
+
+#include "chase/certain_answers.h"
+#include "chase/containment.h"
+#include "core/plan_synthesis.h"
+#include "core/simplification.h"
+#include "obs/metrics.h"
+#include "parser/parser.h"
+#include "parser/serializer.h"
+#include "runtime/generators.h"
+#include "runtime/oracle.h"
+#include "runtime/schema_generators.h"
+
+namespace rbda {
+
+namespace {
+
+struct FuzzCheckerMetrics {
+  Counter* checkers_run;
+  Counter* checkers_skipped;
+  Counter* findings;
+  Distribution* battery_us;
+};
+
+const FuzzCheckerMetrics& Metrics() {
+  static const FuzzCheckerMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return FuzzCheckerMetrics{
+        r.GetCounter("fuzz.checkers_run"),
+        r.GetCounter("fuzz.checkers_skipped"),
+        r.GetCounter("fuzz.findings"),
+        r.GetDistribution("fuzz.battery_us"),
+    };
+  }();
+  return m;
+}
+
+// Distinct stream tags so each checker draws from its own RNG sequence:
+// adding or reordering checkers must not shift another checker's draws.
+constexpr uint64_t kOracleStream = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kPlanStream = 0xbf58476d1ce4e5b9ULL;
+constexpr uint64_t kChaseStream = 0x94d049bb133111ebULL;
+constexpr uint64_t kContainmentStream = 0x2545f4914f6cdd1dULL;
+
+void AddFinding(CheckReport* report, std::string checker, std::string detail) {
+  Metrics().findings->Increment();
+  report->findings.push_back(Finding{std::move(checker), std::move(detail)});
+}
+
+std::string VerdictPair(const Decision& a, const Decision& b) {
+  return std::string(AnswerabilityName(a.verdict)) + " vs " +
+         AnswerabilityName(b.verdict);
+}
+
+/// Picks the externally-applied simplification the paper proves sound &
+/// complete for the schema's fragment. Where no theorem exists (IDs+FDs,
+/// mixed), ElimUB is the only transformation that is always safe
+/// (Prop 3.3).
+ServiceSchema SimplifyForFragment(const ServiceSchema& schema,
+                                  Fragment fragment, const char** name) {
+  switch (fragment) {
+    case Fragment::kEmpty:
+    case Fragment::kFdsOnly:
+      *name = "FdSimplification";
+      return FdSimplification(schema);
+    case Fragment::kIdsOnly:
+      *name = "ExistenceCheckSimplification";
+      return ExistenceCheckSimplification(schema);
+    case Fragment::kUidsAndFds:
+    case Fragment::kFrontierGuardedTgds:
+    case Fragment::kGeneralTgds:
+      *name = "ChoiceSimplification";
+      return ChoiceSimplification(schema);
+    case Fragment::kIdsAndFds:
+    case Fragment::kMixed:
+      *name = "ElimUB";
+      return ElimUB(schema);
+  }
+  *name = "ElimUB";
+  return ElimUB(schema);
+}
+
+}  // namespace
+
+CheckerOptions::CheckerOptions() {
+  decide.chase.max_rounds = 40;
+  decide.chase.max_facts = 4000;
+  // The JK engine's per-depth goal checks scale with the instance, so its
+  // worst case grows ~quadratically in the fact budget; the production
+  // caps (300 / 20000) let one adversarial ID case run for minutes and
+  // still end incomplete (no signal — the battery skips it). The fuzz
+  // caps keep the tail of the case-time distribution in the tens of
+  // milliseconds; definite verdicts under them are still definite.
+  decide.linear_depth_cap = 150;
+  decide.linear_max_facts = 2500;
+}
+
+bool CheckReport::Has(const std::string& name) const {
+  for (const Finding& f : findings) {
+    if (f.checker == name) return true;
+  }
+  return false;
+}
+
+ServiceSchema StripBoundsForTesting(const ServiceSchema& schema) {
+  ServiceSchema out = schema;
+  for (AccessMethod& m : out.mutable_methods()) {
+    m.bound_kind = BoundKind::kNone;
+    m.bound = 0;
+  }
+  return out;
+}
+
+CheckReport RunCheckerBattery(const ServiceSchema& schema,
+                              const ConjunctiveQuery& query,
+                              const CheckerOptions& options,
+                              const Instance* seed_data) {
+  ScopedTimer timer(Metrics().battery_us);
+  CheckReport report;
+  Universe& universe = schema.universe();
+  const Fragment fragment = schema.constraints().Classify();
+
+  auto count = [&report](bool ran) {
+    if (ran) {
+      ++report.checkers_run;
+      Metrics().checkers_run->Increment();
+    } else {
+      ++report.checkers_skipped;
+      Metrics().checkers_skipped->Increment();
+    }
+  };
+
+  // The primary decision every cross-check compares against.
+  StatusOr<Decision> primary =
+      DecideMonotoneAnswerability(schema, query, options.decide);
+  const bool primary_definite = primary.ok() && primary->complete;
+
+  // --- decide-vs-naive: fragment pipeline against the §3 reduction. ---
+  if (options.check_naive) {
+    DecisionOptions naive_opts = options.decide;
+    naive_opts.force_naive = true;
+    StatusOr<Decision> naive =
+        DecideMonotoneAnswerability(schema, query, naive_opts);
+    bool ran = primary_definite && naive.ok() && naive->complete;
+    count(ran);
+    if (ran && primary->verdict != naive->verdict) {
+      AddFinding(&report, "decide-vs-naive",
+                 std::string(FragmentName(fragment)) + " pipeline (" +
+                     primary->procedure + ") vs naive reduction: " +
+                     VerdictPair(*primary, *naive));
+    }
+  }
+
+  // --- simplification-differential: Table 1 equivalence theorems. ---
+  if (options.check_simplification) {
+    const char* simp_name = nullptr;
+    ServiceSchema simplified =
+        options.inject_simplification_bug
+            ? StripBoundsForTesting(schema)
+            : SimplifyForFragment(schema, fragment, &simp_name);
+    if (options.inject_simplification_bug) simp_name = "StripBounds[BUG]";
+    StatusOr<Decision> after =
+        DecideMonotoneAnswerability(simplified, query, options.decide);
+    bool ran = primary_definite && after.ok() && after->complete;
+    count(ran);
+    if (ran && primary->verdict != after->verdict) {
+      AddFinding(&report, "simplification-differential",
+                 std::string(simp_name) + " on " + FragmentName(fragment) +
+                     " schema flips verdict: " + VerdictPair(*primary, *after));
+    }
+  }
+
+  // --- oracle-vs-decider: a counterexample proves non-answerability. ---
+  if (options.check_oracle) {
+    CounterexampleSearchOptions search;
+    search.attempts = options.oracle_attempts;
+    search.seed = options.seed ^ kOracleStream;
+    search.chase.max_rounds = 30;
+    search.chase.max_facts = 300;
+    std::optional<AMonDetCounterexample> ce =
+        SearchAMonDetCounterexample(schema, query, search);
+    count(primary_definite);
+    if (primary_definite && ce.has_value() &&
+        primary->verdict == Answerability::kAnswerable) {
+      AddFinding(&report, "oracle-vs-decider",
+                 "decider says answerable (complete, " + primary->procedure +
+                     ") but the AMonDet search found a counterexample "
+                     "(i1 has " +
+                     std::to_string(ce->i1.NumFacts()) + " facts, accessed " +
+                     std::to_string(ce->accessed.NumFacts()) + ")");
+    }
+  }
+
+  // --- plan-vs-decider: synthesized plans must never over-answer. ---
+  if (options.check_plan) {
+    bool ran = false;
+    if (primary_definite && primary->verdict == Answerability::kAnswerable) {
+      SynthesisOptions syn;
+      syn.access_rounds = std::clamp<size_t>(primary->chase_rounds + 1, 3, 6);
+      StatusOr<Plan> plan = SynthesizeUniversalPlan(schema, query, syn);
+      if (plan.ok()) {
+        Rng rng(options.seed ^ kPlanStream);
+        ChaseOptions model_chase;
+        model_chase.max_rounds = 40;
+        model_chase.max_facts = 4000;
+        for (size_t t = 0; t < options.validation_trials; ++t) {
+          Instance seed_inst = RandomInstance(&universe, schema.relations(),
+                                              /*domain_size=*/4,
+                                              /*num_facts=*/6, &rng);
+          seed_inst.UnionWith(GroundQuery(query, &universe, &rng));
+          StatusOr<Instance> data = CompleteToModel(
+              seed_inst, schema.constraints(), &universe, model_chase);
+          if (!data.ok()) continue;
+          ran = true;
+          PlanValidation v =
+              ValidatePlan(schema, *plan, query, *data,
+                           /*num_random_selections=*/4, options.seed + t);
+          // Missing answers can be an artifact of the truncated saturation
+          // depth; extra answers or execution errors never are.
+          if (!v.answers && v.mismatch != PlanMismatch::kMissingAnswers) {
+            AddFinding(&report, "plan-vs-decider",
+                       "universal plan for answerable query is unsound "
+                       "(trial " +
+                           std::to_string(t) + "): " + v.failure);
+            break;
+          }
+        }
+      }
+    }
+    count(ran);
+  }
+
+  // --- chase-differential: semi-naive vs naive on a random instance. ---
+  if (options.check_chase) {
+    Rng rng(options.seed ^ kChaseStream);
+    Instance start = RandomInstance(&universe, schema.relations(),
+                                    /*domain_size=*/4, /*num_facts=*/8, &rng);
+    if (seed_data != nullptr) start.UnionWith(*seed_data);
+    ChaseOptions naive;
+    naive.max_rounds = 60;
+    naive.max_facts = 8000;
+    naive.use_semi_naive = false;
+    ChaseOptions semi = naive;
+    semi.use_semi_naive = true;
+
+    ChaseResult naive_result =
+        RunChase(start, schema.constraints(), &universe, naive);
+    ChaseResult semi_result =
+        RunChase(start, schema.constraints(), &universe, semi);
+    count(true);
+    if (naive_result.status != semi_result.status) {
+      AddFinding(&report, "chase-differential",
+                 "chase status diverges: naive=" +
+                     std::to_string(static_cast<int>(naive_result.status)) +
+                     " semi-naive=" +
+                     std::to_string(static_cast<int>(semi_result.status)));
+    } else if (naive_result.status == ChaseStatus::kCompleted) {
+      if (!InstanceHomomorphismExists(naive_result.instance,
+                                      semi_result.instance) ||
+          !InstanceHomomorphismExists(semi_result.instance,
+                                      naive_result.instance)) {
+        AddFinding(&report, "chase-differential",
+                   "completed chases are not homomorphically equivalent "
+                   "(naive " +
+                       std::to_string(naive_result.instance.NumFacts()) +
+                       " facts, semi-naive " +
+                       std::to_string(semi_result.instance.NumFacts()) + ")");
+      }
+    }
+    StatusOr<CertainAnswersResult> ca_naive =
+        CertainAnswers(query, start, schema.constraints(), &universe, naive);
+    StatusOr<CertainAnswersResult> ca_semi =
+        CertainAnswers(query, start, schema.constraints(), &universe, semi);
+    if (ca_naive.ok() != ca_semi.ok()) {
+      AddFinding(&report, "chase-differential",
+                 "CertainAnswers status diverges between engines");
+    } else if (ca_naive.ok() &&
+               (ca_naive->answers != ca_semi->answers ||
+                ca_naive->complete != ca_semi->complete ||
+                ca_naive->inconsistent != ca_semi->inconsistent)) {
+      AddFinding(&report, "chase-differential",
+                 "certain answers diverge between naive and semi-naive");
+    }
+  }
+
+  // --- containment-cache: memoized verdicts must equal uncached ones. ---
+  if (options.check_containment_cache) {
+    Rng rng(options.seed ^ kContainmentStream);
+    ConjunctiveQuery q2 = GenerateQuery(schema, 2, 3, &rng);
+    ChaseOptions base;
+    base.max_rounds = 40;
+    base.max_facts = 4000;
+    ClearContainmentCache();
+    ChaseOptions uncached = base;
+    uncached.use_containment_cache = false;
+    ContainmentOutcome plain = CheckContainment(
+        query, q2, schema.constraints(), &universe, uncached);
+    ChaseOptions cached = base;
+    cached.use_containment_cache = true;
+    ContainmentOutcome miss = CheckContainment(
+        query, q2, schema.constraints(), &universe, cached);
+    ContainmentOutcome hit = CheckContainment(
+        query, q2, schema.constraints(), &universe, cached);
+    ClearContainmentCache();
+    count(true);
+    if (plain.verdict != miss.verdict || miss.verdict != hit.verdict) {
+      AddFinding(&report, "containment-cache",
+                 "containment verdict differs across uncached/miss/hit: " +
+                     std::to_string(static_cast<int>(plain.verdict)) + "/" +
+                     std::to_string(static_cast<int>(miss.verdict)) + "/" +
+                     std::to_string(static_cast<int>(hit.verdict)));
+    }
+  }
+
+  // --- roundtrip: serialize → parse → serialize fixpoint + stable verdict.
+  if (options.check_roundtrip) {
+    std::map<std::string, ConjunctiveQuery> queries{{"Q", query}};
+    const Instance empty;
+    const Instance& data = seed_data != nullptr ? *seed_data : empty;
+    std::string text = SerializeDocument(schema, queries, data);
+    Universe fresh;
+    StatusOr<ParsedDocument> doc = ParseDocument(text, &fresh);
+    if (!doc.ok()) {
+      count(true);
+      AddFinding(&report, "roundtrip",
+                 "serializer output does not parse: " +
+                     doc.status().ToString());
+    } else {
+      std::string text2 =
+          SerializeDocument(doc->schema, doc->queries, doc->data);
+      count(true);
+      if (text2 != text) {
+        AddFinding(&report, "roundtrip",
+                   "serialize(parse(serialize(s))) is not a fixpoint");
+      } else if (primary_definite && doc->queries.count("Q") > 0) {
+        StatusOr<Decision> replay = DecideMonotoneAnswerability(
+            doc->schema, doc->queries.at("Q"), options.decide);
+        if (replay.ok() && replay->complete &&
+            replay->verdict != primary->verdict) {
+          AddFinding(&report, "roundtrip",
+                     "verdict changes after a parse round-trip: " +
+                         VerdictPair(*primary, *replay));
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace rbda

@@ -1,0 +1,110 @@
+// The differential checker battery: N independent ways to answer (or
+// cross-examine) the same (schema, query) case, any disagreement between
+// which is a Finding.
+//
+// The paper's claims are Table 1 equivalences — each schema simplification
+// is sound *and* complete for monotone answerability on its fragment — and
+// this repo substitutes empirical cross-validation for the proofs
+// (DESIGN.md §1). The battery is that cross-validation packaged as a
+// reusable oracle:
+//
+//  * decide-vs-naive          — the fragment pipeline of Table 1 against
+//    the §3 naive reduction (always sound & complete when its chase
+//    terminates); definite verdicts must agree.
+//  * simplification-differential — DecideMonotoneAnswerability on the
+//    original schema vs. on the fragment's externally-applied
+//    simplification (Thm 4.2 / 4.5 / 6.3 / 6.4, Prop 3.3 for the ElimUB
+//    fallback); definite verdicts must agree.
+//  * oracle-vs-decider        — a found AMonDet counterexample proves
+//    non-answerability (Thm 3.1 + Prop 3.2); a complete kAnswerable
+//    verdict contradicting it is a bug in one of the two.
+//  * plan-vs-decider          — synthesized plans for answerable queries
+//    must never produce answers the query does not have (unsound outputs
+//    or execution errors are findings; under-saturation of the truncated
+//    universal plan is recorded but is not a finding).
+//  * chase-differential       — semi-naive vs. naive chase on a random
+//    instance: same status, mutually embedding results, identical certain
+//    answers.
+//  * containment-cache        — cached (miss, then hit) vs. uncached
+//    containment verdicts must be identical.
+//  * roundtrip                — serialize → parse (fresh universe) →
+//    serialize must be a fixpoint, and the re-decided verdict must match;
+//    the shrinker and the replay corpus depend on this.
+//
+// All randomness inside a battery run derives from CheckerOptions::seed,
+// so a battery run is a pure function of (document, options) — replaying a
+// serialized case reproduces its findings bit for bit.
+#ifndef RBDA_FUZZ_CHECKERS_H_
+#define RBDA_FUZZ_CHECKERS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/answerability.h"
+#include "logic/conjunctive_query.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+struct CheckerOptions {
+  /// Master seed for every internal RNG draw (instance generation, oracle
+  /// search, plan validation selections).
+  uint64_t seed = 1;
+  /// Budgets shared by every decide call. Definite verdicts under small
+  /// budgets are still definite; incomplete ones are skipped (no signal),
+  /// so small budgets trade signal for speed, never correctness.
+  DecisionOptions decide;
+  size_t oracle_attempts = 40;
+  size_t validation_trials = 2;
+  /// Test-only fault injection: the simplification-differential checker
+  /// compares against a deliberately broken simplification that strips
+  /// every result bound (claiming unbounded access), which is unsound on
+  /// every fragment. Used to prove the harness catches and shrinks real
+  /// disagreements; never enabled outside tests / the --inject-bug flag.
+  bool inject_simplification_bug = false;
+  // Per-checker toggles (all on by default).
+  bool check_naive = true;
+  bool check_simplification = true;
+  bool check_oracle = true;
+  bool check_plan = true;
+  bool check_chase = true;
+  bool check_containment_cache = true;
+  bool check_roundtrip = true;
+
+  CheckerOptions();  // sets fuzz-sized budgets on `decide`
+};
+
+/// One disagreement between two members of the battery.
+struct Finding {
+  std::string checker;  // stable checker name, e.g. "decide-vs-naive"
+  std::string detail;   // human-readable description of the disagreement
+};
+
+struct CheckReport {
+  std::vector<Finding> findings;
+  uint64_t checkers_run = 0;      // checkers that produced a signal
+  uint64_t checkers_skipped = 0;  // no-signal (budget trips, no plan, ...)
+
+  bool AllAgree() const { return findings.empty(); }
+  /// True if some finding came from checker `name`.
+  bool Has(const std::string& name) const;
+};
+
+/// Runs every enabled checker on the Boolean query `query` over `schema`.
+/// `seed_data` (optional) is a fact set the document carried — corpus
+/// fixtures plant the instances their bugs needed; it seeds the
+/// chase-differential start instance and is preserved by the roundtrip
+/// checker.
+CheckReport RunCheckerBattery(const ServiceSchema& schema,
+                              const ConjunctiveQuery& query,
+                              const CheckerOptions& options,
+                              const Instance* seed_data = nullptr);
+
+/// The deliberately broken "simplification" behind
+/// `inject_simplification_bug`: strips every result bound / lower bound,
+/// pretending each bounded method returns all matching tuples.
+ServiceSchema StripBoundsForTesting(const ServiceSchema& schema);
+
+}  // namespace rbda
+
+#endif  // RBDA_FUZZ_CHECKERS_H_

@@ -1,0 +1,241 @@
+#include "fuzz/mutators.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace rbda {
+
+namespace {
+
+Counter* MutationsApplied() {
+  static Counter* c =
+      MetricsRegistry::Default().GetCounter("fuzz.mutations_applied");
+  return c;
+}
+
+// A random ID between two relations of the schema, mirroring the generator
+// family's shape (single body atom, single head atom, distinct variables).
+Tgd RandomIdBetween(Universe* universe, RelationId from, RelationId to,
+                    Rng* rng) {
+  uint32_t from_arity = universe->Arity(from);
+  uint32_t to_arity = universe->Arity(to);
+  size_t width = 1 + rng->Below(std::max<uint32_t>(
+                         std::min(from_arity, to_arity), 1));
+  std::vector<Term> body_args, head_args;
+  for (uint32_t p = 0; p < from_arity; ++p) {
+    body_args.push_back(universe->FreshVariable());
+  }
+  for (uint32_t p = 0; p < to_arity; ++p) {
+    head_args.push_back(universe->FreshVariable());
+  }
+  for (size_t i = 0; i < width; ++i) {
+    head_args[i % to_arity] = body_args[i % from_arity];
+  }
+  return Tgd({Atom(from, body_args)}, {Atom(to, head_args)});
+}
+
+bool AddConstraint(ServiceSchema* schema, Rng* rng) {
+  const std::vector<RelationId>& relations = schema->relations();
+  if (relations.empty()) return false;
+  Universe* universe = schema->mutable_universe();
+  if (rng->Chance(1, 2)) {
+    RelationId from = relations[rng->Below(relations.size())];
+    RelationId to = relations[rng->Below(relations.size())];
+    schema->constraints().tgds.push_back(
+        RandomIdBetween(universe, from, to, rng));
+    return true;
+  }
+  // Random non-trivial FD on a relation of arity >= 2.
+  std::vector<RelationId> wide;
+  for (RelationId r : relations) {
+    if (universe->Arity(r) >= 2) wide.push_back(r);
+  }
+  if (wide.empty()) return false;
+  RelationId rel = wide[rng->Below(wide.size())];
+  uint32_t arity = universe->Arity(rel);
+  uint32_t lhs = static_cast<uint32_t>(rng->Below(arity));
+  uint32_t rhs = static_cast<uint32_t>(rng->Below(arity));
+  if (lhs == rhs) rhs = (rhs + 1) % arity;
+  schema->constraints().fds.emplace_back(rel, std::vector<uint32_t>{lhs},
+                                         rhs);
+  return true;
+}
+
+bool DropConstraint(ServiceSchema* schema, Rng* rng) {
+  ConstraintSet& cs = schema->constraints();
+  size_t total = cs.Size();
+  if (total == 0) return false;
+  size_t pick = rng->Below(total);
+  if (pick < cs.tgds.size()) {
+    cs.tgds.erase(cs.tgds.begin() + static_cast<ptrdiff_t>(pick));
+  } else {
+    pick -= cs.tgds.size();
+    cs.fds.erase(cs.fds.begin() + static_cast<ptrdiff_t>(pick));
+  }
+  return true;
+}
+
+bool PerturbConstraint(ServiceSchema* schema, Rng* rng) {
+  ConstraintSet& cs = schema->constraints();
+  size_t total = cs.Size();
+  if (total == 0) return false;
+  Universe* universe = schema->mutable_universe();
+  size_t pick = rng->Below(total);
+  if (pick < cs.tgds.size()) {
+    // Re-point the TGD's head at a different relation, keeping the body.
+    const Tgd& old = cs.tgds[pick];
+    if (old.body().empty() || schema->relations().empty()) return false;
+    RelationId to =
+        schema->relations()[rng->Below(schema->relations().size())];
+    Tgd fresh = RandomIdBetween(universe, old.body()[0].relation, to, rng);
+    cs.tgds[pick] = Tgd(old.body(), fresh.head());
+    return true;
+  }
+  pick -= cs.tgds.size();
+  // Move the FD's determined position.
+  Fd& fd = cs.fds[pick];
+  uint32_t arity = universe->Arity(fd.relation);
+  if (arity < 2) return false;
+  uint32_t fresh = (fd.determined + 1) % arity;
+  // Keep the FD non-trivial (determined not among the determiners).
+  for (uint32_t step = 0; step < arity; ++step) {
+    bool trivial = std::find(fd.determiners.begin(), fd.determiners.end(),
+                             fresh) != fd.determiners.end();
+    if (!trivial && fresh != fd.determined) break;
+    fresh = (fresh + 1) % arity;
+  }
+  if (fresh == fd.determined) return false;
+  fd.determined = fresh;
+  return true;
+}
+
+bool FlipBound(ServiceSchema* schema, Rng* rng) {
+  std::vector<AccessMethod>& methods = schema->mutable_methods();
+  if (methods.empty()) return false;
+  AccessMethod& m = methods[rng->Below(methods.size())];
+  const Universe& universe = schema->universe();
+  switch (m.bound_kind) {
+    case BoundKind::kNone:
+      // Boolean methods (all positions input) make bounds meaningless.
+      if (m.input_positions.size() >= universe.Arity(m.relation)) {
+        return false;
+      }
+      m.bound_kind = rng->Chance(1, 4) ? BoundKind::kResultLowerBound
+                                       : BoundKind::kResultBound;
+      m.bound = 1 + static_cast<uint32_t>(rng->Below(3));
+      return true;
+    case BoundKind::kResultBound:
+      if (rng->Chance(1, 3)) {
+        m.bound_kind = BoundKind::kNone;
+        m.bound = 0;
+      } else if (rng->Chance(1, 2)) {
+        m.bound_kind = BoundKind::kResultLowerBound;
+      } else {
+        m.bound = 1 + static_cast<uint32_t>(rng->Below(3));
+      }
+      return true;
+    case BoundKind::kResultLowerBound:
+      m.bound_kind =
+          rng->Chance(1, 2) ? BoundKind::kResultBound : BoundKind::kNone;
+      if (m.bound_kind == BoundKind::kNone) m.bound = 0;
+      return true;
+  }
+  return false;
+}
+
+bool WidenId(ServiceSchema* schema, Rng* rng) {
+  ConstraintSet& cs = schema->constraints();
+  // Collect the TGDs that are IDs with room to export one more variable.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < cs.tgds.size(); ++i) {
+    const Tgd& tgd = cs.tgds[i];
+    if (!tgd.IsId()) continue;
+    if (tgd.ExistentialVariables().empty()) continue;  // already full width
+    if (tgd.Width() >= tgd.body()[0].args.size()) continue;
+    candidates.push_back(i);
+  }
+  if (candidates.empty()) return false;
+  Tgd& tgd = cs.tgds[candidates[rng->Below(candidates.size())]];
+
+  // Export one more body variable: substitute a random existential head
+  // variable by a body variable not yet exported.
+  std::vector<Term> existentials = tgd.ExistentialVariables();
+  std::sort(existentials.begin(), existentials.end());
+  std::vector<Term> exported = tgd.ExportedVariables();
+  std::vector<Term> unexported;
+  for (const Term& arg : tgd.body()[0].args) {
+    if (std::find(exported.begin(), exported.end(), arg) == exported.end()) {
+      unexported.push_back(arg);
+    }
+  }
+  std::sort(unexported.begin(), unexported.end());
+  if (unexported.empty()) return false;
+  Substitution widen;
+  widen.emplace(existentials[rng->Below(existentials.size())],
+                unexported[rng->Below(unexported.size())]);
+  tgd = Tgd(tgd.body(), ApplyToAtoms(widen, tgd.head()));
+  return true;
+}
+
+}  // namespace
+
+const char* MutationName(Mutation m) {
+  switch (m) {
+    case Mutation::kAddConstraint:
+      return "add-constraint";
+    case Mutation::kDropConstraint:
+      return "drop-constraint";
+    case Mutation::kPerturbConstraint:
+      return "perturb-constraint";
+    case Mutation::kFlipBound:
+      return "flip-bound";
+    case Mutation::kWidenId:
+      return "widen-id";
+  }
+  return "unknown";
+}
+
+bool ApplyMutation(ServiceSchema* schema, Mutation mutation, Rng* rng) {
+  bool applied = false;
+  switch (mutation) {
+    case Mutation::kAddConstraint:
+      applied = AddConstraint(schema, rng);
+      break;
+    case Mutation::kDropConstraint:
+      applied = DropConstraint(schema, rng);
+      break;
+    case Mutation::kPerturbConstraint:
+      applied = PerturbConstraint(schema, rng);
+      break;
+    case Mutation::kFlipBound:
+      applied = FlipBound(schema, rng);
+      break;
+    case Mutation::kWidenId:
+      applied = WidenId(schema, rng);
+      break;
+  }
+  if (applied) MutationsApplied()->Increment();
+  return applied;
+}
+
+size_t ApplyRandomMutations(ServiceSchema* schema, size_t count, Rng* rng) {
+  constexpr Mutation kAll[] = {
+      Mutation::kAddConstraint, Mutation::kDropConstraint,
+      Mutation::kPerturbConstraint, Mutation::kFlipBound, Mutation::kWidenId};
+  size_t applied = 0;
+  for (size_t i = 0; i < count; ++i) {
+    // A draw may be inapplicable (e.g. no ID to widen); retry a few times
+    // so the requested mutation count is usually met.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      Mutation m = kAll[rng->Below(std::size(kAll))];
+      if (ApplyMutation(schema, m, rng)) {
+        ++applied;
+        break;
+      }
+    }
+  }
+  return applied;
+}
+
+}  // namespace rbda

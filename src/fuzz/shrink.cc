@@ -1,0 +1,192 @@
+#include "fuzz/shrink.h"
+
+#include <vector>
+
+#include "base/str_util.h"
+#include "obs/metrics.h"
+
+namespace rbda {
+
+namespace {
+
+struct ShrinkMetrics {
+  Counter* candidates;
+  Counter* accepted;
+  Distribution* shrink_us;
+};
+
+const ShrinkMetrics& Metrics() {
+  static const ShrinkMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return ShrinkMetrics{
+        r.GetCounter("fuzz.shrink.candidates"),
+        r.GetCounter("fuzz.shrink.accepted"),
+        r.GetDistribution("fuzz.shrink_us"),
+    };
+  }();
+  return m;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// Splits `segment` on " & " at the top level (atom arguments never contain
+// '&', so plain text splitting is exact for this DSL).
+std::vector<std::string> SplitConjuncts(const std::string& segment) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    size_t sep = segment.find(" & ", start);
+    if (sep == std::string::npos) {
+      parts.push_back(segment.substr(start));
+      return parts;
+    }
+    parts.push_back(segment.substr(start, sep - start));
+    start = sep + 3;
+  }
+}
+
+std::string JoinConjuncts(const std::vector<std::string>& parts) {
+  return Join(parts, " & ");
+}
+
+// Variants of `line` with one conjunct removed (at least one must remain
+// per side). Handles "tgd BODY -> HEAD" and "query Q(...) :- BODY".
+std::vector<std::string> ConjunctDropVariants(const std::string& line) {
+  std::vector<std::string> variants;
+  auto drop_each = [&variants](const std::string& prefix,
+                               const std::string& segment,
+                               const std::string& suffix) {
+    std::vector<std::string> parts = SplitConjuncts(segment);
+    if (parts.size() < 2) return;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      std::vector<std::string> kept;
+      for (size_t j = 0; j < parts.size(); ++j) {
+        if (j != i) kept.push_back(parts[j]);
+      }
+      variants.push_back(prefix + JoinConjuncts(kept) + suffix);
+    }
+  };
+  if (line.rfind("tgd ", 0) == 0) {
+    size_t arrow = line.find(" -> ");
+    if (arrow == std::string::npos) return variants;
+    std::string body = line.substr(4, arrow - 4);
+    std::string head = line.substr(arrow + 4);
+    drop_each("tgd ", body, " -> " + head);
+    drop_each("tgd " + body + " -> ", head, "");
+  } else if (line.rfind("query ", 0) == 0) {
+    size_t sep = line.find(" :- ");
+    if (sep == std::string::npos) return variants;
+    drop_each(line.substr(0, sep + 4), line.substr(sep + 4), "");
+  }
+  return variants;
+}
+
+// Variants of a method line with a smaller or absent bound clause:
+// "... limit 5" -> {"... " (clause dropped), "... limit 1"}.
+std::vector<std::string> BoundShrinkVariants(const std::string& line) {
+  std::vector<std::string> variants;
+  if (line.rfind("method ", 0) != 0) return variants;
+  for (const char* keyword : {" limit ", " lowerlimit "}) {
+    size_t pos = line.find(keyword);
+    if (pos == std::string::npos) continue;
+    std::string value = line.substr(pos + std::string(keyword).size());
+    variants.push_back(line.substr(0, pos));  // unbounded
+    if (value != "1") {
+      variants.push_back(line.substr(0, pos) + keyword + "1");
+    }
+    break;  // a method line carries at most one bound clause
+  }
+  return variants;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkDocument(
+    const std::string& document,
+    const std::function<bool(const std::string&)>& reproduces,
+    const ShrinkOptions& options) {
+  ScopedTimer timer(Metrics().shrink_us);
+  ShrinkResult result;
+  std::vector<std::string> lines = SplitLines(document);
+
+  auto try_candidate = [&](const std::vector<std::string>& candidate) {
+    ++result.candidates_tried;
+    Metrics().candidates->Increment();
+    if (!reproduces(JoinLines(candidate))) return false;
+    ++result.accepted;
+    Metrics().accepted->Increment();
+    lines = candidate;
+    return true;
+  };
+
+  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool changed = false;
+
+    // Pass 1: drop whole lines. The index is not advanced after an
+    // accepted removal (the next line slides into position i).
+    for (size_t i = 0; i < lines.size();) {
+      std::vector<std::string> candidate = lines;
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+      if (try_candidate(candidate)) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Pass 2: drop single conjuncts inside tgd/query lines.
+    for (size_t i = 0; i < lines.size(); ++i) {
+      bool line_changed = true;
+      while (line_changed) {
+        line_changed = false;
+        for (const std::string& variant : ConjunctDropVariants(lines[i])) {
+          std::vector<std::string> candidate = lines;
+          candidate[i] = variant;
+          if (try_candidate(candidate)) {
+            changed = true;
+            line_changed = true;
+            break;  // lines[i] changed; recompute its variants
+          }
+        }
+      }
+    }
+
+    // Pass 3: shrink or drop method bounds.
+    for (size_t i = 0; i < lines.size(); ++i) {
+      for (const std::string& variant : BoundShrinkVariants(lines[i])) {
+        std::vector<std::string> candidate = lines;
+        candidate[i] = variant;
+        if (try_candidate(candidate)) {
+          changed = true;
+          break;
+        }
+      }
+    }
+
+    if (!changed) break;  // fixpoint
+  }
+
+  result.document = JoinLines(lines);
+  return result;
+}
+
+}  // namespace rbda

@@ -1,0 +1,49 @@
+// Greedy counterexample shrinking over .rbda documents.
+//
+// The finding is a property of the *document* (the battery is a pure
+// function of the serialized case — see checkers.h), so minimization works
+// on the text: the DSL is line-oriented, every statement is one line, and
+// dropping a line that something else references simply fails to parse,
+// which the repro predicate treats as "does not reproduce". That turns
+// delta debugging into three simple candidate generators, run greedily to
+// a fixpoint:
+//   1. drop a whole line            (relations, methods, constraints,
+//                                    facts — the coarse pass);
+//   2. drop one " & "-conjunct      (atoms of tgd bodies/heads and query
+//                                    bodies — the fine-grained pass);
+//   3. shrink a bound               ("limit 5" -> "limit 1", also dropping
+//                                    the clause entirely; same for
+//                                    "lowerlimit").
+// Each accepted candidate strictly shrinks the document (fewer lines or
+// fewer characters), so the loop terminates.
+#ifndef RBDA_FUZZ_SHRINK_H_
+#define RBDA_FUZZ_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+namespace rbda {
+
+struct ShrinkOptions {
+  /// Upper bound on full passes over the document (each pass tries every
+  /// candidate once); the loop usually reaches a fixpoint much earlier.
+  size_t max_passes = 10;
+};
+
+struct ShrinkResult {
+  std::string document;        // the minimized text (still reproduces)
+  size_t accepted = 0;         // candidates that kept the finding alive
+  size_t candidates_tried = 0; // total predicate evaluations
+};
+
+/// Minimizes `document` while `reproduces(candidate)` stays true. The
+/// predicate must return false for candidates that do not parse; the
+/// original document must reproduce (callers check before shrinking).
+ShrinkResult ShrinkDocument(
+    const std::string& document,
+    const std::function<bool(const std::string&)>& reproduces,
+    const ShrinkOptions& options = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_FUZZ_SHRINK_H_

@@ -1,5 +1,7 @@
 #include "runtime/generators.h"
 
+#include <algorithm>
+
 #include "logic/conjunctive_query.h"
 
 namespace rbda {
@@ -45,8 +47,14 @@ StatusOr<Instance> CompleteToModel(const Instance& start,
 
 Instance GroundQuery(const ConjunctiveQuery& query, Universe* universe,
                      Rng* rng) {
+  // Sort the variables before drawing names: consuming RNG draws in
+  // hash-set iteration order would make identical seeds produce different
+  // groundings depending on the set's layout.
+  TermSet variable_set = query.Variables();
+  std::vector<Term> variables(variable_set.begin(), variable_set.end());
+  std::sort(variables.begin(), variables.end());
   Substitution grounding;
-  for (const Term& v : query.Variables()) {
+  for (const Term& v : variables) {
     grounding.emplace(
         v, universe->Constant("g" + std::to_string(rng->Below(1000000))));
   }

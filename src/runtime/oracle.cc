@@ -86,7 +86,38 @@ bool ForEachBinding(const AccessMethod& method, const Instance& accessed,
   }
 }
 
+// Classifies how `output` disagrees with `expected`.
+PlanMismatch ClassifyMismatch(const Table& output, const Table& expected) {
+  bool extra = false, missing = false;
+  for (const auto& t : output) {
+    if (expected.count(t) == 0) extra = true;
+  }
+  for (const auto& t : expected) {
+    if (output.count(t) == 0) missing = true;
+  }
+  if (extra && missing) return PlanMismatch::kBoth;
+  if (extra) return PlanMismatch::kExtraAnswers;
+  if (missing) return PlanMismatch::kMissingAnswers;
+  return PlanMismatch::kNone;
+}
+
 }  // namespace
+
+const char* PlanMismatchName(PlanMismatch m) {
+  switch (m) {
+    case PlanMismatch::kNone:
+      return "none";
+    case PlanMismatch::kExecutionError:
+      return "execution-error";
+    case PlanMismatch::kExtraAnswers:
+      return "extra-answers";
+    case PlanMismatch::kMissingAnswers:
+      return "missing-answers";
+    case PlanMismatch::kBoth:
+      return "extra-and-missing";
+  }
+  return "unknown";
+}
 
 PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
                             const ConjunctiveQuery& query,
@@ -112,12 +143,14 @@ PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
     StatusOr<Table> output = executor.Execute(plan);
     if (!output.ok()) {
       result.answers = false;
+      result.mismatch = PlanMismatch::kExecutionError;
       result.failure = "execution error: " + output.status().ToString();
       Metrics().plan_validation_failures->Increment();
       return result;
     }
     if (*output != expected) {
       result.answers = false;
+      result.mismatch = ClassifyMismatch(*output, expected);
       result.failure = "selection #" + std::to_string(i) + ": plan output " +
                        TableToString(*output, schema.universe()) +
                        " != query answer " +
@@ -190,10 +223,17 @@ std::optional<AMonDetCounterexample> SearchAMonDetCounterexample(
     if (!i1.ok() || !query.HoldsIn(*i1)) continue;
 
     // Pick a random subset and repair it into an access-valid subinstance.
+    // The facts are sorted before the coin flips: consuming RNG draws in
+    // hash-map iteration order would make identical seeds produce
+    // different subsets depending on the universe's interning history.
+    std::vector<Fact> i1_facts;
+    i1_facts.reserve(i1->NumFacts());
+    i1->ForEachFact([&](const Fact& f) { i1_facts.push_back(f); });
+    std::sort(i1_facts.begin(), i1_facts.end());
     Instance accessed;
-    i1->ForEachFact([&](const Fact& f) {
+    for (const Fact& f : i1_facts) {
       if (rng.Chance(1, 2)) accessed.AddFact(f);
-    });
+    }
     for (size_t round = 0; round < 100; ++round) {
       bool changed = false;
       for (const AccessMethod& method : schema.methods()) {
@@ -207,6 +247,10 @@ std::optional<AMonDetCounterexample> SearchAMonDetCounterexample(
                       ? m1.size()
                       : method.bound;
               if (ma.size() >= need) return;
+              // Top up from the sorted matches, not insertion order, so
+              // the repaired subinstance is independent of how i1's fact
+              // vectors happen to be laid out.
+              std::sort(m1.begin(), m1.end());
               for (const Fact& f : m1) {
                 if (ma.size() >= need) break;
                 if (accessed.AddFact(f)) {

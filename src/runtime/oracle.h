@@ -23,8 +23,24 @@
 
 namespace rbda {
 
+/// Direction of a plan/query disagreement. Unsound directions (extra
+/// answers, execution errors) always indicate a bug; missing answers can
+/// also be an artifact of a deliberately truncated plan (e.g. a universal
+/// plan cut off at a saturation depth), so callers that tolerate
+/// under-approximation filter on this.
+enum class PlanMismatch {
+  kNone,            // plan answers the query
+  kExecutionError,  // the plan failed to execute at all
+  kExtraAnswers,    // plan emitted tuples the query does not have (unsound)
+  kMissingAnswers,  // plan missed tuples the query has (incomplete)
+  kBoth,            // extra and missing tuples in the same output
+};
+
+const char* PlanMismatchName(PlanMismatch m);
+
 struct PlanValidation {
   bool answers = true;
+  PlanMismatch mismatch = PlanMismatch::kNone;
   std::string failure;  // human-readable mismatch description
 };
 

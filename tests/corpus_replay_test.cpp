@@ -1,0 +1,86 @@
+// Satellite of the fuzzing harness: every checked-in .rbda corpus file —
+// minimized repros of past bugs plus hand-written regression shapes — must
+// replay cleanly through the full checker battery. A corpus file that
+// fires a finding means a fixed bug has regressed (or a new one shipped).
+//
+// RBDA_CORPUS_DIR is injected by tests/CMakeLists.txt and points at
+// tests/corpus/ in the source tree, so newly checked-in repros are picked
+// up without a cmake re-run.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "gtest/gtest.h"
+
+#ifndef RBDA_CORPUS_DIR
+#error "RBDA_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace rbda {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RBDA_CORPUS_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".rbda") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFileOrDie(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CorpusReplayTest, CorpusIsNonEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 3u)
+      << "expected at least the three seed regression fixtures in "
+      << RBDA_CORPUS_DIR;
+}
+
+TEST(CorpusReplayTest, EveryCorpusFileReplaysClean) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    std::string document = ReadFileOrDie(path);
+    CheckerOptions checkers;
+    checkers.seed = 0x5eed;  // fixed: corpus verdicts must not drift
+    StatusOr<CheckReport> report = ReplayDocument(document, checkers);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GT(report->checkers_run, 0u);
+    for (const Finding& f : report->findings) {
+      ADD_FAILURE() << "regression: " << f.checker << ": " << f.detail;
+    }
+  }
+}
+
+// The corpus must stay replayable under different battery seeds too — a
+// finding that only fires under one seed is still a bug, but a *pass* that
+// only holds under one seed would make the corpus test vacuous.
+TEST(CorpusReplayTest, CleanUnderMultipleSeeds) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    std::string document = ReadFileOrDie(path);
+    for (uint64_t seed : {1u, 99u, 4242u}) {
+      CheckerOptions checkers;
+      checkers.seed = seed;
+      StatusOr<CheckReport> report = ReplayDocument(document, checkers);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_TRUE(report->AllAgree())
+          << "seed " << seed << ": " << report->findings.front().checker
+          << ": " << report->findings.front().detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rbda
