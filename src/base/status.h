@@ -22,6 +22,8 @@ enum class StatusCode {
   kResourceExhausted,  // a search budget (chase depth, fact count) ran out
   kUnimplemented,
   kInternal,
+  kUnavailable,        // transient service failure; retrying may succeed
+  kDeadlineExceeded,   // a wall/virtual-time deadline expired
 };
 
 /// Result of an operation: either OK or an error code with a message.
@@ -49,6 +51,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,6 +7,7 @@
 #include "chase/containment.h"
 #include "core/plan_synthesis.h"
 #include "core/simplification.h"
+#include "fuzz/mutators.h"
 #include "obs/metrics.h"
 #include "parser/parser.h"
 #include "parser/serializer.h"
@@ -44,6 +45,7 @@ constexpr uint64_t kOracleStream = 0x9e3779b97f4a7c15ULL;
 constexpr uint64_t kPlanStream = 0xbf58476d1ce4e5b9ULL;
 constexpr uint64_t kChaseStream = 0x94d049bb133111ebULL;
 constexpr uint64_t kContainmentStream = 0x2545f4914f6cdd1dULL;
+constexpr uint64_t kFaultStream = 0xda942042e4dd58b5ULL;
 
 void AddFinding(CheckReport* report, std::string checker, std::string detail) {
   Metrics().findings->Increment();
@@ -226,6 +228,180 @@ CheckReport RunCheckerBattery(const ServiceSchema& schema,
                        "(trial " +
                            std::to_string(t) + "): " + v.failure);
             break;
+          }
+        }
+      }
+    }
+    count(ran);
+  }
+
+  // --- fault-injection: degraded runs under-approximate, never over. ---
+  if (options.check_fault_injection) {
+    bool ran = false;
+    // The soundness property needs only *a* plan, not an answerable query:
+    // whatever the universal plan computes fault-free, its degraded runs
+    // must stay inside it. So synthesize unconditionally (no chase).
+    StatusOr<Plan> plan = SynthesizeUniversalPlan(schema, query);
+    if (plan.ok() && plan->IsMonotone()) {
+      Rng rng(options.seed ^ kFaultStream);
+      Instance data = RandomInstance(&universe, schema.relations(),
+                                     /*domain_size=*/4, /*num_facts=*/10,
+                                     &rng);
+      if (seed_data != nullptr) data.UnionWith(*seed_data);
+      // One deterministic backend shared by every run below, so identical
+      // (method, binding) calls answer identically and outputs compare.
+      std::unique_ptr<AccessSelector> selector =
+          MakeSelector(SelectionPolicy::kFirstK);
+      InstanceService backend(data, selector.get());
+
+      VirtualClock ref_clock;
+      PlanExecutor ref_exec(schema, &backend, &ref_clock);
+      StatusOr<ExecutionResult> reference = ref_exec.Run(*plan);
+      if (reference.ok()) {
+        ran = true;
+        ExecutionPolicy policy;
+        policy.partial_results = true;
+        policy.retry.max_attempts = 3;
+        policy.retry.jitter_seed = options.seed ^ kFaultStream;
+
+        // Subset soundness under N mutated fault plans. Silent truncation
+        // faults under-fill responses without any detectable signal, so
+        // only the subset direction is asserted here; exactness is the
+        // convergence run's job.
+        FaultPlan faults;
+        for (size_t i = 0; i < options.fault_plans; ++i) {
+          MutateFaultPlan(&faults, schema, &rng);
+          VirtualClock clock;
+          FaultInjectingService faulty(&backend, faults, &clock);
+          PlanExecutor exec(schema, &faulty, &clock, policy);
+          StatusOr<ExecutionResult> run = exec.Run(*plan);
+          if (!run.ok()) {
+            AddFinding(&report, "fault-injection",
+                       "monotone plan in partial-result mode failed instead "
+                       "of degrading (fault plan " +
+                           std::to_string(i) + "): " +
+                           run.status().ToString());
+            break;
+          }
+          if (!std::includes(reference->table.begin(),
+                             reference->table.end(), run->table.begin(),
+                             run->table.end())) {
+            AddFinding(&report, "fault-injection",
+                       "degraded output is not a subset of the fault-free "
+                       "output (fault plan " +
+                           std::to_string(i) + ": " +
+                           std::to_string(run->table.size()) + " vs " +
+                           std::to_string(reference->table.size()) +
+                           " tuples)");
+            break;
+          }
+        }
+
+        // Convergence: a deterministic transient-only schedule (first two
+        // calls per method fail) with enough retries must reproduce the
+        // fault-free output exactly, with no degradation.
+        FaultPlan transient;
+        transient.seed = rng.Next();
+        transient.base.fail_first = 2;
+        transient.base.latency_us = 100;
+        ExecutionPolicy converge = policy;
+        converge.retry.max_attempts = 4;
+        VirtualClock clock;
+        FaultInjectingService faulty(&backend, transient, &clock);
+        PlanExecutor exec(schema, &faulty, &clock, converge);
+        StatusOr<ExecutionResult> run = exec.Run(*plan);
+        if (!run.ok()) {
+          AddFinding(&report, "fault-injection",
+                     "transient-only faults defeated retries: " +
+                         run.status().ToString());
+        } else if (run->partial || run->table != reference->table) {
+          AddFinding(&report, "fault-injection",
+                     "retried transient-only run did not converge to the "
+                     "fault-free output (partial=" +
+                         std::to_string(run->partial) + ", " +
+                         std::to_string(run->table.size()) + " vs " +
+                         std::to_string(reference->table.size()) +
+                         " tuples)");
+        }
+
+        // Non-monotone discipline: duplicate the plan's first access and
+        // subtract it from itself. Partial-result mode must reject the
+        // difference plan up front; with the unsound escape hatch and a
+        // fault schedule that kills exactly the duplicate, the difference
+        // over-approximates — which the harness must catch.
+        size_t first_access = plan->commands.size();
+        for (size_t i = 0; i < plan->commands.size(); ++i) {
+          if (std::holds_alternative<AccessCommand>(plan->commands[i])) {
+            first_access = i;
+            break;
+          }
+        }
+        if (first_access < plan->commands.size()) {
+          const AccessCommand& acc =
+              std::get<AccessCommand>(plan->commands[first_access]);
+          Plan nonmono;
+          nonmono.commands.assign(
+              plan->commands.begin(),
+              plan->commands.begin() +
+                  static_cast<ptrdiff_t>(first_access) + 1);
+          AccessCommand again = acc;
+          again.output_table = "FZ__again";
+          nonmono.commands.emplace_back(again);
+          nonmono.Difference("FZ__diff", acc.output_table, "FZ__again");
+          nonmono.Return("FZ__diff");
+
+          {
+            VirtualClock c;
+            PlanExecutor e(schema, &backend, &c, policy);
+            StatusOr<ExecutionResult> r = e.Run(nonmono);
+            if (r.ok()) {
+              AddFinding(&report, "fault-injection",
+                         "non-monotone plan (difference) was accepted in "
+                         "partial-result mode");
+            }
+          }
+          if (options.inject_partial_bug) {
+            // Fault-free value of the difference plan (idempotent backend
+            // ⇒ the duplicate access answers identically, so it is ∅ —
+            // but compute it rather than assume it).
+            VirtualClock c0;
+            PlanExecutor e0(schema, &backend, &c0);
+            StatusOr<ExecutionResult> base_run = e0.Run(nonmono);
+            // Count the calls the prefix (through the original access)
+            // makes on acc.method, so a fail_from schedule can degrade
+            // exactly the duplicated access.
+            Plan prefix;
+            prefix.commands.assign(
+                plan->commands.begin(),
+                plan->commands.begin() +
+                    static_cast<ptrdiff_t>(first_access) + 1);
+            prefix.Return(acc.output_table);
+            FaultPlan none;
+            VirtualClock c1;
+            FaultInjectingService counting(&backend, none, &c1);
+            PlanExecutor e1(schema, &counting, &c1);
+            if (base_run.ok() && e1.Run(prefix).ok()) {
+              FaultPlan kill;
+              kill.per_method[acc.method].fail_from =
+                  static_cast<uint32_t>(counting.CallCount(acc.method)) + 1;
+              ExecutionPolicy bug = policy;
+              bug.unsound_allow_nonmonotone_partial = true;
+              VirtualClock c2;
+              FaultInjectingService faulty2(&backend, kill, &c2);
+              PlanExecutor e2(schema, &faulty2, &c2, bug);
+              StatusOr<ExecutionResult> r = e2.Run(nonmono);
+              if (r.ok() &&
+                  !std::includes(base_run->table.begin(),
+                                 base_run->table.end(), r->table.begin(),
+                                 r->table.end())) {
+                AddFinding(
+                    &report, "fault-injection",
+                    "degraded non-monotone plan emitted " +
+                        std::to_string(r->table.size()) +
+                        " tuples the fault-free run does not have "
+                        "(unsound_allow_nonmonotone_partial)");
+              }
+            }
           }
         }
       }

@@ -27,6 +27,13 @@
 //    answers.
 //  * containment-cache        — cached (miss, then hit) vs. uncached
 //    containment verdicts must be identical.
+//  * fault-injection          — the synthesized monotone plan executed
+//    under N seeded fault plans in partial-result mode must yield outputs
+//    ⊆ the fault-free output (monotonicity ⇒ degradation is a sound
+//    underapproximation); under transient-only faults with enough retries
+//    the output must converge to exact equality; and a non-monotone
+//    variant of the plan (duplicate access + difference) must be rejected
+//    by partial-result mode outright.
 //  * roundtrip                — serialize → parse (fresh universe) →
 //    serialize must be a fixpoint, and the re-decided verdict must match;
 //    the shrinker and the replay corpus depend on this.
@@ -62,6 +69,17 @@ struct CheckerOptions {
   /// every fragment. Used to prove the harness catches and shrinks real
   /// disagreements; never enabled outside tests / the --inject-bug flag.
   bool inject_simplification_bug = false;
+  /// Test-only fault injection for the robustness layer: the
+  /// fault-injection checker additionally executes a non-monotone variant
+  /// of the plan with ExecutionPolicy::unsound_allow_nonmonotone_partial
+  /// set and a fault schedule that degrades exactly the duplicated access;
+  /// the resulting difference over-approximates, which the checker must
+  /// flag. Proves the monotonicity restriction on graceful degradation is
+  /// load-bearing; never enabled outside tests / --inject-bug=partial.
+  bool inject_partial_bug = false;
+  /// How many mutated fault plans the fault-injection checker runs the
+  /// plan under (beyond the deterministic transient-only convergence run).
+  size_t fault_plans = 3;
   // Per-checker toggles (all on by default).
   bool check_naive = true;
   bool check_simplification = true;
@@ -70,6 +88,7 @@ struct CheckerOptions {
   bool check_chase = true;
   bool check_containment_cache = true;
   bool check_roundtrip = true;
+  bool check_fault_injection = true;
 
   CheckerOptions();  // sets fuzz-sized budgets on `decide`
 };

@@ -219,6 +219,36 @@ bool ApplyMutation(ServiceSchema* schema, Mutation mutation, Rng* rng) {
   return applied;
 }
 
+void MutateFaultPlan(FaultPlan* plan, const ServiceSchema& schema, Rng* rng) {
+  // Re-roll the base profile. Probabilities stay well below 1 so a plan
+  // with several accesses still terminates its retry loops with useful
+  // frequency; schedules use small indices so they actually hit.
+  FaultProfile& base = plan->base;
+  base.transient_pm = static_cast<uint32_t>(rng->Below(301));     // <= 30.0%
+  base.rate_limit_pm = static_cast<uint32_t>(rng->Below(151));    // <= 15.0%
+  base.truncate_pm = static_cast<uint32_t>(rng->Below(201));      // <= 20.0%
+  base.permanent_pm = static_cast<uint32_t>(rng->Below(121));     // <= 12.0%
+  base.latency_us = rng->Below(2000);
+  base.retry_after_us = rng->Below(5000);
+  base.fail_first = rng->Chance(1, 4)
+                        ? static_cast<uint32_t>(1 + rng->Below(3))
+                        : 0;
+  base.fail_from = 0;  // reserved for targeted constructions, not fuzzed
+  plan->seed = rng->Next();
+
+  // Occasionally single out one method with an override — per-method
+  // profiles are a separate code path worth exercising.
+  plan->per_method.clear();
+  const std::vector<AccessMethod>& methods = schema.methods();
+  if (!methods.empty() && rng->Chance(1, 3)) {
+    const AccessMethod& m = methods[rng->Below(methods.size())];
+    FaultProfile spiked = base;
+    spiked.transient_pm = static_cast<uint32_t>(200 + rng->Below(301));
+    spiked.fail_first = static_cast<uint32_t>(1 + rng->Below(2));
+    plan->per_method[m.name] = spiked;
+  }
+}
+
 size_t ApplyRandomMutations(ServiceSchema* schema, size_t count, Rng* rng) {
   constexpr Mutation kAll[] = {
       Mutation::kAddConstraint, Mutation::kDropConstraint,

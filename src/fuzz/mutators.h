@@ -15,6 +15,7 @@
 #define RBDA_FUZZ_MUTATORS_H_
 
 #include "base/rng.h"
+#include "runtime/service.h"
 #include "schema/service_schema.h"
 
 namespace rbda {
@@ -37,6 +38,13 @@ bool ApplyMutation(ServiceSchema* schema, Mutation mutation, Rng* rng);
 /// Draws and applies `count` random mutations (retrying inapplicable
 /// draws a bounded number of times). Returns how many actually applied.
 size_t ApplyRandomMutations(ServiceSchema* schema, size_t count, Rng* rng);
+
+/// Perturbs a FaultPlan in place: re-rolls fault probabilities, latency,
+/// retry-after hints, and failure schedules within fuzz-sized ranges, and
+/// occasionally plants a per-method override for `schema`'s methods. Used
+/// by the fault-injection checker to derive its N seeded fault plans from
+/// one base; deterministic in (*plan, schema, rng state).
+void MutateFaultPlan(FaultPlan* plan, const ServiceSchema& schema, Rng* rng);
 
 }  // namespace rbda
 

@@ -15,6 +15,11 @@ struct ExecutorMetrics {
   Counter* tuples_fetched;
   Counter* truncations;
   Counter* plans_executed;
+  Counter* retries;
+  Counter* breaker_opens;
+  Counter* breaker_rejections;
+  Counter* degraded_accesses;
+  Counter* partial_results;
   Distribution* execute_us;
 };
 
@@ -26,41 +31,199 @@ const ExecutorMetrics& Metrics() {
         r.GetCounter("executor.tuples_fetched"),
         r.GetCounter("executor.truncations"),
         r.GetCounter("executor.plans_executed"),
+        r.GetCounter("executor.retries"),
+        r.GetCounter("executor.breaker_opens"),
+        r.GetCounter("executor.breaker_rejections"),
+        r.GetCounter("executor.degraded_accesses"),
+        r.GetCounter("executor.partial_results"),
         r.GetDistribution("executor.execute_us"),
     };
   }();
   return m;
 }
 
+/// A failure worth retrying: transient outages and rate limits. Permanent
+/// service failures and plan-shape errors are not.
+bool Retryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+void CollectRaTables(const RaExprPtr& expr, std::set<std::string>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == RaExpr::Kind::kTable) out->insert(expr->table());
+  CollectRaTables(expr->left(), out);
+  CollectRaTables(expr->right(), out);
+}
+
+/// The tables a command reads, for the structural pre-pass and tainting.
+std::set<std::string> ReferencedTables(const PlanCommand& cmd) {
+  std::set<std::string> refs;
+  if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+    if (!access->input_table.empty()) refs.insert(access->input_table);
+  } else if (const auto* mid = std::get_if<MiddlewareCommand>(&cmd)) {
+    for (const TableCq& cq : mid->union_of) {
+      for (const TableAtom& atom : cq.atoms) refs.insert(atom.table);
+    }
+  } else if (const auto* diff = std::get_if<DifferenceCommand>(&cmd)) {
+    refs.insert(diff->left);
+    refs.insert(diff->right);
+  } else {
+    CollectRaTables(std::get<RaCommand>(cmd).expr, &refs);
+  }
+  return refs;
+}
+
+const std::string& OutputName(const PlanCommand& cmd) {
+  if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+    return access->output_table;
+  }
+  if (const auto* mid = std::get_if<MiddlewareCommand>(&cmd)) {
+    return mid->output_table;
+  }
+  if (const auto* diff = std::get_if<DifferenceCommand>(&cmd)) {
+    return diff->output_table;
+  }
+  return std::get<RaCommand>(cmd).output_table;
+}
+
 }  // namespace
 
-std::vector<Fact> MatchingTuples(const Instance& data,
-                                 const AccessMethod& method,
-                                 const std::vector<Term>& binding) {
-  std::vector<Fact> out;
-  const std::vector<Fact>& candidates = data.FactsOf(method.relation);
-  auto matches = [&](const Fact& f) {
-    for (size_t i = 0; i < method.input_positions.size(); ++i) {
-      if (f.args[method.input_positions[i]] != binding[i]) return false;
-    }
-    return true;
-  };
-  if (!method.input_positions.empty()) {
-    // Probe the positional index on the first input position.
-    const std::vector<uint32_t>& postings =
-        data.FactsWith(method.relation, method.input_positions[0], binding[0]);
-    for (uint32_t idx : postings) {
-      if (matches(candidates[idx])) out.push_back(candidates[idx]);
-    }
-  } else {
-    out = candidates;
+PlanExecutor::PlanExecutor(const ServiceSchema& schema, const Instance& data,
+                           AccessSelector* selector)
+    : schema_(schema),
+      service_(nullptr),
+      clock_(nullptr),
+      owned_service_(std::make_unique<InstanceService>(data, selector)),
+      owned_clock_(std::make_unique<VirtualClock>()) {
+  service_ = owned_service_.get();
+  clock_ = owned_clock_.get();
+}
+
+PlanExecutor::PlanExecutor(const ServiceSchema& schema, Service* service,
+                           VirtualClock* clock, ExecutionPolicy policy)
+    : schema_(schema), service_(service), clock_(clock), policy_(policy) {}
+
+CircuitBreaker& PlanExecutor::BreakerFor(const std::string& method) {
+  auto it = breakers_.find(method);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(method,
+                      CircuitBreaker(method, policy_.breaker, clock_))
+             .first;
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return it->second;
+}
+
+Status PlanExecutor::ValidatePlanShape(const Plan& plan) const {
+  std::set<std::string> defined;
+  for (const PlanCommand& cmd : plan.commands) {
+    const std::string& output = OutputName(cmd);
+    if (defined.count(output)) {
+      return Status::InvalidArgument("table '" + output +
+                                     "' assigned twice");
+    }
+    for (const std::string& ref : ReferencedTables(cmd)) {
+      if (!defined.count(ref)) {
+        return Status::NotFound("command producing '" + output +
+                                "' references undefined table '" + ref +
+                                "'");
+      }
+    }
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      const AccessMethod* method = schema_.FindMethod(access->method);
+      if (method == nullptr) {
+        return Status::NotFound("unknown method '" + access->method + "'");
+      }
+      if (access->input_table.empty() && !method->IsInputFree()) {
+        return Status::InvalidArgument("method '" + access->method +
+                                       "' requires inputs but no input "
+                                       "table was given");
+      }
+    }
+    defined.insert(output);
+  }
+  if (!defined.count(plan.output_table)) {
+    return Status::NotFound("output table '" + plan.output_table +
+                            "' was never produced");
+  }
+  return Status::Ok();
+}
+
+StatusOr<AccessResult> PlanExecutor::CallWithResilience(
+    const AccessMethod& method, const std::vector<Term>& binding,
+    uint64_t start_us) {
+  CircuitBreaker& breaker = BreakerFor(method.name);
+  const size_t max_attempts = std::max<size_t>(1, policy_.retry.max_attempts);
+  uint64_t prev_backoff = policy_.retry.base_backoff_us;
+  Status last = Status::Internal("no attempt made");
+
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (policy_.deadline_us > 0 &&
+        clock_->NowMicros() - start_us >= policy_.deadline_us) {
+      return Status::DeadlineExceeded("plan deadline expired before access '" +
+                                      method.name + "'");
+    }
+    if (policy_.max_total_attempts > 0 &&
+        attempts_this_run_ >= policy_.max_total_attempts) {
+      return Status::ResourceExhausted(
+          "plan attempt budget exhausted before access '" + method.name +
+          "'");
+    }
+    if (!breaker.AllowRequest()) {
+      ++stats_.breaker_rejections;
+      Metrics().breaker_rejections->Increment();
+      last = Status::Unavailable("circuit open for method '" + method.name +
+                                 "'");
+    } else {
+      ++attempts_this_run_;
+      ++stats_.accesses;
+      Metrics().access_calls->Increment();
+      StatusOr<AccessResult> result = service_->Call(method, binding);
+      if (result.ok()) {
+        breaker.RecordSuccess();
+        return result;
+      }
+      last = result.status();
+      switch (last.code()) {
+        case StatusCode::kUnavailable:
+          ++stats_.faults_transient;
+          break;
+        case StatusCode::kResourceExhausted:
+          ++stats_.faults_rate_limited;
+          break;
+        default:
+          ++stats_.faults_permanent;
+          break;
+      }
+      if (breaker.RecordFailure()) {
+        ++stats_.breaker_opens;
+        Metrics().breaker_opens->Increment();
+      }
+      if (!Retryable(last)) return last;
+    }
+    if (attempt == max_attempts) break;
+    ++stats_.retries;
+    Metrics().retries->Increment();
+    uint64_t backoff = policy_.retry.NextBackoffUs(prev_backoff, &retry_rng_);
+    prev_backoff = backoff;
+    // A rate-limit retry-after hint overrides a shorter backoff; the plan
+    // deadline caps everything — never sleep past it.
+    backoff = std::max(backoff, service_->LastRetryAfterUs());
+    if (policy_.deadline_us > 0) {
+      uint64_t elapsed = clock_->NowMicros() - start_us;
+      uint64_t remaining =
+          policy_.deadline_us > elapsed ? policy_.deadline_us - elapsed : 0;
+      backoff = std::min(backoff, remaining);
+    }
+    clock_->Sleep(backoff);
+  }
+  return last;
 }
 
 StatusOr<Table> PlanExecutor::RunAccess(
-    const AccessCommand& cmd, const std::map<std::string, Table>& tables) {
+    const AccessCommand& cmd, const std::map<std::string, Table>& tables,
+    uint64_t start_us, bool allow_degrade, bool* degraded) {
   const AccessMethod* method = schema_.FindMethod(cmd.method);
   if (method == nullptr) {
     return Status::NotFound("unknown method '" + cmd.method + "'");
@@ -92,19 +255,32 @@ StatusOr<Table> PlanExecutor::RunAccess(
 
   Table out;
   for (const std::vector<Term>& binding : bindings) {
-    std::vector<Fact> matching = MatchingTuples(data_, *method, binding);
-    std::vector<Fact> selected =
-        selector_->Choose(*method, binding, matching);
-    ++stats_.accesses;
-    stats_.tuples_fetched += selected.size();
-    Metrics().access_calls->Increment();
-    Metrics().tuples_fetched->Increment(selected.size());
-    if (method->bound_kind == BoundKind::kResultBound &&
-        matching.size() > method->bound) {
+    StatusOr<AccessResult> result =
+        CallWithResilience(*method, binding, start_us);
+    if (!result.ok()) {
+      if (allow_degrade) {
+        // Graceful degradation: skip this binding's contribution. The
+        // output table becomes a sound underapproximation and is tainted
+        // by the caller.
+        *degraded = true;
+        ++stats_.degraded_accesses;
+        Metrics().degraded_accesses->Increment();
+        TraceEventRecord(
+            "executor.degraded_access",
+            {{"vt_us", static_cast<int64_t>(clock_->NowMicros())}},
+            {{"method", cmd.method},
+             {"error", result.status().ToString()}});
+        continue;
+      }
+      return result.status();
+    }
+    stats_.tuples_fetched += result->facts.size();
+    Metrics().tuples_fetched->Increment(result->facts.size());
+    if (result->truncated) {
       ++stats_.truncations;
       Metrics().truncations->Increment();
     }
-    for (const Fact& f : selected) out.insert(f.args);
+    for (const Fact& f : result->facts) out.insert(f.args);
   }
   return out;
 }
@@ -161,22 +337,39 @@ StatusOr<Table> PlanExecutor::RunMiddleware(
   return out;
 }
 
-StatusOr<Table> PlanExecutor::Execute(const Plan& plan) {
+StatusOr<ExecutionResult> PlanExecutor::Run(const Plan& plan) {
   Metrics().plans_executed->Increment();
   ScopedTimer timer(Metrics().execute_us);
   TraceSpan span("plan.execute");
+  stats_ = ExecutionStats{};  // per-execution numbers, not cumulative
+  attempts_this_run_ = 0;
+  retry_rng_ = Rng(policy_.retry.jitter_seed);
+  const uint64_t start_us = clock_->NowMicros();
+
+  // Reject malformed plans before the first service call so they cannot
+  // waste the access budget.
+  RBDA_RETURN_IF_ERROR(ValidatePlanShape(plan));
+
+  const bool allow_degrade = policy_.partial_results;
+  if (allow_degrade && !plan.IsMonotone() &&
+      !policy_.unsound_allow_nonmonotone_partial) {
+    return Status::FailedPrecondition(
+        "partial-result mode requires a monotone plan: degrading an access "
+        "under a difference command can over-approximate the output "
+        "(docs/ROBUSTNESS.md)");
+  }
+
   std::map<std::string, Table> tables;
+  std::set<std::string> tainted;
   for (const PlanCommand& cmd : plan.commands) {
-    std::string output_name;
+    const std::string& output_name = OutputName(cmd);
+    bool degraded = false;
     StatusOr<Table> result = Status::Internal("unreachable");
     if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
-      output_name = access->output_table;
-      result = RunAccess(*access, tables);
+      result = RunAccess(*access, tables, start_us, allow_degrade, &degraded);
     } else if (const auto* ra = std::get_if<RaCommand>(&cmd)) {
-      output_name = ra->output_table;
       result = EvalRa(ra->expr, tables);
     } else if (const auto* diff = std::get_if<DifferenceCommand>(&cmd)) {
-      output_name = diff->output_table;
       auto left = tables.find(diff->left);
       auto right = tables.find(diff->right);
       if (left == tables.end() || right == tables.end()) {
@@ -188,30 +381,51 @@ StatusOr<Table> PlanExecutor::Execute(const Plan& plan) {
       }
       result = std::move(difference);
     } else {
-      const auto& mid = std::get<MiddlewareCommand>(cmd);
-      output_name = mid.output_table;
-      result = RunMiddleware(mid, tables);
+      result = RunMiddleware(std::get<MiddlewareCommand>(cmd), tables);
     }
     RBDA_RETURN_IF_ERROR(result.status());
-    if (tables.count(output_name)) {
-      return Status::InvalidArgument("table '" + output_name +
-                                     "' assigned twice");
+    // Taint propagation: a degraded access taints its output; any command
+    // reading a tainted table taints its own output.
+    if (!degraded) {
+      for (const std::string& ref : ReferencedTables(cmd)) {
+        if (tainted.count(ref)) {
+          degraded = true;
+          break;
+        }
+      }
     }
+    if (degraded) tainted.insert(output_name);
     tables.emplace(output_name, std::move(*result));
   }
-  auto it = tables.find(plan.output_table);
-  if (it == tables.end()) {
-    return Status::NotFound("output table '" + plan.output_table +
-                            "' was never produced");
-  }
+
+  ExecutionResult out;
+  out.table = std::move(tables.at(plan.output_table));
+  out.tainted_tables = std::move(tainted);
+  out.partial = out.tainted_tables.count(plan.output_table) > 0;
+  if (out.partial) Metrics().partial_results->Increment();
+  stats_.virtual_elapsed_us = clock_->NowMicros() - start_us;
+
   if (span.active()) {
     span.AddInt("commands", static_cast<int64_t>(plan.commands.size()));
     span.AddInt("accesses", static_cast<int64_t>(stats_.accesses));
     span.AddInt("tuples_fetched",
                 static_cast<int64_t>(stats_.tuples_fetched));
-    span.AddInt("output_tuples", static_cast<int64_t>(it->second.size()));
+    span.AddInt("output_tuples", static_cast<int64_t>(out.table.size()));
+    span.AddInt("retries", static_cast<int64_t>(stats_.retries));
+    span.AddInt("degraded_accesses",
+                static_cast<int64_t>(stats_.degraded_accesses));
+    span.AddInt("breaker_opens", static_cast<int64_t>(stats_.breaker_opens));
+    span.AddInt("virtual_us",
+                static_cast<int64_t>(stats_.virtual_elapsed_us));
+    span.AddInt("partial", out.partial ? 1 : 0);
   }
-  return it->second;
+  return out;
+}
+
+StatusOr<Table> PlanExecutor::Execute(const Plan& plan) {
+  StatusOr<ExecutionResult> result = Run(plan);
+  RBDA_RETURN_IF_ERROR(result.status());
+  return std::move(result->table);
 }
 
 }  // namespace rbda

@@ -1,62 +1,134 @@
 // Plan execution over a simulated service instance (paper §2 semantics).
 //
-// The executor evaluates a plan's commands in order against an underlying
-// data instance, routing every access through an AccessSelector (which
-// implements the result-bound nondeterminism). The possible outputs of a
-// plan on an instance are exactly the outputs obtainable for some valid
-// selector.
+// The executor evaluates a plan's commands in order, routing every access
+// through a Service (runtime/service.h). Against the ideal
+// InstanceService the possible outputs of a plan are exactly the outputs
+// obtainable for some valid AccessSelector; against a faulty service the
+// executor adds a resilience layer — per-access retries with decorrelated
+// backoff, per-method circuit breakers, a per-plan virtual-time deadline
+// and attempt budget — and can degrade gracefully: in partial-result mode
+// a *monotone* plan that exhausts retries on an access skips it, taints
+// every downstream table, and returns a result flagged partial=true that
+// is a sound underapproximation of the fault-free output. Non-monotone
+// plans (difference commands) hard-fail in that mode, because an
+// under-approximated right operand would make the difference
+// over-approximate (docs/ROBUSTNESS.md).
 #ifndef RBDA_RUNTIME_EXECUTOR_H_
 #define RBDA_RUNTIME_EXECUTOR_H_
 
 #include <map>
+#include <memory>
 #include <set>
 
 #include "runtime/access_selection.h"
 #include "runtime/plan.h"
+#include "runtime/resilience.h"
+#include "runtime/service.h"
 
 namespace rbda {
 
-/// Per-executor view of the access activity. The same quantities also
-/// feed the process-wide registry ("executor.access_calls",
-/// "executor.tuples_fetched", "executor.truncations" —
-/// docs/OBSERVABILITY.md); this struct remains for callers that want the
-/// numbers of one execution in isolation.
+/// Per-execution view of the access activity, reset at the start of every
+/// Run/Execute. The same quantities also feed the process-wide registry
+/// ("executor.access_calls", "executor.retries", … — docs/OBSERVABILITY.md);
+/// this struct remains for callers that want one execution in isolation.
 struct ExecutionStats {
   size_t accesses = 0;          // individual (method, binding) calls
   size_t tuples_fetched = 0;    // tuples returned by the service
-  size_t truncations = 0;       // accesses where a result bound cut matches
+  size_t truncations = 0;       // accesses with a truncated response
+  size_t retries = 0;           // failed attempts that were retried
+  size_t faults_transient = 0;     // kUnavailable failures observed
+  size_t faults_rate_limited = 0;  // kResourceExhausted failures observed
+  size_t faults_permanent = 0;     // non-retryable failures observed
+  size_t breaker_opens = 0;        // circuit-open transitions this run
+  size_t breaker_rejections = 0;   // attempts rejected by an open circuit
+  size_t degraded_accesses = 0;    // bindings skipped in partial mode
+  uint64_t virtual_elapsed_us = 0;  // virtual time consumed by the run
+};
+
+/// How the executor behaves when accesses can fail.
+struct ExecutionPolicy {
+  RetryPolicy retry;
+  CircuitBreakerOptions breaker;
+  uint64_t deadline_us = 0;       // per-plan virtual deadline; 0 = none
+  size_t max_total_attempts = 0;  // per-plan service-call budget; 0 = none
+  /// Degrade instead of failing: a monotone plan that exhausts retries on
+  /// an access skips that access and returns partial=true. Non-monotone
+  /// plans are rejected up front in this mode (unsound to degrade).
+  bool partial_results = false;
+  /// Test-only escape hatch: lets a non-monotone plan degrade anyway.
+  /// This is UNSOUND — it exists so the fuzz harness can prove the
+  /// monotonicity restriction is load-bearing (--inject-bug=partial).
+  bool unsound_allow_nonmonotone_partial = false;
+};
+
+/// Outcome of one plan execution.
+struct ExecutionResult {
+  Table table;
+  /// True iff a degraded access taints the output table: the result is a
+  /// sound underapproximation of the fault-free output (monotone plans
+  /// only). False = the output is exact despite any unrelated faults.
+  bool partial = false;
+  /// Tables whose contents may be incomplete (the degraded access outputs
+  /// and everything computed from them).
+  std::set<std::string> tainted_tables;
 };
 
 class PlanExecutor {
  public:
-  /// `schema`, `data`, and `selector` must outlive the executor. `data`
-  /// plays the role of the hidden server-side instance.
+  /// Ideal backend: wraps `data` + `selector` in an owned InstanceService
+  /// (current behavior; no faults, so the policy never engages). `schema`,
+  /// `data`, and `selector` must outlive the executor.
   PlanExecutor(const ServiceSchema& schema, const Instance& data,
-               AccessSelector* selector)
-      : schema_(schema), data_(data), selector_(selector) {}
+               AccessSelector* selector);
 
-  /// Runs the plan; returns the contents of the output table.
+  /// General form: execute against `service` (which may inject faults)
+  /// under `policy`, advancing `clock` for every retry sleep. `schema`,
+  /// `service`, and `clock` must outlive the executor. Circuit-breaker
+  /// state persists across executions on the same executor.
+  PlanExecutor(const ServiceSchema& schema, Service* service,
+               VirtualClock* clock, ExecutionPolicy policy = {});
+
+  /// Runs the plan; returns the full outcome including the partial flag.
+  StatusOr<ExecutionResult> Run(const Plan& plan);
+
+  /// Runs the plan; returns just the output table (partial or not).
   StatusOr<Table> Execute(const Plan& plan);
 
   const ExecutionStats& stats() const { return stats_; }
+  const ExecutionPolicy& policy() const { return policy_; }
 
  private:
+  /// Structural pre-pass: every output name assigned once, every
+  /// referenced table defined by an earlier command, every method known
+  /// and input-compatible, and the output table produced — all before the
+  /// first service call, so a doomed plan wastes no access budget.
+  Status ValidatePlanShape(const Plan& plan) const;
+
+  /// One access call with retries, backoff, breaker, and budget checks.
+  StatusOr<AccessResult> CallWithResilience(const AccessMethod& method,
+                                            const std::vector<Term>& binding,
+                                            uint64_t start_us);
+
   StatusOr<Table> RunAccess(const AccessCommand& cmd,
-                            const std::map<std::string, Table>& tables);
+                            const std::map<std::string, Table>& tables,
+                            uint64_t start_us, bool allow_degrade,
+                            bool* degraded);
   StatusOr<Table> RunMiddleware(const MiddlewareCommand& cmd,
                                 const std::map<std::string, Table>& tables);
 
+  CircuitBreaker& BreakerFor(const std::string& method);
+
   const ServiceSchema& schema_;
-  const Instance& data_;
-  AccessSelector* selector_;
+  Service* service_;
+  VirtualClock* clock_;
+  ExecutionPolicy policy_;
+  std::unique_ptr<Service> owned_service_;
+  std::unique_ptr<VirtualClock> owned_clock_;
+  std::map<std::string, CircuitBreaker> breakers_;
+  Rng retry_rng_{1};  // re-seeded from the policy at each Run
+  size_t attempts_this_run_ = 0;
   ExecutionStats stats_;
 };
-
-/// All tuples of `data` over the relation of `method` that agree with
-/// `binding` on the method's input positions, sorted.
-std::vector<Fact> MatchingTuples(const Instance& data,
-                                 const AccessMethod& method,
-                                 const std::vector<Term>& binding);
 
 }  // namespace rbda
 

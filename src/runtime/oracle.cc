@@ -162,6 +162,68 @@ PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
   return result;
 }
 
+PlanValidation ValidatePlanUnderFaults(const ServiceSchema& schema,
+                                       const Plan& plan,
+                                       const ConjunctiveQuery& query,
+                                       const Instance& data,
+                                       const FaultPlan& faults,
+                                       const ExecutionPolicy& policy,
+                                       size_t num_random_selections,
+                                       uint64_t seed) {
+  Metrics().plan_validations->Increment();
+  ScopedTimer timer(Metrics().validate_us);
+  PlanValidation result;
+  Table expected = ExpectedAnswers(query, data);
+
+  std::vector<std::unique_ptr<AccessSelector>> selectors;
+  selectors.push_back(MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK)));
+  for (size_t i = 0; i < num_random_selections; ++i) {
+    selectors.push_back(MakeIdempotent(
+        MakeSelector(SelectionPolicy::kRandomK, seed + i)));
+  }
+
+  for (size_t i = 0; i < selectors.size(); ++i) {
+    InstanceService backend(data, selectors[i].get());
+    VirtualClock clock;
+    FaultPlan trial_faults = faults;
+    trial_faults.seed = faults.seed + i;  // each selection sees fresh faults
+    FaultInjectingService faulty(&backend, trial_faults, &clock);
+    PlanExecutor executor(schema, &faulty, &clock, policy);
+    StatusOr<ExecutionResult> run = executor.Run(plan);
+    if (!run.ok()) {
+      // Under faults, hard execution failure is an expected mode when the
+      // policy does not degrade; classify it, don't treat it as a plan
+      // bug. (ValidatePlanShape errors would also land here, but those
+      // reproduce identically in the fault-free ValidatePlan.)
+      result.answers = false;
+      result.mismatch = PlanMismatch::kExecutionError;
+      result.partial = policy.partial_results;
+      result.failure = "fault-mode execution error (selection #" +
+                       std::to_string(i) + "): " + run.status().ToString();
+      Metrics().plan_validation_failures->Increment();
+      return result;
+    }
+    if (run->table != expected) {
+      result.answers = false;
+      result.mismatch = ClassifyMismatch(run->table, expected);
+      result.partial = run->partial;
+      result.failure = "fault-mode selection #" + std::to_string(i) +
+                       ": plan output " +
+                       TableToString(run->table, schema.universe()) +
+                       " != query answer " +
+                       TableToString(expected, schema.universe());
+      // A partial run that only *misses* answers is the promised sound
+      // underapproximation — record it, but don't count it as a failure.
+      if (!(run->partial &&
+            result.mismatch == PlanMismatch::kMissingAnswers)) {
+        Metrics().plan_validation_failures->Increment();
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
 bool IsAccessValid(const ServiceSchema& schema, const Instance& accessed,
                    const Instance& i1) {
   for (const AccessMethod& method : schema.methods()) {

@@ -41,6 +41,10 @@ const char* PlanMismatchName(PlanMismatch m);
 struct PlanValidation {
   bool answers = true;
   PlanMismatch mismatch = PlanMismatch::kNone;
+  /// True when the executor degraded gracefully (partial-result mode), so
+  /// a kMissingAnswers mismatch is the *expected* sound
+  /// underapproximation, not a plan bug.
+  bool partial = false;
   std::string failure;  // human-readable mismatch description
 };
 
@@ -52,6 +56,20 @@ PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
                             const Instance& data,
                             size_t num_random_selections = 8,
                             uint64_t seed = 1);
+
+/// Like ValidatePlan, but executes through a FaultInjectingService driven
+/// by `faults` under `policy`. Fault-mode runs are classified rather than
+/// blindly failed: a partial output missing answers is reported with
+/// partial=true (tolerated by callers that accept degradation), while
+/// extra answers and unexpected execution errors remain hard failures.
+PlanValidation ValidatePlanUnderFaults(const ServiceSchema& schema,
+                                       const Plan& plan,
+                                       const ConjunctiveQuery& query,
+                                       const Instance& data,
+                                       const FaultPlan& faults,
+                                       const ExecutionPolicy& policy,
+                                       size_t num_random_selections = 4,
+                                       uint64_t seed = 1);
 
 struct AMonDetCounterexample {
   Instance i1;         // satisfies the constraints and Q

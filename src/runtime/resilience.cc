@@ -1,0 +1,86 @@
+#include "runtime/resilience.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace rbda {
+
+uint64_t RetryPolicy::NextBackoffUs(uint64_t prev_us, Rng* rng) const {
+  uint64_t base = std::min(base_backoff_us, max_backoff_us);
+  uint64_t ceiling = std::max(base + 1, prev_us * 3);
+  uint64_t sleep = base + rng->Below(ceiling - base);
+  return std::min(sleep, max_backoff_us);
+}
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(std::string name,
+                               CircuitBreakerOptions options,
+                               const VirtualClock* clock)
+    : name_(std::move(name)), options_(options), clock_(clock) {}
+
+void CircuitBreaker::Open() {
+  state_ = State::kOpen;
+  opened_at_us_ = clock_->NowMicros();
+  probe_in_flight_ = false;
+  ++opens_;
+  TraceEventRecord("executor.breaker",
+                   {{"vt_us", static_cast<int64_t>(opened_at_us_)}},
+                   {{"method", name_}, {"state", "open"}});
+}
+
+bool CircuitBreaker::AllowRequest() {
+  if (state_ == State::kClosed) return true;
+  if (state_ == State::kOpen) {
+    if (clock_->NowMicros() - opened_at_us_ < options_.open_cooldown_us) {
+      return false;
+    }
+    state_ = State::kHalfOpen;
+    probe_in_flight_ = false;
+    TraceEventRecord("executor.breaker",
+                     {{"vt_us", static_cast<int64_t>(clock_->NowMicros())}},
+                     {{"method", name_}, {"state", "half-open"}});
+  }
+  // Half-open: admit exactly one probe per cooldown window.
+  if (probe_in_flight_) return false;
+  probe_in_flight_ = true;
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ != State::kClosed) {
+    state_ = State::kClosed;
+    probe_in_flight_ = false;
+    TraceEventRecord("executor.breaker",
+                     {{"vt_us", static_cast<int64_t>(clock_->NowMicros())}},
+                     {{"method", name_}, {"state", "closed"}});
+  }
+}
+
+bool CircuitBreaker::RecordFailure() {
+  if (state_ == State::kHalfOpen) {
+    Open();  // failed probe: back to another cooldown
+    return true;
+  }
+  if (state_ == State::kOpen) return false;  // rejected callers, not calls
+  if (++consecutive_failures_ >= options_.failure_threshold) {
+    consecutive_failures_ = 0;
+    Open();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rbda

@@ -1,0 +1,79 @@
+// Resilience primitives for plan execution over unreliable services:
+// retry backoff and per-method circuit breaking. Both are deterministic —
+// jitter comes from a seeded Rng and every delay is virtual-clock time —
+// so a resilient execution replays bit for bit from its seeds.
+#ifndef RBDA_RUNTIME_RESILIENCE_H_
+#define RBDA_RUNTIME_RESILIENCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.h"
+#include "runtime/service.h"
+
+namespace rbda {
+
+/// Exponential backoff with decorrelated jitter: each sleep is drawn
+/// uniformly from [base, 3 * previous], capped at `max_backoff_us`. The
+/// decorrelation keeps concurrent retriers from thundering in lockstep
+/// while still growing the expected wait geometrically.
+struct RetryPolicy {
+  size_t max_attempts = 1;         // per access call; 1 = never retry
+  uint64_t base_backoff_us = 1000;
+  uint64_t max_backoff_us = 256000;
+  uint64_t jitter_seed = 1;        // seeds the per-execution jitter stream
+
+  /// The next sleep after a failed attempt, given the previous sleep
+  /// (pass base_backoff_us before the first retry). Pure in (prev, *rng).
+  uint64_t NextBackoffUs(uint64_t prev_us, Rng* rng) const;
+};
+
+struct CircuitBreakerOptions {
+  size_t failure_threshold = 5;        // consecutive failures that trip it
+  uint64_t open_cooldown_us = 100000;  // virtual time before a probe
+};
+
+/// Per-method circuit breaker: closed → open after `failure_threshold`
+/// consecutive failures; open rejects calls without touching the service
+/// until `open_cooldown_us` of virtual time has passed; then half-open
+/// admits a single probe whose outcome either closes the circuit again or
+/// re-opens it for another cooldown. State transitions emit
+/// "executor.breaker" trace events (docs/OBSERVABILITY.md).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// `clock` must outlive the breaker; `name` labels trace events.
+  CircuitBreaker(std::string name, CircuitBreakerOptions options,
+                 const VirtualClock* clock);
+
+  /// True if a call may proceed. Advances open → half-open once the
+  /// cooldown has elapsed; in half-open only the first caller is admitted.
+  bool AllowRequest();
+  void RecordSuccess();
+  /// Returns true iff this failure opened the circuit (from closed or
+  /// from a failed half-open probe).
+  bool RecordFailure();
+
+  State state() const { return state_; }
+  /// How many times the circuit has opened over the breaker's lifetime.
+  size_t opens() const { return opens_; }
+
+  static const char* StateName(State s);
+
+ private:
+  void Open();
+
+  std::string name_;
+  CircuitBreakerOptions options_;
+  const VirtualClock* clock_;
+  State state_ = State::kClosed;
+  size_t consecutive_failures_ = 0;
+  size_t opens_ = 0;
+  uint64_t opened_at_us_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_RESILIENCE_H_

@@ -1,0 +1,160 @@
+// The service layer between plan execution and the data (paper §2: plans
+// run against *web services* with result bounds, not an in-process table).
+//
+// A Service answers one access — Call(method, binding) — with either the
+// tuples a real endpoint would return or a failure a real endpoint would
+// produce. Two implementations:
+//
+//  * InstanceService — the ideal backend the repo always had: every call
+//    succeeds, answering from a hidden Instance through an AccessSelector
+//    (which implements the result-bound nondeterminism of §2).
+//  * FaultInjectingService — a decorator that degrades any inner service
+//    according to a seeded FaultPlan: transient errors, permanent per-method
+//    outages, rate-limit rejections carrying retry-after hints, simulated
+//    latency, and truncated responses that silently drop tuples. All
+//    randomness derives from the plan's seed and all timing from a
+//    VirtualClock, so a faulty execution is a pure function of
+//    (plan, service data, seed) — identical seeds replay identical faults.
+//
+// Failure taxonomy (what the executor's retry layer keys on):
+//    kUnavailable        transient — retrying may succeed
+//    kResourceExhausted  rate-limited — retry after LastRetryAfterUs()
+//    kFailedPrecondition permanent — retrying is pointless
+#ifndef RBDA_RUNTIME_SERVICE_H_
+#define RBDA_RUNTIME_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "runtime/access_selection.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+/// Deterministic virtual time. Every simulated delay — injected latency,
+/// retry backoff, rate-limit waits — advances this clock instead of
+/// sleeping on wall time, so executions are instant to run and their
+/// timing is reproducible bit for bit. Sleeps feed the
+/// "executor.virtual_sleep_us" counter (docs/OBSERVABILITY.md).
+class VirtualClock {
+ public:
+  uint64_t NowMicros() const { return now_us_; }
+
+  /// Advances the clock by `us` microseconds.
+  void Sleep(uint64_t us);
+
+ private:
+  uint64_t now_us_ = 0;
+};
+
+/// What one access call returned.
+struct AccessResult {
+  std::vector<Fact> facts;  // sorted by the underlying selector's order
+  /// True when the response does not contain every matching tuple — either
+  /// the declared result bound cut matches (InstanceService) or a fault
+  /// dropped tuples below even that bound (FaultInjectingService).
+  bool truncated = false;
+};
+
+/// One result-bounded web service: answers accesses, possibly with faults.
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Performs the access `method(binding)`. `binding` holds one value per
+  /// input position of the method, in ascending position order.
+  virtual StatusOr<AccessResult> Call(const AccessMethod& method,
+                                      const std::vector<Term>& binding) = 0;
+
+  /// After a failed Call: the service's retry-after hint in virtual
+  /// microseconds (rate-limit rejections), 0 when the service gave none.
+  /// Valid until the next Call.
+  virtual uint64_t LastRetryAfterUs() const { return 0; }
+};
+
+/// All tuples of `data` over the relation of `method` that agree with
+/// `binding` on the method's input positions, sorted.
+std::vector<Fact> MatchingTuples(const Instance& data,
+                                 const AccessMethod& method,
+                                 const std::vector<Term>& binding);
+
+/// The ideal in-process backend: answers every access from `data` through
+/// `selector`, never fails. `data` and `selector` must outlive the service.
+class InstanceService : public Service {
+ public:
+  InstanceService(const Instance& data, AccessSelector* selector)
+      : data_(data), selector_(selector) {}
+
+  StatusOr<AccessResult> Call(const AccessMethod& method,
+                              const std::vector<Term>& binding) override;
+
+ private:
+  const Instance& data_;
+  AccessSelector* selector_;
+};
+
+/// Per-method fault behavior. Probabilities are per-mille (0..1000) so the
+/// draws stay in deterministic integer arithmetic.
+struct FaultProfile {
+  uint32_t transient_pm = 0;    // per-call transient error probability
+  uint32_t rate_limit_pm = 0;   // per-call rate-limit rejection probability
+  uint32_t truncate_pm = 0;     // per-call silent-truncation probability
+  /// Probability that the method is *permanently* down for the whole run
+  /// (drawn once per (plan seed, method), not per call).
+  uint32_t permanent_pm = 0;
+  uint64_t latency_us = 0;      // virtual latency added to every call
+  uint64_t retry_after_us = 0;  // hint attached to rate-limit rejections
+  /// Deterministic schedules, for tests that need exact failure counts:
+  /// the first `fail_first` calls to the method fail transiently; calls
+  /// with 1-based index >= `fail_from` fail permanently (0 = disabled).
+  uint32_t fail_first = 0;
+  uint32_t fail_from = 0;
+};
+
+/// A seeded description of how a whole deployment misbehaves.
+struct FaultPlan {
+  uint64_t seed = 1;
+  FaultProfile base;                             // applies to every method
+  std::map<std::string, FaultProfile> per_method;  // overrides by name
+
+  const FaultProfile& ProfileFor(const std::string& method) const;
+};
+
+/// Parses a fault spec like
+///   "transient=0.2,rate=0.05,trunc=0.1,permanent=0.01,latency-us=500,
+///    retry-after-us=2000,fail-first=3,fail-from=7,seed=42"
+/// into a FaultPlan. Probabilities are written as fractions in [0,1].
+/// A key may be prefixed "<method>." to override one method's profile.
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec);
+
+/// Decorates `inner` with the faults described by `plan`. All timing goes
+/// through `clock`; both must outlive the service. The fault stream is a
+/// pure function of (plan.seed, call sequence).
+class FaultInjectingService : public Service {
+ public:
+  FaultInjectingService(Service* inner, FaultPlan plan, VirtualClock* clock);
+
+  StatusOr<AccessResult> Call(const AccessMethod& method,
+                              const std::vector<Term>& binding) override;
+  uint64_t LastRetryAfterUs() const override { return last_retry_after_us_; }
+
+  /// How many times `method` has been called through this service.
+  uint64_t CallCount(const std::string& method) const;
+
+ private:
+  Service* inner_;
+  FaultPlan plan_;
+  VirtualClock* clock_;
+  Rng rng_;
+  std::map<std::string, uint64_t> calls_;
+  uint64_t last_retry_after_us_ = 0;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_RUNTIME_SERVICE_H_

@@ -1,0 +1,335 @@
+// Tests for the executor's resilience layer: per-execution stats reset,
+// the structural pre-pass, graceful degradation (partial results + taint),
+// the non-monotone restriction, deadlines, attempt budgets, breaker
+// integration, and seed-determinism of whole executions.
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/trace.h"
+#include "paper_fixtures.h"
+#include "runtime/executor.h"
+
+namespace rbda {
+namespace {
+
+class ExecutorRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = MustParse(kUniversityBounded, &universe_);
+    RelationId prof, udir;
+    RBDA_CHECK(universe_.LookupRelation("Prof", &prof));
+    RBDA_CHECK(universe_.LookupRelation("Udirectory", &udir));
+    for (size_t i = 0; i < 6; ++i) {
+      Term id = universe_.Constant("id" + std::to_string(i));
+      data_.AddFact(udir, {id, universe_.Constant("a" + std::to_string(i)),
+                           universe_.Constant("p" + std::to_string(i))});
+      data_.AddFact(prof, {id, universe_.Constant("n" + std::to_string(i)),
+                           universe_.Constant("10000")});
+    }
+    selector_ = MakeSelector(SelectionPolicy::kFirstK);
+  }
+
+  // The Example 1.2 plan: T <= ud; IN := ids; P <= pr <= IN; OUT := names.
+  Plan ProfNamesPlan() {
+    Term i = universe_.Variable("xi");
+    Term a = universe_.Variable("xa");
+    Term p = universe_.Variable("xp");
+    Term n = universe_.Variable("xn");
+    Plan plan;
+    plan.Access("T", "ud");
+    plan.Middleware("IN", {TableCq{{TableAtom{"T", {i, a, p}}}, {i}}});
+    plan.Access("P", "pr", "IN");
+    plan.Middleware("OUT",
+                    {TableCq{{TableAtom{"P",
+                                        {i, n, universe_.Constant("10000")}}},
+                             {n}}});
+    plan.Return("OUT");
+    return plan;
+  }
+
+  Table FaultFreeOutput(const Plan& plan) {
+    InstanceService backend(data_, selector_.get());
+    VirtualClock clock;
+    PlanExecutor executor(doc_.schema, &backend, &clock);
+    StatusOr<ExecutionResult> out = executor.Run(plan);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? out->table : Table{};
+  }
+
+  Universe universe_;
+  ParsedDocument doc_{&universe_};
+  Instance data_;
+  std::unique_ptr<AccessSelector> selector_;
+};
+
+// Regression: stats_ used to accumulate across executions on a reused
+// executor, double-counting every quantity from the second Execute on.
+TEST_F(ExecutorRobustnessTest, StatsResetBetweenExecutions) {
+  PlanExecutor executor(doc_.schema, data_, selector_.get());
+  Plan plan = ProfNamesPlan();
+  ASSERT_TRUE(executor.Execute(plan).ok());
+  size_t accesses_first = executor.stats().accesses;
+  size_t tuples_first = executor.stats().tuples_fetched;
+  EXPECT_EQ(accesses_first, 7u);  // 1 x ud + 6 x pr
+
+  ASSERT_TRUE(executor.Execute(plan).ok());
+  EXPECT_EQ(executor.stats().accesses, accesses_first);
+  EXPECT_EQ(executor.stats().tuples_fetched, tuples_first);
+}
+
+// The structural pre-pass must reject malformed plans before the first
+// service call, so a doomed plan cannot waste the access budget.
+TEST_F(ExecutorRobustnessTest, PrePassRejectsBeforeAnyServiceCall) {
+  InstanceService backend(data_, selector_.get());
+  FaultPlan no_faults;
+  VirtualClock clock;
+  FaultInjectingService counting(&backend, no_faults, &clock);
+  PlanExecutor executor(doc_.schema, &counting, &clock);
+
+  // Double assignment, discovered only after a (previously executed)
+  // access command.
+  Plan twice;
+  twice.Access("T", "ud").Access("T", "ud").Return("T");
+  StatusOr<Table> out = executor.Execute(twice);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(counting.CallCount("ud"), 0u);
+
+  // Undefined table reference after an access.
+  Term i = universe_.Variable("yi");
+  Plan undefined;
+  undefined.Access("T", "ud");
+  undefined.Middleware("OUT", {TableCq{{TableAtom{"NOPE", {i}}}, {i}}});
+  undefined.Return("OUT");
+  ASSERT_FALSE(executor.Execute(undefined).ok());
+  EXPECT_EQ(counting.CallCount("ud"), 0u);
+
+  // Unknown method after an access.
+  Plan unknown;
+  unknown.Access("T", "ud").Access("U", "nope").Return("U");
+  ASSERT_FALSE(executor.Execute(unknown).ok());
+  EXPECT_EQ(counting.CallCount("ud"), 0u);
+
+  // Missing output table.
+  Plan missing;
+  missing.Access("T", "ud").Return("GONE");
+  ASSERT_FALSE(executor.Execute(missing).ok());
+  EXPECT_EQ(counting.CallCount("ud"), 0u);
+}
+
+TEST_F(ExecutorRobustnessTest, PartialModeDegradesToASoundSubset) {
+  Plan plan = ProfNamesPlan();
+  Table fault_free = FaultFreeOutput(plan);
+  ASSERT_EQ(fault_free.size(), 6u);
+
+  // pr is permanently down; ud still answers.
+  FaultPlan faults;
+  faults.per_method["pr"].fail_from = 1;
+  ExecutionPolicy policy;
+  policy.partial_results = true;
+
+  InstanceService backend(data_, selector_.get());
+  VirtualClock clock;
+  FaultInjectingService faulty(&backend, faults, &clock);
+  PlanExecutor executor(doc_.schema, &faulty, &clock, policy);
+  StatusOr<ExecutionResult> out = executor.Run(plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  EXPECT_TRUE(out->partial);
+  for (const auto& tuple : out->table) {
+    EXPECT_TRUE(fault_free.count(tuple));
+  }
+  // The degraded access taints its output and everything downstream, but
+  // not the tables computed before it.
+  EXPECT_TRUE(out->tainted_tables.count("P"));
+  EXPECT_TRUE(out->tainted_tables.count("OUT"));
+  EXPECT_FALSE(out->tainted_tables.count("T"));
+  EXPECT_FALSE(out->tainted_tables.count("IN"));
+  EXPECT_EQ(executor.stats().degraded_accesses, 6u);
+
+  // Without partial mode the same faults are a hard failure.
+  VirtualClock clock2;
+  FaultInjectingService faulty2(&backend, faults, &clock2);
+  PlanExecutor strict(doc_.schema, &faulty2, &clock2);
+  EXPECT_FALSE(strict.Run(plan).ok());
+}
+
+TEST_F(ExecutorRobustnessTest, NonMonotonePlansCannotDegrade) {
+  Plan plan;
+  plan.Access("T", "ud").Access("U", "ud");
+  plan.Difference("D", "T", "U");
+  plan.Return("D");
+  ASSERT_FALSE(plan.IsMonotone());
+
+  ExecutionPolicy policy;
+  policy.partial_results = true;
+  InstanceService backend(data_, selector_.get());
+  VirtualClock clock;
+  PlanExecutor executor(doc_.schema, &backend, &clock, policy);
+  StatusOr<ExecutionResult> out = executor.Run(plan);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+
+  // Outside partial mode RA-plans still run normally.
+  PlanExecutor plain(doc_.schema, &backend, &clock);
+  StatusOr<ExecutionResult> ok = plain.Run(plan);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok->table.empty());  // T == U under a deterministic backend
+
+  // The test-only escape hatch lets it degrade (the fuzz harness uses
+  // this to prove the restriction is load-bearing).
+  ExecutionPolicy unsound = policy;
+  unsound.unsound_allow_nonmonotone_partial = true;
+  FaultPlan faults;
+  faults.per_method["ud"].fail_from = 2;  // only the duplicate access dies
+  VirtualClock clock2;
+  FaultInjectingService faulty(&backend, faults, &clock2);
+  PlanExecutor hatch(doc_.schema, &faulty, &clock2, unsound);
+  StatusOr<ExecutionResult> bad = hatch.Run(plan);
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_TRUE(bad->partial);
+  EXPECT_EQ(bad->table.size(), 6u);  // T - ∅: over-approximates the ∅ above
+}
+
+TEST_F(ExecutorRobustnessTest, DeadlineCapsRetrySleeps) {
+  FaultPlan faults;
+  faults.base.transient_pm = 1000;  // every call fails transiently
+  ExecutionPolicy policy;
+  policy.retry.max_attempts = 100;
+  policy.retry.base_backoff_us = 1000;
+  policy.deadline_us = 5000;
+
+  Plan plan;
+  plan.Access("T", "ud").Return("T");
+  InstanceService backend(data_, selector_.get());
+  VirtualClock clock;
+  FaultInjectingService faulty(&backend, faults, &clock);
+  PlanExecutor executor(doc_.schema, &faulty, &clock, policy);
+  StatusOr<ExecutionResult> out = executor.Run(plan);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+  // Backoff sleeps are capped so virtual time never passes the deadline.
+  EXPECT_LE(clock.NowMicros(), policy.deadline_us);
+  EXPECT_GT(executor.stats().retries, 0u);
+}
+
+TEST_F(ExecutorRobustnessTest, AttemptBudgetBoundsServiceCalls) {
+  ExecutionPolicy policy;
+  policy.max_total_attempts = 3;
+
+  InstanceService backend(data_, selector_.get());
+  FaultPlan no_faults;
+  VirtualClock clock;
+  FaultInjectingService counting(&backend, no_faults, &clock);
+  PlanExecutor executor(doc_.schema, &counting, &clock, policy);
+  StatusOr<ExecutionResult> out = executor.Run(ProfNamesPlan());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(counting.CallCount("ud") + counting.CallCount("pr"), 3u);
+}
+
+TEST_F(ExecutorRobustnessTest, BreakerOpensAndShortCircuits) {
+  // pr is permanently down: after `failure_threshold` consecutive
+  // failures the breaker opens and the remaining bindings are rejected
+  // without touching the service.
+  FaultPlan faults;
+  faults.per_method["pr"].fail_from = 1;
+  ExecutionPolicy policy;
+  policy.partial_results = true;
+  policy.breaker.failure_threshold = 3;
+
+  InstanceService backend(data_, selector_.get());
+  VirtualClock clock;
+  FaultInjectingService faulty(&backend, faults, &clock);
+  PlanExecutor executor(doc_.schema, &faulty, &clock, policy);
+  StatusOr<ExecutionResult> out = executor.Run(ProfNamesPlan());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->partial);
+  EXPECT_EQ(executor.stats().breaker_opens, 1u);
+  EXPECT_EQ(faulty.CallCount("pr"), 3u);       // then the circuit opened
+  EXPECT_EQ(executor.stats().breaker_rejections, 3u);  // remaining bindings
+  EXPECT_EQ(executor.stats().degraded_accesses, 6u);
+}
+
+// The acceptance bar for determinism: identical seeds yield byte-identical
+// execution traces and retry schedules. TraceRecord timestamps (ts_us)
+// come from the wall clock, so the comparison canonicalizes records to
+// (kind, name, int payloads, str payloads) — all virtual timestamps ride
+// in the vt_us int payloads and are therefore still compared exactly.
+TEST_F(ExecutorRobustnessTest, IdenticalSeedsReplayIdenticalExecutions) {
+  using Canon =
+      std::tuple<int, std::string,
+                 std::vector<std::pair<std::string, int64_t>>,
+                 std::vector<std::pair<std::string, std::string>>>;
+  FaultPlan faults;
+  faults.seed = 99;
+  faults.base.transient_pm = 350;
+  faults.base.rate_limit_pm = 150;
+  faults.base.retry_after_us = 500;
+  faults.base.latency_us = 40;
+  ExecutionPolicy policy;
+  policy.partial_results = true;
+  policy.retry.max_attempts = 4;
+  policy.retry.jitter_seed = 7;
+  policy.breaker.failure_threshold = 2;
+
+  auto run = [&](std::vector<Canon>* trace, ExecutionStats* stats,
+                 uint64_t* virtual_end) {
+    RingBufferSink sink(4096);
+    TraceSink* prev = SetTraceSink(&sink);
+    InstanceService backend(data_, selector_.get());
+    VirtualClock clock;
+    FaultInjectingService faulty(&backend, faults, &clock);
+    PlanExecutor executor(doc_.schema, &faulty, &clock, policy);
+    StatusOr<ExecutionResult> out = executor.Run(ProfNamesPlan());
+    SetTraceSink(prev);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    *stats = executor.stats();
+    *virtual_end = clock.NowMicros();
+    for (const TraceRecord& r : sink.records()) {
+      trace->emplace_back(static_cast<int>(r.kind), r.name, r.ints, r.strs);
+    }
+  };
+
+  std::vector<Canon> trace1, trace2;
+  ExecutionStats stats1, stats2;
+  uint64_t end1 = 0, end2 = 0;
+  run(&trace1, &stats1, &end1);
+  run(&trace2, &stats2, &end2);
+
+  ASSERT_FALSE(trace1.empty());
+  EXPECT_EQ(trace1, trace2);
+  EXPECT_EQ(end1, end2);
+  EXPECT_EQ(stats1.retries, stats2.retries);
+  EXPECT_EQ(stats1.accesses, stats2.accesses);
+  EXPECT_EQ(stats1.degraded_accesses, stats2.degraded_accesses);
+  EXPECT_EQ(stats1.virtual_elapsed_us, stats2.virtual_elapsed_us);
+  // The fault plan actually engaged (the equality above is not vacuous).
+  EXPECT_GT(stats1.retries, 0u);
+}
+
+TEST_F(ExecutorRobustnessTest, TransientOnlyFaultsConvergeWithRetries) {
+  Plan plan = ProfNamesPlan();
+  Table fault_free = FaultFreeOutput(plan);
+
+  FaultPlan faults;
+  faults.base.fail_first = 2;  // first two calls per method fail
+  ExecutionPolicy policy;
+  policy.partial_results = true;
+  policy.retry.max_attempts = 4;
+
+  InstanceService backend(data_, selector_.get());
+  VirtualClock clock;
+  FaultInjectingService faulty(&backend, faults, &clock);
+  PlanExecutor executor(doc_.schema, &faulty, &clock, policy);
+  StatusOr<ExecutionResult> out = executor.Run(plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(out->partial);
+  EXPECT_EQ(out->table, fault_free);
+  EXPECT_EQ(executor.stats().retries, 4u);  // 2 per method, 2 methods
+}
+
+}  // namespace
+}  // namespace rbda

@@ -124,6 +124,32 @@ TEST(FuzzLoopTest, InjectedBugIsCaughtAndShrunk) {
   }
 }
 
+TEST(FuzzLoopTest, InjectedPartialBugIsCaughtAndShrunk) {
+  // --inject-bug=partial: a degraded non-monotone plan is allowed to
+  // return results. The fault-injection checker must flag the resulting
+  // over-approximation and the shrinker must minimize the document.
+  FuzzOptions options;
+  options.seed = 1;
+  options.iters = 50;
+  options.checkers.inject_partial_bug = true;
+  // Only the robustness checker, so every finding is attributable.
+  CheckerOptions& c = options.checkers;
+  c.check_naive = c.check_simplification = c.check_oracle = c.check_plan =
+      c.check_chase = c.check_containment_cache = c.check_roundtrip = false;
+  FuzzReport report = RunFuzzer(options);
+  ASSERT_FALSE(report.findings.empty())
+      << "the injected non-monotone degradation bug went undetected";
+  for (const FuzzFinding& f : report.findings) {
+    EXPECT_EQ(f.checker, "fault-injection") << f.detail;
+    EXPECT_LE(CountLines(f.shrunk, "relation "), 3u) << f.shrunk;
+    CheckerOptions checkers = options.checkers;
+    checkers.seed = f.case_seed;
+    StatusOr<CheckReport> replay = ReplayDocument(f.shrunk, checkers);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE(replay->Has("fault-injection")) << f.shrunk;
+  }
+}
+
 TEST(FuzzReplayTest, RejectsDocumentWithoutQuery) {
   CheckerOptions checkers;
   EXPECT_FALSE(ReplayDocument("relation R(p0)\nmethod m on R inputs()\n",

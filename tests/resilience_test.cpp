@@ -1,0 +1,117 @@
+// Tests for the resilience primitives (runtime/resilience.h): circuit
+// breaker state transitions and deterministic retry backoff.
+#include "runtime/resilience.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rbda {
+namespace {
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  VirtualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker("m", options, &clock);
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.RecordFailure());
+  // Third consecutive failure opens the circuit.
+  EXPECT_TRUE(breaker.RecordFailure());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureCount) {
+  VirtualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker("m", options, &clock);
+
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.RecordFailure());
+  breaker.RecordSuccess();  // resets the streak
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeSuccessCloses) {
+  VirtualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_us = 1000;
+  CircuitBreaker breaker("m", options, &clock);
+
+  EXPECT_TRUE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.AllowRequest());  // still cooling down
+  clock.Sleep(999);
+  EXPECT_FALSE(breaker.AllowRequest());
+  clock.Sleep(1);
+  // Cooldown elapsed: exactly one probe is admitted.
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest());  // probe already in flight
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  VirtualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_us = 1000;
+  CircuitBreaker breaker("m", options, &clock);
+
+  EXPECT_TRUE(breaker.RecordFailure());
+  clock.Sleep(1000);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.RecordFailure());  // probe failed: re-open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.AllowRequest());
+  // The second cooldown starts from the re-open time.
+  clock.Sleep(1000);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;
+  policy.max_backoff_us = 100000;
+
+  auto sequence = [&](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint64_t> out;
+    uint64_t prev = policy.base_backoff_us;
+    for (int i = 0; i < 12; ++i) {
+      prev = policy.NextBackoffUs(prev, &rng);
+      out.push_back(prev);
+    }
+    return out;
+  };
+  EXPECT_EQ(sequence(7), sequence(7));
+  EXPECT_NE(sequence(7), sequence(8));
+}
+
+TEST(RetryPolicyTest, BackoffStaysWithinDecorrelatedJitterBounds) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;
+  policy.max_backoff_us = 2000;
+  Rng rng(3);
+  uint64_t prev = policy.base_backoff_us;
+  for (int i = 0; i < 50; ++i) {
+    uint64_t next = policy.NextBackoffUs(prev, &rng);
+    EXPECT_GE(next, policy.base_backoff_us);
+    EXPECT_LE(next, policy.max_backoff_us);
+    prev = next;
+  }
+}
+
+}  // namespace
+}  // namespace rbda

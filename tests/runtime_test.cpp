@@ -355,6 +355,40 @@ query Q1() :- Prof(i, n, "10000")
   EXPECT_TRUE(IsAccessValid(doc.schema, ce->accessed, ce->i1));
 }
 
+TEST_F(RuntimeTest, ValidatePlanUnderFaultsClassifiesDegradation) {
+  ParsedDocument doc = MustParse(kUniversityNoBounds, &universe_);
+  Instance data = UniversityInstance(&universe_, doc.schema, 20, 3, 2);
+  Plan plan = Example12Plan(&universe_);
+  const ConjunctiveQuery& q1 = doc.queries.at("Q1");
+
+  // No faults: behaves like ValidatePlan.
+  FaultPlan none;
+  ExecutionPolicy policy;
+  PlanValidation v =
+      ValidatePlanUnderFaults(doc.schema, plan, q1, data, none, policy);
+  EXPECT_TRUE(v.answers) << v.failure;
+  EXPECT_FALSE(v.partial);
+
+  // pr permanently down + graceful degradation: the run misses answers
+  // but is flagged partial — the promised sound underapproximation, not a
+  // plan bug.
+  FaultPlan dead;
+  dead.per_method["pr"].fail_from = 1;
+  ExecutionPolicy degrade;
+  degrade.partial_results = true;
+  PlanValidation pv =
+      ValidatePlanUnderFaults(doc.schema, plan, q1, data, dead, degrade);
+  EXPECT_FALSE(pv.answers);
+  EXPECT_TRUE(pv.partial);
+  EXPECT_EQ(pv.mismatch, PlanMismatch::kMissingAnswers);
+
+  // Without degradation the dead service is an execution error.
+  PlanValidation ev =
+      ValidatePlanUnderFaults(doc.schema, plan, q1, data, dead, policy);
+  EXPECT_FALSE(ev.answers);
+  EXPECT_EQ(ev.mismatch, PlanMismatch::kExecutionError);
+}
+
 TEST_F(RuntimeTest, CounterexampleSearchFindsNothingForAnswerable) {
   // Example 1.4: Q2 is answerable, so no counterexample should exist.
   Universe u;

@@ -1,0 +1,193 @@
+// Tests for the service layer (runtime/service.h): the ideal
+// InstanceService, the fault-injecting decorator's determinism and
+// schedules, fault-spec parsing, and the virtual clock.
+#include "runtime/service.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "paper_fixtures.h"
+
+namespace rbda {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  // University fixture with ud bounded to 100 results.
+  void Load(const char* fixture = kUniversityBounded) {
+    doc_ = MustParse(fixture, &universe_);
+    for (size_t i = 0; i < 6; ++i) {
+      RelationId udir;
+      RBDA_CHECK(universe_.LookupRelation("Udirectory", &udir));
+      data_.AddFact(udir, {universe_.Constant("id" + std::to_string(i)),
+                           universe_.Constant("a" + std::to_string(i)),
+                           universe_.Constant("p" + std::to_string(i))});
+    }
+  }
+
+  const AccessMethod& Ud() { return *doc_.schema.FindMethod("ud"); }
+
+  Universe universe_;
+  ParsedDocument doc_{&universe_};
+  Instance data_;
+};
+
+TEST_F(ServiceTest, InstanceServiceAnswersAndFlagsBoundTruncation) {
+  Load();
+  auto selector = MakeSelector(SelectionPolicy::kFirstK);
+  InstanceService service(data_, selector.get());
+  StatusOr<AccessResult> r = service.Call(Ud(), {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->facts.size(), 6u);
+  // 6 matches under a bound of 100: nothing was cut.
+  EXPECT_FALSE(r->truncated);
+}
+
+TEST_F(ServiceTest, FaultStreamIsAPureFunctionOfTheSeed) {
+  Load();
+  auto selector = MakeSelector(SelectionPolicy::kFirstK);
+  InstanceService backend(data_, selector.get());
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.base.transient_pm = 400;
+  plan.base.rate_limit_pm = 200;
+  plan.base.truncate_pm = 300;
+
+  auto run = [&](uint64_t seed) {
+    FaultPlan p = plan;
+    p.seed = seed;
+    VirtualClock clock;
+    FaultInjectingService faulty(&backend, p, &clock);
+    std::vector<std::string> outcomes;
+    for (int i = 0; i < 40; ++i) {
+      StatusOr<AccessResult> r = faulty.Call(Ud(), {});
+      outcomes.push_back(r.ok() ? "ok:" + std::to_string(r->facts.size())
+                                : r.status().ToString());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST_F(ServiceTest, FailFirstScheduleFailsExactlyTheFirstCalls) {
+  Load();
+  auto selector = MakeSelector(SelectionPolicy::kFirstK);
+  InstanceService backend(data_, selector.get());
+  FaultPlan plan;
+  plan.base.fail_first = 2;
+  VirtualClock clock;
+  FaultInjectingService faulty(&backend, plan, &clock);
+  for (int i = 1; i <= 5; ++i) {
+    StatusOr<AccessResult> r = faulty.Call(Ud(), {});
+    if (i <= 2) {
+      ASSERT_FALSE(r.ok()) << "call " << i;
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    } else {
+      EXPECT_TRUE(r.ok()) << "call " << i;
+    }
+  }
+  EXPECT_EQ(faulty.CallCount("ud"), 5u);
+}
+
+TEST_F(ServiceTest, FailFromScheduleIsAPermanentOutage) {
+  Load();
+  auto selector = MakeSelector(SelectionPolicy::kFirstK);
+  InstanceService backend(data_, selector.get());
+  FaultPlan plan;
+  plan.per_method["ud"].fail_from = 3;
+  VirtualClock clock;
+  FaultInjectingService faulty(&backend, plan, &clock);
+  EXPECT_TRUE(faulty.Call(Ud(), {}).ok());
+  EXPECT_TRUE(faulty.Call(Ud(), {}).ok());
+  for (int i = 0; i < 3; ++i) {
+    StatusOr<AccessResult> r = faulty.Call(Ud(), {});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(ServiceTest, RateLimitCarriesRetryAfterHint) {
+  Load();
+  auto selector = MakeSelector(SelectionPolicy::kFirstK);
+  InstanceService backend(data_, selector.get());
+  FaultPlan plan;
+  plan.base.rate_limit_pm = 1000;  // always
+  plan.base.retry_after_us = 7777;
+  VirtualClock clock;
+  FaultInjectingService faulty(&backend, plan, &clock);
+  StatusOr<AccessResult> r = faulty.Call(Ud(), {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(faulty.LastRetryAfterUs(), 7777u);
+}
+
+TEST_F(ServiceTest, TruncationReturnsAStrictSubset) {
+  Load();
+  auto selector = MakeSelector(SelectionPolicy::kFirstK);
+  InstanceService backend(data_, selector.get());
+  StatusOr<AccessResult> full = backend.Call(Ud(), {});
+  ASSERT_TRUE(full.ok());
+
+  FaultPlan plan;
+  plan.base.truncate_pm = 1000;  // always
+  VirtualClock clock;
+  FaultInjectingService faulty(&backend, plan, &clock);
+  StatusOr<AccessResult> cut = faulty.Call(Ud(), {});
+  ASSERT_TRUE(cut.ok());
+  EXPECT_TRUE(cut->truncated);
+  EXPECT_LT(cut->facts.size(), full->facts.size());
+  for (size_t i = 0; i < cut->facts.size(); ++i) {
+    EXPECT_EQ(cut->facts[i], full->facts[i]);  // FirstK prefix order
+  }
+}
+
+TEST_F(ServiceTest, LatencyAdvancesTheVirtualClockOnly) {
+  Load();
+  auto selector = MakeSelector(SelectionPolicy::kFirstK);
+  InstanceService backend(data_, selector.get());
+  FaultPlan plan;
+  plan.base.latency_us = 2500;
+  VirtualClock clock;
+  FaultInjectingService faulty(&backend, plan, &clock);
+  EXPECT_EQ(clock.NowMicros(), 0u);
+  ASSERT_TRUE(faulty.Call(Ud(), {}).ok());
+  EXPECT_EQ(clock.NowMicros(), 2500u);
+  ASSERT_TRUE(faulty.Call(Ud(), {}).ok());
+  EXPECT_EQ(clock.NowMicros(), 5000u);
+}
+
+TEST(FaultSpecTest, ParsesBaseAndPerMethodKeys) {
+  StatusOr<FaultPlan> plan = ParseFaultSpec(
+      "transient=0.2,rate=0.05,trunc=0.1,permanent=0.01,latency-us=500,"
+      "retry-after-us=2000,fail-first=3,seed=42,ud.transient=0.9,"
+      "ud.fail-from=7");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->seed, 42u);
+  EXPECT_EQ(plan->base.transient_pm, 200u);
+  EXPECT_EQ(plan->base.rate_limit_pm, 50u);
+  EXPECT_EQ(plan->base.truncate_pm, 100u);
+  EXPECT_EQ(plan->base.permanent_pm, 10u);
+  EXPECT_EQ(plan->base.latency_us, 500u);
+  EXPECT_EQ(plan->base.retry_after_us, 2000u);
+  EXPECT_EQ(plan->base.fail_first, 3u);
+  ASSERT_EQ(plan->per_method.count("ud"), 1u);
+  EXPECT_EQ(plan->per_method.at("ud").transient_pm, 900u);
+  EXPECT_EQ(plan->per_method.at("ud").fail_from, 7u);
+  // An override replaces the base profile for its method.
+  EXPECT_EQ(plan->ProfileFor("ud").latency_us, 0u);
+  EXPECT_EQ(plan->ProfileFor("pr").latency_us, 500u);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultSpec("transient=1.5").ok());   // out of [0,1]
+  EXPECT_FALSE(ParseFaultSpec("bogus=1").ok());         // unknown key
+  EXPECT_FALSE(ParseFaultSpec("transient").ok());       // not key=value
+  EXPECT_FALSE(ParseFaultSpec("latency-us=abc").ok());  // not a number
+  EXPECT_FALSE(ParseFaultSpec("ud.seed=3").ok());       // seed is global
+  EXPECT_TRUE(ParseFaultSpec("").ok());                 // empty = no faults
+  EXPECT_TRUE(ParseFaultSpec(",,transient=0.1,,").ok());
+}
+
+}  // namespace
+}  // namespace rbda

@@ -5,9 +5,16 @@
 //   rbda plan <schema.rbda> <query-name> [--rounds=N]
 //       Synthesize a monotone plan (proof-driven, universal fallback).
 //   rbda run <schema.rbda> <query-name> [--selector=first|last|random]
-//            [--seed=N]
+//            [--seed=N] [--faults=<spec|file>] [--retries=N]
+//            [--deadline-ms=N] [--partial]
 //       Execute the synthesized plan against the document's `fact` data
-//       and compare with direct evaluation.
+//       and compare with direct evaluation. --faults degrades the service
+//       per a fault spec (see runtime/service.h; a readable file path is
+//       loaded as the spec), --retries=N retries each failed access up to
+//       N times with backoff on the virtual clock, --deadline-ms bounds
+//       the plan's virtual elapsed time, and --partial lets a monotone
+//       plan degrade gracefully (skip dead accesses, flag the output
+//       partial) instead of failing.
 //   rbda containment <schema.rbda> <q1> <q2>
 //       Decide q1 ⊆_Σ q2 under the document's constraints.
 //   rbda simplify <schema.rbda> <existence|fd|choice|elimub>
@@ -76,6 +83,10 @@ struct CliOptions {
   std::string trace_path;        // empty = tracing off
   std::string selector = "first";  // run
   uint64_t seed = 1;             // run
+  std::string faults;            // run: fault spec text or file path
+  uint64_t retries = 0;          // run: retries per failed access
+  uint64_t deadline_ms = 0;      // run: virtual deadline, 0 = none
+  bool partial = false;          // run: graceful degradation
   size_t rounds = 3;             // plan
   size_t attempts = 300;         // oracle
   std::vector<std::string> positional;
@@ -130,6 +141,26 @@ bool CliOptions::Parse(int argc, char** argv, CliOptions* out) {
                      value.c_str());
         return false;
       }
+    } else if (key == "--faults") {
+      if (value.empty()) {
+        std::fprintf(stderr, "--faults requires a spec or file path\n");
+        return false;
+      }
+      out->faults = value;
+    } else if (key == "--retries") {
+      if (!ParseUint(value, &out->retries)) {
+        std::fprintf(stderr, "--retries expects a number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (key == "--deadline-ms") {
+      if (!ParseUint(value, &out->deadline_ms)) {
+        std::fprintf(stderr, "--deadline-ms expects a number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (key == "--partial") {
+      out->partial = true;
     } else if (key == "--rounds") {
       if (!ParseUint(value, &n)) {
         std::fprintf(stderr, "--rounds expects a number, got '%s'\n",
@@ -236,16 +267,60 @@ int CmdRun(const ParsedDocument& doc, Universe* universe,
                                ? SelectionPolicy::kRandomK
                                : SelectionPolicy::kFirstK;
   auto selector = MakeIdempotent(MakeSelector(policy, cli.seed));
-  PlanExecutor executor(doc.schema, doc.data, selector.get());
-  StatusOr<Table> out = executor.Execute(*plan);
+  InstanceService backend(doc.data, selector.get());
+  VirtualClock clock;
+
+  FaultPlan faults;
+  bool faulty_mode = !cli.faults.empty();
+  if (faulty_mode) {
+    std::string spec = cli.faults;
+    std::string file_text;
+    if (ReadFile(spec.c_str(), &file_text)) {
+      // A fault *file* is the same spec with whitespace allowed.
+      for (char& c : file_text) {
+        if (c == '\n' || c == '\r' || c == '\t' || c == ' ') c = ',';
+      }
+      spec = file_text;
+    }
+    StatusOr<FaultPlan> parsed = ParseFaultSpec(spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --faults: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    faults = *parsed;
+  }
+  FaultInjectingService faulty(&backend, faults, &clock);
+
+  ExecutionPolicy exec_policy;
+  exec_policy.retry.max_attempts = cli.retries + 1;
+  exec_policy.retry.jitter_seed = cli.seed;
+  exec_policy.deadline_us = cli.deadline_ms * 1000;
+  exec_policy.partial_results = cli.partial;
+  PlanExecutor executor(doc.schema,
+                        faulty_mode ? static_cast<Service*>(&faulty)
+                                    : &backend,
+                        &clock, exec_policy);
+  StatusOr<ExecutionResult> out = executor.Run(*plan);
   if (!out.ok()) {
     std::fprintf(stderr, "execution failed: %s\n",
                  out.status().ToString().c_str());
     return 1;
   }
-  std::printf("# plan output (%zu tuples, %zu service calls)\n", out->size(),
-              executor.stats().accesses);
-  for (const auto& tuple : *out) {
+  const ExecutionStats& stats = executor.stats();
+  std::printf("# plan output (%zu tuples, %zu service calls%s)\n",
+              out->table.size(), stats.accesses,
+              out->partial ? ", PARTIAL" : "");
+  if (faulty_mode || cli.retries > 0 || cli.deadline_ms > 0) {
+    std::printf(
+        "# resilience: %zu retries, %zu transient / %zu rate-limited / "
+        "%zu permanent faults, %zu breaker opens, %zu degraded accesses, "
+        "%llu virtual us\n",
+        stats.retries, stats.faults_transient, stats.faults_rate_limited,
+        stats.faults_permanent, stats.breaker_opens, stats.degraded_accesses,
+        static_cast<unsigned long long>(stats.virtual_elapsed_us));
+  }
+  for (const auto& tuple : out->table) {
     std::printf("(");
     for (size_t i = 0; i < tuple.size(); ++i) {
       std::printf("%s%s", i ? ", " : "",
@@ -255,8 +330,11 @@ int CmdRun(const ParsedDocument& doc, Universe* universe,
   }
   Table expected;
   for (auto& t : query->Evaluate(doc.data)) expected.insert(t);
+  bool match = expected == out->table;
   std::printf("# direct evaluation: %zu tuples -> %s\n", expected.size(),
-              expected == *out ? "MATCH" : "MISMATCH (incomplete answers!)");
+              match                ? "MATCH"
+              : out->partial       ? "PARTIAL (sound underapproximation)"
+                                   : "MISMATCH (incomplete answers!)");
   return 0;
 }
 

@@ -1,19 +1,28 @@
 // rbda_fuzz — differential fuzzing driver (see src/fuzz/).
 //
 //   rbda_fuzz [--seed=N] [--iters=N] [--fragment=id|fd|uidfd|chain]
-//             [--shrink=0|1] [--out-dir=path] [--inject-bug]
+//             [--shrink=0|1] [--out-dir=path] [--inject-bug[=kind]]
+//             [--checkers=name,...] [--fault-plans=N]
 //             [--metrics[=path]] [--trace=path]
 //       Generate cases, run the checker battery, shrink findings, write
 //       repro files. Exit code: 0 = all checkers agreed on every case,
 //       1 = at least one finding, 2 = usage error.
 //
-//   rbda_fuzz --replay=<file.rbda> [--seed=N] [--inject-bug]
+//   rbda_fuzz --replay=<file.rbda> [--seed=N] [--inject-bug[=kind]]
 //       Re-run the full battery on a previously saved repro (or any .rbda
 //       document with a query). Exit code as above.
 //
-// --inject-bug enables the test-only broken simplification (all result
-// bounds stripped) to prove the harness detects and minimizes a planted
-// unsoundness; see CheckerOptions::inject_simplification_bug.
+// --inject-bug plants a test-only bug to prove the harness detects and
+// minimizes it:
+//   --inject-bug / --inject-bug=simplification — broken simplification
+//     (all result bounds stripped; CheckerOptions::inject_simplification_bug)
+//   --inject-bug=partial — lets a degraded non-monotone plan return results
+//     (CheckerOptions::inject_partial_bug; the fault-injection checker must
+//     flag the over-approximating difference)
+// --checkers restricts the battery to the named checkers (comma-separated:
+// naive, simplification, oracle, plan, chase, containment-cache, roundtrip,
+// fault-injection). --fault-plans sets how many mutated fault plans the
+// fault-injection checker runs per case.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -34,7 +43,9 @@ int Usage() {
       stderr,
       "usage: rbda_fuzz [--seed=N] [--iters=N] "
       "[--fragment=id|fd|uidfd|chain] [--shrink=0|1] [--out-dir=path]\n"
-      "                 [--inject-bug] [--replay=file.rbda] "
+      "                 [--inject-bug[=simplification|partial]] "
+      "[--checkers=name,...] [--fault-plans=N]\n"
+      "                 [--replay=file.rbda] "
       "[--metrics[=path]] [--trace=path]\n");
   return 2;
 }
@@ -116,7 +127,54 @@ bool FuzzCli::Parse(int argc, char** argv, FuzzCli* out) {
     } else if (key == "--out-dir") {
       out->fuzz.out_dir = value;
     } else if (key == "--inject-bug") {
-      out->fuzz.checkers.inject_simplification_bug = true;
+      if (value.empty() || value == "simplification") {
+        out->fuzz.checkers.inject_simplification_bug = true;
+      } else if (value == "partial") {
+        out->fuzz.checkers.inject_partial_bug = true;
+      } else {
+        std::fprintf(stderr,
+                     "--inject-bug expects simplification|partial, got "
+                     "'%s'\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (key == "--checkers") {
+      CheckerOptions& c = out->fuzz.checkers;
+      c.check_naive = c.check_simplification = c.check_oracle =
+          c.check_plan = c.check_chase = c.check_containment_cache =
+              c.check_roundtrip = c.check_fault_injection = false;
+      std::stringstream names(value);
+      std::string name;
+      while (std::getline(names, name, ',')) {
+        if (name == "naive") {
+          c.check_naive = true;
+        } else if (name == "simplification") {
+          c.check_simplification = true;
+        } else if (name == "oracle") {
+          c.check_oracle = true;
+        } else if (name == "plan") {
+          c.check_plan = true;
+        } else if (name == "chase") {
+          c.check_chase = true;
+        } else if (name == "containment-cache") {
+          c.check_containment_cache = true;
+        } else if (name == "roundtrip") {
+          c.check_roundtrip = true;
+        } else if (name == "fault-injection") {
+          c.check_fault_injection = true;
+        } else {
+          std::fprintf(stderr, "--checkers: unknown checker '%s'\n",
+                       name.c_str());
+          return false;
+        }
+      }
+    } else if (key == "--fault-plans") {
+      if (!ParseUint(value, &n)) {
+        std::fprintf(stderr, "--fault-plans expects a number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      out->fuzz.checkers.fault_plans = static_cast<size_t>(n);
     } else if (key == "--replay") {
       if (value.empty()) {
         std::fprintf(stderr, "--replay requires a path\n");
