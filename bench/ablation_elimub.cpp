@@ -80,7 +80,8 @@ BENCHMARK(BM_DecideLowerBoundsOnly)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   rbda::AgreementTable();
-  rbda::PrintBenchMetricsJson("ablation_elimub");
+  rbda::PrintBenchMetricsJsonWithSweep(
+      "ablation_elimub", rbda::SweepFamily::kChain, 12, "AE");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -91,7 +91,8 @@ BENCHMARK(BM_SimplifiedVsBound)
 
 int main(int argc, char** argv) {
   rbda::SizeTable();
-  rbda::PrintBenchMetricsJson("ablation_naive_vs_simplified");
+  rbda::PrintBenchMetricsJsonWithSweep(
+      "ablation_naive_vs_simplified", rbda::SweepFamily::kId, 12, "AN");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

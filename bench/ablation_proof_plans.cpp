@@ -109,7 +109,8 @@ BENCHMARK(BM_UniversalPlanExecution)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   rbda::CallCountTable();
-  rbda::PrintBenchMetricsJson("ablation_proof_plans");
+  rbda::PrintBenchMetricsJsonWithSweep(
+      "ablation_proof_plans", rbda::SweepFamily::kUidFd, 12, "AP");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -110,6 +110,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   // Snapshot after the runs so the block reflects the measured activity.
-  rbda::PrintBenchMetricsJson("runtime_plans");
+  rbda::PrintBenchMetricsJsonWithSweep(
+      "runtime_plans", rbda::SweepFamily::kChain, 12, "RP");
   return 0;
 }

@@ -101,7 +101,8 @@ BENCHMARK(BM_DecideVsChainLength)
 
 int main(int argc, char** argv) {
   rbda::VerdictTable();
-  rbda::PrintBenchMetricsJson("table1_row1_ids");
+  rbda::PrintBenchMetricsJsonWithSweep(
+      "table1_row1_ids", rbda::SweepFamily::kId, 16, "P1");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

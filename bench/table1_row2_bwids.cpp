@@ -180,7 +180,8 @@ BENCHMARK(BM_LinearizedVsSchemaSize)
 
 int main(int argc, char** argv) {
   rbda::CompletenessTable();
-  rbda::PrintBenchMetricsJson("table1_row2_bwids");
+  rbda::PrintBenchMetricsJsonWithSweep(
+      "table1_row2_bwids", rbda::SweepFamily::kId, 16, "P2");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

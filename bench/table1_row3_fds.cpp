@@ -117,7 +117,8 @@ BENCHMARK(BM_DecideVsNumFds)
 
 int main(int argc, char** argv) {
   rbda::VerdictTable();
-  rbda::PrintBenchMetricsJson("table1_row3_fds");
+  rbda::PrintBenchMetricsJsonWithSweep(
+      "table1_row3_fds", rbda::SweepFamily::kFd, 16, "P3");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -155,7 +155,8 @@ BENCHMARK(BM_FiniteClosure)
 
 int main(int argc, char** argv) {
   rbda::VerdictTable();
-  rbda::PrintBenchMetricsJson("table1_row4_uidfds");
+  rbda::PrintBenchMetricsJsonWithSweep(
+      "table1_row4_uidfds", rbda::SweepFamily::kUidFd, 16, "P4");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

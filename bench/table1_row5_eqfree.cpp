@@ -129,7 +129,8 @@ BENCHMARK(BM_RandomTgdCompleteness)
 
 int main(int argc, char** argv) {
   rbda::VerdictTable();
-  rbda::PrintBenchMetricsJson("table1_row5_eqfree");
+  rbda::PrintBenchMetricsJsonWithSweep(
+      "table1_row5_eqfree", rbda::SweepFamily::kChain, 16, "P5");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

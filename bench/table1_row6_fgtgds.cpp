@@ -86,7 +86,8 @@ BENCHMARK(BM_ProofSearchVsRules)
 
 int main(int argc, char** argv) {
   rbda::VerdictTable();
-  rbda::PrintBenchMetricsJson("table1_row6_fgtgds");
+  rbda::PrintBenchMetricsJsonWithSweep(
+      "table1_row6_fgtgds", rbda::SweepFamily::kChain, 16, "P6");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

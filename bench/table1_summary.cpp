@@ -26,7 +26,35 @@ struct RowStats {
   int compared = 0;
   int decided = 0;
   int total = 0;
+
+  bool operator==(const RowStats& o) const {
+    return agree == o.agree && compared == o.compared &&
+           decided == o.decided && total == o.total;
+  }
+
+  RowStats& operator+=(const RowStats& o) {
+    agree += o.agree;
+    compared += o.compared;
+    decided += o.decided;
+    total += o.total;
+    return *this;
+  }
 };
+
+// Fans the per-seed validations of one row out over `jobs` workers. Every
+// seed is a pure function of its index (own Universe + Rng), and the
+// tallies are summed in seed order, so the row is job-count-invariant.
+RowStats SeedSweep(size_t jobs, uint64_t num_seeds,
+                   const std::function<RowStats(uint64_t)>& one_seed) {
+  RowStats total;
+  StatusOr<std::vector<RowStats>> rows = ParallelMap<RowStats>(
+      num_seeds, jobs, [&one_seed](size_t i) -> StatusOr<RowStats> {
+        return one_seed(static_cast<uint64_t>(i) + 1);
+      });
+  if (!rows.ok()) return total;  // unreachable: one_seed never fails
+  for (const RowStats& r : *rows) total += r;
+  return total;
+}
 
 // Compares Decide(original) with Decide(simplified(original)).
 void Compare(const ServiceSchema& schema, const ServiceSchema& simplified,
@@ -43,11 +71,11 @@ void Compare(const ServiceSchema& schema, const ServiceSchema& simplified,
   }
 }
 
-RowStats IdsRow() {
-  RowStats stats;
-  DecisionOptions options;
-  options.linear_depth_cap = 800;
-  for (uint64_t seed = 1; seed <= 25; ++seed) {
+RowStats IdsRow(size_t jobs) {
+  return SeedSweep(jobs, 25, [](uint64_t seed) {
+    RowStats stats;
+    DecisionOptions options;
+    options.linear_depth_cap = 800;
     Universe u;
     Rng rng(seed);
     SchemaFamilyOptions fam;
@@ -59,15 +87,15 @@ RowStats IdsRow() {
     ServiceSchema schema = GenerateIdSchema(&u, fam, &rng);
     ConjunctiveQuery q = GenerateQuery(schema, 2, 3, &rng);
     Compare(schema, ExistenceCheckSimplification(schema), q, options, &stats);
-  }
-  return stats;
+    return stats;
+  });
 }
 
-RowStats BwIdsRow() {
-  RowStats stats;
-  DecisionOptions options;
-  options.linear_depth_cap = 800;
-  for (uint64_t seed = 1; seed <= 25; ++seed) {
+RowStats BwIdsRow(size_t jobs) {
+  return SeedSweep(jobs, 25, [](uint64_t seed) {
+    RowStats stats;
+    DecisionOptions options;
+    options.linear_depth_cap = 800;
     Universe u;
     Rng rng(seed * 5 + 2);
     SchemaFamilyOptions fam;
@@ -80,15 +108,15 @@ RowStats BwIdsRow() {
     ServiceSchema schema = GenerateIdSchema(&u, fam, &rng);
     ConjunctiveQuery q = GenerateQuery(schema, 2, 3, &rng);
     Compare(schema, ExistenceCheckSimplification(schema), q, options, &stats);
-  }
-  return stats;
+    return stats;
+  });
 }
 
-RowStats FdsRow() {
-  RowStats stats;
-  DecisionOptions naive;
-  naive.force_naive = true;
-  for (uint64_t seed = 1; seed <= 25; ++seed) {
+RowStats FdsRow(size_t jobs) {
+  return SeedSweep(jobs, 25, [](uint64_t seed) {
+    RowStats stats;
+    DecisionOptions naive;
+    naive.force_naive = true;
     Universe u;
     Rng rng(seed * 7 + 3);
     SchemaFamilyOptions fam;
@@ -105,19 +133,19 @@ RowStats FdsRow() {
     StatusOr<Decision> b =
         DecideMonotoneAnswerability(FdSimplification(schema), q, naive);
     ++stats.total;
-    if (!a.ok() || !b.ok()) continue;
+    if (!a.ok() || !b.ok()) return stats;
     if (a->complete) ++stats.decided;
     if (a->complete && b->complete) {
       ++stats.compared;
       if (a->verdict == b->verdict) ++stats.agree;
     }
-  }
-  return stats;
+    return stats;
+  });
 }
 
-RowStats UidFdRow() {
-  RowStats stats;
-  for (uint64_t seed = 1; seed <= 25; ++seed) {
+RowStats UidFdRow(size_t jobs) {
+  return SeedSweep(jobs, 25, [](uint64_t seed) {
+    RowStats stats;
     Universe u;
     Rng rng(seed * 11 + 5);
     SchemaFamilyOptions fam;
@@ -129,22 +157,46 @@ RowStats UidFdRow() {
     ServiceSchema schema = GenerateUidFdSchema(&u, fam, &rng);
     ConjunctiveQuery q = GenerateQuery(schema, 2, 2, &rng);
     Compare(schema, ChoiceSimplification(schema), q, {}, &stats);
-  }
-  return stats;
+    return stats;
+  });
 }
 
-RowStats TgdRow() {
-  RowStats stats;
-  DecisionOptions budget;
-  budget.chase.max_rounds = 80;
-  for (uint32_t bound : {1u, 7u, 50u}) {
+RowStats TgdRow(size_t jobs) {
+  constexpr uint32_t kBounds[] = {1u, 7u, 50u};
+  return SeedSweep(jobs, std::size(kBounds), [&](uint64_t seed) {
+    RowStats stats;
+    DecisionOptions budget;
+    budget.chase.max_rounds = 80;
+    uint32_t bound = kBounds[seed - 1];
     Universe u;
     StatusOr<ParsedDocument> doc = ParseDocument(Example61Text(bound), &u);
     RBDA_CHECK(doc.ok());
     Compare(doc->schema, ChoiceSimplification(doc->schema),
             doc->queries.at("Q"), budget, &stats);
+    return stats;
+  });
+}
+
+// All six Table 1 rows at a given job count — the unit the serial-vs-
+// parallel sweep timing runs over.
+struct AllRows {
+  RowStats ids, bwids, fds, uidfds, eqfree, fgtgds;
+
+  bool operator==(const AllRows& o) const {
+    return ids == o.ids && bwids == o.bwids && fds == o.fds &&
+           uidfds == o.uidfds && eqfree == o.eqfree && fgtgds == o.fgtgds;
   }
-  return stats;
+};
+
+AllRows ComputeAllRows(size_t jobs) {
+  AllRows rows;
+  rows.ids = IdsRow(jobs);
+  rows.bwids = BwIdsRow(jobs);
+  rows.fds = FdsRow(jobs);
+  rows.uidfds = UidFdRow(jobs);
+  rows.eqfree = TgdRow(jobs);
+  rows.fgtgds = TgdRow(jobs);
+  return rows;
 }
 
 void PrintRow(const char* fragment, const char* simplification,
@@ -164,12 +216,19 @@ void Table1() {
               "decided");
   std::printf("-----------------------+------------------------------+------"
               "------------------------+-------------+------------\n");
-  RowStats ids = IdsRow();
-  RowStats bwids = BwIdsRow();
-  RowStats fds = FdsRow();
-  RowStats uidfds = UidFdRow();
-  RowStats eqfree = TgdRow();
-  RowStats fgtgds = TgdRow();
+  // The whole six-row sweep runs twice — serially, then at the RBDA_JOBS
+  // job count — so the BENCH_JSON line carries wall times and
+  // speedup-vs-serial alongside the (job-count-invariant) tallies. The
+  // printed table uses the serial result.
+  BenchJsonWriter writer("table1_summary");
+  AllRows rows = TimedParallelSweep<AllRows>(
+      &writer, BenchJobs(), [](size_t j) { return ComputeAllRows(j); });
+  const RowStats& ids = rows.ids;
+  const RowStats& bwids = rows.bwids;
+  const RowStats& fds = rows.fds;
+  const RowStats& uidfds = rows.uidfds;
+  const RowStats& eqfree = rows.eqfree;
+  const RowStats& fgtgds = rows.fgtgds;
   PrintRow("IDs", "Existence-check (Thm 4.2)", "EXPTIME-c (Thm 5.3)", ids);
   PrintRow("Bounded-width IDs", "Existence-check (see above)",
            "NP-c (Thm 5.4, lineariz.)", bwids);
@@ -181,7 +240,6 @@ void Table1() {
   PrintRow("Frontier-guarded TGDs", "Choice (see above)",
            "2EXPTIME-c (Thm 7.1)", fgtgds);
 
-  BenchJsonWriter writer("table1_summary");
   auto add_row = [&writer](const std::string& key, const RowStats& stats) {
     writer.Add(key + ".agree", stats.agree);
     writer.Add(key + ".compared", stats.compared);

@@ -138,7 +138,7 @@ class Engine {
     auto goal_holds = [&](const Instance::DeltaMark* delta) {
       if (goals == nullptr) return false;
       for (const std::vector<Atom>& goal : *goals) {
-        Metrics().hom_checks->Increment();
+        Metrics().hom_checks->IncrementCell();
         bool found =
             delta != nullptr
                 ? FindHomomorphismDelta(goal, result_.instance, nullptr,
@@ -146,7 +146,7 @@ class Engine {
                       .has_value()
                 : FindHomomorphism(goal, result_.instance).has_value();
         if (found) {
-          Metrics().hom_checks_ok->Increment();
+          Metrics().hom_checks_ok->IncrementCell();
           return true;
         }
       }
@@ -170,17 +170,17 @@ class Engine {
 
     for (uint64_t round = 1; round <= options_.max_rounds; ++round) {
       result_.rounds = round;
-      Metrics().rounds->Increment();
+      Metrics().rounds->IncrementCell();
       Instance::DeltaMark round_mark = result_.instance.Mark();
       bool semi = options_.use_semi_naive && prev_mark_valid &&
                   result_.instance.MarkValid(prev_mark);
       const Instance::DeltaMark* delta = semi ? &prev_mark : nullptr;
       if (semi) {
-        Metrics().delta_rounds->Increment();
+        Metrics().delta_rounds->IncrementCell();
         Metrics().delta_size->Record(result_.instance.generation() -
                                      prev_mark.generation);
       } else {
-        Metrics().delta_full_rounds->Increment();
+        Metrics().delta_full_rounds->IncrementCell();
       }
       uint64_t fired = FireTgdRound(round, delta);
       if (!budget_tripped_) fired += FireCardinalityRound(delta);
@@ -280,8 +280,8 @@ class Engine {
         }
         ++fired;
         ++result_.tgd_steps;
-        Metrics().triggers_tgd->Increment();
-        Metrics().facts_created->Increment(added.size());
+        Metrics().triggers_tgd->IncrementCell();
+        Metrics().facts_created->IncrementCell(added.size());
         if (options_.record_trace) {
           // Record the full body homomorphism plus the fresh witnesses so
           // consumers (plan extraction) can reconstruct both the trigger
@@ -393,8 +393,8 @@ class Engine {
           result_.instance.AddFact(rule.target_rel, std::move(args));
           ++have;
           ++fired;
-          Metrics().triggers_cardinality->Increment();
-          Metrics().facts_created->Increment();
+          Metrics().triggers_cardinality->IncrementCell();
+          Metrics().facts_created->IncrementCell();
           if (result_.instance.NumFacts() > options_.max_facts) {
             // Stop at the point of violation: a single rule with a large
             // bound must not blow past the fact budget within one round.
@@ -461,7 +461,7 @@ class Engine {
           it->second = a;
           ++unions;
           ++result_.egd_merges;
-          Metrics().triggers_egd->Increment();
+          Metrics().triggers_egd->IncrementCell();
           changed = true;
         }
       }

@@ -188,17 +188,31 @@ CacheKey MakeLinearKey(const Instance& start, const std::vector<Atom>& goal,
   return key;
 }
 
+// The memoization cache, sharded by key hash so parallel containment
+// calls (fuzz cases, oracle sweeps, bench sweeps under --jobs) do not
+// serialize on one mutex. Each shard is an independent mutex-guarded map
+// with its own epoch eviction and its own hit/miss/eviction counters
+// ("containment.cache.shardNN.*"); the aggregate "containment.cache.*"
+// counters keep their historical meaning and are incremented at the call
+// sites, so existing dashboards and tests see identical totals.
 class ContainmentCache {
  public:
+  static constexpr size_t kShards = 8;
+
   static ContainmentCache& Get() {
     static ContainmentCache* cache = new ContainmentCache();
     return *cache;
   }
 
   bool Lookup(const CacheKey& key, ContainmentOutcome* out) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it == map_.end()) return false;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      shard.misses->Increment();
+      return false;
+    }
+    shard.hits->Increment();
     *out = it->second;
     return true;
   }
@@ -207,29 +221,61 @@ class ContainmentCache {
     // Entries hold the final chase instance; keep the biggest ones out so
     // the cache stays a cache, not a leak.
     if (outcome.chase.instance.NumFacts() > kMaxCachedFacts) return;
-    std::lock_guard<std::mutex> lock(mu_);
-    if (map_.size() >= kMaxEntries) {
-      Metrics().cache_evictions->Increment(map_.size());
-      map_.clear();  // epoch eviction: simple and O(1) amortized
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() >= kMaxEntriesPerShard) {
+      Metrics().cache_evictions->Increment(shard.map.size());
+      shard.evictions->Increment(shard.map.size());
+      shard.map.clear();  // epoch eviction: simple and O(1) amortized
     }
-    map_.emplace(key, outcome);
+    shard.map.emplace(key, outcome);
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    map_.clear();
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.clear();
+    }
   }
 
   size_t Size() {
-    std::lock_guard<std::mutex> lock(mu_);
-    return map_.size();
+    size_t total = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
   }
 
  private:
-  static constexpr size_t kMaxEntries = 256;
+  // Same total capacity as the pre-sharded cache (256 entries).
+  static constexpr size_t kMaxEntriesPerShard = 32;
   static constexpr size_t kMaxCachedFacts = 50000;
-  std::mutex mu_;
-  std::unordered_map<CacheKey, ContainmentOutcome, CacheKeyHash> map_;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<CacheKey, ContainmentOutcome, CacheKeyHash> map;
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* evictions = nullptr;
+  };
+
+  ContainmentCache() {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    for (size_t i = 0; i < kShards; ++i) {
+      std::string prefix =
+          "containment.cache.shard" + std::to_string(i) + ".";
+      shards_[i].hits = r.GetCounter(prefix + "hits");
+      shards_[i].misses = r.GetCounter(prefix + "misses");
+      shards_[i].evictions = r.GetCounter(prefix + "evictions");
+    }
+  }
+
+  Shard& ShardFor(const CacheKey& key) {
+    return shards_[CacheKeyHash{}(key) % kShards];
+  }
+
+  Shard shards_[kShards];
 };
 
 const char* VerdictName(ContainmentVerdict v) {
@@ -419,9 +465,9 @@ ContainmentOutcome CheckLinearContainmentFrom(
   });
 
   auto goal_holds = [&]() {
-    Metrics().hom_checks->Increment();
+    Metrics().hom_checks->IncrementCell();
     bool found = FindHomomorphism(goal, inst).has_value();
-    if (found) Metrics().hom_checks_ok->Increment();
+    if (found) Metrics().hom_checks_ok->IncrementCell();
     return found;
   };
 
@@ -457,7 +503,7 @@ ContainmentOutcome CheckLinearContainmentFrom(
               for (Term x : tgd.ExportedVariables()) {
                 seed.emplace(x, ApplyToTerm(sub, x));
               }
-              Metrics().activeness_checks->Increment();
+              Metrics().activeness_checks->IncrementCell();
               if (FindHomomorphism(tgd.head(), inst, &seed).has_value()) {
                 return true;  // not active
               }
@@ -474,14 +520,14 @@ ContainmentOutcome CheckLinearContainmentFrom(
                 }
               }
               ++out.chase.tgd_steps;
-              Metrics().chase_triggers_tgd->Increment();
-              Metrics().chase_facts_created->Increment(created_count);
+              Metrics().chase_triggers_tgd->IncrementCell();
+              Metrics().chase_facts_created->IncrementCell(created_count);
               return true;
             });
       }
     }
     out.chase.rounds = depth;
-    Metrics().chase_rounds->Increment();
+    Metrics().chase_rounds->IncrementCell();
     if (TraceEnabled()) {
       TraceEventRecord("chase.round.linear",
                        {{"depth", static_cast<int64_t>(depth)},
@@ -494,7 +540,7 @@ ContainmentOutcome CheckLinearContainmentFrom(
     if (inst.NumFacts() > max_facts) {
       out.chase.status = ChaseStatus::kBudgetExceeded;
       out.chase.exhausted = ChaseExhausted::kFacts;
-      Metrics().chase_exhausted_facts->Increment();
+      Metrics().chase_exhausted_facts->IncrementCell();
       return finish(ContainmentVerdict::kUnknown);
     }
     frontier = std::move(next);

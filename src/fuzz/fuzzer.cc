@@ -3,6 +3,7 @@
 #include <fstream>
 #include <map>
 
+#include "base/task_pool.h"
 #include "fuzz/mutators.h"
 #include "fuzz/shrink.h"
 #include "obs/metrics.h"
@@ -161,49 +162,77 @@ StatusOr<CheckReport> ReplayDocument(const std::string& document,
   return RunCheckerBattery(doc->schema, query, checkers, &doc->data);
 }
 
+namespace {
+
+// One fuzz case, self-contained: generation, replay, and shrinking all
+// derive from (options.seed, index) and run against fresh Universes, so
+// distinct cases may execute concurrently. Repro persistence and trace
+// emission stay with the (index-ordered) aggregation in RunFuzzer.
+std::optional<FuzzFinding> RunOneCase(const FuzzOptions& options,
+                                      uint64_t index) {
+  ScopedTimer case_timer(Metrics().case_us);
+  Metrics().cases->Increment();
+
+  FuzzFamily family = FuzzFamily::kId;
+  std::string document = GenerateCaseDocument(options, index, &family);
+  CheckerOptions checkers = options.checkers;
+  checkers.seed = FuzzCaseSeed(options.seed, index);
+
+  StatusOr<CheckReport> outcome = ReplayDocument(document, checkers);
+  if (outcome.ok() && outcome->AllAgree()) return std::nullopt;
+  FuzzFinding finding;
+  if (!outcome.ok()) {
+    // The serializer emitted something its own parser rejects: that is
+    // itself a bug (the shrinker and corpus depend on the round-trip).
+    finding.checker = "generate-parse";
+    finding.detail = outcome.status().ToString();
+  } else {
+    finding.checker = outcome->findings.front().checker;
+    finding.detail = outcome->findings.front().detail;
+  }
+  finding.case_index = index;
+  finding.case_seed = checkers.seed;
+  finding.family = family;
+  finding.document = document;
+  finding.shrunk = document;
+
+  if (options.shrink && outcome.ok()) {
+    const std::string target = finding.checker;
+    ShrinkResult shrunk = ShrinkDocument(
+        document, [&checkers, &target](const std::string& candidate) {
+          StatusOr<CheckReport> replay = ReplayDocument(candidate, checkers);
+          return replay.ok() && replay->Has(target);
+        });
+    finding.shrunk = shrunk.document;
+  }
+  return finding;
+}
+
+}  // namespace
+
 FuzzReport RunFuzzer(const FuzzOptions& options) {
   FuzzReport report;
-  for (uint64_t index = 0; index < options.iters; ++index) {
-    ScopedTimer case_timer(Metrics().case_us);
-    Metrics().cases->Increment();
-    ++report.cases;
+  report.cases = options.iters;
+  size_t jobs = ResolveJobs(options.jobs);
 
-    FuzzFamily family = FuzzFamily::kId;
-    std::string document = GenerateCaseDocument(options, index, &family);
-    CheckerOptions checkers = options.checkers;
-    checkers.seed = FuzzCaseSeed(options.seed, index);
-
-    StatusOr<CheckReport> outcome = ReplayDocument(document, checkers);
-    FuzzFinding finding;
-    if (outcome.ok() && outcome->AllAgree()) continue;
-    if (!outcome.ok()) {
-      // The serializer emitted something its own parser rejects: that is
-      // itself a bug (the shrinker and corpus depend on the round-trip).
-      finding.checker = "generate-parse";
-      finding.detail = outcome.status().ToString();
-    } else {
-      finding.checker = outcome->findings.front().checker;
-      finding.detail = outcome->findings.front().detail;
-    }
-    finding.case_index = index;
-    finding.case_seed = checkers.seed;
-    finding.family = family;
-    finding.document = document;
-    finding.shrunk = document;
-
-    if (options.shrink && outcome.ok()) {
-      const std::string target = finding.checker;
-      ShrinkResult shrunk = ShrinkDocument(
-          document, [&checkers, &target](const std::string& candidate) {
-            StatusOr<CheckReport> replay = ReplayDocument(candidate, checkers);
-            return replay.ok() && replay->Has(target);
+  // Fan the case loop out over the pool (inline and in index order when
+  // jobs=1), then aggregate strictly by case index: repro files, metrics,
+  // traces, and the findings vector come out identical at any job count.
+  StatusOr<std::vector<std::optional<FuzzFinding>>> slots =
+      ParallelMap<std::optional<FuzzFinding>>(
+          options.iters, jobs,
+          [&options](size_t index) -> StatusOr<std::optional<FuzzFinding>> {
+            return RunOneCase(options, index);
           });
-      finding.shrunk = shrunk.document;
-    }
+  if (!slots.ok()) return report;  // unreachable: RunOneCase never fails
 
+  for (std::optional<FuzzFinding>& slot : *slots) {
+    if (!slot.has_value()) continue;
+    FuzzFinding finding = std::move(*slot);
     WriteReproFile(options, &finding);
     Metrics().cases_with_findings->Increment();
-    TraceEventRecord("fuzz.finding", {{"case", static_cast<int64_t>(index)}},
+    TraceEventRecord("fuzz.finding",
+                     {{"case", static_cast<int64_t>(finding.case_index)}},
                      {{"checker", finding.checker}});
     report.findings.push_back(std::move(finding));
   }

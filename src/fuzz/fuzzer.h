@@ -41,6 +41,10 @@ struct FuzzOptions {
   std::string out_dir;
   /// Mutations applied per case are drawn from [0, max_mutations].
   size_t max_mutations = 2;
+  /// Worker threads for the case loop (0 = consult RBDA_JOBS, else 1).
+  /// Cases are pure functions of (seed, index) and findings are aggregated
+  /// by case index, so any job count yields an identical report.
+  size_t jobs = 1;
   CheckerOptions checkers;  // checkers.seed is overridden per case
 };
 

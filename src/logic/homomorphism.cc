@@ -35,45 +35,107 @@ struct AtomRange {
 };
 
 // Backtracking join over the atoms. The atom order is chosen dynamically:
-// at each level we pick the remaining atom with the most bound arguments,
-// which keeps intermediate candidate sets small.
+// at each level we pick the remaining atom with the most bound arguments
+// (ties broken by the smallest candidate-set estimate), which keeps
+// intermediate candidate sets small. Bound-argument counts are maintained
+// incrementally as variables bind/unbind, so atom selection never rescans
+// argument lists against the substitution.
 class Searcher {
  public:
   Searcher(const std::vector<Atom>& atoms, const Instance& target,
            std::function<bool(const Substitution&)> callback,
            const std::vector<AtomRange>* ranges = nullptr)
       : atoms_(atoms), target_(target), callback_(std::move(callback)),
-        ranges_(ranges) {}
+        ranges_(ranges) {
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      for (const Term& t : atoms_[i].args) {
+        if (!t.IsConstant()) {
+          var_occurrences_[t].push_back(static_cast<uint32_t>(i));
+        }
+      }
+    }
+  }
 
   // Returns false if enumeration was aborted by the callback.
   bool Run(Substitution* sub) {
     used_.assign(atoms_.size(), false);
+    bound_score_.assign(atoms_.size(), 0);
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      for (const Term& t : atoms_[i].args) {
+        if (t.IsConstant() || sub->find(t) != sub->end()) ++bound_score_[i];
+      }
+    }
     return Recurse(sub, atoms_.size());
   }
 
   size_t count() const { return count_; }
 
  private:
-  // A term is "bound" if it is a constant or already mapped by `sub`.
-  static bool Bound(const Substitution& sub, Term t) {
-    return t.IsConstant() || sub.count(t) > 0;
-  }
-
-  size_t PickNextAtom(const Substitution& sub) const {
-    size_t best = atoms_.size();
-    int best_score = -1;
-    for (size_t i = 0; i < atoms_.size(); ++i) {
-      if (used_[i]) continue;
-      int score = 0;
-      for (const Term& t : atoms_[i].args) {
-        if (Bound(sub, t)) ++score;
+  // Smallest posting list among this atom's bound argument positions
+  // (nullptr when none is bound); *estimate gets the candidate count
+  // either way. One substitution lookup per argument — binding state and
+  // image come from the same find.
+  const std::vector<uint32_t>* SmallestPostings(const Substitution& sub,
+                                                const Atom& atom,
+                                                size_t* estimate) const {
+    const std::vector<uint32_t>* postings = nullptr;
+    for (uint32_t p = 0; p < atom.args.size(); ++p) {
+      Term t = atom.args[p];
+      if (!t.IsConstant()) {
+        auto it = sub.find(t);
+        if (it == sub.end()) continue;
+        t = it->second;
       }
-      if (score > best_score) {
-        best_score = score;
-        best = i;
+      const std::vector<uint32_t>& list =
+          target_.FactsWith(atom.relation, p, t);
+      if (postings == nullptr || list.size() < postings->size()) {
+        postings = &list;
       }
     }
+    *estimate =
+        postings ? postings->size() : target_.FactsOf(atom.relation).size();
+    return postings;
+  }
+
+  // Picks the unused atom with the most bound arguments, breaking ties on
+  // the smaller candidate-set estimate. Returns the chosen atom's posting
+  // list through *postings_out so Recurse does not recompute it.
+  size_t PickNextAtom(const Substitution& sub,
+                      const std::vector<uint32_t>** postings_out) const {
+    size_t best = atoms_.size();
+    int best_score = -1;
+    size_t best_estimate = 0;
+    const std::vector<uint32_t>* best_postings = nullptr;
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      if (used_[i]) continue;
+      int score = bound_score_[i];
+      if (score < best_score) continue;
+      size_t estimate;
+      const std::vector<uint32_t>* postings =
+          SmallestPostings(sub, atoms_[i], &estimate);
+      if (score > best_score || estimate < best_estimate) {
+        best = i;
+        best_score = score;
+        best_estimate = estimate;
+        best_postings = postings;
+      }
+    }
+    *postings_out = best_postings;
     return best;
+  }
+
+  void BindVar(Substitution* sub, Term t, Term v,
+               std::vector<Term>* newly_bound) {
+    sub->emplace(t, v);
+    newly_bound->push_back(t);
+    for (uint32_t i : var_occurrences_.find(t)->second) ++bound_score_[i];
+  }
+
+  void UnbindVars(Substitution* sub, const std::vector<Term>& newly_bound) {
+    for (Term t : newly_bound) {
+      sub->erase(t);
+      for (uint32_t i : var_occurrences_.find(t)->second) --bound_score_[i];
+    }
   }
 
   bool Recurse(Substitution* sub, size_t remaining) {
@@ -81,22 +143,12 @@ class Searcher {
       ++count_;
       return callback_(*sub);
     }
-    size_t idx = PickNextAtom(*sub);
+    const std::vector<uint32_t>* postings = nullptr;
+    size_t idx = PickNextAtom(*sub, &postings);
     const Atom& atom = atoms_[idx];
     used_[idx] = true;
 
-    // Pick the candidate list: the smallest posting list among bound
-    // positions, else all facts of the relation.
     const std::vector<Fact>& facts = target_.FactsOf(atom.relation);
-    const std::vector<uint32_t>* postings = nullptr;
-    for (uint32_t p = 0; p < atom.args.size(); ++p) {
-      if (!Bound(*sub, atom.args[p])) continue;
-      Term t = ApplyToTerm(*sub, atom.args[p]);
-      const std::vector<uint32_t>& list = target_.FactsWith(atom.relation, p, t);
-      if (postings == nullptr || list.size() < postings->size()) {
-        postings = &list;
-      }
-    }
 
     bool keep_going = true;
     auto try_fact = [&](const Fact& fact) -> bool {
@@ -120,17 +172,16 @@ class Searcher {
             break;
           }
         } else {
-          sub->emplace(a, v);
-          newly_bound.push_back(a);
+          BindVar(sub, a, v, &newly_bound);
         }
       }
       if (match) {
         if (!Recurse(sub, remaining - 1)) {
-          for (Term t : newly_bound) sub->erase(t);
+          UnbindVars(sub, newly_bound);
           return false;
         }
       }
-      for (Term t : newly_bound) sub->erase(t);
+      UnbindVars(sub, newly_bound);
       return true;
     };
 
@@ -163,6 +214,10 @@ class Searcher {
   std::function<bool(const Substitution&)> callback_;
   const std::vector<AtomRange>* ranges_;
   std::vector<bool> used_;
+  // Atom indexes containing each non-constant term, one entry per
+  // occurrence (feeds the incremental bound scores).
+  std::unordered_map<Term, std::vector<uint32_t>, TermHash> var_occurrences_;
+  std::vector<int> bound_score_;
   size_t count_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/task_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/generators.h"
@@ -86,6 +87,41 @@ bool ForEachBinding(const AccessMethod& method, const Instance& accessed,
   }
 }
 
+// Runs `trials` independent validation trials; run_trial(i) returns
+// nullopt when trial i agrees, else its failed validation. jobs<=1 keeps
+// the historical early-exit serial loop; otherwise all trials run
+// speculatively on the task pool and the lowest-index failure is kept, so
+// the outcome is identical at any job count.
+std::optional<PlanValidation> RunValidationTrials(
+    size_t trials, size_t jobs,
+    const std::function<std::optional<PlanValidation>(size_t)>& run_trial) {
+  jobs = ResolveJobs(jobs);
+  if (jobs <= 1 || TaskPool::OnWorkerThread()) {
+    for (size_t i = 0; i < trials; ++i) {
+      std::optional<PlanValidation> failure = run_trial(i);
+      if (failure.has_value()) return failure;
+    }
+    return std::nullopt;
+  }
+  StatusOr<std::vector<std::optional<PlanValidation>>> slots =
+      ParallelMap<std::optional<PlanValidation>>(
+          trials, jobs,
+          [&run_trial](size_t i) -> StatusOr<std::optional<PlanValidation>> {
+            return run_trial(i);
+          });
+  if (!slots.ok()) {
+    PlanValidation failure;
+    failure.answers = false;
+    failure.mismatch = PlanMismatch::kExecutionError;
+    failure.failure = "validation pool error: " + slots.status().ToString();
+    return failure;
+  }
+  for (std::optional<PlanValidation>& slot : *slots) {
+    if (slot.has_value()) return slot;
+  }
+  return std::nullopt;
+}
+
 // Classifies how `output` disagrees with `expected`.
 PlanMismatch ClassifyMismatch(const Table& output, const Table& expected) {
   bool extra = false, missing = false;
@@ -122,44 +158,54 @@ const char* PlanMismatchName(PlanMismatch m) {
 PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
                             const ConjunctiveQuery& query,
                             const Instance& data,
-                            size_t num_random_selections, uint64_t seed) {
+                            size_t num_random_selections, uint64_t seed,
+                            size_t jobs) {
   Metrics().plan_validations->Increment();
   ScopedTimer timer(Metrics().validate_us);
-  PlanValidation result;
   Table expected = ExpectedAnswers(query, data);
 
-  std::vector<std::unique_ptr<AccessSelector>> selectors;
-  selectors.push_back(
-      MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK)));
-  selectors.push_back(MakeIdempotent(MakeSelector(SelectionPolicy::kLastK)));
-  for (size_t i = 0; i < num_random_selections; ++i) {
-    selectors.push_back(MakeIdempotent(
-        MakeSelector(SelectionPolicy::kRandomK, seed + i,
-                     /*return_extra=*/(i % 2) == 1)));
-  }
+  // Selector #i is a pure function of (i, seed): deterministic extremes
+  // first, then the seeded random selections. Built per trial so trials
+  // can run concurrently without sharing selector state.
+  auto make_selector = [seed](size_t i) -> std::unique_ptr<AccessSelector> {
+    if (i == 0) return MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK));
+    if (i == 1) return MakeIdempotent(MakeSelector(SelectionPolicy::kLastK));
+    size_t r = i - 2;
+    return MakeIdempotent(MakeSelector(SelectionPolicy::kRandomK, seed + r,
+                                       /*return_extra=*/(r % 2) == 1));
+  };
 
-  for (size_t i = 0; i < selectors.size(); ++i) {
-    PlanExecutor executor(schema, data, selectors[i].get());
+  auto run_trial = [&](size_t i) -> std::optional<PlanValidation> {
+    std::unique_ptr<AccessSelector> selector = make_selector(i);
+    PlanExecutor executor(schema, data, selector.get());
     StatusOr<Table> output = executor.Execute(plan);
+    PlanValidation failure;
     if (!output.ok()) {
-      result.answers = false;
-      result.mismatch = PlanMismatch::kExecutionError;
-      result.failure = "execution error: " + output.status().ToString();
-      Metrics().plan_validation_failures->Increment();
-      return result;
+      failure.answers = false;
+      failure.mismatch = PlanMismatch::kExecutionError;
+      failure.failure = "execution error: " + output.status().ToString();
+      return failure;
     }
     if (*output != expected) {
-      result.answers = false;
-      result.mismatch = ClassifyMismatch(*output, expected);
-      result.failure = "selection #" + std::to_string(i) + ": plan output " +
-                       TableToString(*output, schema.universe()) +
-                       " != query answer " +
-                       TableToString(expected, schema.universe());
-      Metrics().plan_validation_failures->Increment();
-      return result;
+      failure.answers = false;
+      failure.mismatch = ClassifyMismatch(*output, expected);
+      failure.failure = "selection #" + std::to_string(i) +
+                        ": plan output " +
+                        TableToString(*output, schema.universe()) +
+                        " != query answer " +
+                        TableToString(expected, schema.universe());
+      return failure;
     }
+    return std::nullopt;
+  };
+
+  std::optional<PlanValidation> failure =
+      RunValidationTrials(2 + num_random_selections, jobs, run_trial);
+  if (failure.has_value()) {
+    Metrics().plan_validation_failures->Increment();
+    return *failure;
   }
-  return result;
+  return PlanValidation{};
 }
 
 PlanValidation ValidatePlanUnderFaults(const ServiceSchema& schema,
@@ -169,59 +215,66 @@ PlanValidation ValidatePlanUnderFaults(const ServiceSchema& schema,
                                        const FaultPlan& faults,
                                        const ExecutionPolicy& policy,
                                        size_t num_random_selections,
-                                       uint64_t seed) {
+                                       uint64_t seed, size_t jobs) {
   Metrics().plan_validations->Increment();
   ScopedTimer timer(Metrics().validate_us);
-  PlanValidation result;
   Table expected = ExpectedAnswers(query, data);
 
-  std::vector<std::unique_ptr<AccessSelector>> selectors;
-  selectors.push_back(MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK)));
-  for (size_t i = 0; i < num_random_selections; ++i) {
-    selectors.push_back(MakeIdempotent(
-        MakeSelector(SelectionPolicy::kRandomK, seed + i)));
-  }
-
-  for (size_t i = 0; i < selectors.size(); ++i) {
-    InstanceService backend(data, selectors[i].get());
+  auto run_trial = [&](size_t i) -> std::optional<PlanValidation> {
+    // Each trial is fully self-contained: its own selector, backend,
+    // virtual clock, fault stream, and executor (circuit-breaker state
+    // included), so trial i behaves identically whether it runs alone,
+    // serially after trial i-1, or concurrently with every other trial.
+    std::unique_ptr<AccessSelector> selector =
+        i == 0 ? MakeIdempotent(MakeSelector(SelectionPolicy::kFirstK))
+               : MakeIdempotent(
+                     MakeSelector(SelectionPolicy::kRandomK, seed + (i - 1)));
+    InstanceService backend(data, selector.get());
     VirtualClock clock;
     FaultPlan trial_faults = faults;
     trial_faults.seed = faults.seed + i;  // each selection sees fresh faults
     FaultInjectingService faulty(&backend, trial_faults, &clock);
     PlanExecutor executor(schema, &faulty, &clock, policy);
     StatusOr<ExecutionResult> run = executor.Run(plan);
+    PlanValidation failure;
     if (!run.ok()) {
       // Under faults, hard execution failure is an expected mode when the
       // policy does not degrade; classify it, don't treat it as a plan
       // bug. (ValidatePlanShape errors would also land here, but those
       // reproduce identically in the fault-free ValidatePlan.)
-      result.answers = false;
-      result.mismatch = PlanMismatch::kExecutionError;
-      result.partial = policy.partial_results;
-      result.failure = "fault-mode execution error (selection #" +
-                       std::to_string(i) + "): " + run.status().ToString();
-      Metrics().plan_validation_failures->Increment();
-      return result;
+      failure.answers = false;
+      failure.mismatch = PlanMismatch::kExecutionError;
+      failure.partial = policy.partial_results;
+      failure.failure = "fault-mode execution error (selection #" +
+                        std::to_string(i) + "): " + run.status().ToString();
+      return failure;
     }
     if (run->table != expected) {
-      result.answers = false;
-      result.mismatch = ClassifyMismatch(run->table, expected);
-      result.partial = run->partial;
-      result.failure = "fault-mode selection #" + std::to_string(i) +
-                       ": plan output " +
-                       TableToString(run->table, schema.universe()) +
-                       " != query answer " +
-                       TableToString(expected, schema.universe());
-      // A partial run that only *misses* answers is the promised sound
-      // underapproximation — record it, but don't count it as a failure.
-      if (!(run->partial &&
-            result.mismatch == PlanMismatch::kMissingAnswers)) {
-        Metrics().plan_validation_failures->Increment();
-      }
-      return result;
+      failure.answers = false;
+      failure.mismatch = ClassifyMismatch(run->table, expected);
+      failure.partial = run->partial;
+      failure.failure = "fault-mode selection #" + std::to_string(i) +
+                        ": plan output " +
+                        TableToString(run->table, schema.universe()) +
+                        " != query answer " +
+                        TableToString(expected, schema.universe());
+      return failure;
     }
+    return std::nullopt;
+  };
+
+  std::optional<PlanValidation> failure =
+      RunValidationTrials(1 + num_random_selections, jobs, run_trial);
+  if (failure.has_value()) {
+    // A partial run that only *misses* answers is the promised sound
+    // underapproximation — record it, but don't count it as a failure.
+    if (!(failure->partial &&
+          failure->mismatch == PlanMismatch::kMissingAnswers)) {
+      Metrics().plan_validation_failures->Increment();
+    }
+    return *failure;
   }
-  return result;
+  return PlanValidation{};
 }
 
 bool IsAccessValid(const ServiceSchema& schema, const Instance& accessed,

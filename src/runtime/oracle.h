@@ -51,17 +51,26 @@ struct PlanValidation {
 /// Executes `plan` on `data` under `num_random_selections` + 2 selections
 /// and compares every output with Q(data). For a Boolean query the plan
 /// answers true iff its output table is non-empty.
+///
+/// `jobs` > 1 runs the selection trials on the task pool. Every trial is
+/// self-contained (its selector is derived from the trial index and its
+/// executor state is trial-local), and the reported failure is always the
+/// lowest-index one, so the validation verdict is identical at any job
+/// count; jobs<=1 keeps the historical early-exit serial loop.
 PlanValidation ValidatePlan(const ServiceSchema& schema, const Plan& plan,
                             const ConjunctiveQuery& query,
                             const Instance& data,
                             size_t num_random_selections = 8,
-                            uint64_t seed = 1);
+                            uint64_t seed = 1, size_t jobs = 1);
 
 /// Like ValidatePlan, but executes through a FaultInjectingService driven
 /// by `faults` under `policy`. Fault-mode runs are classified rather than
 /// blindly failed: a partial output missing answers is reported with
 /// partial=true (tolerated by callers that accept degradation), while
 /// extra answers and unexpected execution errors remain hard failures.
+/// `jobs` follows the ValidatePlan contract: each trial builds its own
+/// backend, clock, fault stream (faults.seed + trial index), and executor,
+/// so trials are independent and the lowest-index failure wins.
 PlanValidation ValidatePlanUnderFaults(const ServiceSchema& schema,
                                        const Plan& plan,
                                        const ConjunctiveQuery& query,
@@ -69,7 +78,7 @@ PlanValidation ValidatePlanUnderFaults(const ServiceSchema& schema,
                                        const FaultPlan& faults,
                                        const ExecutionPolicy& policy,
                                        size_t num_random_selections = 4,
-                                       uint64_t seed = 1);
+                                       uint64_t seed = 1, size_t jobs = 1);
 
 struct AMonDetCounterexample {
   Instance i1;         // satisfies the constraints and Q
@@ -92,6 +101,10 @@ bool IsAccessValid(const ServiceSchema& schema, const Instance& accessed,
                    const Instance& i1);
 
 /// Randomized counterexample search; nullopt if none found in budget.
+/// Deliberately serial: attempts consume one evolving RNG stream and mint
+/// nulls from the schema's shared Universe, so splitting them across
+/// threads would change which witness (if any) is found. Parallel callers
+/// run whole searches concurrently instead (each against its own schema).
 std::optional<AMonDetCounterexample> SearchAMonDetCounterexample(
     const ServiceSchema& schema, const ConjunctiveQuery& query,
     const CounterexampleSearchOptions& options = {});

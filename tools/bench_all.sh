@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs every bench binary's deterministic table + parallel sweep and
+# collects the BENCH_JSON lines into BENCH_parallel.json at the repo root
+# (one JSON object per line; see EXPERIMENTS.md).
+#
+# Each binary times its sweep twice — serially and at $JOBS workers (the
+# sweep.* fields: jobs, serial_us, parallel_us, speedup,
+# parallel_matches_serial) — so the file records both the measured speedup
+# and the determinism check on the machine that produced it.
+#
+# Usage: tools/bench_all.sh [build-dir] [jobs]
+#   build-dir  defaults to ./build
+#   jobs       defaults to $(nproc), exported as RBDA_JOBS
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+JOBS="${2:-$(nproc)}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$REPO_ROOT/BENCH_parallel.json"
+
+BENCHES=(
+  table1_row1_ids
+  table1_row2_bwids
+  table1_row3_fds
+  table1_row4_uidfds
+  table1_row5_eqfree
+  table1_row6_fgtgds
+  table1_summary
+  ablation_naive_vs_simplified
+  ablation_elimub
+  ablation_proof_plans
+  runtime_plans
+)
+
+for bench in "${BENCHES[@]}"; do
+  if [ ! -x "$BUILD_DIR/bench/$bench" ]; then
+    echo "missing $BUILD_DIR/bench/$bench — build the bench targets first:" >&2
+    echo "  cmake --build $BUILD_DIR -j --target ${BENCHES[*]}" >&2
+    exit 1
+  fi
+done
+
+: > "$OUT"
+for bench in "${BENCHES[@]}"; do
+  echo "== $bench (RBDA_JOBS=$JOBS)" >&2
+  # --benchmark_filter=NONE skips the google-benchmark scaling series; the
+  # deterministic table + sweep is the part BENCH_parallel.json records.
+  RBDA_JOBS="$JOBS" "$BUILD_DIR/bench/$bench" --benchmark_filter=NONE \
+    | sed -n 's/^BENCH_JSON //p' >> "$OUT"
+done
+
+echo "wrote $(wc -l < "$OUT") bench records to $OUT" >&2

@@ -1,7 +1,11 @@
 // rbda — command-line front end to the library.
 //
-//   rbda decide <schema.rbda> [--finite] [--naive]
+//   rbda decide <schema.rbda> [--finite] [--naive] [--jobs=N]
 //       Decide monotone answerability of every query in the document.
+//       --jobs=N decides queries concurrently on the task pool (each task
+//       re-parses the document into its own Universe); output is printed
+//       in query order either way, so reports are identical at any job
+//       count. RBDA_JOBS is consulted when the flag is absent.
 //   rbda plan <schema.rbda> <query-name> [--rounds=N]
 //       Synthesize a monotone plan (proof-driven, universal fallback).
 //   rbda run <schema.rbda> <query-name> [--selector=first|last|random]
@@ -46,6 +50,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "base/task_pool.h"
 #include "parser/parser.h"
 #include "parser/serializer.h"
 #include "runtime/oracle.h"
@@ -89,6 +94,7 @@ struct CliOptions {
   bool partial = false;          // run: graceful degradation
   size_t rounds = 3;             // plan
   size_t attempts = 300;         // oracle
+  size_t jobs = 0;               // decide: 0 = consult RBDA_JOBS
   std::vector<std::string> positional;
 
   static bool Parse(int argc, char** argv, CliOptions* out);
@@ -168,6 +174,13 @@ bool CliOptions::Parse(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->rounds = static_cast<size_t>(n);
+    } else if (key == "--jobs") {
+      if (!ParseUint(value, &n) || n == 0) {
+        std::fprintf(stderr, "--jobs expects a positive number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      out->jobs = static_cast<size_t>(n);
     } else if (key == "--attempts") {
       if (!ParseUint(value, &n)) {
         std::fprintf(stderr, "--attempts expects a number, got '%s'\n",
@@ -194,37 +207,77 @@ const ConjunctiveQuery* FindQuery(const ParsedDocument& doc,
   return &it->second;
 }
 
-int CmdDecide(const ParsedDocument& doc, Universe* universe,
-              const CliOptions& cli) {
+// Decides one named query of `doc` and formats its report lines. Pure
+// function of the document content, so batch mode can run it on a
+// re-parsed copy and get text identical to the serial path.
+std::string DecideOneQuery(const ParsedDocument& doc, Universe* universe,
+                           const std::string& name, const CliOptions& cli) {
+  const ConjunctiveQuery& query = doc.queries.at(name);
   DecisionOptions options;
   options.force_naive = cli.naive;
-  for (const auto& [name, query] : doc.queries) {
-    FrozenQuery frozen = FreezeQuery(query, universe);
-    DecisionOptions adjusted = options;
-    adjusted.accessible_constants = frozen.accessible_constants;
-    StatusOr<Decision> d =
-        cli.finite
-            ? DecideFiniteMonotoneAnswerability(doc.schema, frozen.boolean_q,
-                                                adjusted)
-            : DecideQueryAnswerability(doc.schema, query, options);
-    if (!d.ok()) {
-      std::printf("%-12s ERROR %s\n", name.c_str(),
+  FrozenQuery frozen = FreezeQuery(query, universe);
+  DecisionOptions adjusted = options;
+  adjusted.accessible_constants = frozen.accessible_constants;
+  StatusOr<Decision> d =
+      cli.finite
+          ? DecideFiniteMonotoneAnswerability(doc.schema, frozen.boolean_q,
+                                              adjusted)
+          : DecideQueryAnswerability(doc.schema, query, options);
+  char buf[2048];
+  if (!d.ok()) {
+    std::snprintf(buf, sizeof(buf), "%-12s ERROR %s\n", name.c_str(),
                   d.status().ToString().c_str());
-      continue;
+    return buf;
+  }
+  // An incomplete verdict names the budget that tripped (rounds vs.
+  // facts ask for different tuning).
+  std::string limited;
+  if (!d->complete) {
+    limited = "  [budget-limited";
+    if (d->exhausted != ChaseExhausted::kNone) {
+      limited += std::string(": ") + ChaseExhaustedName(d->exhausted);
     }
-    // An incomplete verdict names the budget that tripped (rounds vs.
-    // facts ask for different tuning).
-    std::string limited;
-    if (!d->complete) {
-      limited = "  [budget-limited";
-      if (d->exhausted != ChaseExhausted::kNone) {
-        limited += std::string(": ") + ChaseExhaustedName(d->exhausted);
-      }
-      limited += "]";
+    limited += "]";
+  }
+  std::snprintf(buf, sizeof(buf), "%-12s %-16s %s%s\n    via %s\n",
+                name.c_str(), AnswerabilityName(d->verdict),
+                FragmentName(d->fragment), limited.c_str(),
+                d->procedure.c_str());
+  return buf;
+}
+
+int CmdDecide(const ParsedDocument& doc, Universe* universe,
+              const std::string& text, const CliOptions& cli) {
+  std::vector<std::string> names;
+  names.reserve(doc.queries.size());
+  for (const auto& [name, query] : doc.queries) names.push_back(name);
+
+  size_t jobs = ResolveJobs(cli.jobs);
+  if (jobs <= 1 || names.size() <= 1) {
+    for (const std::string& name : names) {
+      std::fputs(DecideOneQuery(doc, universe, name, cli).c_str(), stdout);
     }
-    std::printf("%-12s %-16s %s%s\n    via %s\n", name.c_str(),
-                AnswerabilityName(d->verdict), FragmentName(d->fragment),
-                limited.c_str(), d->procedure.c_str());
+    return 0;
+  }
+
+  // Batch mode. Universe (symbol interning, null minting) is not
+  // thread-safe, so each task re-parses the document text into its own
+  // Universe and decides one query against that private copy. Reports are
+  // collected by query index and printed in document order.
+  StatusOr<std::vector<std::string>> reports = ParallelMap<std::string>(
+      names.size(), jobs, [&](size_t i) -> StatusOr<std::string> {
+        Universe local;
+        StatusOr<ParsedDocument> local_doc = ParseDocument(text, &local);
+        if (!local_doc.ok()) return local_doc.status();
+        return DecideOneQuery(*local_doc, &local, names[i], cli);
+      });
+  if (!reports.ok()) {
+    std::fprintf(stderr, "decide batch failed: %s\n",
+                 reports.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& report : *reports) {
+    std::fputs(report.c_str(), stdout);
   }
   return 0;
 }
@@ -509,7 +562,7 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   int code;
   if (cmd == "decide") {
-    code = CmdDecide(*doc, &universe, cli);
+    code = CmdDecide(*doc, &universe, text, cli);
   } else if (cmd == "plan") {
     code = CmdPlan(*doc, &universe, cli);
   } else if (cmd == "run") {

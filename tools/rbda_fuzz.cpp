@@ -2,7 +2,7 @@
 //
 //   rbda_fuzz [--seed=N] [--iters=N] [--fragment=id|fd|uidfd|chain]
 //             [--shrink=0|1] [--out-dir=path] [--inject-bug[=kind]]
-//             [--checkers=name,...] [--fault-plans=N]
+//             [--checkers=name,...] [--fault-plans=N] [--jobs=N]
 //             [--metrics[=path]] [--trace=path]
 //       Generate cases, run the checker battery, shrink findings, write
 //       repro files. Exit code: 0 = all checkers agreed on every case,
@@ -43,6 +43,7 @@ int Usage() {
       stderr,
       "usage: rbda_fuzz [--seed=N] [--iters=N] "
       "[--fragment=id|fd|uidfd|chain] [--shrink=0|1] [--out-dir=path]\n"
+      "                 [--jobs=N]\n"
       "                 [--inject-bug[=simplification|partial]] "
       "[--checkers=name,...] [--fault-plans=N]\n"
       "                 [--replay=file.rbda] "
@@ -168,6 +169,13 @@ bool FuzzCli::Parse(int argc, char** argv, FuzzCli* out) {
           return false;
         }
       }
+    } else if (key == "--jobs") {
+      if (!ParseUint(value, &n) || n == 0) {
+        std::fprintf(stderr, "--jobs expects a positive number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      out->fuzz.jobs = static_cast<size_t>(n);
     } else if (key == "--fault-plans") {
       if (!ParseUint(value, &n)) {
         std::fprintf(stderr, "--fault-plans expects a number, got '%s'\n",
