@@ -11,6 +11,7 @@
 #include "core/answerability.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "parser/parser.h"
 #include "runtime/schema_generators.h"
 
@@ -40,6 +41,21 @@ class BenchJsonWriter {
     obj_.AddRaw("metrics", SnapshotToJson(MetricsRegistry::Default()));
   }
 
+  /// Embeds the profiler's containment-cost summary: the headline tail
+  /// quantiles as flat "profile.containment.*" keys (the fields
+  /// BENCH_obs.json trajectories track) plus the full profile — summary
+  /// and top-K slowest checks — under "profile".
+  void AddProfileSummary() {
+    QueryProfileSnapshot snap = QueryProfiler::Default().TakeSnapshot();
+    obj_.AddUint("profile.containment.checks", snap.checks);
+    obj_.AddUint("profile.containment.p50_us", snap.check_us.Quantile(0.50));
+    obj_.AddUint("profile.containment.p99_us", snap.check_us.Quantile(0.99));
+    obj_.AddUint("profile.containment.p999_us",
+                 snap.check_us.Quantile(0.999));
+    obj_.AddUint("profile.containment.max_us", snap.check_us.max);
+    obj_.AddRaw("profile", QueryProfiler::Default().ToJson());
+  }
+
   std::string ToJson() const { return obj_.ToJson(); }
 
   /// Prints the `BENCH_JSON {...}` line to stdout.
@@ -54,6 +70,7 @@ class BenchJsonWriter {
 // part of the output that is diffable across commits).
 inline void PrintBenchMetricsJson(std::string_view bench_name) {
   BenchJsonWriter writer(bench_name);
+  writer.AddProfileSummary();
   writer.AddMetricsSnapshot();
   writer.Print();
 }
@@ -270,6 +287,7 @@ inline void PrintBenchMetricsJsonWithSweep(std::string_view bench_name,
                                            const std::string& prefix) {
   BenchJsonWriter writer(bench_name);
   EmitParallelSweep(&writer, family, seeds, prefix);
+  writer.AddProfileSummary();
   writer.AddMetricsSnapshot();
   writer.Print();
 }

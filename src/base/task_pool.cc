@@ -11,6 +11,8 @@ namespace rbda {
 namespace {
 
 std::atomic<ThreadQuiesceHook> g_quiesce_hook{nullptr};
+std::atomic<TaskContextCapture> g_context_capture{nullptr};
+std::atomic<TaskContextSwap> g_context_swap{nullptr};
 
 // Set while a thread is executing inside TaskPool::WorkerLoop, so nested
 // ParallelFor calls degrade to the inline serial path instead of spawning
@@ -32,6 +34,11 @@ void SetThreadQuiesceHook(ThreadQuiesceHook hook) {
 
 ThreadQuiesceHook GetThreadQuiesceHook() {
   return g_quiesce_hook.load(std::memory_order_acquire);
+}
+
+void SetTaskContextHooks(TaskContextCapture capture, TaskContextSwap swap) {
+  g_context_capture.store(capture, std::memory_order_release);
+  g_context_swap.store(swap, std::memory_order_release);
 }
 
 bool TaskPool::OnWorkerThread() { return t_on_worker; }
@@ -59,6 +66,22 @@ TaskPool::~TaskPool() {
 }
 
 void TaskPool::Submit(std::function<void()> task) {
+  // Carry the submitter's context token (e.g. the active trace span) to
+  // the worker that runs the task, restoring the worker's own afterwards.
+  TaskContextCapture capture =
+      g_context_capture.load(std::memory_order_acquire);
+  TaskContextSwap swap = g_context_swap.load(std::memory_order_acquire);
+  if (capture != nullptr && swap != nullptr) {
+    uint64_t token = capture();
+    task = [inner = std::move(task), token, swap]() {
+      struct Restore {
+        TaskContextSwap swap;
+        uint64_t prev;
+        ~Restore() { swap(prev); }  // restore even if the task throws
+      } restore{swap, swap(token)};
+      inner();
+    };
+  }
   pending_.fetch_add(1, std::memory_order_acq_rel);
   // Nested submission from a worker goes to that worker's own deque;
   // external submission is distributed round-robin.

@@ -48,6 +48,17 @@ using ThreadQuiesceHook = void (*)();
 void SetThreadQuiesceHook(ThreadQuiesceHook hook);
 ThreadQuiesceHook GetThreadQuiesceHook();
 
+/// Hooks for carrying an opaque per-thread context token across task
+/// submission: `capture` is called on the submitting thread at Submit();
+/// `swap` installs a token on the worker around the task (returning the
+/// worker's previous token, which is restored afterwards). The obs
+/// library installs the active-trace-span context here so spans emitted
+/// by pool workers nest under the span that submitted the work. Both
+/// hooks must be set together (or both null to disable).
+using TaskContextCapture = uint64_t (*)();
+using TaskContextSwap = uint64_t (*)(uint64_t token);
+void SetTaskContextHooks(TaskContextCapture capture, TaskContextSwap swap);
+
 class TaskPool {
  public:
   /// Spawns `num_threads` workers (at least one).

@@ -139,6 +139,7 @@ class Engine {
       if (goals == nullptr) return false;
       for (const std::vector<Atom>& goal : *goals) {
         Metrics().hom_checks->IncrementCell();
+        ++result_.goal_checks;
         bool found =
             delta != nullptr
                 ? FindHomomorphismDelta(goal, result_.instance, nullptr,

@@ -99,6 +99,7 @@ struct ChaseResult {
   uint64_t rounds = 0;
   uint64_t tgd_steps = 0;
   uint64_t egd_merges = 0;
+  uint64_t goal_checks = 0;  // goal homomorphism checks (RunChaseUntil*)
   std::vector<ChaseStep> trace;  // only if options.record_trace
 };
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace rbda {
@@ -23,6 +24,10 @@ struct ContainmentMetrics {
   Counter* cache_misses;
   Counter* cache_evictions;
   Distribution* check_us;
+  // check_us split by containment-cache outcome; cache-off checks count
+  // as misses (they did the full chase either way).
+  Distribution* check_hit_us;
+  Distribution* check_miss_us;
   Distribution* linear_depth;
   // The linear engine bypasses chase.cc's Engine, so it feeds the shared
   // chase.* counters itself (the registry hands back the same handles).
@@ -45,6 +50,8 @@ const ContainmentMetrics& Metrics() {
         r.GetCounter("containment.cache.misses"),
         r.GetCounter("containment.cache.evictions"),
         r.GetDistribution("containment.check_us"),
+        r.GetDistribution("containment.check_us.hit"),
+        r.GetDistribution("containment.check_us.miss"),
         r.GetDistribution("containment.linear.depth"),
         r.GetCounter("chase.rounds"),
         r.GetCounter("chase.triggers.tgd"),
@@ -229,12 +236,14 @@ class ContainmentCache {
       shard.map.clear();  // epoch eviction: simple and O(1) amortized
     }
     shard.map.emplace(key, outcome);
+    shard.size->Set(shard.map.size());
   }
 
   void Clear() {
     for (Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.map.clear();
+      shard.size->Set(0);
     }
   }
 
@@ -258,6 +267,7 @@ class ContainmentCache {
     Counter* hits = nullptr;
     Counter* misses = nullptr;
     Counter* evictions = nullptr;
+    Gauge* size = nullptr;  // current occupancy (of kMaxEntriesPerShard)
   };
 
   ContainmentCache() {
@@ -268,6 +278,7 @@ class ContainmentCache {
       shards_[i].hits = r.GetCounter(prefix + "hits");
       shards_[i].misses = r.GetCounter(prefix + "misses");
       shards_[i].evictions = r.GetCounter(prefix + "evictions");
+      shards_[i].size = r.GetGauge(prefix + "size");
     }
   }
 
@@ -277,6 +288,12 @@ class ContainmentCache {
 
   Shard shards_[kShards];
 };
+
+std::string GoalRelationName(const std::vector<Atom>& goal,
+                             const Universe* universe) {
+  if (goal.empty() || universe == nullptr) return "";
+  return universe->RelationName(goal[0].relation);
+}
 
 const char* VerdictName(ContainmentVerdict v) {
   switch (v) {
@@ -316,6 +333,11 @@ ContainmentOutcome CheckContainmentFrom(
     ContainmentOutcome cached;
     if (ContainmentCache::Get().Lookup(key, &cached)) {
       Metrics().cache_hits->Increment();
+      uint64_t elapsed = timer.ElapsedMicros();
+      Metrics().check_hit_us->Record(elapsed);
+      // A hit did no chase work: attribute only the lookup cost.
+      QueryProfiler::Default().RecordCheck(ContainmentCheckRecord{
+          "", GoalRelationName(goal, universe), elapsed, 0, 0, 0, true});
       if (span.active()) {
         span.AddStr("cache", "hit");
         span.AddStr("verdict", VerdictName(cached.verdict));
@@ -340,6 +362,11 @@ ContainmentOutcome CheckContainmentFrom(
   } else {
     out.verdict = ContainmentVerdict::kUnknown;
   }
+  uint64_t elapsed = timer.ElapsedMicros();
+  Metrics().check_miss_us->Record(elapsed);
+  QueryProfiler::Default().RecordCheck(ContainmentCheckRecord{
+      "", GoalRelationName(goal, universe), elapsed, out.chase.rounds,
+      out.chase.instance.NumFacts(), out.chase.goal_checks, false});
   if (span.active()) {
     span.AddStr("cache", options.use_containment_cache ? "miss" : "off");
     span.AddStr("verdict", VerdictName(out.verdict));
@@ -444,6 +471,10 @@ ContainmentOutcome CheckLinearContainmentFrom(
     ContainmentOutcome cached;
     if (ContainmentCache::Get().Lookup(key, &cached)) {
       Metrics().cache_hits->Increment();
+      uint64_t elapsed = timer.ElapsedMicros();
+      Metrics().check_hit_us->Record(elapsed);
+      QueryProfiler::Default().RecordCheck(ContainmentCheckRecord{
+          "", GoalRelationName(goal, universe), elapsed, 0, 0, 0, true});
       if (span.active()) {
         span.AddStr("cache", "hit");
         span.AddStr("verdict", VerdictName(cached.verdict));
@@ -466,6 +497,7 @@ ContainmentOutcome CheckLinearContainmentFrom(
 
   auto goal_holds = [&]() {
     Metrics().hom_checks->IncrementCell();
+    ++out.chase.goal_checks;
     bool found = FindHomomorphism(goal, inst).has_value();
     if (found) Metrics().hom_checks_ok->IncrementCell();
     return found;
@@ -474,6 +506,11 @@ ContainmentOutcome CheckLinearContainmentFrom(
   auto finish = [&](ContainmentVerdict verdict) {
     out.verdict = verdict;
     Metrics().linear_depth->Record(out.depth_reached);
+    uint64_t elapsed = timer.ElapsedMicros();
+    Metrics().check_miss_us->Record(elapsed);
+    QueryProfiler::Default().RecordCheck(ContainmentCheckRecord{
+        "", GoalRelationName(goal, universe), elapsed, out.chase.rounds,
+        inst.NumFacts(), out.chase.goal_checks, false});
     if (span.active()) {
       span.AddStr("cache", use_cache ? "miss" : "off");
       span.AddStr("verdict", VerdictName(verdict));

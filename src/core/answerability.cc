@@ -1,12 +1,15 @@
 #include "core/answerability.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 
 #include "constraints/fd_reasoning.h"
 #include "constraints/uid_reasoning.h"
 #include "core/linearization.h"
 #include "core/simplification.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace rbda {
@@ -193,6 +196,17 @@ StatusOr<Decision> DecideMonotoneAnswerability(const ServiceSchema& schema,
   TraceSpan decide_span("decide");
   if (decide_span.active()) {
     decide_span.AddStr("fragment", FragmentName(fragment));
+  }
+  // Default attribution label for the profiler's per-check records:
+  // "decide#<n>:<fragment>", unless a driver already set a more specific
+  // label (the CLI labels per query name).
+  static std::atomic<uint64_t> decide_seq{0};
+  std::optional<ScopedProfileLabel> profile_label;
+  if (CurrentProfileLabel().empty()) {
+    profile_label.emplace(
+        "decide#" +
+        std::to_string(decide_seq.fetch_add(1, std::memory_order_relaxed)) +
+        ":" + FragmentName(fragment));
   }
 
   StatusOr<Decision> decision = Status::Internal("unset");

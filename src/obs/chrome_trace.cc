@@ -1,0 +1,65 @@
+#include "obs/chrome_trace.h"
+
+#include "obs/json.h"
+
+namespace rbda {
+
+std::string TraceRecordToChromeJson(const TraceRecord& record) {
+  JsonObjectWriter out;
+  out.AddString("name", record.name);
+  out.AddString("cat", "rbda");
+  switch (record.kind) {
+    case TraceRecord::Kind::kSpanBegin:
+      out.AddString("ph", "B");
+      break;
+    case TraceRecord::Kind::kSpanEnd:
+      out.AddString("ph", "E");
+      break;
+    case TraceRecord::Kind::kEvent:
+      out.AddString("ph", "i");
+      out.AddString("s", "t");  // thread-scoped instant
+      break;
+  }
+  out.AddUint("pid", 1);
+  out.AddUint("tid", record.tid);
+  out.AddUint("ts", record.ts_us);
+  JsonObjectWriter args;
+  if (record.span_id != 0) args.AddUint("span_id", record.span_id);
+  if (record.parent_id != 0) args.AddUint("parent_id", record.parent_id);
+  for (const auto& [key, value] : record.ints) args.AddInt(key, value);
+  for (const auto& [key, value] : record.strs) args.AddString(key, value);
+  out.AddRaw("args", args.ToJson());
+  return out.ToJson();
+}
+
+ChromeTraceFileSink::ChromeTraceFileSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ != nullptr) std::fputc('[', file_);
+}
+
+ChromeTraceFileSink::~ChromeTraceFileSink() { Close(); }
+
+void ChromeTraceFileSink::Record(TraceRecord record) {
+  std::string event = TraceRecordToChromeJson(record);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  if (wrote_any_) std::fputc(',', file_);
+  std::fputc('\n', file_);
+  std::fwrite(event.data(), 1, event.size(), file_);
+  wrote_any_ = true;
+}
+
+void ChromeTraceFileSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void ChromeTraceFileSink::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fputs("\n]\n", file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace rbda

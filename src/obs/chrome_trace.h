@@ -1,0 +1,54 @@
+// Chrome trace-event sink: renders TraceRecords as the JSON array format
+// consumed by Perfetto (https://ui.perfetto.dev) and chrome://tracing.
+//
+// Mapping from the native record schema (trace.h):
+//   kSpanBegin -> {"ph":"B", ...}         duration-begin on the span's tid
+//   kSpanEnd   -> {"ph":"E", ...}         duration-end (payload args here)
+//   kEvent     -> {"ph":"i","s":"t", ...} thread-scoped instant event
+//
+// B/E events pair up per tid by stack order, which matches TraceSpan's
+// RAII discipline exactly: spans opened on a thread close in LIFO order on
+// that thread, so the viewer reconstructs correct nesting without explicit
+// ids (span_id/parent_id are still carried in "args" for programmatic
+// consumers). All records share pid 1; "tid" is the dense TraceThreadId.
+#ifndef RBDA_OBS_CHROME_TRACE_H_
+#define RBDA_OBS_CHROME_TRACE_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace rbda {
+
+/// Renders one record as a single Chrome trace-event JSON object (no
+/// surrounding comma/bracket). Exposed for tests.
+std::string TraceRecordToChromeJson(const TraceRecord& record);
+
+/// Writes a Chrome trace-event JSON array to a file: "[" on open, one
+/// event object per record (comma-separated), "]" on close. The file is
+/// a valid JSON document once the sink is destroyed (or Close()d); most
+/// viewers also accept the unterminated prefix of a crashed run.
+class ChromeTraceFileSink : public TraceSink {
+ public:
+  /// Opens `path` for writing (truncates). ok() is false if that failed.
+  explicit ChromeTraceFileSink(const std::string& path);
+  ~ChromeTraceFileSink() override;
+
+  bool ok() const { return file_ != nullptr; }
+  void Record(TraceRecord record) override;
+  void Flush() override;
+  /// Writes the closing "]" and closes the file. Idempotent; also run by
+  /// the destructor.
+  void Close();
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  bool wrote_any_ = false;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_OBS_CHROME_TRACE_H_

@@ -1,0 +1,375 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <mutex>
+
+namespace rbda {
+
+namespace {
+
+// ---- Per-thread histogram cells (same discipline as the counter cells
+// in metrics.cc). ----
+//
+// Each thread owns one fixed-size open-addressed table mapping
+// Histogram* to a heap-allocated cell of atomic bucket deltas. The
+// owning thread is the only writer; flushers and readers access the same
+// slots through atomics (the cell pointer is published by the release
+// CAS on the key), so the scheme is race-free under TSan. Tables live in
+// a global list guarded by g_hist_cells_mu; a table is deleted only
+// under that mutex, at thread exit, after folding its deltas.
+
+struct HistCell {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> sum{0};
+  std::atomic<uint64_t> buckets[Histogram::kNumBuckets] = {};
+};
+
+struct HistCellTable {
+  static constexpr size_t kSlots = 16;  // power of two (mask indexing)
+  std::atomic<const Histogram*> keys[kSlots] = {};
+  HistCell* cells[kSlots] = {};  // written before the key is published
+};
+
+std::mutex& HistCellsMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<HistCellTable*>& HistCellTables() {
+  static std::vector<HistCellTable*>* tables =
+      new std::vector<HistCellTable*>();
+  return *tables;
+}
+
+// Tombstone left behind when a histogram is destroyed while a thread
+// still holds a cell for it (keeps open-addressing probe chains intact).
+const Histogram* HistTombstone() {
+  return reinterpret_cast<const Histogram*>(1);
+}
+
+size_t HistSlotHash(const Histogram* h) {
+  uint64_t x = reinterpret_cast<uintptr_t>(h);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  return static_cast<size_t>(x) & (HistCellTable::kSlots - 1);
+}
+
+// Finds the cell for `h` in `table`, or null. Safe from any thread.
+HistCell* FindCell(HistCellTable* table, const Histogram* h) {
+  size_t slot = HistSlotHash(h);
+  for (size_t probe = 0; probe < HistCellTable::kSlots; ++probe) {
+    const Histogram* key = table->keys[slot].load(std::memory_order_acquire);
+    if (key == nullptr) return nullptr;
+    if (key == h) return table->cells[slot];
+    slot = (slot + 1) & (HistCellTable::kSlots - 1);
+  }
+  return nullptr;
+}
+
+// Moves every delta in `table` into its histogram's shared buckets.
+// Concurrently-added deltas simply stay behind for the next flush.
+void FlushHistTable(HistCellTable* table) {
+  for (size_t i = 0; i < HistCellTable::kSlots; ++i) {
+    const Histogram* key = table->keys[i].load(std::memory_order_acquire);
+    if (key == nullptr || key == HistTombstone()) continue;
+    HistCell* cell = table->cells[i];
+    Histogram* hist = const_cast<Histogram*>(key);
+    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      uint64_t delta = cell->buckets[b].exchange(0, std::memory_order_relaxed);
+      // The cell bucket index is already the shared bucket index, so the
+      // delta folds straight in without re-running BucketIndex.
+      if (delta != 0) hist->MergeBucketDelta(b, delta);
+    }
+    uint64_t dc = cell->count.exchange(0, std::memory_order_relaxed);
+    uint64_t ds = cell->sum.exchange(0, std::memory_order_relaxed);
+    if (dc != 0 || ds != 0) hist->MergeCountSumDelta(dc, ds);
+  }
+}
+
+struct ThreadHistCells {
+  HistCellTable* table = nullptr;
+
+  HistCellTable* Get() {
+    if (table == nullptr) {
+      table = new HistCellTable();
+      std::lock_guard<std::mutex> lock(HistCellsMutex());
+      HistCellTables().push_back(table);
+    }
+    return table;
+  }
+
+  ~ThreadHistCells() {
+    if (table == nullptr) return;
+    std::lock_guard<std::mutex> lock(HistCellsMutex());
+    FlushHistTable(table);
+    auto& tables = HistCellTables();
+    tables.erase(std::remove(tables.begin(), tables.end(), table),
+                 tables.end());
+    for (size_t i = 0; i < HistCellTable::kSlots; ++i) delete table->cells[i];
+    delete table;
+  }
+};
+
+thread_local ThreadHistCells t_hist_cells;
+
+}  // namespace
+
+void Histogram::MergeBucketDelta(size_t bucket, uint64_t delta) {
+  buckets_[bucket].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Histogram::MergeCountSumDelta(uint64_t count, uint64_t sum) {
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+}
+
+Histogram::~Histogram() {
+  // Drop any cells still pointing at this histogram so a late flush or
+  // fold cannot touch freed memory. (Registry histograms are never
+  // destroyed; this matters for stack/test histograms.)
+  std::lock_guard<std::mutex> lock(HistCellsMutex());
+  for (HistCellTable* table : HistCellTables()) {
+    size_t slot = HistSlotHash(this);
+    for (size_t probe = 0; probe < HistCellTable::kSlots; ++probe) {
+      const Histogram* key =
+          table->keys[slot].load(std::memory_order_acquire);
+      if (key == nullptr) break;
+      if (key == this) {
+        // Tombstone: keep the key slot occupied (open addressing must not
+        // break probe chains) but point it at a sentinel no histogram can
+        // alias, and zero the deltas.
+        HistCell* cell = table->cells[slot];
+        for (size_t b = 0; b < kNumBuckets; ++b) {
+          cell->buckets[b].store(0, std::memory_order_relaxed);
+        }
+        cell->count.store(0, std::memory_order_relaxed);
+        cell->sum.store(0, std::memory_order_relaxed);
+        table->keys[slot].store(HistTombstone(), std::memory_order_release);
+        break;
+      }
+      slot = (slot + 1) & (HistCellTable::kSlots - 1);
+    }
+  }
+}
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  size_t log = static_cast<size_t>(std::bit_width(v)) - 1;  // floor(log2 v)
+  size_t shift = log - kLogSubBuckets;
+  return kSubBuckets + shift * kSubBuckets +
+         static_cast<size_t>((v >> shift) - kSubBuckets);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  size_t shift = (index - kSubBuckets) / kSubBuckets;
+  size_t offset = (index - kSubBuckets) % kSubBuckets;
+  return (kSubBuckets + offset) << shift;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  size_t shift = (index - kSubBuckets) / kSubBuckets;
+  return BucketLowerBound(index) + ((uint64_t{1} << shift) - 1);
+}
+
+void Histogram::RecordMinMax(uint64_t v) {
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(uint64_t v, uint64_t n) {
+  if (n == 0) return;
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(v * n, std::memory_order_relaxed);
+  RecordMinMax(v);
+  buckets_[BucketIndex(v)].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Histogram::RecordCell(uint64_t v) {
+  HistCellTable* table = t_hist_cells.Get();
+  size_t slot = HistSlotHash(this);
+  for (size_t probe = 0; probe < HistCellTable::kSlots; ++probe) {
+    const Histogram* key = table->keys[slot].load(std::memory_order_relaxed);
+    if (key == this) {
+      HistCell* cell = table->cells[slot];
+      cell->count.fetch_add(1, std::memory_order_relaxed);
+      cell->sum.fetch_add(v, std::memory_order_relaxed);
+      cell->buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+      RecordMinMax(v);  // min/max are not foldable deltas; update shared
+      return;
+    }
+    if (key == nullptr) {
+      table->cells[slot] = new HistCell();
+      const Histogram* expected = nullptr;
+      if (table->keys[slot].compare_exchange_strong(
+              expected, this, std::memory_order_release)) {
+        HistCell* cell = table->cells[slot];
+        cell->count.fetch_add(1, std::memory_order_relaxed);
+        cell->sum.fetch_add(v, std::memory_order_relaxed);
+        cell->buckets[BucketIndex(v)].fetch_add(1,
+                                                std::memory_order_relaxed);
+        RecordMinMax(v);
+        return;
+      }
+      delete table->cells[slot];
+      table->cells[slot] = nullptr;
+    }
+    slot = (slot + 1) & (HistCellTable::kSlots - 1);
+  }
+  Record(v);  // table full: fall back to the shared buckets
+}
+
+void Histogram::FoldCells(uint64_t* count, uint64_t* sum,
+                          uint64_t* buckets) const {
+  std::lock_guard<std::mutex> lock(HistCellsMutex());
+  for (HistCellTable* table : HistCellTables()) {
+    HistCell* cell = FindCell(table, this);
+    if (cell == nullptr) continue;
+    if (count != nullptr) {
+      *count += cell->count.load(std::memory_order_relaxed);
+    }
+    if (sum != nullptr) *sum += cell->sum.load(std::memory_order_relaxed);
+    if (buckets != nullptr) {
+      for (size_t b = 0; b < kNumBuckets; ++b) {
+        buckets[b] += cell->buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = count_.load(std::memory_order_relaxed);
+  FoldCells(&total, nullptr, nullptr);
+  return total;
+}
+
+uint64_t Histogram::sum() const {
+  uint64_t total = sum_.load(std::memory_order_relaxed);
+  FoldCells(nullptr, &total, nullptr);
+  return total;
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == kEmptyMin ? 0 : m;
+}
+
+uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+HistogramSnapshot Histogram::TakeSnapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kNumBuckets, 0);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  FoldCells(&snap.count, &snap.sum, snap.buckets.data());
+  snap.min = min();
+  snap.max = max();
+  return snap;
+}
+
+namespace {
+
+// Shared quantile walk over a dense bucket array.
+uint64_t QuantileOverBuckets(const uint64_t* buckets, uint64_t count,
+                             uint64_t min, uint64_t max, double q) {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the quantile element, 1-based: ceil(q * count), at least 1.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  rank = std::clamp<uint64_t>(rank, 1, count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      return std::clamp(Histogram::BucketUpperBound(b), min, max);
+    }
+  }
+  return max;  // unreachable when counts are consistent
+}
+
+}  // namespace
+
+uint64_t Histogram::Quantile(double q) const {
+  HistogramSnapshot snap = TakeSnapshot();
+  return QuantileOverBuckets(snap.buckets.data(), snap.count, snap.min,
+                             snap.max, q);
+}
+
+void Histogram::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  RecordMinMax(other.min);
+  RecordMinMax(other.max);
+  for (size_t b = 0; b < kNumBuckets && b < other.buckets.size(); ++b) {
+    if (other.buckets[b] != 0) {
+      buckets_[b].fetch_add(other.buckets[b], std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Reset() {
+  // Drop buffered per-thread deltas first so a late fold cannot
+  // resurrect pre-reset values.
+  {
+    std::lock_guard<std::mutex> lock(HistCellsMutex());
+    for (HistCellTable* table : HistCellTables()) {
+      HistCell* cell = FindCell(table, this);
+      if (cell == nullptr) continue;
+      for (size_t b = 0; b < kNumBuckets; ++b) {
+        cell->buckets[b].store(0, std::memory_order_relaxed);
+      }
+      cell->count.store(0, std::memory_order_relaxed);
+      cell->sum.store(0, std::memory_order_relaxed);
+    }
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kEmptyMin, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.empty()) buckets.assign(Histogram::kNumBuckets, 0);
+  for (size_t b = 0; b < buckets.size() && b < other.buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  return QuantileOverBuckets(buckets.data(), count, min, max, q);
+}
+
+namespace obs_internal {
+
+void FlushThreadHistogramCells() {
+  if (t_hist_cells.table == nullptr) return;
+  FlushHistTable(t_hist_cells.table);
+}
+
+}  // namespace obs_internal
+
+}  // namespace rbda

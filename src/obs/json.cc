@@ -92,15 +92,28 @@ std::string SnapshotToJson(const MetricsRegistry& registry) {
   JsonObjectWriter distributions;
   for (const auto& [name, stats] : registry.DistributionValues()) {
     JsonObjectWriter d;
+    // count/sum/min/max must stay first and in this order — existing
+    // consumers match on the prefix of this object.
     d.AddUint("count", stats.count);
     d.AddUint("sum", stats.sum);
     d.AddUint("min", stats.min);
     d.AddUint("max", stats.max);
+    JsonObjectWriter q;
+    q.AddUint("p50", stats.p50);
+    q.AddUint("p90", stats.p90);
+    q.AddUint("p99", stats.p99);
+    q.AddUint("p999", stats.p999);
+    d.AddRaw("quantiles", q.ToJson());
     distributions.AddRaw(name, d.ToJson());
+  }
+  JsonObjectWriter gauges;
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    gauges.AddUint(name, value);
   }
   JsonObjectWriter out;
   out.AddRaw("counters", counters.ToJson());
   out.AddRaw("distributions", distributions.ToJson());
+  out.AddRaw("gauges", gauges.ToJson());
   return out.ToJson();
 }
 

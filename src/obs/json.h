@@ -40,10 +40,15 @@ class JsonObjectWriter {
   std::string body_;
 };
 
-/// Serializes every counter and distribution of `registry` as
+/// Serializes every counter, distribution, and gauge of `registry` as
 ///   {"counters": {name: value, ...},
-///    "distributions": {name: {"count":c,"sum":s,"min":m,"max":M}, ...}}
-/// with names in lexicographic order.
+///    "distributions": {name: {"count":c,"sum":s,"min":m,"max":M,
+///                             "quantiles":{"p50":..,"p90":..,
+///                                          "p99":..,"p999":..}}, ...},
+///    "gauges": {name: value, ...}}
+/// with names in lexicographic order. The count/sum/min/max prefix of
+/// each distribution object is a stable, backwards-compatible schema;
+/// quantiles are Histogram estimates (histogram.h error bound).
 std::string SnapshotToJson(const MetricsRegistry& registry);
 
 /// True iff `s` is exactly one well-formed JSON value (object, array,

@@ -153,8 +153,8 @@ uint64_t Counter::value() const {
 void Counter::Reset() { value_.store(0, std::memory_order_relaxed); }
 
 void FlushThreadMetricCells() {
-  if (t_cells.table == nullptr) return;
-  FlushTable(t_cells.table);
+  if (t_cells.table != nullptr) FlushTable(t_cells.table);
+  obs_internal::FlushThreadHistogramCells();
 }
 
 MetricsRegistry& MetricsRegistry::Default() {
@@ -183,13 +183,24 @@ Distribution* MetricsRegistry::GetDistribution(std::string_view name) {
   return it->second.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
 void MetricsRegistry::Reset() {
   // Drop buffered per-thread deltas first so they cannot be folded into a
-  // counter after its base is zeroed.
+  // counter after its base is zeroed. (Distribution::Reset handles its
+  // own histogram cells.)
   ZeroAllCells();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, dist] : distributions_) dist->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
 }
 
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()
@@ -209,8 +220,24 @@ MetricsRegistry::DistributionValues() const {
   std::vector<std::pair<std::string, DistributionStats>> out;
   out.reserve(distributions_.size());
   for (const auto& [name, dist] : distributions_) {
-    out.emplace_back(name, DistributionStats{dist->count(), dist->sum(),
-                                             dist->min(), dist->max()});
+    // One snapshot per distribution so the stats and quantiles are
+    // mutually consistent (and the cell fold happens once, not six times).
+    HistogramSnapshot snap = dist->histogram().TakeSnapshot();
+    out.emplace_back(
+        name, DistributionStats{snap.count, snap.sum, snap.min, snap.max,
+                                snap.Quantile(0.50), snap.Quantile(0.90),
+                                snap.Quantile(0.99), snap.Quantile(0.999)});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
   }
   return out;
 }

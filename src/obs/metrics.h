@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace rbda {
 
 /// A monotonic counter. Thread-safe; increments are relaxed atomics.
@@ -58,53 +60,57 @@ class Counter {
 /// (and cheap) to call from any thread at any time.
 void FlushThreadMetricCells();
 
-/// A value distribution tracking count / sum / min / max. Thread-safe;
-/// Record() is a handful of relaxed atomic operations.
+/// A value distribution backed by a log-linear Histogram: count / sum /
+/// min / max plus bounded-error quantiles (p50/p90/p99/...; see
+/// histogram.h for the error bound). Thread-safe; Record() is a handful
+/// of relaxed atomic operations, RecordCell() lands in a per-thread cell
+/// for hot paths under the task pool (same fold discipline as
+/// Counter::IncrementCell).
 class Distribution {
  public:
-  void Record(uint64_t v) {
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(v, std::memory_order_relaxed);
-    uint64_t seen = min_.load(std::memory_order_relaxed);
-    while (v < seen &&
-           !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
-    }
-    seen = max_.load(std::memory_order_relaxed);
-    while (v > seen &&
-           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
-    }
-  }
+  void Record(uint64_t v) { hist_.Record(v); }
+  void RecordCell(uint64_t v) { hist_.RecordCell(v); }
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t count() const { return hist_.count(); }
+  uint64_t sum() const { return hist_.sum(); }
   /// Min/max of recorded values; 0 when nothing has been recorded.
-  uint64_t min() const {
-    uint64_t m = min_.load(std::memory_order_relaxed);
-    return m == kEmptyMin ? 0 : m;
-  }
-  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t min() const { return hist_.min(); }
+  uint64_t max() const { return hist_.max(); }
+  /// Bounded-error quantile estimate (Histogram::Quantile).
+  uint64_t Quantile(double q) const { return hist_.Quantile(q); }
+
+  const Histogram& histogram() const { return hist_; }
 
  private:
   friend class MetricsRegistry;
-  static constexpr uint64_t kEmptyMin = ~uint64_t{0};
-  void Reset() {
-    count_.store(0, std::memory_order_relaxed);
-    sum_.store(0, std::memory_order_relaxed);
-    min_.store(kEmptyMin, std::memory_order_relaxed);
-    max_.store(0, std::memory_order_relaxed);
-  }
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_{0};
-  std::atomic<uint64_t> min_{kEmptyMin};
-  std::atomic<uint64_t> max_{0};
+  void Reset() { hist_.Reset(); }
+  Histogram hist_;
 };
 
-/// A point-in-time view of one distribution, for snapshots.
+/// A point-in-time view of one distribution, for snapshots. The quantile
+/// fields are Histogram estimates (within kMaxRelativeError of exact).
 struct DistributionStats {
   uint64_t count = 0;
   uint64_t sum = 0;
   uint64_t min = 0;
   uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+};
+
+/// A last-written-value metric for level-style readings (cache occupancy,
+/// queue depth). Thread-safe; Set/value are relaxed atomics.
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<uint64_t> value_{0};
 };
 
 class MetricsRegistry {
@@ -114,11 +120,12 @@ class MetricsRegistry {
   /// static storage stay valid during shutdown).
   static MetricsRegistry& Default();
 
-  /// Returns the counter/distribution named `name`, registering it on
-  /// first use. The returned pointer is stable for the registry's
+  /// Returns the counter/distribution/gauge named `name`, registering it
+  /// on first use. The returned pointer is stable for the registry's
   /// lifetime. Registration takes a lock; cache the handle on hot paths.
   Counter* GetCounter(std::string_view name);
   Distribution* GetDistribution(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
 
   /// Zeroes every metric. Handles stay valid.
   void Reset();
@@ -127,12 +134,14 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
   std::vector<std::pair<std::string, DistributionStats>> DistributionValues()
       const;
+  std::vector<std::pair<std::string, uint64_t>> GaugeValues() const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Distribution>, std::less<>>
       distributions_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
 };
 
 /// RAII wall-clock timer feeding a distribution in microseconds, backed by

@@ -2,9 +2,48 @@
 
 #include <chrono>
 
+#include "base/task_pool.h"
 #include "obs/json.h"
 
 namespace rbda {
+
+namespace {
+
+// Dense per-thread trace ids, assigned on first use (serial runs are
+// always tid 1). 0 means "not yet assigned".
+std::atomic<uint32_t> g_next_tid{1};
+thread_local uint32_t t_trace_tid = 0;
+
+// The calling thread's active span id (0 = root). Maintained by
+// TraceSpan's constructor/destructor and swapped across TaskPool
+// submission via the task-context hooks installed below.
+thread_local uint64_t t_current_span = 0;
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+// Install the span-context hooks as soon as the obs library is linked,
+// mirroring the metric-cell quiesce hook in metrics.cc.
+[[maybe_unused]] const bool g_context_hooks_installed = [] {
+  SetTaskContextHooks(&CaptureSpanContext, &SwapSpanContext);
+  return true;
+}();
+
+}  // namespace
+
+uint32_t TraceThreadId() {
+  if (t_trace_tid == 0) {
+    t_trace_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_trace_tid;
+}
+
+uint64_t CaptureSpanContext() { return t_current_span; }
+
+uint64_t SwapSpanContext(uint64_t span_id) {
+  uint64_t prev = t_current_span;
+  t_current_span = span_id;
+  return prev;
+}
 
 namespace obs_internal {
 
@@ -46,6 +85,9 @@ std::string TraceRecord::ToJson() const {
   out.AddString("name", name);
   out.AddUint("ts_us", ts_us);
   if (kind == Kind::kSpanEnd) out.AddUint("duration_us", duration_us);
+  out.AddUint("tid", tid);
+  if (span_id != 0) out.AddUint("span_id", span_id);
+  if (parent_id != 0) out.AddUint("parent_id", parent_id);
   for (const auto& [key, value] : ints) out.AddInt(key, value);
   for (const auto& [key, value] : strs) out.AddString(key, value);
   return out.ToJson();
@@ -59,6 +101,8 @@ void TraceEventRecord(std::string_view name,
   record.kind = TraceRecord::Kind::kEvent;
   record.name = std::string(name);
   record.ts_us = obs_internal::TraceNowMicros();
+  record.tid = TraceThreadId();
+  record.parent_id = t_current_span;
   record.ints = std::move(ints);
   record.strs = std::move(strs);
   obs_internal::Emit(std::move(record));
@@ -69,20 +113,29 @@ TraceSpan::TraceSpan(std::string_view name) {
   active_ = true;
   name_ = std::string(name);
   start_us_ = obs_internal::TraceNowMicros();
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = SwapSpanContext(span_id_);
   TraceRecord record;
   record.kind = TraceRecord::Kind::kSpanBegin;
   record.name = name_;
   record.ts_us = start_us_;
+  record.tid = TraceThreadId();
+  record.span_id = span_id_;
+  record.parent_id = parent_id_;
   obs_internal::Emit(std::move(record));
 }
 
 TraceSpan::~TraceSpan() {
   if (!active_) return;
+  SwapSpanContext(parent_id_);
   TraceRecord record;
   record.kind = TraceRecord::Kind::kSpanEnd;
   record.name = std::move(name_);
   record.ts_us = obs_internal::TraceNowMicros();
   record.duration_us = record.ts_us - start_us_;
+  record.tid = TraceThreadId();
+  record.span_id = span_id_;
+  record.parent_id = parent_id_;
   record.ints = std::move(ints_);
   record.strs = std::move(strs_);
   obs_internal::Emit(std::move(record));

@@ -36,6 +36,9 @@ struct TraceRecord {
   std::string name;       // e.g. "chase.run", "decide", "chase.round"
   uint64_t ts_us = 0;     // steady-clock microseconds since trace start
   uint64_t duration_us = 0;  // span-end only
+  uint32_t tid = 0;       // stable per-thread id (see TraceThreadId)
+  uint64_t span_id = 0;   // nonzero for span begin/end records
+  uint64_t parent_id = 0;  // enclosing span at emit time (0 = root)
   std::vector<std::pair<std::string, int64_t>> ints;
   std::vector<std::pair<std::string, std::string>> strs;
 
@@ -58,6 +61,22 @@ TraceSink* SetTraceSink(TraceSink* sink);
 
 /// The currently installed sink, or nullptr.
 TraceSink* ActiveTraceSink();
+
+/// Stable id of the calling thread for trace attribution: 1 for the first
+/// thread that emits, 2 for the second, and so on. Deterministic within a
+/// serial run (always 1) and dense — unlike OS thread ids — so traces
+/// diff cleanly and Chrome-trace rows sort sensibly.
+uint32_t TraceThreadId();
+
+/// The calling thread's active span id (0 = none). Paired with
+/// SwapSpanContext these carry the span across TaskPool submission (the
+/// obs library installs them via SetTaskContextHooks), so spans opened by
+/// pool workers parent under the span that submitted the work.
+uint64_t CaptureSpanContext();
+
+/// Installs `span_id` as the calling thread's active span, returning the
+/// previous one.
+uint64_t SwapSpanContext(uint64_t span_id);
 
 /// True iff a sink is installed. One relaxed atomic load — this is the
 /// guard every instrumentation site checks first.
@@ -131,11 +150,15 @@ class TraceSpan {
   void AddInt(std::string_view key, int64_t value);
   void AddStr(std::string_view key, std::string_view value);
   bool active() const { return active_; }
+  /// This span's id (0 when tracing was disabled at construction).
+  uint64_t span_id() const { return span_id_; }
 
  private:
   bool active_ = false;
   std::string name_;
   uint64_t start_us_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
   std::vector<std::pair<std::string, int64_t>> ints_;
   std::vector<std::pair<std::string, std::string>> strs_;
 };

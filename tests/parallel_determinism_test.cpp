@@ -4,9 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "base/task_pool.h"
 #include "core/plan_synthesis.h"
 #include "fuzz/fuzzer.h"
 #include "gtest/gtest.h"
+#include "obs/histogram.h"
 #include "parser/parser.h"
 #include "runtime/oracle.h"
 
@@ -102,6 +104,39 @@ fact R("c")
   EXPECT_EQ(serial.answers, parallel.answers);
   EXPECT_EQ(serial.mismatch, parallel.mismatch);
   EXPECT_EQ(serial.failure, parallel.failure);
+}
+
+TEST(ParallelDeterminismTest, HistogramCellsExactUnderParallelForHammer) {
+  // The histogram aggregates feeding the profile.* quantiles must be
+  // independent of the job count: recording the same multiset through
+  // per-thread cells under a contended ParallelFor yields bit-identical
+  // buckets/count/sum/min/max to the serial Record() loop.
+  constexpr size_t kN = 50000;
+  auto value = [](size_t i) {
+    return static_cast<uint64_t>(i) * 2654435761u % 1000003 + 1;
+  };
+
+  Histogram reference;
+  for (size_t i = 0; i < kN; ++i) reference.Record(value(i));
+
+  for (size_t jobs : {size_t{1}, size_t{8}}) {
+    Histogram hammered;
+    Status status = ParallelFor(kN, jobs, [&](size_t i) {
+      hammered.RecordCell(value(i));
+      return Status::Ok();
+    });
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    // ParallelFor quiesces its workers (folding live cells), and reads
+    // fold any remaining cells anyway — the aggregates must be exact.
+    HistogramSnapshot got = hammered.TakeSnapshot();
+    HistogramSnapshot want = reference.TakeSnapshot();
+    EXPECT_EQ(got.count, want.count) << "jobs=" << jobs;
+    EXPECT_EQ(got.sum, want.sum) << "jobs=" << jobs;
+    EXPECT_EQ(got.min, want.min) << "jobs=" << jobs;
+    EXPECT_EQ(got.max, want.max) << "jobs=" << jobs;
+    EXPECT_EQ(got.buckets, want.buckets) << "jobs=" << jobs;
+    EXPECT_EQ(got.Quantile(0.999), want.Quantile(0.999)) << "jobs=" << jobs;
+  }
 }
 
 }  // namespace

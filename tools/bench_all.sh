@@ -8,15 +8,19 @@
 # parallel_matches_serial) — so the file records both the measured speedup
 # and the determinism check on the machine that produced it.
 #
-# Usage: tools/bench_all.sh [build-dir] [jobs]
+# Usage: tools/bench_all.sh [build-dir] [jobs] [out-file]
 #   build-dir  defaults to ./build
 #   jobs       defaults to $(nproc), exported as RBDA_JOBS
+#   out-file   defaults to BENCH_parallel.json at the repo root
+#
+# Every collected line is validated with rbda_json_validate --lines (when
+# that tool is built); a malformed BENCH_JSON line fails the run.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 JOBS="${2:-$(nproc)}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-OUT="$REPO_ROOT/BENCH_parallel.json"
+OUT="${3:-$REPO_ROOT/BENCH_parallel.json}"
 
 BENCHES=(
   table1_row1_ids
@@ -48,5 +52,12 @@ for bench in "${BENCHES[@]}"; do
   RBDA_JOBS="$JOBS" "$BUILD_DIR/bench/$bench" --benchmark_filter=NONE \
     | sed -n 's/^BENCH_JSON //p' >> "$OUT"
 done
+
+if [ -x "$BUILD_DIR/tools/rbda_json_validate" ]; then
+  "$BUILD_DIR/tools/rbda_json_validate" --lines "$OUT" >&2
+else
+  echo "warning: $BUILD_DIR/tools/rbda_json_validate not built; skipping" \
+       "BENCH_JSON validation" >&2
+fi
 
 echo "wrote $(wc -l < "$OUT") bench records to $OUT" >&2

@@ -33,8 +33,19 @@
 // (docs/OBSERVABILITY.md):
 //   --metrics[=path]   Print (or write to `path`) a JSON snapshot of the
 //                      metrics registry after the command finishes.
-//   --trace=path       Stream structured span/event records to `path` as
-//                      JSON lines while the command runs.
+//   --trace=path       Stream structured span/event records to `path`
+//                      while the command runs.
+//   --trace-format=jsonl|chrome
+//                      Trace output format: JSON lines (default) or a
+//                      Chrome trace-event array for Perfetto /
+//                      chrome://tracing.
+//   --profile[=path]   Print (or write to `path` as JSON) the containment
+//                      cost profile: check-duration quantiles and the
+//                      top-K slowest containment checks with per-check
+//                      duration/rounds/facts attribution.
+//   --slow-check-us=N  Containment checks at or above N microseconds
+//                      emit a containment.slow_check trace event
+//                      (default 100000).
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -47,8 +58,10 @@
 #include "core/proof_plans.h"
 #include "core/certificates.h"
 #include "core/simplification.h"
+#include "obs/chrome_trace.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "base/task_pool.h"
 #include "parser/parser.h"
@@ -62,7 +75,9 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: rbda <decide|plan|run|containment|simplify|oracle|explain> "
-               "<schema.rbda> [args...] [--metrics[=path]] [--trace=path]\n");
+               "<schema.rbda> [args...] [--metrics[=path]] [--trace=path] "
+               "[--trace-format=jsonl|chrome] [--profile[=path]] "
+               "[--slow-check-us=N]\n");
   return 2;
 }
 
@@ -86,6 +101,10 @@ struct CliOptions {
   bool metrics = false;          // all commands
   std::string metrics_path;      // empty = print to stdout
   std::string trace_path;        // empty = tracing off
+  std::string trace_format = "jsonl";  // or "chrome"
+  bool profile = false;          // all commands
+  std::string profile_path;      // empty = print table to stdout
+  uint64_t slow_check_us = 0;    // 0 = keep the profiler default
   std::string selector = "first";  // run
   uint64_t seed = 1;             // run
   std::string faults;            // run: fault spec text or file path
@@ -139,6 +158,23 @@ bool CliOptions::Parse(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->trace_path = value;
+    } else if (key == "--trace-format") {
+      if (value != "jsonl" && value != "chrome") {
+        std::fprintf(stderr,
+                     "--trace-format expects jsonl or chrome, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      out->trace_format = value;
+    } else if (key == "--profile") {
+      out->profile = true;
+      out->profile_path = value;
+    } else if (key == "--slow-check-us") {
+      if (!ParseUint(value, &out->slow_check_us)) {
+        std::fprintf(stderr, "--slow-check-us expects a number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
     } else if (key == "--selector") {
       out->selector = value;
     } else if (key == "--seed") {
@@ -212,6 +248,8 @@ const ConjunctiveQuery* FindQuery(const ParsedDocument& doc,
 // re-parsed copy and get text identical to the serial path.
 std::string DecideOneQuery(const ParsedDocument& doc, Universe* universe,
                            const std::string& name, const CliOptions& cli) {
+  // Attribute this query's containment checks to it in the profiler.
+  ScopedProfileLabel profile_label("query:" + name);
   const ConjunctiveQuery& query = doc.queries.at(name);
   DecisionOptions options;
   options.force_naive = cli.naive;
@@ -511,6 +549,53 @@ int CmdExplain(const ParsedDocument& doc, Universe* universe,
   return 0;
 }
 
+// Emits the containment cost profile requested via --profile[=path]: a
+// JSON document to a file, or a human-readable top-K table to stdout.
+int EmitProfile(const CliOptions& cli) {
+  QueryProfiler& profiler = QueryProfiler::Default();
+  if (!cli.profile_path.empty()) {
+    std::ofstream out(cli.profile_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write profile to %s\n",
+                   cli.profile_path.c_str());
+      return 1;
+    }
+    out << profiler.ToJson() << "\n";
+    return 0;
+  }
+  QueryProfileSnapshot snap = profiler.TakeSnapshot();
+  std::printf(
+      "# containment profile: %llu checks (%llu cache hits), "
+      "%llu us total\n"
+      "#   p50=%llu us  p90=%llu us  p99=%llu us  p999=%llu us  "
+      "max=%llu us\n",
+      static_cast<unsigned long long>(snap.checks),
+      static_cast<unsigned long long>(snap.cache_hits),
+      static_cast<unsigned long long>(snap.total_us),
+      static_cast<unsigned long long>(snap.check_us.Quantile(0.50)),
+      static_cast<unsigned long long>(snap.check_us.Quantile(0.90)),
+      static_cast<unsigned long long>(snap.check_us.Quantile(0.99)),
+      static_cast<unsigned long long>(snap.check_us.Quantile(0.999)),
+      static_cast<unsigned long long>(snap.check_us.max));
+  if (!snap.top_checks.empty()) {
+    std::printf("# top %zu slowest checks:\n"
+                "#   %10s %7s %8s %10s %5s %-16s %s\n",
+                snap.top_checks.size(), "dur_us", "rounds", "facts",
+                "hom_checks", "cache", "goal", "label");
+    for (const ContainmentCheckRecord& c : snap.top_checks) {
+      std::printf("#   %10llu %7llu %8llu %10llu %5s %-16s %s\n",
+                  static_cast<unsigned long long>(c.duration_us),
+                  static_cast<unsigned long long>(c.rounds),
+                  static_cast<unsigned long long>(c.facts),
+                  static_cast<unsigned long long>(c.hom_checks),
+                  c.cache_hit ? "hit" : "miss",
+                  c.goal_relation.empty() ? "-" : c.goal_relation.c_str(),
+                  c.label.empty() ? "-" : c.label.c_str());
+    }
+  }
+  return 0;
+}
+
 // Emits the metrics snapshot requested via --metrics[=path].
 int EmitMetrics(const CliOptions& cli) {
   std::string snapshot = SnapshotToJson(MetricsRegistry::Default());
@@ -548,15 +633,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::unique_ptr<JsonLinesFileSink> trace_sink;
+  std::unique_ptr<TraceSink> trace_sink;
   if (!cli.trace_path.empty()) {
-    trace_sink = std::make_unique<JsonLinesFileSink>(cli.trace_path);
-    if (!trace_sink->ok()) {
+    bool sink_ok = false;
+    if (cli.trace_format == "chrome") {
+      auto sink = std::make_unique<ChromeTraceFileSink>(cli.trace_path);
+      sink_ok = sink->ok();
+      trace_sink = std::move(sink);
+    } else {
+      auto sink = std::make_unique<JsonLinesFileSink>(cli.trace_path);
+      sink_ok = sink->ok();
+      trace_sink = std::move(sink);
+    }
+    if (!sink_ok) {
       std::fprintf(stderr, "cannot write trace to %s\n",
                    cli.trace_path.c_str());
       return 1;
     }
     SetTraceSink(trace_sink.get());
+  }
+  if (cli.slow_check_us != 0) {
+    QueryProfiler::Default().set_slow_check_threshold_us(cli.slow_check_us);
   }
 
   std::string cmd = argv[1];
@@ -583,6 +680,7 @@ int main(int argc, char** argv) {
     SetTraceSink(nullptr);
     trace_sink->Flush();
   }
+  if (cli.profile && code == 0) code = EmitProfile(cli);
   if (cli.metrics && code == 0) code = EmitMetrics(cli);
   return code;
 }

@@ -4,6 +4,7 @@
 //             [--shrink=0|1] [--out-dir=path] [--inject-bug[=kind]]
 //             [--checkers=name,...] [--fault-plans=N] [--jobs=N]
 //             [--metrics[=path]] [--trace=path]
+//             [--trace-format=jsonl|chrome]
 //       Generate cases, run the checker battery, shrink findings, write
 //       repro files. Exit code: 0 = all checkers agreed on every case,
 //       1 = at least one finding, 2 = usage error.
@@ -30,6 +31,7 @@
 #include <string>
 
 #include "fuzz/fuzzer.h"
+#include "obs/chrome_trace.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -47,7 +49,8 @@ int Usage() {
       "                 [--inject-bug[=simplification|partial]] "
       "[--checkers=name,...] [--fault-plans=N]\n"
       "                 [--replay=file.rbda] "
-      "[--metrics[=path]] [--trace=path]\n");
+      "[--metrics[=path]] [--trace=path] "
+      "[--trace-format=jsonl|chrome]\n");
   return 2;
 }
 
@@ -77,6 +80,7 @@ struct FuzzCli {
   bool metrics = false;
   std::string metrics_path;
   std::string trace_path;
+  std::string trace_format = "jsonl";  // or "chrome"
 
   static bool Parse(int argc, char** argv, FuzzCli* out);
 };
@@ -198,6 +202,14 @@ bool FuzzCli::Parse(int argc, char** argv, FuzzCli* out) {
         return false;
       }
       out->trace_path = value;
+    } else if (key == "--trace-format") {
+      if (value != "jsonl" && value != "chrome") {
+        std::fprintf(stderr,
+                     "--trace-format expects jsonl or chrome, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      out->trace_format = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return false;
@@ -275,10 +287,19 @@ int main(int argc, char** argv) {
   FuzzCli cli;
   if (!FuzzCli::Parse(argc, argv, &cli)) return Usage();
 
-  std::unique_ptr<JsonLinesFileSink> trace_sink;
+  std::unique_ptr<TraceSink> trace_sink;
   if (!cli.trace_path.empty()) {
-    trace_sink = std::make_unique<JsonLinesFileSink>(cli.trace_path);
-    if (!trace_sink->ok()) {
+    bool sink_ok = false;
+    if (cli.trace_format == "chrome") {
+      auto sink = std::make_unique<ChromeTraceFileSink>(cli.trace_path);
+      sink_ok = sink->ok();
+      trace_sink = std::move(sink);
+    } else {
+      auto sink = std::make_unique<JsonLinesFileSink>(cli.trace_path);
+      sink_ok = sink->ok();
+      trace_sink = std::move(sink);
+    }
+    if (!sink_ok) {
       std::fprintf(stderr, "cannot write trace to %s\n",
                    cli.trace_path.c_str());
       return 1;

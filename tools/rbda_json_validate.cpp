@@ -1,0 +1,73 @@
+// rbda_json_validate — checks that observability artifacts are
+// well-formed JSON, with the same checker the tests use (IsValidJson).
+//
+//   rbda_json_validate [--lines] file...
+//
+// Default mode validates each file as ONE JSON document (metrics
+// snapshots, Chrome trace arrays, profile dumps). --lines validates each
+// non-empty line independently (JSONL traces, BENCH_*.json files of one
+// record per line). Exit 0 iff everything validated; every failure is
+// reported with its file (and line) on stderr.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  bool lines_mode = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--lines") {
+      lines_mode = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: rbda_json_validate [--lines] file...\n");
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& path : paths) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    if (lines_mode) {
+      std::string line;
+      size_t lineno = 0;
+      size_t checked = 0;
+      while (std::getline(file, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        ++checked;
+        if (!rbda::IsValidJson(line)) {
+          std::fprintf(stderr, "%s:%zu: malformed JSON line\n", path.c_str(),
+                       lineno);
+          ++failures;
+        }
+      }
+      std::printf("%s: %zu line(s) checked\n", path.c_str(), checked);
+    } else {
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      if (!rbda::IsValidJson(buffer.str())) {
+        std::fprintf(stderr, "%s: malformed JSON document\n", path.c_str());
+        ++failures;
+      } else {
+        std::printf("%s: ok\n", path.c_str());
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
