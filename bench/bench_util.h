@@ -2,6 +2,8 @@
 #ifndef RBDA_BENCH_BENCH_UTIL_H_
 #define RBDA_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -41,6 +43,17 @@ class BenchJsonWriter {
     obj_.AddRaw("metrics", SnapshotToJson(MetricsRegistry::Default()));
   }
 
+  /// Records the process's peak resident set size so BENCH_*.json
+  /// trajectories track memory alongside wall time (ru_maxrss is in
+  /// kilobytes on Linux).
+  void AddPeakRss() {
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+      obj_.AddUint("peak_rss_bytes",
+                   static_cast<uint64_t>(usage.ru_maxrss) * 1024);
+    }
+  }
+
   /// Embeds the profiler's containment-cost summary: the headline tail
   /// quantiles as flat "profile.containment.*" keys (the fields
   /// BENCH_obs.json trajectories track) plus the full profile — summary
@@ -70,6 +83,7 @@ class BenchJsonWriter {
 // part of the output that is diffable across commits).
 inline void PrintBenchMetricsJson(std::string_view bench_name) {
   BenchJsonWriter writer(bench_name);
+  writer.AddPeakRss();
   writer.AddProfileSummary();
   writer.AddMetricsSnapshot();
   writer.Print();
@@ -287,6 +301,7 @@ inline void PrintBenchMetricsJsonWithSweep(std::string_view bench_name,
                                            const std::string& prefix) {
   BenchJsonWriter writer(bench_name);
   EmitParallelSweep(&writer, family, seeds, prefix);
+  writer.AddPeakRss();
   writer.AddProfileSummary();
   writer.AddMetricsSnapshot();
   writer.Print();

@@ -252,6 +252,7 @@ void Table1() {
   add_row("uidfds", uidfds);
   add_row("eqfree", eqfree);
   add_row("fgtgds", fgtgds);
+  writer.AddPeakRss();
   writer.AddProfileSummary();
   writer.AddMetricsSnapshot();
   writer.Print();

@@ -277,7 +277,9 @@ class Engine {
         std::vector<Fact> added;
         for (const Atom& h : tgd.head()) {
           Fact fact = ApplyToAtom(extension, h);
-          if (result_.instance.AddFact(fact)) added.push_back(fact);
+          // The store packs the terms in place, so the spent Fact moves
+          // into the trace instead of being copied twice.
+          if (result_.instance.AddFact(fact)) added.push_back(std::move(fact));
         }
         ++fired;
         ++result_.tgd_steps;
@@ -313,35 +315,34 @@ class Engine {
       std::set<std::vector<Term>> dirty;  // bindings with new source facts
       TermSet newly_accessible;
       if (delta != nullptr) {
-        const std::vector<Fact>& src =
-            result_.instance.FactsOf(rule.source_rel);
+        FactRange src = result_.instance.FactsOf(rule.source_rel);
         for (uint32_t i = result_.instance.DeltaBegin(*delta, rule.source_rel);
              i < src.size(); ++i) {
           std::vector<Term> key;
           key.reserve(rule.input_positions.size());
           for (uint32_t p : rule.input_positions) {
-            key.push_back(src[i].args[p]);
+            key.push_back(src[i].arg(p));
           }
           dirty.insert(std::move(key));
         }
         if (rule.require_accessible) {
-          const std::vector<Fact>& acc =
-              result_.instance.FactsOf(rule.accessible_rel);
+          FactRange acc = result_.instance.FactsOf(rule.accessible_rel);
           for (uint32_t i =
                    result_.instance.DeltaBegin(*delta, rule.accessible_rel);
                i < acc.size(); ++i) {
-            newly_accessible.insert(acc[i].args[0]);
+            newly_accessible.insert(acc[i].arg(0));
           }
         }
         if (dirty.empty() && newly_accessible.empty()) continue;
       }
       // Group source facts by their input-position tuple.
       std::map<std::vector<Term>, std::set<std::vector<Term>>> groups;
-      for (const Fact& f : result_.instance.FactsOf(rule.source_rel)) {
+      for (FactRef f : result_.instance.FactsOf(rule.source_rel)) {
         std::vector<Term> key;
         key.reserve(rule.input_positions.size());
-        for (uint32_t p : rule.input_positions) key.push_back(f.args[p]);
-        groups[std::move(key)].insert(f.args);
+        for (uint32_t p : rule.input_positions) key.push_back(f.arg(p));
+        groups[std::move(key)].insert(
+            std::vector<Term>(f.args().begin(), f.args().end()));
       }
       for (const auto& [binding, matches] : groups) {
         if (delta != nullptr && dirty.count(binding) == 0) {
@@ -359,8 +360,7 @@ class Engine {
         if (rule.require_accessible) {
           bool accessible = true;
           for (Term t : binding) {
-            if (!result_.instance.Contains(
-                    Fact(rule.accessible_rel, {t}))) {
+            if (!result_.instance.ContainsRow(rule.accessible_rel, {&t, 1})) {
               accessible = false;
               break;
             }
@@ -370,10 +370,10 @@ class Engine {
         uint64_t j = std::min<uint64_t>(rule.bound, matches.size());
         // Count distinct target facts matching the binding.
         uint64_t have = 0;
-        for (const Fact& f : result_.instance.FactsOf(rule.target_rel)) {
+        for (FactRef f : result_.instance.FactsOf(rule.target_rel)) {
           bool match = true;
           for (size_t idx = 0; idx < rule.input_positions.size(); ++idx) {
-            if (f.args[rule.input_positions[idx]] != binding[idx]) {
+            if (f.arg(rule.input_positions[idx]) != binding[idx]) {
               match = false;
               break;
             }
@@ -442,11 +442,11 @@ class Engine {
       changed = false;
       for (const Fd& fd : constraints_.fds) {
         std::map<std::vector<Term>, Term> witness;
-        for (const Fact& f : result_.instance.FactsOf(fd.relation)) {
+        for (FactRef f : result_.instance.FactsOf(fd.relation)) {
           std::vector<Term> key;
           key.reserve(fd.determiners.size());
-          for (uint32_t p : fd.determiners) key.push_back(find(f.args[p]));
-          Term value = find(f.args[fd.determined]);
+          for (uint32_t p : fd.determiners) key.push_back(find(f.arg(p)));
+          Term value = find(f.arg(fd.determined));
           auto [it, inserted] = witness.emplace(std::move(key), value);
           if (inserted) continue;
           Term a = find(it->second);

@@ -124,7 +124,7 @@ void AppendInstance(const Instance& instance, TermCanonicalizer* canon,
                     CacheKey* key) {
   std::vector<Fact> sorted;
   sorted.reserve(instance.NumFacts());
-  instance.ForEachFact([&](const Fact& f) { sorted.push_back(f); });
+  instance.ForEachFact([&](FactRef f) { sorted.push_back(Fact(f)); });
   std::sort(sorted.begin(), sorted.end());
   key->push_back(sorted.size());
   for (const Fact& f : sorted) {
@@ -491,8 +491,8 @@ ContainmentOutcome CheckLinearContainmentFrom(
   // current depth; triggers are fired on frontier facts only (each linear
   // TGD has a single body atom, so every trigger is rooted at one fact).
   std::vector<Fact> frontier;
-  start.ForEachFact([&](const Fact& f) {
-    if (inst.AddFact(f)) frontier.push_back(f);
+  start.ForEachFact([&](FactRef f) {
+    if (inst.AddFact(f)) frontier.push_back(Fact(f));
   });
 
   auto goal_holds = [&]() {

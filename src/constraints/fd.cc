@@ -17,17 +17,17 @@ bool Fd::IsTrivial() const {
 }
 
 bool Fd::SatisfiedBy(const Instance& data) const {
-  const std::vector<Fact>& facts = data.FactsOf(relation);
+  FactRange facts = data.FactsOf(relation);
   for (size_t i = 0; i < facts.size(); ++i) {
     for (size_t j = i + 1; j < facts.size(); ++j) {
       bool agree = true;
       for (uint32_t p : determiners) {
-        if (facts[i].args[p] != facts[j].args[p]) {
+        if (facts[i].arg(p) != facts[j].arg(p)) {
           agree = false;
           break;
         }
       }
-      if (agree && facts[i].args[determined] != facts[j].args[determined]) {
+      if (agree && facts[i].arg(determined) != facts[j].arg(determined)) {
         return false;
       }
     }

@@ -158,7 +158,7 @@ ConjunctiveQuery MinimizeUnderFds(const ConjunctiveQuery& q,
       RunChase(q.CanonicalDatabase(), fds_only, universe, ChaseOptions{});
   if (result.status != ChaseStatus::kCompleted) return q.Minimize();
   std::vector<Atom> atoms;
-  result.instance.ForEachFact([&](const Fact& f) { atoms.push_back(f); });
+  result.instance.ForEachFact([&](FactRef f) { atoms.push_back(Fact(f)); });
   return ConjunctiveQuery(std::move(atoms), q.free_variables()).Minimize();
 }
 

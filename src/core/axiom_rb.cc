@@ -63,9 +63,9 @@ Instance MaterializeAxiomRb(const ServiceSchema& original,
     // Distinct bindings that occur in the data (other bindings return ∅
     // and contribute nothing).
     std::set<std::vector<Term>> bindings;
-    for (const Fact& f : data.FactsOf(method.relation)) {
+    for (FactRef f : data.FactsOf(method.relation)) {
       std::vector<Term> binding;
-      for (uint32_t p : method.input_positions) binding.push_back(f.args[p]);
+      for (uint32_t p : method.input_positions) binding.push_back(f.arg(p));
       bindings.insert(std::move(binding));
     }
     for (const std::vector<Term>& binding : bindings) {

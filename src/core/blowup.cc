@@ -18,15 +18,17 @@ Instance CloneBlowup(const Instance& instance, size_t copies,
   };
 
   Instance out;
-  instance.ForEachFact([&](const Fact& f) {
-    size_t n = f.args.size();
+  instance.ForEachFact([&](FactRef f) {
+    size_t n = f.arity();
     // Enumerate all clone-index vectors in {0..copies-1}^n.
     std::vector<size_t> idx(n, 0);
     for (;;) {
       std::vector<Term> args;
       args.reserve(n);
-      for (size_t i = 0; i < n; ++i) args.push_back(clone(f.args[i], idx[i]));
-      out.AddFact(f.relation, std::move(args));
+      for (size_t i = 0; i < n; ++i) {
+        args.push_back(clone(f.arg(static_cast<uint32_t>(i)), idx[i]));
+      }
+      out.AddFact(f.relation(), std::move(args));
       size_t i = 0;
       while (i < n) {
         if (++idx[i] < copies) break;
@@ -66,12 +68,12 @@ StatusOr<BlowUpResult> BlowUpExistenceCheck(const ServiceSchema& original,
                               "ExistenceCheckSimplification?");
     }
     uint32_t arity = universe->Arity(method.relation);
-    for (const Fact& vf : ce.accessed.FactsOf(view)) {
+    for (FactRef vf : ce.accessed.FactsOf(view)) {
       for (size_t c = 0; c < copies; ++c) {
         std::vector<Term> args(arity, Term());
         std::vector<bool> is_input(arity, false);
         for (size_t i = 0; i < method.input_positions.size(); ++i) {
-          args[method.input_positions[i]] = vf.args[i];
+          args[method.input_positions[i]] = vf.arg(static_cast<uint32_t>(i));
           is_input[method.input_positions[i]] = true;
         }
         for (uint32_t p = 0; p < arity; ++p) {

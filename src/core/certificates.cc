@@ -23,26 +23,26 @@ StatusOr<AMonDetCounterexample> ExtractCertificate(
   for (const auto& [r, ra] : reduction.accessed) unaccess.emplace(ra, r);
 
   TermSet accessible;
-  for (const Fact& f : chase.instance.FactsOf(reduction.accessible_rel)) {
-    accessible.insert(f.args[0]);
+  for (FactRef f : chase.instance.FactsOf(reduction.accessible_rel)) {
+    accessible.insert(f.arg(0));
   }
 
   AMonDetCounterexample out;
-  chase.instance.ForEachFact([&](const Fact& f) {
-    if (f.relation == reduction.accessible_rel) return;
-    auto up = unprime.find(f.relation);
+  chase.instance.ForEachFact([&](FactRef f) {
+    if (f.relation() == reduction.accessible_rel) return;
+    auto up = unprime.find(f.relation());
     if (up != unprime.end()) {
-      out.i2.AddFact(up->second, f.args);
+      out.i2.AddRow(up->second, f.args());
       return;
     }
-    auto ua = unaccess.find(f.relation);
+    auto ua = unaccess.find(f.relation());
     if (ua != unaccess.end()) {
       // Naive-mode R_Accessed facts are the accessed part directly.
-      out.accessed.AddFact(ua->second, f.args);
+      out.accessed.AddRow(ua->second, f.args());
       return;
     }
-    if (reduction.primed.count(f.relation)) {
-      out.i1.AddFact(f.relation, f.args);
+    if (reduction.primed.count(f.relation())) {
+      out.i1.AddFact(f);
     }
     // Facts over relations outside the reduction (e.g. simplification
     // views) are dropped: the witness lives on the schema's signature.
@@ -51,9 +51,9 @@ StatusOr<AMonDetCounterexample> ExtractCertificate(
   if (reduction.accessed.empty()) {
     // Rewritten mode: the accessed part is implicit — facts present on
     // both sides whose values are all accessible.
-    out.i2.ForEachFact([&](const Fact& f) {
-      if (!out.i1.Contains(f)) return;
-      for (const Term& t : f.args) {
+    out.i2.ForEachFact([&](FactRef f) {
+      if (!out.i1.ContainsRow(f.relation(), f.args())) return;
+      for (Term t : f.args()) {
         if (!accessible.count(t)) return;
       }
       out.accessed.AddFact(f);

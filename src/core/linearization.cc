@@ -215,20 +215,20 @@ StatusOr<LinearizedProblem> LinearizeAnswerability(
   Instance canon = q.CanonicalDatabase();
   TermSet accessible =
       accessible_constants != nullptr ? *accessible_constants : q.Constants();
-  auto fact_mask = [&](const Fact& f) {
+  auto fact_mask = [&](FactRef f) {
     PosMask m = 0;
-    for (uint32_t p = 0; p < f.args.size(); ++p) {
-      if (accessible.count(f.args[p])) m |= PosMask(1) << p;
+    for (uint32_t p = 0; p < f.arity(); ++p) {
+      if (accessible.count(f.arg(p))) m |= PosMask(1) << p;
     }
     return m;
   };
   bool grew = true;
   while (grew) {
     grew = false;
-    canon.ForEachFact([&](const Fact& f) {
-      PosMask cl = saturation.Closure(f.relation, fact_mask(f));
-      for (uint32_t p = 0; p < f.args.size(); ++p) {
-        if ((cl & (PosMask(1) << p)) && accessible.insert(f.args[p]).second) {
+    canon.ForEachFact([&](FactRef f) {
+      PosMask cl = saturation.Closure(f.relation(), fact_mask(f));
+      for (uint32_t p = 0; p < f.arity(); ++p) {
+        if ((cl & (PosMask(1) << p)) && accessible.insert(f.arg(p)).second) {
           grew = true;
         }
       }
@@ -238,7 +238,7 @@ StatusOr<LinearizedProblem> LinearizeAnswerability(
   // Masks that actually occur at level 0 (may exceed width w).
   std::map<RelationId, std::set<PosMask>> initial_masks;
   canon.ForEachFact(
-      [&](const Fact& f) { initial_masks[f.relation].insert(fact_mask(f)); });
+      [&](FactRef f) { initial_masks[f.relation()].insert(fact_mask(f)); });
 
   // ---- Expanded signature. ----
   auto lin_rel = [&](RelationId rel, PosMask mask) {
@@ -367,19 +367,19 @@ StatusOr<LinearizedProblem> LinearizeAnswerability(
   }
 
   // ---- Initial instance. ----
-  canon.ForEachFact([&](const Fact& f) {
+  canon.ForEachFact([&](FactRef f) {
     PosMask acc_mask = fact_mask(f);
-    uint32_t arity = static_cast<uint32_t>(f.args.size());
+    uint32_t arity = f.arity();
     // All sub-masks of size ≤ w, plus the exact mask.
     for (PosMask m : SmallMasks(arity, w)) {
       PosMask sub = m & acc_mask;
-      out.start.AddFact(lin_rel(f.relation, sub), f.args);
+      out.start.AddRow(lin_rel(f.relation(), sub), f.args());
     }
-    out.start.AddFact(lin_rel(f.relation, acc_mask), f.args);
+    out.start.AddRow(lin_rel(f.relation(), acc_mask), f.args());
 
     // Direct level-0 transfers (accessibility of level-0 facts is fully
     // described by acc_mask, which the fixpoint above already closed).
-    auto m_it = methods_of.find(f.relation);
+    auto m_it = methods_of.find(f.relation());
     if (m_it == methods_of.end()) return;
     for (const LinearizedMethod* lm : m_it->second) {
       const AccessMethod& method = *lm->method;
@@ -388,19 +388,19 @@ StatusOr<LinearizedProblem> LinearizeAnswerability(
       if ((inputs & ~acc_mask) != 0) continue;
       bool is_boolean = method.input_positions.size() == arity;
       bool bounded = method.HasBound() && !is_boolean;
-      RelationId primed = PrimedRelation(universe, f.relation);
+      RelationId primed = PrimedRelation(universe, f.relation());
       if (!bounded) {
-        out.start.AddFact(primed, f.args);
+        out.start.AddRow(primed, f.args());
       } else if (!lm->visible_outputs) {
         std::vector<Term> args(arity);
         for (uint32_t p = 0; p < arity; ++p) args[p] = universe->FreshNull();
-        for (uint32_t p : method.input_positions) args[p] = f.args[p];
+        for (uint32_t p : method.input_positions) args[p] = f.arg(p);
         out.start.AddFact(primed, std::move(args));
       } else {
         std::vector<Term> args(arity);
         for (uint32_t p = 0; p < arity; ++p) args[p] = universe->FreshNull();
-        for (uint32_t p : lm->kept_positions) args[p] = f.args[p];
-        out.start.AddFact(lin_rel(f.relation, FullMask(arity)), args);
+        for (uint32_t p : lm->kept_positions) args[p] = f.arg(p);
+        out.start.AddFact(lin_rel(f.relation(), FullMask(arity)), args);
         out.start.AddFact(primed, args);
       }
     }

@@ -1,0 +1,147 @@
+#include "data/fact_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rbda {
+
+namespace {
+const std::vector<uint32_t> kNoPostings;
+
+// splitmix64-style word mixer; the dedup table's quality hinges on this
+// spreading near-identical rows (chase rows differ in one null id).
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+RelationStore::RelationStore(const RelationStore& other)
+    : relation_(other.relation_),
+      arity_(other.arity_),
+      num_rows_(other.num_rows_),
+      max_rows_(other.max_rows_),
+      slots_(other.slots_),
+      postings_(other.postings_) {
+  blocks_.reserve(other.blocks_.size());
+  const size_t words = static_cast<size_t>(arity_) * kRowsPerBlock;
+  for (const auto& block : other.blocks_) {
+    auto copy = std::make_unique<Term[]>(words);
+    std::memcpy(copy.get(), block.get(), words * sizeof(Term));
+    blocks_.push_back(std::move(copy));
+  }
+}
+
+RelationStore& RelationStore::operator=(const RelationStore& other) {
+  if (this != &other) {
+    RelationStore copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+uint64_t RelationStore::HashRow(const Term* row) const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ arity_;
+  for (uint32_t i = 0; i < arity_; ++i) {
+    h = Mix(h ^ row[i].raw());
+  }
+  return h;
+}
+
+bool RelationStore::RowEquals(uint64_t id, const Term* row) const {
+  const Term* stored = Row(id);
+  for (uint32_t i = 0; i < arity_; ++i) {
+    if (stored[i] != row[i]) return false;
+  }
+  return true;
+}
+
+size_t RelationStore::ProbeSlot(const Term* row) const {
+  const size_t mask = slots_.size() - 1;
+  size_t slot = static_cast<size_t>(HashRow(row)) & mask;
+  while (slots_[slot] != kEmptySlot && !RowEquals(slots_[slot], row)) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
+void RelationStore::GrowTable() {
+  const size_t new_size = slots_.empty() ? kInitialSlots : slots_.size() * 2;
+  slots_.assign(new_size, kEmptySlot);
+  const size_t mask = new_size - 1;
+  for (uint64_t id = 0; id < num_rows_; ++id) {
+    size_t slot = static_cast<size_t>(HashRow(Row(id))) & mask;
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<uint32_t>(id);
+  }
+}
+
+Status RelationStore::Insert(const Term* row, uint32_t* id, bool* inserted) {
+  if (slots_.empty() ||
+      num_rows_ * 100 >= slots_.size() * kMaxLoadPercent) {
+    GrowTable();
+  }
+  size_t slot = ProbeSlot(row);
+  if (slots_[slot] != kEmptySlot) {
+    *id = slots_[slot];
+    *inserted = false;
+    return Status::Ok();
+  }
+  if (num_rows_ >= max_rows_) {
+    return Status::ResourceExhausted(
+        "relation store for relation id " + std::to_string(relation_) +
+        " is full: " + std::to_string(num_rows_) +
+        " rows exhaust the 32-bit row-id space (limit " +
+        std::to_string(max_rows_) + ")");
+  }
+  // Append the row to the arena.
+  const uint64_t new_id = num_rows_;
+  if ((new_id >> kRowsPerBlockLog2) >= blocks_.size()) {
+    blocks_.push_back(
+        std::make_unique<Term[]>(static_cast<size_t>(arity_) *
+                                 kRowsPerBlock));
+  }
+  Term* dest = blocks_[new_id >> kRowsPerBlockLog2].get() +
+               (new_id & kRowsPerBlockMask) * arity_;
+  std::copy(row, row + arity_, dest);
+  ++num_rows_;
+  slots_[slot] = static_cast<uint32_t>(new_id);
+  // Column postings.
+  if (postings_.empty() && arity_ > 0) postings_.resize(arity_);
+  for (uint32_t p = 0; p < arity_; ++p) {
+    postings_[p][row[p].raw()].push_back(static_cast<uint32_t>(new_id));
+  }
+  *id = static_cast<uint32_t>(new_id);
+  *inserted = true;
+  return Status::Ok();
+}
+
+bool RelationStore::Find(const Term* row, uint32_t* id) const {
+  if (slots_.empty()) return false;
+  size_t slot = ProbeSlot(row);
+  if (slots_[slot] == kEmptySlot) return false;
+  *id = slots_[slot];
+  return true;
+}
+
+const std::vector<uint32_t>& RelationStore::Postings(uint32_t position,
+                                                     Term term) const {
+  if (position >= postings_.size()) return kNoPostings;
+  auto it = postings_[position].find(term.raw());
+  return it == postings_[position].end() ? kNoPostings : it->second;
+}
+
+size_t RelationStore::MemoryBytes() const {
+  size_t bytes = blocks_.size() * static_cast<size_t>(arity_) *
+                 kRowsPerBlock * sizeof(Term);
+  bytes += slots_.size() * sizeof(uint32_t);
+  for (const auto& column : postings_) {
+    for (const auto& [term, ids] : column) {
+      bytes += sizeof(term) + ids.capacity() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace rbda

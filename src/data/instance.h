@@ -4,35 +4,56 @@
 // currency of the whole library: query evaluation, the chase, plan
 // execution, and the simulated services all operate on Instance.
 //
-// The instance maintains a positional index (relation, position, term) ->
-// facts, which drives homomorphism search and chase trigger enumeration.
+// Storage is packed and columnar: each relation's facts live in a
+// RelationStore — fixed-arity rows of 64-bit Term words in block-allocated
+// arenas, deduplicated by an open-addressed hash over the row words, with
+// per-relation column postings driving the positional index
+// (relation, position, term) -> row ids that homomorphism search and chase
+// trigger enumeration probe. A fact is stored once; FactsOf hands out
+// borrowed row views (FactRef) instead of copies.
 //
 // For semi-naive (delta-driven) evaluation the instance also tracks how it
-// grows: per-relation fact vectors are append-only, so a DeltaMark — a
+// grows: per-relation row arenas are append-only, so a DeltaMark — a
 // snapshot of the per-relation sizes plus the structural-rebuild counter —
 // identifies exactly the facts added since the snapshot. ReplaceTerm (EGD
-// merges) rebuilds the fact vectors and bumps the rebuild counter, which
+// merges) rebuilds the arenas and bumps the rebuild counter, which
 // invalidates every outstanding mark; callers must fall back to full
 // evaluation after a rebuild (see MarkValid).
+//
+// Row ids are 32-bit and checked: growth past the id space surfaces as a
+// Status from TryAddFact/TryAddRow (the plain AddFact aborts loudly), never
+// as silent truncation.
 #ifndef RBDA_DATA_INSTANCE_H_
 #define RBDA_DATA_INSTANCE_H_
 
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "base/status.h"
+#include "data/fact_store.h"
 #include "data/term.h"
 #include "data/universe.h"
 
 namespace rbda {
 
+/// An owned fact (or, structurally, an atom whose arguments may be
+/// variables — see logic/homomorphism.h). The instance does not store
+/// Facts; it packs their terms into row arenas. Fact remains the owned
+/// currency for atoms, service results, and call sites that outlive the
+/// instance they read from.
 struct Fact {
   RelationId relation = 0;
   std::vector<Term> args;
 
   Fact() = default;
   Fact(RelationId r, std::vector<Term> a) : relation(r), args(std::move(a)) {}
+  /// Materializes a borrowed row view into an owned Fact.
+  explicit Fact(const FactRef& ref)
+      : relation(ref.relation()),
+        args(ref.args().begin(), ref.args().end()) {}
 
   bool operator==(const Fact& o) const {
     return relation == o.relation && args == o.args;
@@ -61,32 +82,75 @@ class Instance {
   /// semi-naive delta evaluation: the facts of `relation` appended after
   /// the mark are exactly FactsOf(relation)[DeltaBegin(mark, relation)..].
   /// A mark is invalidated by structural rebuilds (ReplaceTerm); check
-  /// MarkValid before using DeltaBegin.
+  /// MarkValid before using DeltaBegin. Sizes are stored untruncated; the
+  /// checked 32-bit row-id guard keeps every recorded size below 2^32.
   struct DeltaMark {
     uint64_t rebuilds = 0;
     uint64_t generation = 0;  // generation() at mark time; the delta holds
                               // generation() - generation facts
-    std::unordered_map<RelationId, uint32_t> sizes;
+    std::unordered_map<RelationId, uint64_t> sizes;
   };
 
-  /// Adds a fact; returns true if it was not already present.
-  bool AddFact(const Fact& fact);
-  bool AddFact(RelationId relation, std::vector<Term> args) {
-    return AddFact(Fact(relation, std::move(args)));
+  /// Adds a fact; returns true if it was not already present. Aborts
+  /// (loudly, never silently truncating) if the relation's checked row-id
+  /// space is exhausted — budget-bounded callers on the hot path use
+  /// TryAddFact/TryAddRow and get a Status instead.
+  bool AddFact(const Fact& fact) {
+    return AddRowChecked(fact.relation, fact.args.data(),
+                         static_cast<uint32_t>(fact.args.size()));
+  }
+  /// Rvalue overload: the packed store reads the terms in place, so a
+  /// spent Fact is never copied into storage (the old representation
+  /// copied it twice more).
+  bool AddFact(Fact&& fact) {
+    return AddRowChecked(fact.relation, fact.args.data(),
+                         static_cast<uint32_t>(fact.args.size()));
+  }
+  bool AddFact(RelationId relation, const std::vector<Term>& args) {
+    return AddRowChecked(relation, args.data(),
+                         static_cast<uint32_t>(args.size()));
+  }
+  /// Adds a borrowed row view (possibly from another instance).
+  bool AddFact(const FactRef& ref) {
+    return AddRowChecked(ref.relation(), ref.args().data(), ref.arity());
+  }
+  /// Adds a packed row directly — the zero-materialization entry point for
+  /// rebuilds and term-remapping hot paths.
+  bool AddRow(RelationId relation, std::span<const Term> row) {
+    return AddRowChecked(relation, row.data(),
+                         static_cast<uint32_t>(row.size()));
   }
 
-  bool Contains(const Fact& fact) const { return all_.count(fact) > 0; }
+  /// Status-returning variants: kResourceExhausted once the relation's row
+  /// count would pass the checked 32-bit id space (2^32 - 1 rows, or the
+  /// lowered testing limit), kInvalidArgument on an arity mismatch with
+  /// the relation's existing rows. On success *inserted reports whether
+  /// the fact was new.
+  Status TryAddFact(const Fact& fact, bool* inserted) {
+    return TryAddRow(fact.relation,
+                     {fact.args.data(), fact.args.size()}, inserted);
+  }
+  Status TryAddRow(RelationId relation, std::span<const Term> row,
+                   bool* inserted);
 
-  /// All facts over `relation` (empty vector if none).
-  const std::vector<Fact>& FactsOf(RelationId relation) const;
+  bool Contains(const Fact& fact) const {
+    return ContainsRow(fact.relation,
+                       {fact.args.data(), fact.args.size()});
+  }
+  bool ContainsRow(RelationId relation, std::span<const Term> row) const;
+
+  /// All facts over `relation`, as a random-access view of packed rows
+  /// (empty view if none). Row views stay valid across appends; a
+  /// structural rebuild (ReplaceTerm/ReplaceTerms) invalidates them.
+  FactRange FactsOf(RelationId relation) const;
 
   /// Relations that currently have at least one fact.
   std::vector<RelationId> PopulatedRelations() const;
 
-  /// Indexes of facts of `relation` whose argument at `position` is `term`.
-  /// The returned indexes refer to FactsOf(relation).
-  const std::vector<uint32_t>& FactsWith(RelationId relation, uint32_t position,
-                                         Term term) const;
+  /// Indexes of facts of `relation` whose argument at `position` is
+  /// `term`, ascending. The returned indexes refer to FactsOf(relation).
+  const std::vector<uint32_t>& FactsWith(RelationId relation,
+                                         uint32_t position, Term term) const;
 
   /// All terms occurring in facts.
   TermSet ActiveDomain() const;
@@ -94,7 +158,8 @@ class Instance {
   /// Adds every fact of `other` into this instance.
   void UnionWith(const Instance& other);
 
-  /// True if every fact of this instance is in `other`.
+  /// True if every fact of this instance is in `other`. Short-circuits on
+  /// the first missing fact.
   bool IsSubinstanceOf(const Instance& other) const;
 
   /// Replaces every occurrence of `from` by `to`, merging duplicate facts.
@@ -105,20 +170,22 @@ class Instance {
   /// in the mapping are kept), merging duplicate facts. Equivalent to a
   /// sequence of ReplaceTerm calls over an idempotent mapping, but costs a
   /// single rebuild — the FD-repair worklist in the chase relies on this.
+  /// Rows are remapped arena-to-arena; no per-fact heap nodes are built.
   void ReplaceTerms(const std::unordered_map<Term, Term, TermHash>& mapping);
 
   /// Restricts the instance to the given relations, dropping all others.
+  /// Surviving relations keep their row order (arenas are copied whole).
   Instance RestrictTo(const std::unordered_set<RelationId>& relations) const;
 
-  size_t NumFacts() const { return all_.size(); }
-  bool Empty() const { return all_.empty(); }
+  size_t NumFacts() const { return static_cast<size_t>(total_rows_); }
+  bool Empty() const { return total_rows_ == 0; }
 
   /// Monotonic count of successful AddFact calls (also bumped once per
   /// structural rebuild so it never repeats a value for different states).
   uint64_t generation() const { return generation_; }
 
   /// Count of structural rebuilds (ReplaceTerm / ReplaceTerms calls that
-  /// changed anything). A rebuild reorders the per-relation fact vectors,
+  /// changed anything). A rebuild reorders the per-relation row arenas,
   /// so it invalidates every DeltaMark taken before it.
   uint64_t rebuilds() const { return rebuilds_; }
 
@@ -132,46 +199,62 @@ class Instance {
   }
 
   /// First index into FactsOf(relation) of the facts appended since
-  /// `mark`. Requires MarkValid(mark).
+  /// `mark`. Requires MarkValid(mark). The uint32_t return cannot
+  /// truncate: the checked row-id guard caps every arena below 2^32 rows.
   uint32_t DeltaBegin(const DeltaMark& mark, RelationId relation) const;
 
-  /// Iteration over all facts, relation by relation.
+  /// Iteration over all facts, relation by relation in first-insertion
+  /// order (deterministic for a given construction sequence). The callback
+  /// receives borrowed FactRef row views.
   template <typename Fn>
   void ForEachFact(Fn&& fn) const {
-    for (const auto& [rel, facts] : by_relation_) {
-      for (const Fact& f : facts) fn(f);
+    for (RelationId rel : relation_order_) {
+      for (FactRef f : FactsOf(rel)) fn(f);
     }
   }
 
-  /// Deterministic sorted dump, one fact per line, for tests and debugging.
+  /// Short-circuiting iteration: `fn` returns false to stop. Returns true
+  /// if every fact was visited (i.e. no callback returned false).
+  template <typename Fn>
+  bool ForEachFactUntil(Fn&& fn) const {
+    for (RelationId rel : relation_order_) {
+      for (FactRef f : FactsOf(rel)) {
+        if (!fn(f)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Approximate heap footprint of the packed storage, in bytes.
+  size_t MemoryBytes() const;
+
+  /// Lowers the per-relation checked row-id limit so tests can exercise
+  /// the overflow guard without allocating 2^32 rows. Applies to existing
+  /// and future relations; values above RelationStore::kMaxRows clamp.
+  void SetMaxRowsPerRelationForTesting(uint64_t max_rows);
+
+  /// Deterministic sorted dump, one fact per line, for tests and
+  /// debugging.
   std::string ToString(const Universe& universe) const;
 
-  bool operator==(const Instance& o) const { return all_ == o.all_; }
+  bool operator==(const Instance& o) const {
+    return total_rows_ == o.total_rows_ && IsSubinstanceOf(o);
+  }
 
  private:
-  std::unordered_set<Fact, FactHash> all_;
-  std::unordered_map<RelationId, std::vector<Fact>> by_relation_;
-  // (relation, position, term) -> indexes into by_relation_[relation].
-  struct IndexKey {
-    RelationId relation;
-    uint32_t position;
-    Term term;
-    bool operator==(const IndexKey& o) const {
-      return relation == o.relation && position == o.position &&
-             term == o.term;
-    }
-  };
-  struct IndexKeyHash {
-    size_t operator()(const IndexKey& k) const {
-      uint64_t h = TermHash()(k.term);
-      h ^= (static_cast<uint64_t>(k.relation) << 32) | k.position;
-      h *= 0xbf58476d1ce4e5b9ULL;
-      return static_cast<size_t>(h ^ (h >> 29));
-    }
-  };
-  std::unordered_map<IndexKey, std::vector<uint32_t>, IndexKeyHash> index_;
+  bool AddRowChecked(RelationId relation, const Term* row, uint32_t arity);
+  RelationStore* StoreFor(RelationId relation, uint32_t arity);
+  const RelationStore* FindStore(RelationId relation) const;
+
+  // References into the map are stable across rehash, so FactRange views
+  // survive unrelated relations being added. relation_order_ records
+  // first-insertion order for deterministic whole-instance iteration.
+  std::unordered_map<RelationId, RelationStore> stores_;
+  std::vector<RelationId> relation_order_;
+  uint64_t total_rows_ = 0;
   uint64_t generation_ = 0;
   uint64_t rebuilds_ = 0;
+  uint64_t max_rows_per_relation_ = RelationStore::kMaxRows;
 };
 
 /// Renders one fact, e.g. "Prof(p1, alice, 10000)".

@@ -148,16 +148,23 @@ class Searcher {
     const Atom& atom = atoms_[idx];
     used_[idx] = true;
 
-    const std::vector<Fact>& facts = target_.FactsOf(atom.relation);
+    // Packed row view: candidate rows are contiguous arena memory, and a
+    // relation's rows all share one arity — an atom of a different arity
+    // matches nothing.
+    FactRange facts = target_.FactsOf(atom.relation);
+    if (!facts.empty() && facts[0].arity() != atom.args.size()) {
+      used_[idx] = false;
+      return true;
+    }
 
     bool keep_going = true;
-    auto try_fact = [&](const Fact& fact) -> bool {
+    auto try_fact = [&](FactRef fact) -> bool {
       // Attempt to unify atom with fact, extending sub.
       std::vector<Term> newly_bound;
       bool match = true;
       for (size_t p = 0; p < atom.args.size(); ++p) {
         Term a = atom.args[p];
-        Term v = fact.args[p];
+        Term v = fact.arg(static_cast<uint32_t>(p));
         if (a.IsConstant()) {
           if (a != v) {
             match = false;
@@ -296,7 +303,7 @@ bool InstanceHomomorphismExists(const Instance& source,
                                 const Instance& target) {
   std::vector<Atom> atoms;
   atoms.reserve(source.NumFacts());
-  source.ForEachFact([&](const Fact& f) { atoms.push_back(f); });
+  source.ForEachFact([&](FactRef f) { atoms.push_back(Fact(f)); });
   return FindHomomorphism(atoms, target).has_value();
 }
 

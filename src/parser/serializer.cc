@@ -90,7 +90,7 @@ std::string SerializeDocument(
   }
 
   std::vector<Fact> facts;
-  data.ForEachFact([&](const Fact& f) { facts.push_back(f); });
+  data.ForEachFact([&](FactRef f) { facts.push_back(Fact(f)); });
   std::sort(facts.begin(), facts.end());
   for (const Fact& f : facts) {
     std::vector<std::string> parts;

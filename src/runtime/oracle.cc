@@ -343,7 +343,7 @@ std::optional<AMonDetCounterexample> SearchAMonDetCounterexample(
     // different subsets depending on the universe's interning history.
     std::vector<Fact> i1_facts;
     i1_facts.reserve(i1->NumFacts());
-    i1->ForEachFact([&](const Fact& f) { i1_facts.push_back(f); });
+    i1->ForEachFact([&](FactRef f) { i1_facts.push_back(Fact(f)); });
     std::sort(i1_facts.begin(), i1_facts.end());
     Instance accessed;
     for (const Fact& f : i1_facts) {

@@ -59,10 +59,10 @@ std::vector<Fact> MatchingTuples(const Instance& data,
                                  const AccessMethod& method,
                                  const std::vector<Term>& binding) {
   std::vector<Fact> out;
-  const std::vector<Fact>& candidates = data.FactsOf(method.relation);
-  auto matches = [&](const Fact& f) {
+  FactRange candidates = data.FactsOf(method.relation);
+  auto matches = [&](FactRef f) {
     for (size_t i = 0; i < method.input_positions.size(); ++i) {
-      if (f.args[method.input_positions[i]] != binding[i]) return false;
+      if (f.arg(method.input_positions[i]) != binding[i]) return false;
     }
     return true;
   };
@@ -71,10 +71,11 @@ std::vector<Fact> MatchingTuples(const Instance& data,
     const std::vector<uint32_t>& postings =
         data.FactsWith(method.relation, method.input_positions[0], binding[0]);
     for (uint32_t idx : postings) {
-      if (matches(candidates[idx])) out.push_back(candidates[idx]);
+      if (matches(candidates[idx])) out.push_back(Fact(candidates[idx]));
     }
   } else {
-    out = candidates;
+    out.reserve(candidates.size());
+    for (FactRef f : candidates) out.push_back(Fact(f));
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -58,15 +58,15 @@ method m on R inputs(0) limit 2
       MaterializeAxiomRb(doc.schema, rb, data, selector.get());
 
   // Soundness: every view fact is an R fact.
-  for (const Fact& f : materialized.FactsOf(view)) {
-    EXPECT_TRUE(materialized.Contains(Fact(r, f.args)));
+  for (FactRef f : materialized.FactsOf(view)) {
+    EXPECT_TRUE(materialized.ContainsRow(r, f.args()));
   }
   // Lower bound: binding `a` has 5 > 2 matches -> exactly ≥ 2 selected;
   // binding `b` has 1 ≤ 2 -> all of them.
   size_t for_a = 0, for_b = 0;
-  for (const Fact& f : materialized.FactsOf(view)) {
-    if (f.args[0] == a) ++for_a;
-    if (f.args[0] == b) ++for_b;
+  for (FactRef f : materialized.FactsOf(view)) {
+    if (f.arg(0) == a) ++for_a;
+    if (f.arg(0) == b) ++for_b;
   }
   EXPECT_EQ(for_a, 2u);
   EXPECT_EQ(for_b, 1u);

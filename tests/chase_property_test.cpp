@@ -94,12 +94,12 @@ TEST_P(FdChaseSweep, EgdRepairsAlwaysSatisfyFds) {
   // Mix constants and nulls so merges actually happen.
   Instance start = RandomInstance(&u, schema.relations(), 3, 6, &rng);
   Instance with_nulls;
-  start.ForEachFact([&](const Fact& f) {
-    Fact g = f;
+  start.ForEachFact([&](FactRef f) {
+    Fact g(f);
     for (Term& t : g.args) {
       if (rng.Chance(1, 3)) t = u.FreshNull();
     }
-    with_nulls.AddFact(g);
+    with_nulls.AddFact(std::move(g));
     with_nulls.AddFact(f);
   });
 

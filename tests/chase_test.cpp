@@ -35,10 +35,10 @@ TEST_F(ChaseTest, FiresTgdWithFreshNull) {
   EXPECT_EQ(result.status, ChaseStatus::kCompleted);
   EXPECT_EQ(result.instance.NumFacts(), 2u);
   // The created fact has a null in the second position.
-  const std::vector<Fact>& rf = result.instance.FactsOf(r_);
+  FactRange rf = result.instance.FactsOf(r_);
   ASSERT_EQ(rf.size(), 1u);
-  EXPECT_EQ(rf[0].args[0], a_);
-  EXPECT_TRUE(rf[0].args[1].IsNull());
+  EXPECT_EQ(rf[0].arg(0), a_);
+  EXPECT_TRUE(rf[0].arg(1).IsNull());
 }
 
 TEST_F(ChaseTest, RestrictedChaseSkipsSatisfiedTriggers) {
@@ -205,8 +205,8 @@ TEST_F(ChaseTest, FdRepairResolvesLongMergeChain) {
   EXPECT_EQ(result.egd_merges, static_cast<uint64_t>(kChain));
   // Every merged class resolved to the constant end of the chain.
   EXPECT_EQ(result.instance.NumFacts(), static_cast<size_t>(kChain));
-  for (const Fact& f : result.instance.FactsOf(r_)) {
-    EXPECT_EQ(f.args[1], b_);
+  for (FactRef f : result.instance.FactsOf(r_)) {
+    EXPECT_EQ(f.arg(1), b_);
   }
   EXPECT_TRUE(cs.SatisfiedBy(result.instance));
 }
@@ -267,9 +267,9 @@ TEST_F(ChaseTest, CardinalityRuleCreatesWitnesses) {
   EXPECT_EQ(result.status, ChaseStatus::kCompleted);
   // Exactly min(2, 3) = 2 accessed witnesses for binding a; none for b.
   size_t count_a = 0, count_b = 0;
-  for (const Fact& f : result.instance.FactsOf(racc)) {
-    if (f.args[0] == a_) ++count_a;
-    if (f.args[0] == b_) ++count_b;
+  for (FactRef f : result.instance.FactsOf(racc)) {
+    if (f.arg(0) == a_) ++count_a;
+    if (f.arg(0) == b_) ++count_b;
   }
   EXPECT_EQ(count_a, 2u);
   EXPECT_EQ(count_b, 0u);

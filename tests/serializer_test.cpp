@@ -65,8 +65,8 @@ TEST(SerializerTest, FactsWithNullsAndVariablesBecomeConstants) {
   StatusOr<ParsedDocument> reparsed = ParseDocument(text, &u2);
   ASSERT_TRUE(reparsed.ok()) << text;
   EXPECT_EQ(reparsed->data.NumFacts(), 2u);
-  reparsed->data.ForEachFact([](const Fact& f) {
-    for (Term t : f.args) EXPECT_TRUE(t.IsConstant());
+  reparsed->data.ForEachFact([](FactRef f) {
+    for (Term t : f.args()) EXPECT_TRUE(t.IsConstant());
   });
 }
 
