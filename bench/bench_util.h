@@ -10,6 +10,7 @@
 
 #include "base/task_pool.h"
 #include "chase/containment.h"
+#include "obs/histogram.h"
 #include "core/answerability.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -36,6 +37,11 @@ class BenchJsonWriter {
   void Add(std::string_view key, double value) { obj_.AddDouble(key, value); }
   void Add(std::string_view key, std::string_view value) {
     obj_.AddString(key, value);
+  }
+
+  /// Embeds a pre-rendered JSON value verbatim under `key`.
+  void AddRaw(std::string_view key, std::string_view json) {
+    obj_.AddRaw(key, json);
   }
 
   /// Embeds the current default-registry snapshot under "metrics".
@@ -67,6 +73,18 @@ class BenchJsonWriter {
                  snap.check_us.Quantile(0.999));
     obj_.AddUint("profile.containment.max_us", snap.check_us.max);
     obj_.AddRaw("profile", QueryProfiler::Default().ToJson());
+  }
+
+  /// Records a distribution's headline numbers as flat
+  /// "<prefix>.{p50,p99,p999,max,mean}_us" keys — the fields BENCH_*.json
+  /// trajectories track for every latency histogram.
+  void AddQuantiles(std::string_view prefix, const HistogramSnapshot& h) {
+    std::string p(prefix);
+    obj_.AddUint(p + ".p50_us", h.Quantile(0.50));
+    obj_.AddUint(p + ".p99_us", h.Quantile(0.99));
+    obj_.AddUint(p + ".p999_us", h.Quantile(0.999));
+    obj_.AddUint(p + ".max_us", h.max);
+    obj_.AddUint(p + ".mean_us", h.count == 0 ? 0 : h.sum / h.count);
   }
 
   std::string ToJson() const { return obj_.ToJson(); }

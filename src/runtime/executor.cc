@@ -115,7 +115,7 @@ CircuitBreaker& PlanExecutor::BreakerFor(const std::string& method) {
   return it->second;
 }
 
-Status PlanExecutor::ValidatePlanShape(const Plan& plan) const {
+Status ValidatePlanShape(const ServiceSchema& schema, const Plan& plan) {
   std::set<std::string> defined;
   for (const PlanCommand& cmd : plan.commands) {
     const std::string& output = OutputName(cmd);
@@ -131,7 +131,7 @@ Status PlanExecutor::ValidatePlanShape(const Plan& plan) const {
       }
     }
     if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
-      const AccessMethod* method = schema_.FindMethod(access->method);
+      const AccessMethod* method = schema.FindMethod(access->method);
       if (method == nullptr) {
         return Status::NotFound("unknown method '" + access->method + "'");
       }
@@ -148,6 +148,10 @@ Status PlanExecutor::ValidatePlanShape(const Plan& plan) const {
                             "' was never produced");
   }
   return Status::Ok();
+}
+
+Status PlanExecutor::ValidatePlanShape(const Plan& plan) const {
+  return rbda::ValidatePlanShape(schema_, plan);
 }
 
 StatusOr<AccessResult> PlanExecutor::CallWithResilience(

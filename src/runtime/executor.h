@@ -73,6 +73,14 @@ struct ExecutionResult {
   std::set<std::string> tainted_tables;
 };
 
+/// Structural validity of a plan against a schema, checked without any
+/// service call: every output name assigned once, every referenced table
+/// defined by an earlier command, every method known and input-compatible,
+/// and the designated output table produced. The executor runs this as its
+/// pre-pass before the first access; workload generators and tests call it
+/// directly to certify synthesized plans.
+Status ValidatePlanShape(const ServiceSchema& schema, const Plan& plan);
+
 class PlanExecutor {
  public:
   /// Ideal backend: wraps `data` + `selector` in an owned InstanceService

@@ -1,0 +1,300 @@
+#include "workload/profile.h"
+
+#include <utility>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "runtime/executor.h"
+#include "runtime/generators.h"
+#include "runtime/schema_generators.h"
+
+namespace rbda {
+
+namespace {
+
+AccessMethod MakeMethod(std::string name, RelationId relation,
+                        std::vector<uint32_t> inputs, uint32_t bound) {
+  AccessMethod m;
+  m.name = std::move(name);
+  m.relation = relation;
+  m.input_positions = std::move(inputs);
+  if (bound > 0) {
+    m.bound_kind = BoundKind::kResultBound;
+    m.bound = bound;
+  }
+  return m;
+}
+
+/// Projection of `table`'s column `col` (of `arity` columns) to one value.
+TableCq ProjectColumn(Universe* u, const std::string& table, uint32_t arity,
+                      uint32_t col) {
+  std::vector<Term> args;
+  for (uint32_t p = 0; p < arity; ++p) args.push_back(u->FreshVariable());
+  return TableCq{{TableAtom{table, args}}, {args[col]}};
+}
+
+/// The standard non-monotone probe: two accesses of the same listing
+/// method, projected to their key columns and subtracted. Fault-free the
+/// difference is empty (same method, same binding, deterministic
+/// selector); under partial-result mode the plan must be refused outright.
+void AppendNonMonotonePlan(Universe* u, std::vector<Plan>* plans,
+                           const std::string& method, uint32_t arity,
+                           const std::string& prefix) {
+  Plan p;
+  p.Access(prefix + "_nmA", method)
+      .Access(prefix + "_nmB", method)
+      .Middleware(prefix + "_nmPA", {ProjectColumn(u, prefix + "_nmA", arity, 0)})
+      .Middleware(prefix + "_nmPB", {ProjectColumn(u, prefix + "_nmB", arity, 0)})
+      .Difference(prefix + "_nmD", prefix + "_nmPA", prefix + "_nmPB")
+      .Return(prefix + "_nmD");
+  plans->push_back(std::move(p));
+}
+
+/// Backing data: random facts over the schema's relations, completed to a
+/// model of the schema's constraints when the chase budget allows (so the
+/// simulated service is consistent with its own integrity constraints).
+Instance MakeData(const ServiceSchema& schema, Universe* universe,
+                  const ProfileOptions& options, Rng* rng) {
+  Instance start = RandomInstance(universe, schema.relations(),
+                                  options.domain_size, options.data_facts,
+                                  rng);
+  ChaseOptions chase;
+  chase.max_rounds = 20;
+  chase.max_facts = 2000;
+  StatusOr<Instance> model =
+      CompleteToModel(start, schema.constraints(), universe, chase);
+  return model.ok() ? *std::move(model) : start;
+}
+
+void BuildPaginatedCatalog(TenantWorkload* w, const ProfileOptions& options,
+                           Rng* rng) {
+  Universe* u = w->universe.get();
+  const std::string& px = options.prefix;
+  RelationId cat = *w->schema->AddRelation(px + "Cat", 2);
+  RelationId det = *w->schema->AddRelation(px + "Det", 2);
+  RBDA_CHECK(w->schema
+                 ->AddMethod(MakeMethod(px + "_list", cat, {},
+                                        options.page_size))
+                 .ok());
+  RBDA_CHECK(w->schema->AddMethod(MakeMethod(px + "_byid", det, {0}, 0)).ok());
+  RBDA_CHECK(w->schema
+                 ->AddMethod(MakeMethod(px + "_scan", det, {},
+                                        options.page_size))
+                 .ok());
+  // Every catalog row has a detail row: Cat(i, n) -> Det(i, a).
+  {
+    Term i = u->FreshVariable(), n = u->FreshVariable(),
+         a = u->FreshVariable();
+    w->schema->constraints().tgds.emplace_back(
+        std::vector<Atom>{Atom(cat, {i, n})},
+        std::vector<Atom>{Atom(det, {i, a})});
+  }
+  w->data = MakeData(*w->schema, u, options, rng);
+
+  // P0: one catalog page.
+  w->plans.emplace_back(Plan{}.Access("L", px + "_list").Return("L"));
+  // P1: page the catalog, look details up by key, join.
+  {
+    Plan p;
+    p.Access("L", px + "_list");
+    p.Middleware("K", {ProjectColumn(u, "L", 2, 0)});
+    p.Access("D", px + "_byid", "K");
+    Term i = u->FreshVariable(), n = u->FreshVariable(),
+         a = u->FreshVariable();
+    p.Middleware("J", {TableCq{{TableAtom{"L", {i, n}},
+                                TableAtom{"D", {i, a}}},
+                               {i, n, a}}});
+    p.Return("J");
+    w->plans.push_back(std::move(p));
+  }
+  // P2: one detail page.
+  w->plans.emplace_back(Plan{}.Access("S", px + "_scan").Return("S"));
+  if (options.include_nonmonotone_plan) {
+    AppendNonMonotonePlan(u, &w->plans, px + "_list", 2, px);
+  }
+}
+
+void BuildKeyedLookup(TenantWorkload* w, const ProfileOptions& options,
+                      Rng* rng) {
+  Universe* u = w->universe.get();
+  const std::string& px = options.prefix;
+  RelationId dir = *w->schema->AddRelation(px + "Dir", 1);
+  RelationId rec = *w->schema->AddRelation(px + "Rec", 2);
+  RelationId ref = *w->schema->AddRelation(px + "Ref", 2);
+  RBDA_CHECK(w->schema
+                 ->AddMethod(MakeMethod(px + "_dir", dir, {},
+                                        options.page_size))
+                 .ok());
+  RBDA_CHECK(w->schema->AddMethod(MakeMethod(px + "_rec", rec, {0}, 0)).ok());
+  RBDA_CHECK(w->schema
+                 ->AddMethod(MakeMethod(px + "_ref", ref, {0},
+                                        options.page_size))
+                 .ok());
+  // Dir(k) -> Rec(k, v) and Rec(k, v) -> Ref(v, s): keys dereference.
+  {
+    Term k = u->FreshVariable(), v = u->FreshVariable();
+    w->schema->constraints().tgds.emplace_back(
+        std::vector<Atom>{Atom(dir, {k})},
+        std::vector<Atom>{Atom(rec, {k, v})});
+  }
+  {
+    Term k = u->FreshVariable(), v = u->FreshVariable(),
+         s = u->FreshVariable();
+    w->schema->constraints().tgds.emplace_back(
+        std::vector<Atom>{Atom(rec, {k, v})},
+        std::vector<Atom>{Atom(ref, {v, s})});
+  }
+  w->data = MakeData(*w->schema, u, options, rng);
+
+  // P0: the directory page.
+  w->plans.emplace_back(Plan{}.Access("K", px + "_dir").Return("K"));
+  // P1: directory, then records by key.
+  w->plans.emplace_back(
+      Plan{}.Access("K", px + "_dir").Access("R", px + "_rec", "K").Return(
+          "R"));
+  // P2: two keyed hops, joined back to (key, value, deref).
+  {
+    Plan p;
+    p.Access("K", px + "_dir");
+    p.Access("R", px + "_rec", "K");
+    p.Middleware("V", {ProjectColumn(u, "R", 2, 1)});
+    p.Access("F", px + "_ref", "V");
+    Term k = u->FreshVariable(), v = u->FreshVariable(),
+         s = u->FreshVariable();
+    p.Middleware("J", {TableCq{{TableAtom{"R", {k, v}},
+                                TableAtom{"F", {v, s}}},
+                               {k, v, s}}});
+    p.Return("J");
+    w->plans.push_back(std::move(p));
+  }
+  if (options.include_nonmonotone_plan) {
+    AppendNonMonotonePlan(u, &w->plans, px + "_dir", 1, px);
+  }
+}
+
+void BuildChainCrawl(TenantWorkload* w, const ProfileOptions& options,
+                     Rng* rng) {
+  Universe* u = w->universe.get();
+  const std::string& px = options.prefix;
+  constexpr size_t kLength = 3;
+  *w->schema = GenerateChainSchema(u, kLength, /*arity=*/2,
+                                   /*bounded_prefix=*/1, options.page_size,
+                                   px);
+  w->data = MakeData(*w->schema, u, options, rng);
+  const std::string head = px + "_m0";
+
+  // P0: the bounded head listing.
+  w->plans.emplace_back(Plan{}.Access("A0", head).Return("A0"));
+  // P1..: crawl one link further per plan, rebinding the chain key.
+  for (size_t depth = 1; depth < kLength; ++depth) {
+    Plan p;
+    p.Access("A0", head);
+    for (size_t i = 1; i <= depth; ++i) {
+      std::string prev = "A" + std::to_string(i - 1);
+      std::string keys = "K" + std::to_string(i);
+      p.Middleware(keys, {ProjectColumn(u, prev, 2, 0)});
+      p.Access("A" + std::to_string(i), px + "_m" + std::to_string(i), keys);
+    }
+    p.Return("A" + std::to_string(depth));
+    w->plans.push_back(std::move(p));
+  }
+  if (options.include_nonmonotone_plan) {
+    AppendNonMonotonePlan(u, &w->plans, head, 2, px);
+  }
+}
+
+}  // namespace
+
+const char* ProfileKindName(ProfileKind kind) {
+  switch (kind) {
+    case ProfileKind::kPaginatedCatalog:
+      return "paginated-catalog";
+    case ProfileKind::kKeyedLookup:
+      return "keyed-lookup";
+    case ProfileKind::kChainCrawl:
+      return "chain-crawl";
+    case ProfileKind::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+StatusOr<ProfileKind> ParseProfileKind(const std::string& name) {
+  if (name == "paginated-catalog" || name == "paginated") {
+    return ProfileKind::kPaginatedCatalog;
+  }
+  if (name == "keyed-lookup" || name == "keyed") {
+    return ProfileKind::kKeyedLookup;
+  }
+  if (name == "chain-crawl" || name == "chain") {
+    return ProfileKind::kChainCrawl;
+  }
+  if (name == "mixed") return ProfileKind::kMixed;
+  return Status::InvalidArgument("unknown workload profile '" + name +
+                                 "' (paginated-catalog, keyed-lookup, "
+                                 "chain-crawl, mixed)");
+}
+
+size_t TenantWorkload::NonMonotonePlanIndex() const {
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (!plans[i].IsMonotone()) return i;
+  }
+  return plans.size();
+}
+
+std::vector<size_t> TenantWorkload::MonotonePlanIndexes() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i].IsMonotone()) out.push_back(i);
+  }
+  return out;
+}
+
+StatusOr<TenantWorkload> GenerateTenantWorkload(
+    const ProfileOptions& options) {
+  if (options.page_size == 0) {
+    return Status::InvalidArgument("page_size must be positive");
+  }
+  TenantWorkload w;
+  w.universe = std::make_unique<Universe>();
+  w.schema = std::make_unique<ServiceSchema>(w.universe.get());
+  w.strict = options.strict;
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 0xda3e39cb94b95bdbULL);
+
+  ProfileKind kind = options.kind;
+  if (kind == ProfileKind::kMixed) {
+    switch (rng.Below(3)) {
+      case 0:
+        kind = ProfileKind::kPaginatedCatalog;
+        break;
+      case 1:
+        kind = ProfileKind::kKeyedLookup;
+        break;
+      default:
+        kind = ProfileKind::kChainCrawl;
+        break;
+    }
+  }
+  w.kind = kind;
+  switch (kind) {
+    case ProfileKind::kPaginatedCatalog:
+      BuildPaginatedCatalog(&w, options, &rng);
+      break;
+    case ProfileKind::kKeyedLookup:
+      BuildKeyedLookup(&w, options, &rng);
+      break;
+    case ProfileKind::kChainCrawl:
+      BuildChainCrawl(&w, options, &rng);
+      break;
+    case ProfileKind::kMixed:
+      return Status::Internal("mixed kind not resolved");
+  }
+
+  RBDA_RETURN_IF_ERROR(w.schema->Validate());
+  for (const Plan& plan : w.plans) {
+    RBDA_RETURN_IF_ERROR(ValidatePlanShape(*w.schema, plan));
+  }
+  return w;
+}
+
+}  // namespace rbda

@@ -1,0 +1,94 @@
+// Generator profiles: seeded synthesis of API-shaped tenant workloads.
+//
+// The paper motivates result-bounded access with real services — paginated
+// catalogs, keyed lookup endpoints, rate-limited crawl APIs (ChEBI, IMDb,
+// web APIs with page-size bounds). A profile packages one such service
+// shape as a pure function of its seed: a ServiceSchema whose methods have
+// pagination-style result bounds and key-access input patterns, a backing
+// Instance consistent with the schema's constraints, and the plan mix a
+// tenant's requests draw from (including one deliberately non-monotone
+// difference plan, so replays exercise the partial-result refusal path).
+//
+// Everything a generated workload contains is self-owned: its Universe,
+// schema, data, and plans share no state with any other tenant, so replay
+// can execute requests from different tenants concurrently without
+// synchronization (docs/WORKLOADS.md).
+#ifndef RBDA_WORKLOAD_PROFILE_H_
+#define RBDA_WORKLOAD_PROFILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "runtime/plan.h"
+#include "schema/service_schema.h"
+
+namespace rbda {
+
+/// The API shapes a tenant workload can be generated from.
+enum class ProfileKind {
+  /// A paginated catalog: an input-free listing endpoint with a result
+  /// bound (the page), a keyed detail lookup, and a bounded detail scan.
+  kPaginatedCatalog,
+  /// A key-access chain: a bounded directory listing seeds keys, records
+  /// are fetched by key, and a second keyed hop dereferences values.
+  kKeyedLookup,
+  /// A crawl over a chain schema (GenerateChainSchema): a bounded head
+  /// listing, then keyed hops down the inclusion chain.
+  kChainCrawl,
+  /// One of the above, chosen deterministically from the seed.
+  kMixed,
+};
+
+const char* ProfileKindName(ProfileKind kind);
+StatusOr<ProfileKind> ParseProfileKind(const std::string& name);
+
+struct ProfileOptions {
+  ProfileKind kind = ProfileKind::kMixed;
+  uint64_t seed = 1;
+  /// Name prefix; must be unique per tenant when workloads share nothing
+  /// but a replay (it namespaces relations, methods, and constants).
+  std::string prefix = "W";
+  /// Result bound on the listing/pagination endpoints (the page size).
+  uint32_t page_size = 4;
+  /// Backing-data volume: random facts drawn before the data is completed
+  /// to a model of the schema's constraints.
+  size_t data_facts = 24;
+  size_t domain_size = 10;
+  /// Append the non-monotone difference plan to the plan mix (replays use
+  /// it to exercise the refusal path; generators always keep it last).
+  bool include_nonmonotone_plan = true;
+  /// Strict tenants demand exact results: replay runs their requests with
+  /// partial_results off, so faults surface as failures instead of
+  /// degradation (the SLO layer's degraded-vs-failed split).
+  bool strict = false;
+};
+
+/// One tenant's synthesized workload. Self-owned and immutable once
+/// generated; safe to read from concurrent replay workers.
+struct TenantWorkload {
+  std::unique_ptr<Universe> universe;
+  std::unique_ptr<ServiceSchema> schema;  // references *universe
+  Instance data;
+  std::vector<Plan> plans;
+  ProfileKind kind = ProfileKind::kMixed;  // resolved kind (never kMixed)
+  bool strict = false;
+
+  /// Index of the non-monotone plan, or plans.size() when absent.
+  size_t NonMonotonePlanIndex() const;
+  /// Indexes of the monotone plans, in order.
+  std::vector<size_t> MonotonePlanIndexes() const;
+};
+
+/// Generates a tenant workload as a pure function of `options`. Every
+/// schema passes Validate(), every plan passes ValidatePlanShape, every
+/// bounded method has a positive bound, and exactly the last plan is
+/// non-monotone (when included) — properties pinned by
+/// tests/workload_generator_test.cpp.
+StatusOr<TenantWorkload> GenerateTenantWorkload(const ProfileOptions& options);
+
+}  // namespace rbda
+
+#endif  // RBDA_WORKLOAD_PROFILE_H_

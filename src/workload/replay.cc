@@ -1,0 +1,146 @@
+#include "workload/replay.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "base/task_pool.h"
+#include "runtime/executor.h"
+
+namespace rbda {
+
+namespace {
+
+/// Per-request seed: a splitmix64 finalizer over (replay seed, seq). Every
+/// seeded component of a request's simulation — fault stream, retry jitter
+/// — derives from this, so request i replays identically no matter which
+/// worker runs it or what ran before it.
+uint64_t MixSeed(uint64_t seed, uint64_t seq) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (seq + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+RequestResult RunOneRequest(const TenantWorkload& w, const Request& r,
+                            const ReplayOptions& options) {
+  const Plan& plan = w.plans[r.plan_index];
+  uint64_t request_seed = MixSeed(options.seed, r.seq);
+
+  // A self-contained simulation: nothing here outlives the request, and
+  // the tenant state it reads (schema, data) is immutable.
+  std::unique_ptr<AccessSelector> selector =
+      MakeSelector(SelectionPolicy::kFirstK);
+  InstanceService backend(w.data, selector.get());
+  VirtualClock clock;
+
+  Service* service = &backend;
+  std::unique_ptr<FaultInjectingService> faulty;
+  if (!options.fault_free) {
+    FaultPlan fault_plan;
+    fault_plan.seed = request_seed;
+    fault_plan.base = r.in_storm ? options.storm : options.baseline;
+    faulty = std::make_unique<FaultInjectingService>(&backend, fault_plan,
+                                                     &clock);
+    service = faulty.get();
+  }
+
+  ExecutionPolicy policy;
+  policy.retry.max_attempts = std::max<size_t>(1, options.retry_attempts);
+  policy.retry.base_backoff_us = options.retry_base_backoff_us;
+  policy.retry.max_backoff_us = options.retry_max_backoff_us;
+  policy.retry.jitter_seed = request_seed ^ 0xa0761d6478bd642fULL;
+  policy.deadline_us = r.deadline_us;
+  policy.partial_results = !w.strict;
+
+  PlanExecutor executor(*w.schema, service, &clock, policy);
+  StatusOr<ExecutionResult> run = executor.Run(plan);
+
+  RequestResult result;
+  result.latency_us = clock.NowMicros();
+  result.retries = executor.stats().retries;
+  result.degraded_accesses = executor.stats().degraded_accesses;
+  if (run.ok()) {
+    result.outcome =
+        run->partial ? RequestOutcome::kDegraded : RequestOutcome::kOk;
+    result.answers = run->table.size();
+    if (options.keep_tables) result.table = std::move(run->table);
+    return result;
+  }
+  const Status& status = run.status();
+  // kFailedPrecondition is ambiguous (permanent faults use it too); the
+  // refusal path is specifically a non-monotone plan under partial-result
+  // mode, which the executor rejects before any access.
+  if (!plan.IsMonotone() && policy.partial_results &&
+      status.code() == StatusCode::kFailedPrecondition) {
+    result.outcome = RequestOutcome::kRejected;
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    result.outcome = RequestOutcome::kDeadlineExceeded;
+  } else {
+    result.outcome = RequestOutcome::kFailed;
+  }
+  result.error = status.ToString();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ReplayReport> ReplayWorkload(
+    const std::vector<TenantWorkload>& tenants,
+    const std::vector<Request>& requests, const ReplayOptions& options) {
+  for (const Request& r : requests) {
+    if (r.tenant >= tenants.size()) {
+      return Status::InvalidArgument(
+          "request " + std::to_string(r.seq) + " names tenant " +
+          std::to_string(r.tenant) + " of " + std::to_string(tenants.size()));
+    }
+    if (r.plan_index >= tenants[r.tenant].plans.size()) {
+      return Status::InvalidArgument(
+          "request " + std::to_string(r.seq) + " names plan " +
+          std::to_string(r.plan_index) + " of tenant " +
+          std::to_string(r.tenant));
+    }
+  }
+
+  StatusOr<std::vector<RequestResult>> results =
+      ParallelMap<RequestResult>(requests.size(), options.jobs, [&](size_t i) {
+        return RunOneRequest(tenants[requests[i].tenant], requests[i],
+                             options);
+      });
+  if (!results.ok()) return results.status();
+
+  ReplayReport report;
+  report.results = std::move(results).value();
+  report.slo = SloAccount(options.slo, tenants.size());
+  // Folded in seq order on this thread — the account is identical at any
+  // job count because the per-request results are.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    report.slo.Record(requests[i].tenant, report.results[i].outcome,
+                      report.results[i].latency_us);
+  }
+  return report;
+}
+
+std::string FormatOutcomeLog(const std::vector<Request>& requests,
+                             const ReplayReport& report) {
+  std::string out;
+  for (size_t i = 0; i < requests.size() && i < report.results.size(); ++i) {
+    const Request& r = requests[i];
+    const RequestResult& res = report.results[i];
+    out += "seq=" + std::to_string(r.seq);
+    out += " tenant=" + std::to_string(r.tenant);
+    out += " plan=" + std::to_string(r.plan_index);
+    out += " storm=" + std::to_string(r.in_storm ? 1 : 0);
+    out += " outcome=";
+    out += RequestOutcomeName(res.outcome);
+    out += " latency_us=" + std::to_string(res.latency_us);
+    out += " answers=" + std::to_string(res.answers);
+    out += " retries=" + std::to_string(res.retries);
+    out += " degraded=" + std::to_string(res.degraded_accesses);
+    out += " err=" + res.error;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rbda

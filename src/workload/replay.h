@@ -1,0 +1,86 @@
+// The replay driver: runs a traffic stream through PlanExecutor on the
+// work-stealing pool, with per-request deadlines, retries, and fault
+// injection, and folds the outcomes into SLO accounting.
+//
+// Determinism contract (tests/workload_determinism_test.cpp): every
+// request is a self-contained simulation — its own VirtualClock, access
+// selector, InstanceService over the tenant's (shared, immutable) data,
+// FaultInjectingService seeded from (replay seed, seq), and PlanExecutor —
+// so requests are independent and ParallelMap over them is byte-identical
+// at any job count. The SLO account and outcome log are built by folding
+// results in seq order afterwards.
+//
+// Policy per tenant class:
+//  * tolerant tenants run with partial_results=true: monotone plans
+//    degrade soundly under faults (outcome kDegraded), difference plans
+//    are refused up front (kRejected — never silently degraded);
+//  * strict tenants run with partial_results=false: the same faults
+//    surface as kFailed / kDeadlineExceeded. Same storm, different SLO —
+//    the degraded-vs-failed split the accounting reports.
+#ifndef RBDA_WORKLOAD_REPLAY_H_
+#define RBDA_WORKLOAD_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "runtime/service.h"
+#include "workload/profile.h"
+#include "workload/slo.h"
+#include "workload/traffic.h"
+
+namespace rbda {
+
+struct ReplayOptions {
+  uint64_t seed = 1;
+  /// Job count for the request sweep (ResolveJobs semantics; 1 = serial).
+  size_t jobs = 1;
+  /// Per-access retry budget and backoff (virtual time).
+  size_t retry_attempts = 3;
+  uint64_t retry_base_backoff_us = 500;
+  uint64_t retry_max_backoff_us = 64000;
+  /// Fault profile outside storm windows (default: a healthy service).
+  FaultProfile baseline;
+  /// Fault profile inside storm windows.
+  FaultProfile storm;
+  /// Reference mode: no fault injection at all (storm or baseline); used
+  /// by the soundness-under-storm property test as the ground truth.
+  bool fault_free = false;
+  /// Retain each request's output table (tests only — large).
+  bool keep_tables = false;
+  SloOptions slo;
+};
+
+struct RequestResult {
+  RequestOutcome outcome = RequestOutcome::kFailed;
+  uint64_t latency_us = 0;   // virtual time consumed by the request
+  uint64_t answers = 0;      // output-table size (0 on failure)
+  uint64_t retries = 0;
+  uint64_t degraded_accesses = 0;
+  std::string error;         // status text for non-ok outcomes
+  Table table;               // populated when ReplayOptions::keep_tables
+};
+
+struct ReplayReport {
+  /// results[i] is the outcome of requests[i] (seq order).
+  std::vector<RequestResult> results;
+  SloAccount slo;
+};
+
+/// Replays `requests` against `tenants`. Returns InvalidArgument when a
+/// request references a tenant or plan index out of range.
+StatusOr<ReplayReport> ReplayWorkload(const std::vector<TenantWorkload>& tenants,
+                                      const std::vector<Request>& requests,
+                                      const ReplayOptions& options);
+
+/// The per-request outcome log, one line per request in seq order:
+///   seq=0 tenant=2 plan=1 storm=0 outcome=ok latency_us=123 answers=4
+///   retries=0 degraded=0 err=
+/// Byte-identical across job counts for the same seed (the determinism
+/// artifact the tests and CI compare).
+std::string FormatOutcomeLog(const std::vector<Request>& requests,
+                             const ReplayReport& report);
+
+}  // namespace rbda
+
+#endif  // RBDA_WORKLOAD_REPLAY_H_

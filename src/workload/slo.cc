@@ -1,0 +1,129 @@
+#include "workload/slo.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace rbda {
+
+namespace {
+
+/// Snapshot-side Record: same bucket geometry as Histogram::Record, but on
+/// a plain HistogramSnapshot so tallies stay copyable value types.
+void RecordLatency(HistogramSnapshot* h, uint64_t v) {
+  if (h->buckets.empty()) h->buckets.assign(Histogram::kNumBuckets, 0);
+  if (h->count == 0) {
+    h->min = v;
+    h->max = v;
+  } else {
+    h->min = std::min(h->min, v);
+    h->max = std::max(h->max, v);
+  }
+  ++h->count;
+  h->sum += v;
+  ++h->buckets[Histogram::BucketIndex(v)];
+}
+
+void TallyRecord(SloTally* t, RequestOutcome outcome, uint64_t latency_us,
+                 const SloOptions& options) {
+  ++t->requests;
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      ++t->ok;
+      break;
+    case RequestOutcome::kDegraded:
+      ++t->degraded;
+      break;
+    case RequestOutcome::kRejected:
+      ++t->rejected;
+      break;
+    case RequestOutcome::kDeadlineExceeded:
+      ++t->deadline_exceeded;
+      break;
+    case RequestOutcome::kFailed:
+      ++t->failed;
+      break;
+  }
+  if (options.latency_slo_us > 0 && latency_us > options.latency_slo_us &&
+      (outcome == RequestOutcome::kOk ||
+       outcome == RequestOutcome::kDegraded)) {
+    ++t->latency_breaches;
+  }
+  RecordLatency(&t->latency, latency_us);
+}
+
+std::string TallyJson(const SloTally& t, const SloOptions& options) {
+  JsonObjectWriter obj;
+  obj.AddUint("requests", t.requests);
+  obj.AddUint("ok", t.ok);
+  obj.AddUint("degraded", t.degraded);
+  obj.AddUint("rejected", t.rejected);
+  obj.AddUint("deadline_exceeded", t.deadline_exceeded);
+  obj.AddUint("failed", t.failed);
+  obj.AddUint("latency_breaches", t.latency_breaches);
+  obj.AddUint("slo_breaches", t.SloBreaches());
+  obj.AddDouble("error_budget_consumed", ErrorBudgetConsumed(t, options));
+  obj.AddUint("latency_p50_us", t.latency.Quantile(0.50));
+  obj.AddUint("latency_p99_us", t.latency.Quantile(0.99));
+  obj.AddUint("latency_p999_us", t.latency.Quantile(0.999));
+  obj.AddUint("latency_max_us", t.latency.max);
+  obj.AddUint("latency_mean_us",
+              t.latency.count == 0 ? 0 : t.latency.sum / t.latency.count);
+  return obj.ToJson();
+}
+
+}  // namespace
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kDegraded:
+      return "degraded";
+    case RequestOutcome::kRejected:
+      return "rejected";
+    case RequestOutcome::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case RequestOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+double ErrorBudgetConsumed(const SloTally& tally, const SloOptions& options) {
+  if (tally.requests == 0) return 0.0;
+  uint64_t target_ppm = std::min<uint64_t>(options.availability_target_ppm,
+                                           999999);
+  double budget = static_cast<double>(tally.requests) *
+                  (static_cast<double>(1000000 - target_ppm) / 1e6);
+  return static_cast<double>(tally.SloBreaches()) / budget;
+}
+
+SloAccount::SloAccount(SloOptions options, size_t num_tenants)
+    : options_(options), tenants_(num_tenants) {}
+
+void SloAccount::Record(uint32_t tenant, RequestOutcome outcome,
+                        uint64_t latency_us) {
+  TallyRecord(&global_, outcome, latency_us, options_);
+  if (tenant < tenants_.size()) {
+    TallyRecord(&tenants_[tenant], outcome, latency_us, options_);
+  }
+}
+
+std::string SloJson(const SloAccount& account) {
+  JsonObjectWriter obj;
+  obj.AddUint("availability_target_ppm",
+              account.options().availability_target_ppm);
+  obj.AddUint("latency_slo_us", account.options().latency_slo_us);
+  obj.AddRaw("global", TallyJson(account.global(), account.options()));
+  std::string tenants;
+  for (size_t t = 0; t < account.tenants().size(); ++t) {
+    if (!tenants.empty()) tenants += ",";
+    tenants += "\"" + std::to_string(t) +
+               "\":" + TallyJson(account.tenants()[t], account.options());
+  }
+  obj.AddRaw("tenants", "{" + tenants + "}");
+  return obj.ToJson();
+}
+
+}  // namespace rbda

@@ -1,0 +1,107 @@
+// SLO accounting for workload replays: per-tenant and global outcome
+// tallies, latency quantiles, and error-budget consumption.
+//
+// Outcome taxonomy (the degraded-vs-failed split docs/ROBUSTNESS.md
+// motivates):
+//   kOk                exact result, no degradation
+//   kDegraded          partial=true — a sound underapproximation was
+//                      served (monotone plan, partial-result mode)
+//   kRejected          non-monotone plan refused by partial-result mode
+//                      (never silently degraded)
+//   kDeadlineExceeded  the per-request virtual deadline expired (strict
+//                      tenants; tolerant tenants degrade instead)
+//   kFailed            any other error (permanent faults in strict mode,
+//                      malformed plans, ...)
+//
+// SLO arithmetic is integer-exact where it matters: ok + degraded count
+// as availability successes; failed + rejected + deadline-exceeded +
+// latency breaches consume error budget. Latency quantiles use
+// HistogramSnapshot (obs/histogram.h), so per-tenant and global
+// distributions merge deterministically and carry the documented ≤ 1/32
+// relative error (exact below 32).
+#ifndef RBDA_WORKLOAD_SLO_H_
+#define RBDA_WORKLOAD_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/histogram.h"
+
+namespace rbda {
+
+enum class RequestOutcome {
+  kOk,
+  kDegraded,
+  kRejected,
+  kDeadlineExceeded,
+  kFailed,
+};
+
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+struct SloOptions {
+  /// Availability target in parts-per-million of requests (999000 =
+  /// 99.9%). Clamped to at most 999999 so the error budget is never zero.
+  uint64_t availability_target_ppm = 999000;
+  /// Latency SLO: an ok/degraded request slower than this (virtual
+  /// microseconds) still breaches. 0 disables the latency SLO.
+  uint64_t latency_slo_us = 0;
+};
+
+/// One scope's accumulated accounting (a tenant, or the global roll-up).
+struct SloTally {
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t rejected = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t failed = 0;
+  /// Ok/degraded requests over SloOptions::latency_slo_us.
+  uint64_t latency_breaches = 0;
+  HistogramSnapshot latency;  // virtual latency of every request
+
+  /// Availability successes: exact plus soundly degraded responses.
+  uint64_t Succeeded() const { return ok + degraded; }
+  /// Requests that consume error budget.
+  uint64_t SloBreaches() const {
+    return failed + rejected + deadline_exceeded + latency_breaches;
+  }
+};
+
+/// Fraction of the error budget consumed: breaches / (requests * (1 -
+/// target)). 0 when the tally is empty; > 1 means the budget is blown.
+double ErrorBudgetConsumed(const SloTally& tally, const SloOptions& options);
+
+/// Per-tenant and global accounting. Record() is deterministic arithmetic
+/// on plain values — replay folds results in request order, so two
+/// replays of the same outcomes produce identical accounts.
+class SloAccount {
+ public:
+  SloAccount() = default;
+  SloAccount(SloOptions options, size_t num_tenants);
+
+  void Record(uint32_t tenant, RequestOutcome outcome, uint64_t latency_us);
+
+  const SloOptions& options() const { return options_; }
+  const SloTally& global() const { return global_; }
+  const std::vector<SloTally>& tenants() const { return tenants_; }
+
+ private:
+  SloOptions options_;
+  SloTally global_;
+  std::vector<SloTally> tenants_;
+};
+
+/// The account as one deterministic JSON object (no wall-time fields):
+///   {"availability_target_ppm":..., "latency_slo_us":...,
+///    "global": {<tally>}, "tenants": {"0": {<tally>}, ...}}
+/// where each tally carries requests/ok/degraded/rejected/
+/// deadline_exceeded/failed/latency_breaches/slo_breaches/
+/// error_budget_consumed and latency_{p50,p99,p999,max,mean}_us.
+std::string SloJson(const SloAccount& account);
+
+}  // namespace rbda
+
+#endif  // RBDA_WORKLOAD_SLO_H_

@@ -1,0 +1,117 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace rbda {
+
+namespace {
+
+/// Cumulative Zipf weights in 32.32 fixed point: weight of tenant t is
+/// 1/(t+1)^s. The double pow is setup-only; sampling is pure integer
+/// comparison against a prefix-sum table, so draws replay exactly.
+std::vector<uint64_t> ZipfCumulative(size_t tenants, uint64_t s_x100) {
+  double s = static_cast<double>(s_x100) / 100.0;
+  std::vector<double> weights(tenants);
+  double total = 0;
+  for (size_t t = 0; t < tenants; ++t) {
+    weights[t] = std::pow(static_cast<double>(t + 1), -s);
+    total += weights[t];
+  }
+  std::vector<uint64_t> cum(tenants);
+  double acc = 0;
+  constexpr double kScale = 4294967296.0;  // 2^32
+  for (size_t t = 0; t < tenants; ++t) {
+    acc += weights[t] / total;
+    cum[t] = static_cast<uint64_t>(acc * kScale);
+  }
+  cum.back() = static_cast<uint64_t>(kScale);  // close the range exactly
+  return cum;
+}
+
+uint32_t ZipfPick(const std::vector<uint64_t>& cum, Rng* rng) {
+  uint64_t draw = rng->Next() & 0xffffffffULL;
+  auto it = std::upper_bound(cum.begin(), cum.end(), draw);
+  if (it == cum.end()) --it;
+  return static_cast<uint32_t>(it - cum.begin());
+}
+
+}  // namespace
+
+std::vector<Request> GenerateTraffic(
+    const TrafficOptions& options, const std::vector<TenantWorkload>& tenants) {
+  std::vector<Request> out;
+  if (tenants.empty() || options.requests == 0) return out;
+  out.reserve(options.requests);
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 0xc2b2ae3d27d4eb4fULL);
+
+  std::vector<uint64_t> cum =
+      ZipfCumulative(tenants.size(), options.zipf_s_x100);
+
+  // Per-tenant seeded shapes: burst phase, storm-proneness, storm phase,
+  // and the plan mix indexes.
+  const uint64_t period = options.burst_on_us + options.burst_off_us;
+  std::vector<uint64_t> burst_phase(tenants.size(), 0);
+  std::vector<uint64_t> storm_phase(tenants.size(), 0);
+  std::vector<bool> storm_prone(tenants.size(), false);
+  std::vector<std::vector<size_t>> monotone(tenants.size());
+  std::vector<size_t> nonmono(tenants.size());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    if (period > 0) burst_phase[t] = rng.Below(period);
+    storm_prone[t] =
+        rng.Chance(options.storm.tenants_affected_pm, 1000);
+    if (options.storm.every_us > 0) {
+      storm_phase[t] = rng.Below(options.storm.every_us);
+    }
+    monotone[t] = tenants[t].MonotonePlanIndexes();
+    nonmono[t] = tenants[t].NonMonotonePlanIndex();
+  }
+
+  uint64_t now_us = 0;
+  for (uint64_t i = 0; i < options.requests; ++i) {
+    now_us += 1 + rng.Below(std::max<uint64_t>(
+                      1, 2 * options.mean_interarrival_us));
+    Request r;
+    r.tenant = ZipfPick(cum, &rng);
+    r.arrival_us = now_us;
+    // Burstiness: carry an off-window draw to the tenant's next on-window.
+    if (period > 0 && options.burst_on_us > 0) {
+      uint64_t pos = (r.arrival_us + burst_phase[r.tenant]) % period;
+      if (pos >= options.burst_on_us) r.arrival_us += period - pos;
+    }
+    // Plan mix: mostly monotone, a seeded trickle of difference plans.
+    const TenantWorkload& w = tenants[r.tenant];
+    bool use_nonmono = nonmono[r.tenant] < w.plans.size() &&
+                       rng.Chance(options.nonmonotone_pm, 1000);
+    if (use_nonmono) {
+      r.plan_index = static_cast<uint32_t>(nonmono[r.tenant]);
+    } else if (!monotone[r.tenant].empty()) {
+      r.plan_index = static_cast<uint32_t>(
+          monotone[r.tenant][rng.Below(monotone[r.tenant].size())]);
+    }
+    r.deadline_us = options.deadline_us;
+    if (options.storms_enabled && storm_prone[r.tenant] &&
+        options.storm.every_us > 0 &&
+        r.arrival_us >= options.storm.first_at_us) {
+      uint64_t pos =
+          (r.arrival_us + storm_phase[r.tenant]) % options.storm.every_us;
+      r.in_storm = pos < options.storm.duration_us;
+    }
+    r.seq = i;  // draw order; re-numbered after the arrival sort
+    out.push_back(r);
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Request& a, const Request& b) {
+                     if (a.arrival_us != b.arrival_us) {
+                       return a.arrival_us < b.arrival_us;
+                     }
+                     return a.seq < b.seq;
+                   });
+  for (uint64_t i = 0; i < out.size(); ++i) out[i].seq = i;
+  return out;
+}
+
+}  // namespace rbda

@@ -1,0 +1,79 @@
+// The multi-tenant traffic model: a deterministic request stream on the
+// virtual clock.
+//
+// Three ingredients shape the stream the way real result-bounded services
+// are hit (heavy-tailed, bursty, occasionally on fire):
+//  * Zipfian tenant skew — tenant t is drawn with weight 1/(t+1)^s, so a
+//    few tenants dominate while the tail stays live;
+//  * bursty (on/off) arrivals — each tenant alternates seeded on- and
+//    off-windows; a request drawn for an off-window tenant is carried to
+//    the start of its next on-window, clustering its traffic into bursts;
+//  * fault storms — each storm-prone tenant has a seeded periodic storm
+//    schedule; requests arriving inside a storm window are replayed
+//    through a FaultInjectingService with the storm profile
+//    (workload/replay.h).
+//
+// GenerateTraffic is a pure function of (options, tenant plan mixes):
+// identical seeds produce identical streams, which is what makes replays
+// byte-comparable across job counts and commits.
+#ifndef RBDA_WORKLOAD_TRAFFIC_H_
+#define RBDA_WORKLOAD_TRAFFIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace rbda {
+
+struct StormOptions {
+  /// No storms begin before this virtual time (warm-up).
+  uint64_t first_at_us = 200000;
+  /// Storm period per tenant (each tenant's phase is seeded).
+  uint64_t every_us = 1000000;
+  /// Storm length; must be < every_us for storms to end.
+  uint64_t duration_us = 250000;
+  /// Per-mille chance a tenant is storm-prone at all (drawn once).
+  uint32_t tenants_affected_pm = 500;
+};
+
+struct TrafficOptions {
+  uint64_t seed = 1;
+  size_t requests = 1000;
+  /// Zipf skew exponent, times 100 (120 = s 1.2). 0 = uniform tenants.
+  uint64_t zipf_s_x100 = 120;
+  /// Mean virtual gap between consecutive request draws (uniform in
+  /// [1, 2*mean], so the mean is mean + 1/2).
+  uint64_t mean_interarrival_us = 100;
+  /// On/off burst windows per tenant (0 disables burstiness).
+  uint64_t burst_on_us = 400000;
+  uint64_t burst_off_us = 600000;
+  /// Per-request virtual deadline handed to the executor.
+  uint64_t deadline_us = 200000;
+  /// Per-mille of a tenant's requests that issue its non-monotone
+  /// difference plan (exercising the partial-result refusal path).
+  uint32_t nonmonotone_pm = 5;
+  bool storms_enabled = true;
+  StormOptions storm;
+};
+
+/// One request of the stream. `seq` is the position in arrival order and
+/// the key every per-request seed derives from.
+struct Request {
+  uint64_t seq = 0;
+  uint32_t tenant = 0;
+  uint64_t arrival_us = 0;
+  uint32_t plan_index = 0;
+  uint64_t deadline_us = 0;
+  bool in_storm = false;
+};
+
+/// Synthesizes the request stream: `options.requests` requests over
+/// `tenants`, sorted by arrival time (ties by draw order) and renumbered
+/// so results[i].seq == i.
+std::vector<Request> GenerateTraffic(const TrafficOptions& options,
+                                     const std::vector<TenantWorkload>& tenants);
+
+}  // namespace rbda
+
+#endif  // RBDA_WORKLOAD_TRAFFIC_H_

@@ -1,0 +1,118 @@
+// The workload determinism contract (docs/WORKLOADS.md): generation is a
+// pure function of its options, and a replay of the same seed produces
+// byte-identical per-request outcome logs and identical SLO accounting at
+// any job count — the property CI's workload-smoke job re-checks on the
+// built binary.
+#include <gtest/gtest.h>
+
+#include "workload/profile.h"
+#include "workload/replay.h"
+#include "workload/slo.h"
+#include "workload/traffic.h"
+
+namespace rbda {
+namespace {
+
+std::vector<TenantWorkload> MakeTenants(uint64_t seed, size_t count) {
+  std::vector<TenantWorkload> tenants;
+  for (size_t t = 0; t < count; ++t) {
+    ProfileOptions options;
+    options.seed = seed * 1000003ULL + t;
+    options.prefix = "T" + std::to_string(t) + "_";
+    options.strict = (t % 3) == 2;
+    StatusOr<TenantWorkload> w = GenerateTenantWorkload(options);
+    EXPECT_TRUE(w.ok()) << w.status().ToString();
+    tenants.push_back(std::move(w).value());
+  }
+  return tenants;
+}
+
+TrafficOptions SmallTraffic(uint64_t seed) {
+  TrafficOptions options;
+  options.seed = seed;
+  options.requests = 1500;
+  // Compress time so storms engage within the stream.
+  options.mean_interarrival_us = 400;
+  options.storm.first_at_us = 100000;
+  options.deadline_us = 15000;
+  return options;
+}
+
+ReplayOptions FaultyReplay(uint64_t seed, size_t jobs) {
+  ReplayOptions options;
+  options.seed = seed;
+  options.jobs = jobs;
+  options.baseline.transient_pm = 20;
+  options.baseline.truncate_pm = 10;
+  options.baseline.latency_us = 30;
+  options.storm.transient_pm = 250;
+  options.storm.rate_limit_pm = 100;
+  options.storm.truncate_pm = 100;
+  options.storm.permanent_pm = 20;
+  options.storm.latency_us = 200;
+  options.storm.retry_after_us = 2000;
+  return options;
+}
+
+TEST(WorkloadDeterminismTest, TrafficIsAPureFunctionOfItsOptions) {
+  std::vector<TenantWorkload> tenants = MakeTenants(9, 4);
+  std::vector<Request> a = GenerateTraffic(SmallTraffic(9), tenants);
+  std::vector<Request> b = GenerateTraffic(SmallTraffic(9), tenants);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].plan_index, b[i].plan_index);
+    EXPECT_EQ(a[i].deadline_us, b[i].deadline_us);
+    EXPECT_EQ(a[i].in_storm, b[i].in_storm);
+  }
+  // Arrival order with seq renumbered in place.
+  for (size_t i = 0; i + 1 < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, i);
+    EXPECT_LE(a[i].arrival_us, a[i + 1].arrival_us);
+  }
+}
+
+TEST(WorkloadDeterminismTest, SerialAndParallelReplaysAreByteIdentical) {
+  const uint64_t seed = 17;
+  std::vector<TenantWorkload> tenants = MakeTenants(seed, 4);
+  std::vector<Request> requests =
+      GenerateTraffic(SmallTraffic(seed), tenants);
+
+  StatusOr<ReplayReport> serial =
+      ReplayWorkload(tenants, requests, FaultyReplay(seed, /*jobs=*/1));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  StatusOr<ReplayReport> parallel =
+      ReplayWorkload(tenants, requests, FaultyReplay(seed, /*jobs=*/8));
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  // Byte-identical per-request outcome logs...
+  EXPECT_EQ(FormatOutcomeLog(requests, *serial),
+            FormatOutcomeLog(requests, *parallel));
+  // ...and identical SLO accounting, down to the histogram buckets.
+  EXPECT_EQ(SloJson(serial->slo), SloJson(parallel->slo));
+
+  // The stream is long enough to exercise the taxonomy, not just kOk.
+  const SloTally& g = serial->slo.global();
+  EXPECT_EQ(g.requests, requests.size());
+  EXPECT_GT(g.ok, 0u);
+  EXPECT_GT(g.degraded + g.failed + g.rejected + g.deadline_exceeded, 0u);
+}
+
+TEST(WorkloadDeterminismTest, DifferentSeedsDiverge) {
+  std::vector<TenantWorkload> tenants = MakeTenants(17, 4);
+  std::vector<Request> requests =
+      GenerateTraffic(SmallTraffic(17), tenants);
+  StatusOr<ReplayReport> a =
+      ReplayWorkload(tenants, requests, FaultyReplay(17, 1));
+  StatusOr<ReplayReport> b =
+      ReplayWorkload(tenants, requests, FaultyReplay(18, 1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Different fault streams: some request must land differently.
+  EXPECT_NE(FormatOutcomeLog(requests, *a), FormatOutcomeLog(requests, *b));
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,139 @@
+// Property tests for the workload generator profiles: across 100+ seeds
+// and every profile kind, generated workloads are structurally certified
+// (schema validates, every plan passes the executor's pre-pass), respect
+// their declared result bounds, keep the non-monotone probe last, and are
+// pure functions of their options.
+#include <gtest/gtest.h>
+
+#include "runtime/access_selection.h"
+#include "runtime/executor.h"
+#include "runtime/service.h"
+#include "workload/profile.h"
+
+namespace rbda {
+namespace {
+
+constexpr ProfileKind kKinds[] = {
+    ProfileKind::kPaginatedCatalog,
+    ProfileKind::kKeyedLookup,
+    ProfileKind::kChainCrawl,
+    ProfileKind::kMixed,
+};
+
+ProfileOptions Options(ProfileKind kind, uint64_t seed) {
+  ProfileOptions options;
+  options.kind = kind;
+  options.seed = seed;
+  options.prefix = "G" + std::to_string(seed) + "_";
+  options.page_size = 1 + static_cast<uint32_t>(seed % 5);
+  return options;
+}
+
+TEST(WorkloadGeneratorTest, HundredSeedsValidateAcrossEveryKind) {
+  for (uint64_t seed = 1; seed <= 110; ++seed) {
+    for (ProfileKind kind : kKinds) {
+      ProfileOptions options = Options(kind, seed);
+      StatusOr<TenantWorkload> w = GenerateTenantWorkload(options);
+      ASSERT_TRUE(w.ok()) << ProfileKindName(kind) << " seed " << seed
+                          << ": " << w.status().ToString();
+      EXPECT_NE(w->kind, ProfileKind::kMixed);  // always resolved
+      ASSERT_TRUE(w->schema->Validate().ok());
+      ASSERT_FALSE(w->plans.empty());
+
+      // Every plan passes the executor's structural pre-pass.
+      for (const Plan& plan : w->plans) {
+        Status shape = ValidatePlanShape(*w->schema, plan);
+        EXPECT_TRUE(shape.ok())
+            << ProfileKindName(kind) << " seed " << seed << ": "
+            << shape.ToString();
+      }
+
+      // Exactly the last plan is the non-monotone probe.
+      EXPECT_EQ(w->NonMonotonePlanIndex(), w->plans.size() - 1);
+      for (size_t i = 0; i + 1 < w->plans.size(); ++i) {
+        EXPECT_TRUE(w->plans[i].IsMonotone());
+      }
+      std::vector<size_t> monotone = w->MonotonePlanIndexes();
+      EXPECT_EQ(monotone.size(), w->plans.size() - 1);
+
+      // Declared bounds: every bounded method carries the profile's page
+      // size, and the service honors it.
+      std::unique_ptr<AccessSelector> selector =
+          MakeSelector(SelectionPolicy::kFirstK);
+      InstanceService service(w->data, selector.get());
+      bool saw_bounded = false;
+      for (const AccessMethod& method : w->schema->methods()) {
+        if (!method.HasBound()) continue;
+        saw_bounded = true;
+        EXPECT_EQ(method.bound_kind, BoundKind::kResultBound);
+        EXPECT_EQ(method.bound, options.page_size);
+        if (method.IsInputFree()) {
+          StatusOr<AccessResult> page = service.Call(method, {});
+          ASSERT_TRUE(page.ok());
+          EXPECT_LE(page->facts.size(), method.bound);
+        }
+      }
+      EXPECT_TRUE(saw_bounded) << ProfileKindName(kind) << " seed " << seed;
+    }
+  }
+}
+
+TEST(WorkloadGeneratorTest, MonotonePlansExecuteFaultFree) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    ProfileOptions options = Options(ProfileKind::kMixed, seed);
+    StatusOr<TenantWorkload> w = GenerateTenantWorkload(options);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    std::unique_ptr<AccessSelector> selector =
+        MakeSelector(SelectionPolicy::kFirstK);
+    PlanExecutor executor(*w->schema, w->data, selector.get());
+    for (size_t i : w->MonotonePlanIndexes()) {
+      StatusOr<ExecutionResult> run = executor.Run(w->plans[i]);
+      ASSERT_TRUE(run.ok()) << "seed " << seed << " plan " << i << ": "
+                            << run.status().ToString();
+      EXPECT_FALSE(run->partial);
+    }
+    // The non-monotone probe subtracts a page from itself: fault-free,
+    // with a deterministic idempotent-free selector, it is empty.
+    StatusOr<ExecutionResult> probe =
+        executor.Run(w->plans[w->NonMonotonePlanIndex()]);
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    EXPECT_TRUE(probe->table.empty());
+  }
+}
+
+TEST(WorkloadGeneratorTest, GenerationIsAPureFunctionOfOptions) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ProfileOptions options = Options(ProfileKind::kMixed, seed);
+    StatusOr<TenantWorkload> a = GenerateTenantWorkload(options);
+    StatusOr<TenantWorkload> b = GenerateTenantWorkload(options);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->kind, b->kind);
+    EXPECT_EQ(a->data.NumFacts(), b->data.NumFacts());
+    ASSERT_EQ(a->plans.size(), b->plans.size());
+    for (size_t i = 0; i < a->plans.size(); ++i) {
+      EXPECT_EQ(a->plans[i].ToString(*a->universe),
+                b->plans[i].ToString(*b->universe));
+    }
+    EXPECT_EQ(a->schema->ToString(), b->schema->ToString());
+  }
+}
+
+TEST(WorkloadGeneratorTest, ZeroPageSizeIsRejected) {
+  ProfileOptions options;
+  options.page_size = 0;
+  EXPECT_EQ(GenerateTenantWorkload(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadGeneratorTest, NonMonotonePlanCanBeOmitted) {
+  ProfileOptions options = Options(ProfileKind::kPaginatedCatalog, 3);
+  options.include_nonmonotone_plan = false;
+  StatusOr<TenantWorkload> w = GenerateTenantWorkload(options);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->NonMonotonePlanIndex(), w->plans.size());  // absent
+  for (const Plan& plan : w->plans) EXPECT_TRUE(plan.IsMonotone());
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,275 @@
+// Golden tests for the workload SLO accounting: every number asserted here
+// is computed by hand from the documented semantics — histogram quantiles
+// (exact below 32), error-budget arithmetic, the degraded-vs-failed
+// outcome taxonomy, and the executor's deterministic fault schedules.
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "workload/profile.h"
+#include "workload/replay.h"
+#include "workload/slo.h"
+#include "workload/traffic.h"
+
+namespace rbda {
+namespace {
+
+// ---- Pure accounting goldens. ----
+
+TEST(SloAccountTest, HandComputedTalliesAndQuantiles) {
+  SloOptions options;
+  options.availability_target_ppm = 500000;  // 50%: budget = requests / 2
+  options.latency_slo_us = 4;
+  SloAccount account(options, 2);
+
+  account.Record(0, RequestOutcome::kOk, 3);
+  account.Record(0, RequestOutcome::kDegraded, 5);  // over 4us: breach
+  account.Record(1, RequestOutcome::kFailed, 5);    // failure, not latency
+  account.Record(1, RequestOutcome::kOk, 3);
+  account.Record(0, RequestOutcome::kRejected, 2);
+  account.Record(1, RequestOutcome::kDeadlineExceeded, 7);
+
+  const SloTally& g = account.global();
+  EXPECT_EQ(g.requests, 6u);
+  EXPECT_EQ(g.ok, 2u);
+  EXPECT_EQ(g.degraded, 1u);
+  EXPECT_EQ(g.rejected, 1u);
+  EXPECT_EQ(g.deadline_exceeded, 1u);
+  EXPECT_EQ(g.failed, 1u);
+  EXPECT_EQ(g.latency_breaches, 1u);
+  EXPECT_EQ(g.Succeeded(), 3u);
+  // failed + rejected + deadline + latency breach.
+  EXPECT_EQ(g.SloBreaches(), 4u);
+  // Budget = 6 * (1 - 0.5) = 3; consumed = 4 / 3.
+  EXPECT_DOUBLE_EQ(ErrorBudgetConsumed(g, options), 4.0 / 3.0);
+
+  // Latencies {3,5,5,3,2,7}, sorted {2,3,3,5,5,7}; values < 32 are exact.
+  // Quantile rank is ceil(q * count): p50 -> rank 3 -> 3, p99 -> rank 6
+  // -> 7.
+  EXPECT_EQ(g.latency.count, 6u);
+  EXPECT_EQ(g.latency.sum, 25u);
+  EXPECT_EQ(g.latency.min, 2u);
+  EXPECT_EQ(g.latency.max, 7u);
+  EXPECT_EQ(g.latency.Quantile(0.50), 3u);
+  EXPECT_EQ(g.latency.Quantile(0.99), 7u);
+
+  // Per-tenant splits.
+  const SloTally& t0 = account.tenants()[0];
+  EXPECT_EQ(t0.requests, 3u);
+  EXPECT_EQ(t0.ok, 1u);
+  EXPECT_EQ(t0.degraded, 1u);
+  EXPECT_EQ(t0.rejected, 1u);
+  EXPECT_EQ(t0.SloBreaches(), 2u);  // rejection + latency breach
+  const SloTally& t1 = account.tenants()[1];
+  EXPECT_EQ(t1.requests, 3u);
+  EXPECT_EQ(t1.failed, 1u);
+  EXPECT_EQ(t1.deadline_exceeded, 1u);
+  EXPECT_EQ(t1.SloBreaches(), 2u);
+
+  std::string json = SloJson(account);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"global\":{\"requests\":6,\"ok\":2,\"degraded\":1,"
+                      "\"rejected\":1,\"deadline_exceeded\":1,\"failed\":1,"
+                      "\"latency_breaches\":1,\"slo_breaches\":4"),
+            std::string::npos)
+      << json;
+}
+
+TEST(SloAccountTest, EmptyTallyConsumesNoBudget) {
+  SloOptions options;
+  EXPECT_DOUBLE_EQ(ErrorBudgetConsumed(SloTally{}, options), 0.0);
+  SloAccount account(options, 1);
+  EXPECT_TRUE(IsValidJson(SloJson(account)));
+}
+
+TEST(SloAccountTest, TargetIsClampedSoBudgetIsNeverZero) {
+  SloOptions options;
+  options.availability_target_ppm = 1000000;  // clamped to 999999
+  SloTally t;
+  t.requests = 1000000;
+  t.failed = 1;
+  ++t.requests;  // 1000001 requests, 1 breach
+  // Budget = 1000001 * (1 - 0.999999) = 1.000001.
+  EXPECT_NEAR(ErrorBudgetConsumed(t, options), 1.0 / 1.000001, 1e-9);
+}
+
+// ---- End-to-end replay goldens. ----
+
+/// A tenant small enough to compute every latency by hand: one unary
+/// relation with two facts, one unbounded input-free method, plan 0 a
+/// single access, plan 1 the standard non-monotone difference probe.
+TenantWorkload TinyTenant(bool strict, const std::string& px) {
+  TenantWorkload w;
+  w.universe = std::make_unique<Universe>();
+  w.schema = std::make_unique<ServiceSchema>(w.universe.get());
+  RelationId r = *w.schema->AddRelation(px + "R", 1);
+  AccessMethod m;
+  m.name = px + "m";
+  m.relation = r;
+  EXPECT_TRUE(w.schema->AddMethod(m).ok());
+  w.data.AddFact(r, {w.universe->Constant(px + "a")});
+  w.data.AddFact(r, {w.universe->Constant(px + "b")});
+  w.strict = strict;
+  w.plans.emplace_back(Plan{}.Access("T", px + "m").Return("T"));
+  {
+    Plan p;
+    p.Access("A", px + "m")
+        .Access("B", px + "m")
+        .Difference("D", "A", "B")
+        .Return("D");
+    w.plans.push_back(std::move(p));
+  }
+  return w;
+}
+
+Request MakeRequest(uint64_t seq, uint32_t tenant, uint32_t plan, bool storm,
+                    uint64_t deadline_us = 0) {
+  Request r;
+  r.seq = seq;
+  r.tenant = tenant;
+  r.plan_index = plan;
+  r.in_storm = storm;
+  r.deadline_us = deadline_us;
+  return r;
+}
+
+/// Deterministic fault schedules: baseline adds 3us to every (successful)
+/// call; the storm adds 5us and fails the first 10 calls transiently.
+ReplayOptions GoldenOptions(size_t retry_attempts) {
+  ReplayOptions options;
+  options.seed = 42;
+  options.retry_attempts = retry_attempts;
+  options.retry_base_backoff_us = 10;
+  options.retry_max_backoff_us = 10;  // backoff is always exactly 10us
+  options.baseline.latency_us = 3;
+  options.storm.latency_us = 5;
+  options.storm.fail_first = 10;
+  options.slo.availability_target_ppm = 500000;
+  return options;
+}
+
+TEST(ReplayGoldenTest, HandComputedEndToEndAccounting) {
+  std::vector<TenantWorkload> tenants;
+  tenants.push_back(TinyTenant(/*strict=*/false, "A"));
+  tenants.push_back(TinyTenant(/*strict=*/true, "B"));
+
+  // No retries: a storm request spends exactly one 5us attempt; a
+  // baseline request one 3us call.
+  ReplayOptions options = GoldenOptions(/*retry_attempts=*/1);
+  std::vector<Request> requests = {
+      MakeRequest(0, 0, 0, /*storm=*/true),    // tolerant -> degraded, 5us
+      MakeRequest(1, 0, 0, /*storm=*/false),   // ok, 3us, both facts
+      MakeRequest(2, 1, 0, /*storm=*/true),    // strict -> failed, 5us
+      MakeRequest(3, 1, 0, /*storm=*/false),   // ok, 3us
+  };
+  StatusOr<ReplayReport> report = ReplayWorkload(tenants, requests, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ASSERT_EQ(report->results.size(), 4u);
+  EXPECT_EQ(report->results[0].outcome, RequestOutcome::kDegraded);
+  EXPECT_EQ(report->results[0].latency_us, 5u);
+  EXPECT_EQ(report->results[0].answers, 0u);
+  EXPECT_EQ(report->results[0].degraded_accesses, 1u);
+  EXPECT_EQ(report->results[1].outcome, RequestOutcome::kOk);
+  EXPECT_EQ(report->results[1].latency_us, 3u);
+  EXPECT_EQ(report->results[1].answers, 2u);
+  EXPECT_EQ(report->results[2].outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(report->results[2].latency_us, 5u);
+  EXPECT_EQ(report->results[3].outcome, RequestOutcome::kOk);
+  EXPECT_EQ(report->results[3].latency_us, 3u);
+
+  const SloTally& g = report->slo.global();
+  EXPECT_EQ(g.requests, 4u);
+  EXPECT_EQ(g.ok, 2u);
+  EXPECT_EQ(g.degraded, 1u);
+  EXPECT_EQ(g.failed, 1u);
+  EXPECT_EQ(g.SloBreaches(), 1u);
+  // Budget = 4 * 0.5 = 2; one breach -> half the budget.
+  EXPECT_DOUBLE_EQ(ErrorBudgetConsumed(g, options.slo), 0.5);
+  // Latencies {5,3,5,3} sorted {3,3,5,5}: p50 rank 2 -> 3, p99 rank 4
+  // -> 5; sum 16 over 4 -> mean 4.
+  EXPECT_EQ(g.latency.Quantile(0.50), 3u);
+  EXPECT_EQ(g.latency.Quantile(0.99), 5u);
+  EXPECT_EQ(g.latency.sum / g.latency.count, 4u);
+
+  ASSERT_EQ(report->slo.tenants().size(), 2u);
+  EXPECT_EQ(report->slo.tenants()[0].degraded, 1u);
+  EXPECT_EQ(report->slo.tenants()[0].SloBreaches(), 0u);
+  EXPECT_EQ(report->slo.tenants()[1].failed, 1u);
+  EXPECT_DOUBLE_EQ(
+      ErrorBudgetConsumed(report->slo.tenants()[1], options.slo), 1.0);
+
+  // The outcome log is the exact hand-written transcript.
+  EXPECT_EQ(
+      FormatOutcomeLog(requests, *report),
+      "seq=0 tenant=0 plan=0 storm=1 outcome=degraded latency_us=5 "
+      "answers=0 retries=0 degraded=1 err=\n"
+      "seq=1 tenant=0 plan=0 storm=0 outcome=ok latency_us=3 answers=2 "
+      "retries=0 degraded=0 err=\n"
+      "seq=2 tenant=1 plan=0 storm=1 outcome=failed latency_us=5 answers=0 "
+      "retries=0 degraded=0 err=UNAVAILABLE: transient failure on 'Bm' "
+      "(scheduled, call 1)\n"
+      "seq=3 tenant=1 plan=0 storm=0 outcome=ok latency_us=3 answers=2 "
+      "retries=0 degraded=0 err=\n");
+}
+
+TEST(ReplayGoldenTest, DeadlineExpiresMidRetryWithExactVirtualLatency) {
+  std::vector<TenantWorkload> tenants;
+  tenants.push_back(TinyTenant(/*strict=*/false, "A"));
+  tenants.push_back(TinyTenant(/*strict=*/true, "B"));
+
+  // Storm request with a 12us deadline: attempt 1 sleeps 5us and fails;
+  // the 10us backoff is capped at the 7us remaining; attempt 2 finds the
+  // deadline expired at exactly t=12.
+  ReplayOptions options = GoldenOptions(/*retry_attempts=*/3);
+  std::vector<Request> requests = {
+      MakeRequest(0, 1, 0, /*storm=*/true, /*deadline_us=*/12),
+      MakeRequest(1, 0, 0, /*storm=*/true, /*deadline_us=*/12),
+  };
+  StatusOr<ReplayReport> report = ReplayWorkload(tenants, requests, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Strict tenant: the deadline surfaces as an outcome of its own.
+  EXPECT_EQ(report->results[0].outcome, RequestOutcome::kDeadlineExceeded);
+  EXPECT_EQ(report->results[0].latency_us, 12u);
+  EXPECT_EQ(report->results[0].retries, 1u);
+  // Tolerant tenant: the same expiry degrades instead.
+  EXPECT_EQ(report->results[1].outcome, RequestOutcome::kDegraded);
+  EXPECT_EQ(report->results[1].latency_us, 12u);
+  EXPECT_EQ(report->slo.global().deadline_exceeded, 1u);
+  EXPECT_EQ(report->slo.global().degraded, 1u);
+}
+
+TEST(ReplayGoldenTest, NonMonotonePlanRefusedForTolerantExecutedForStrict) {
+  std::vector<TenantWorkload> tenants;
+  tenants.push_back(TinyTenant(/*strict=*/false, "A"));
+  tenants.push_back(TinyTenant(/*strict=*/true, "B"));
+
+  ReplayOptions options = GoldenOptions(/*retry_attempts=*/1);
+  std::vector<Request> requests = {
+      MakeRequest(0, 0, 1, /*storm=*/false),  // tolerant: refused up front
+      MakeRequest(1, 1, 1, /*storm=*/false),  // strict: runs, empty diff
+  };
+  StatusOr<ReplayReport> report = ReplayWorkload(tenants, requests, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->results[0].outcome, RequestOutcome::kRejected);
+  EXPECT_EQ(report->results[0].latency_us, 0u);  // refused before any call
+  EXPECT_EQ(report->results[1].outcome, RequestOutcome::kOk);
+  EXPECT_EQ(report->results[1].answers, 0u);  // T - T is empty
+  EXPECT_EQ(report->slo.global().rejected, 1u);
+}
+
+TEST(ReplayTest, OutOfRangeRequestIsInvalidArgument) {
+  std::vector<TenantWorkload> tenants;
+  tenants.push_back(TinyTenant(/*strict=*/false, "A"));
+  ReplayOptions options = GoldenOptions(1);
+  std::vector<Request> bad_tenant = {MakeRequest(0, 7, 0, false)};
+  EXPECT_EQ(ReplayWorkload(tenants, bad_tenant, options).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<Request> bad_plan = {MakeRequest(0, 0, 9, false)};
+  EXPECT_EQ(ReplayWorkload(tenants, bad_plan, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rbda

@@ -1,0 +1,137 @@
+// Soundness under fault storms (docs/ROBUSTNESS.md, docs/WORKLOADS.md):
+// whatever a storm does to a tolerant tenant's monotone request, the
+// answer served is a subset of the fault-free replay of the same request
+// — degradation loses answers, never invents them. Difference plans are
+// refused outright in partial-result mode, never silently degraded.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/profile.h"
+#include "workload/replay.h"
+#include "workload/slo.h"
+#include "workload/traffic.h"
+
+namespace rbda {
+namespace {
+
+std::vector<TenantWorkload> StormTenants(uint64_t seed) {
+  std::vector<TenantWorkload> tenants;
+  for (size_t t = 0; t < 3; ++t) {
+    ProfileOptions options;
+    options.seed = seed * 7919ULL + t;
+    options.prefix = "S" + std::to_string(t) + "_";
+    options.strict = t == 2;  // one strict tenant for the taxonomy checks
+    StatusOr<TenantWorkload> w = GenerateTenantWorkload(options);
+    EXPECT_TRUE(w.ok()) << w.status().ToString();
+    tenants.push_back(std::move(w).value());
+  }
+  return tenants;
+}
+
+std::vector<Request> StormTraffic(uint64_t seed,
+                                  const std::vector<TenantWorkload>& tenants) {
+  TrafficOptions options;
+  options.seed = seed;
+  options.requests = 400;
+  options.mean_interarrival_us = 600;
+  options.nonmonotone_pm = 50;  // plenty of refusal-path coverage
+  options.storm.first_at_us = 50000;
+  options.storm.every_us = 200000;
+  options.storm.duration_us = 120000;  // storms dominate the stream
+  options.storm.tenants_affected_pm = 1000;
+  return GenerateTraffic(options, tenants);
+}
+
+ReplayOptions StormReplay(uint64_t seed, bool fault_free) {
+  ReplayOptions options;
+  options.seed = seed;
+  options.keep_tables = true;
+  options.fault_free = fault_free;
+  options.storm.transient_pm = 300;
+  options.storm.rate_limit_pm = 150;
+  options.storm.truncate_pm = 200;
+  options.storm.permanent_pm = 50;
+  options.storm.latency_us = 150;
+  options.storm.retry_after_us = 1500;
+  options.baseline.transient_pm = 40;
+  options.baseline.truncate_pm = 30;
+  options.baseline.latency_us = 20;
+  return options;
+}
+
+TEST(WorkloadStormPropertyTest, DegradedAnswersAreSubsetsOfFaultFree) {
+  size_t degraded_total = 0;
+  size_t compared = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    std::vector<TenantWorkload> tenants = StormTenants(seed);
+    std::vector<Request> requests = StormTraffic(seed, tenants);
+
+    StatusOr<ReplayReport> stormy = ReplayWorkload(
+        tenants, requests, StormReplay(seed, /*fault_free=*/false));
+    ASSERT_TRUE(stormy.ok()) << stormy.status().ToString();
+    StatusOr<ReplayReport> clean = ReplayWorkload(
+        tenants, requests, StormReplay(seed, /*fault_free=*/true));
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const Request& r = requests[i];
+      const TenantWorkload& w = tenants[r.tenant];
+      const bool monotone = w.plans[r.plan_index].IsMonotone();
+      const RequestResult& faulty = stormy->results[i];
+      const RequestResult& ideal = clean->results[i];
+
+      if (monotone) {
+        // Fault-free, every monotone request is exact.
+        ASSERT_EQ(ideal.outcome, RequestOutcome::kOk)
+            << "seed " << seed << " req " << i << ": " << ideal.error;
+        if (faulty.outcome == RequestOutcome::kOk ||
+            faulty.outcome == RequestOutcome::kDegraded) {
+          // The served answer never invents tuples.
+          EXPECT_TRUE(std::includes(ideal.table.begin(), ideal.table.end(),
+                                    faulty.table.begin(),
+                                    faulty.table.end()))
+              << "seed " << seed << " req " << i << " tenant " << r.tenant
+              << " plan " << r.plan_index;
+          ++compared;
+          if (faulty.outcome == RequestOutcome::kDegraded) ++degraded_total;
+        }
+        // An exact (non-degraded) monotone answer under faults can still
+        // differ from ideal only by truncation — still a subset, checked
+        // above; nothing else to assert.
+      } else {
+        // Difference plans: refused for tolerant tenants in BOTH replays
+        // (fault-free changes nothing — the refusal is structural), and
+        // never reported as degraded for anyone.
+        if (!w.strict) {
+          EXPECT_EQ(faulty.outcome, RequestOutcome::kRejected);
+          EXPECT_EQ(ideal.outcome, RequestOutcome::kRejected);
+        }
+        EXPECT_NE(faulty.outcome, RequestOutcome::kDegraded);
+        EXPECT_NE(ideal.outcome, RequestOutcome::kDegraded);
+      }
+    }
+  }
+  // The property must not pass vacuously: storms this heavy degrade
+  // plenty of requests.
+  EXPECT_GT(compared, 100u);
+  EXPECT_GT(degraded_total, 10u);
+}
+
+TEST(WorkloadStormPropertyTest, RejectionsNeverConsumeAccessBudget) {
+  std::vector<TenantWorkload> tenants = StormTenants(3);
+  std::vector<Request> requests = StormTraffic(3, tenants);
+  StatusOr<ReplayReport> report =
+      ReplayWorkload(tenants, requests, StormReplay(3, false));
+  ASSERT_TRUE(report.ok());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (report->results[i].outcome != RequestOutcome::kRejected) continue;
+    // Refused before the first service call: no virtual time consumed.
+    EXPECT_EQ(report->results[i].latency_us, 0u);
+    EXPECT_EQ(report->results[i].retries, 0u);
+    EXPECT_FALSE(report->results[i].error.empty());
+  }
+}
+
+}  // namespace
+}  // namespace rbda

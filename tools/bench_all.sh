@@ -61,3 +61,23 @@ else
 fi
 
 echo "wrote $(wc -l < "$OUT") bench records to $OUT" >&2
+
+# Multi-tenant workload replay (docs/WORKLOADS.md): one BENCH_JSON record
+# carrying the full SLO account — per-tenant and global quantiles, error
+# budget, degraded-vs-failed tallies. The record is deterministic modulo
+# the wall-time fields (wall_us, requests_per_sec, peak_rss_bytes) at any
+# job count, so BENCH_workload.json diffs cleanly across commits.
+WORKLOAD_OUT="$REPO_ROOT/BENCH_workload.json"
+if [ -x "$BUILD_DIR/tools/rbda_workload" ]; then
+  echo "== rbda_workload (--jobs=$JOBS)" >&2
+  "$BUILD_DIR/tools/rbda_workload" --seed=1 --tenants=8 --requests=100000 \
+    --deadline-us=15000 --latency-slo-us=10000 --jobs="$JOBS" \
+    | sed -n 's/^BENCH_JSON //p' > "$WORKLOAD_OUT"
+  if [ -x "$BUILD_DIR/tools/rbda_json_validate" ]; then
+    "$BUILD_DIR/tools/rbda_json_validate" --lines "$WORKLOAD_OUT" >&2
+  fi
+  echo "wrote workload SLO record to $WORKLOAD_OUT" >&2
+else
+  echo "warning: $BUILD_DIR/tools/rbda_workload not built; skipping" \
+       "BENCH_workload.json" >&2
+fi

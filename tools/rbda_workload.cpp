@@ -1,0 +1,242 @@
+// rbda_workload — multi-tenant workload replay with SLO accounting.
+//
+//   rbda_workload [--seed=N] [--tenants=N] [--requests=N] [--jobs=N]
+//                 [--profile=mixed|paginated-catalog|keyed-lookup|chain-crawl]
+//                 [--page-size=N] [--strict-every=N]
+//                 [--mean-interarrival-us=N] [--deadline-us=N]
+//                 [--availability-ppm=N] [--latency-slo-us=N]
+//                 [--baseline-faults=SPEC] [--storm-faults=SPEC]
+//                 [--fault-free] [--slo-json=FILE] [--log=FILE]
+//
+// Synthesizes one workload per tenant (workload/profile.h), generates a
+// Zipf-skewed bursty request stream on the virtual clock
+// (workload/traffic.h), replays it through PlanExecutor with per-request
+// deadlines, retries, and seeded fault storms (workload/replay.h), and
+// prints the SLO account as a BENCH_JSON line.
+//
+// Determinism: the same --seed produces a byte-identical BENCH_JSON line
+// modulo the wall-time fields (wall_us, requests_per_sec, peak_rss_bytes)
+// at ANY --jobs value. --slo-json and --log write fully deterministic
+// artifacts (no wall-time fields at all) — the files CI compares across
+// job counts (docs/WORKLOADS.md).
+//
+// Fault SPECs use the runtime/service.h ParseFaultSpec grammar, e.g.
+// "transient=0.25,rate=0.1,latency-us=200". --strict-every=N makes every
+// N-th tenant strict (exact results or failure; 0 = all tenants
+// tolerant), populating both sides of the degraded-vs-failed split.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/task_pool.h"
+#include "bench/bench_util.h"
+#include "workload/profile.h"
+#include "workload/replay.h"
+#include "workload/slo.h"
+#include "workload/traffic.h"
+
+using namespace rbda;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rbda_workload [--seed=N] [--tenants=N] [--requests=N] "
+      "[--jobs=N] [--profile=KIND] [--page-size=N] [--strict-every=N] "
+      "[--mean-interarrival-us=N] [--deadline-us=N] [--availability-ppm=N] "
+      "[--latency-slo-us=N] [--baseline-faults=SPEC] [--storm-faults=SPEC] "
+      "[--fault-free] [--slo-json=FILE] [--log=FILE]\n");
+  return 2;
+}
+
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << content;
+  return static_cast<bool>(file);
+}
+
+/// The storm and baseline the replay uses when no spec overrides them: a
+/// mildly lossy service outside storms, a visibly on-fire one inside.
+FaultProfile DefaultBaselineFaults() {
+  FaultProfile p;
+  p.transient_pm = 20;
+  p.truncate_pm = 10;
+  p.latency_us = 30;
+  return p;
+}
+
+FaultProfile DefaultStormFaults() {
+  FaultProfile p;
+  p.transient_pm = 250;
+  p.rate_limit_pm = 100;
+  p.truncate_pm = 100;
+  p.permanent_pm = 20;
+  p.latency_us = 200;
+  p.retry_after_us = 2000;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  uint64_t num_tenants = 4;
+  uint64_t num_requests = 1000;
+  uint64_t jobs_flag = 0;
+  uint64_t page_size = 4;
+  uint64_t strict_every = 3;
+  ProfileKind kind = ProfileKind::kMixed;
+  TrafficOptions traffic;
+  ReplayOptions replay;
+  replay.baseline = DefaultBaselineFaults();
+  replay.storm = DefaultStormFaults();
+  std::string slo_json_path;
+  std::string log_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    uint64_t n = 0;
+    if (arg == "--seed" && ParseUint(value, &n)) {
+      seed = n;
+    } else if (arg == "--tenants" && ParseUint(value, &n) && n > 0) {
+      num_tenants = n;
+    } else if (arg == "--requests" && ParseUint(value, &n)) {
+      num_requests = n;
+    } else if (arg == "--jobs" && ParseUint(value, &n)) {
+      jobs_flag = n;
+    } else if (arg == "--page-size" && ParseUint(value, &n) && n > 0) {
+      page_size = n;
+    } else if (arg == "--strict-every" && ParseUint(value, &n)) {
+      strict_every = n;
+    } else if (arg == "--profile") {
+      StatusOr<ProfileKind> parsed = ParseProfileKind(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 2;
+      }
+      kind = *parsed;
+    } else if (arg == "--mean-interarrival-us" && ParseUint(value, &n)) {
+      traffic.mean_interarrival_us = n;
+    } else if (arg == "--deadline-us" && ParseUint(value, &n)) {
+      traffic.deadline_us = n;
+    } else if (arg == "--availability-ppm" && ParseUint(value, &n)) {
+      replay.slo.availability_target_ppm = n;
+    } else if (arg == "--latency-slo-us" && ParseUint(value, &n)) {
+      replay.slo.latency_slo_us = n;
+    } else if (arg == "--baseline-faults" || arg == "--storm-faults") {
+      StatusOr<FaultPlan> plan = ParseFaultSpec(value);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+        return 2;
+      }
+      (arg == "--baseline-faults" ? replay.baseline : replay.storm) =
+          plan->base;
+    } else if (arg == "--fault-free") {
+      replay.fault_free = true;
+    } else if (arg == "--slo-json") {
+      slo_json_path = value;
+    } else if (arg == "--log") {
+      log_path = value;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  std::vector<TenantWorkload> tenants;
+  tenants.reserve(num_tenants);
+  for (uint64_t t = 0; t < num_tenants; ++t) {
+    ProfileOptions options;
+    options.kind = kind;
+    options.seed = seed * 1000003ULL + t;
+    options.prefix = "T" + std::to_string(t) + "_";
+    options.page_size = static_cast<uint32_t>(page_size);
+    options.strict = strict_every > 0 && (t + 1) % strict_every == 0;
+    StatusOr<TenantWorkload> workload = GenerateTenantWorkload(options);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "tenant %llu: %s\n",
+                   static_cast<unsigned long long>(t),
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    tenants.push_back(std::move(workload).value());
+  }
+
+  traffic.seed = seed;
+  traffic.requests = num_requests;
+  std::vector<Request> requests = GenerateTraffic(traffic, tenants);
+
+  replay.seed = seed;
+  replay.jobs = ResolveJobs(jobs_flag);
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0 = Clock::now();
+  StatusOr<ReplayReport> report = ReplayWorkload(tenants, requests, replay);
+  uint64_t wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+  if (!report.ok()) {
+    std::fprintf(stderr, "replay: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!slo_json_path.empty() &&
+      !WriteFile(slo_json_path, SloJson(report->slo) + "\n")) {
+    std::fprintf(stderr, "cannot write '%s'\n", slo_json_path.c_str());
+    return 1;
+  }
+  if (!log_path.empty() &&
+      !WriteFile(log_path, FormatOutcomeLog(requests, *report))) {
+    std::fprintf(stderr, "cannot write '%s'\n", log_path.c_str());
+    return 1;
+  }
+
+  const SloTally& g = report->slo.global();
+  BenchJsonWriter writer("workload");
+  writer.Add("seed", seed);
+  writer.Add("tenants", num_tenants);
+  writer.Add("requests", g.requests);
+  writer.Add("jobs", static_cast<uint64_t>(replay.jobs));
+  writer.Add("profile", ProfileKindName(kind));
+  writer.Add("fault_free", static_cast<uint64_t>(replay.fault_free ? 1 : 0));
+  writer.Add("slo.ok", g.ok);
+  writer.Add("slo.degraded", g.degraded);
+  writer.Add("slo.rejected", g.rejected);
+  writer.Add("slo.deadline_exceeded", g.deadline_exceeded);
+  writer.Add("slo.failed", g.failed);
+  writer.Add("slo.latency_breaches", g.latency_breaches);
+  writer.Add("slo.breaches", g.SloBreaches());
+  writer.Add("slo.error_budget_consumed",
+             ErrorBudgetConsumed(g, report->slo.options()));
+  writer.AddQuantiles("slo.latency", g.latency);
+  writer.Add("wall_us", wall_us);
+  writer.Add("requests_per_sec",
+             wall_us == 0 ? 0.0
+                          : static_cast<double>(g.requests) * 1e6 /
+                                static_cast<double>(wall_us));
+  writer.AddRaw("slo", SloJson(report->slo));
+  writer.AddPeakRss();
+  writer.Print();
+  return 0;
+}
