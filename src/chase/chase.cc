@@ -278,8 +278,15 @@ class Engine {
         for (const Atom& h : tgd.head()) {
           Fact fact = ApplyToAtom(extension, h);
           // The store packs the terms in place, so the spent Fact moves
-          // into the trace instead of being copied twice.
-          if (result_.instance.AddFact(fact)) added.push_back(std::move(fact));
+          // into the trace instead of being copied twice. A row-id-cap
+          // overflow degrades like a fact-budget trip (the caller sees
+          // kBudgetExceeded/kFacts) instead of aborting the process.
+          bool inserted = false;
+          if (!result_.instance.TryAddFact(fact, &inserted).ok()) {
+            budget_tripped_ = true;
+            return fired;
+          }
+          if (inserted) added.push_back(std::move(fact));
         }
         ++fired;
         ++result_.tgd_steps;
@@ -391,7 +398,15 @@ class Engine {
           for (uint32_t p = 0; p < arity; ++p) {
             if (!is_input[p]) args[p] = universe_->FreshNull();
           }
-          result_.instance.AddFact(rule.target_rel, std::move(args));
+          bool inserted = false;
+          if (!result_.instance
+                   .TryAddRow(rule.target_rel, {args.data(), args.size()},
+                              &inserted)
+                   .ok()) {
+            // Row-id space exhausted: degrade as a fact-budget trip.
+            budget_tripped_ = true;
+            return fired;
+          }
           ++have;
           ++fired;
           Metrics().triggers_cardinality->IncrementCell();

@@ -490,9 +490,19 @@ ContainmentOutcome CheckLinearContainmentFrom(
   // Breadth-first by depth level: `frontier` holds the facts created at the
   // current depth; triggers are fired on frontier facts only (each linear
   // TGD has a single body atom, so every trigger is rooted at one fact).
+  // A row-id-cap overflow anywhere in the linear chase degrades the check
+  // to kUnknown (a budget-style outcome) instead of aborting the process —
+  // the daemon serves the request as incomplete and stays up.
+  bool row_ids_exhausted = false;
   std::vector<Fact> frontier;
-  start.ForEachFact([&](FactRef f) {
-    if (inst.AddFact(f)) frontier.push_back(Fact(f));
+  start.ForEachFactUntil([&](FactRef f) {
+    bool inserted = false;
+    if (!inst.TryAddRow(f.relation(), f.args(), &inserted).ok()) {
+      row_ids_exhausted = true;
+      return false;
+    }
+    if (inserted) frontier.push_back(Fact(f));
+    return true;
   });
 
   auto goal_holds = [&]() {
@@ -521,6 +531,12 @@ ContainmentOutcome CheckLinearContainmentFrom(
     return std::move(out);
   };
 
+  if (row_ids_exhausted) {
+    out.chase.status = ChaseStatus::kBudgetExceeded;
+    out.chase.exhausted = ChaseExhausted::kFacts;
+    return finish(ContainmentVerdict::kUnknown);
+  }
+
   if (goal_holds()) {
     return finish(ContainmentVerdict::kContained);
   }
@@ -529,9 +545,11 @@ ContainmentOutcome CheckLinearContainmentFrom(
     out.depth_reached = depth;
     std::vector<Fact> next;
     for (const Fact& fact : frontier) {
+      if (row_ids_exhausted) break;
       Instance just_fact;
       just_fact.AddFact(fact);
       for (const Tgd& tgd : linear_tgds) {
+        if (row_ids_exhausted) break;
         if (tgd.body()[0].relation != fact.relation) continue;
         // All body matches of this single-atom body against `fact`.
         ForEachHomomorphism(
@@ -551,7 +569,12 @@ ContainmentOutcome CheckLinearContainmentFrom(
               uint64_t created_count = 0;
               for (const Atom& h : tgd.head()) {
                 Fact created = ApplyToAtom(extension, h);
-                if (inst.AddFact(created)) {
+                bool inserted = false;
+                if (!inst.TryAddFact(created, &inserted).ok()) {
+                  row_ids_exhausted = true;
+                  return false;  // stop enumerating; degrade below
+                }
+                if (inserted) {
                   next.push_back(created);
                   ++created_count;
                 }
@@ -574,7 +597,7 @@ ContainmentOutcome CheckLinearContainmentFrom(
     if (goal_holds()) {
       return finish(ContainmentVerdict::kContained);
     }
-    if (inst.NumFacts() > max_facts) {
+    if (row_ids_exhausted || inst.NumFacts() > max_facts) {
       out.chase.status = ChaseStatus::kBudgetExceeded;
       out.chase.exhausted = ChaseExhausted::kFacts;
       Metrics().chase_exhausted_facts->IncrementCell();

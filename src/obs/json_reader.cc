@@ -1,0 +1,367 @@
+#include "obs/json_reader.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rbda {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(
+    std::vector<std::pair<std::string, JsonValue>> m) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(m);
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+StatusOr<std::string> JsonValue::GetString(std::string_view key,
+                                           std::string_view absent) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return std::string(absent);
+  if (!v->is_string()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a string");
+  }
+  return v->AsString();
+}
+
+StatusOr<bool> JsonValue::GetBool(std::string_view key, bool absent) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return absent;
+  if (!v->is_bool()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a boolean");
+  }
+  return v->AsBool();
+}
+
+StatusOr<uint64_t> JsonValue::GetUint(std::string_view key, uint64_t absent,
+                                      uint64_t max) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return absent;
+  if (!v->is_number()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a number");
+  }
+  double d = v->AsDouble();
+  if (!(d >= 0.0) || d != std::floor(d) ||
+      d > static_cast<double>(uint64_t{1} << 53) ||
+      static_cast<uint64_t>(d) > max) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' out of range");
+  }
+  return static_cast<uint64_t>(d);
+}
+
+namespace {
+
+// Recursive-descent parser over a bounded cursor. Every advance is bounds
+// checked; depth is threaded explicitly so adversarial nesting fails with
+// a Status instead of a stack overflow.
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonReaderOptions& options)
+      : text_(text), options_(options) {}
+
+  StatusOr<JsonValue> Parse() {
+    SkipWhitespace();
+    StatusOr<JsonValue> v = ParseValue(0);
+    if (!v.ok()) return v;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.size() - pos_ < lit.size()) return false;
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  StatusOr<JsonValue> ParseValue(size_t depth) {
+    if (depth > options_.max_depth) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        StatusOr<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return JsonValue::String(std::move(*s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+        return Error("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+        return Error("bad literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::Null();
+        return Error("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject(size_t depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue::Object(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Error("expected object key");
+      StatusOr<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      for (const auto& [k, v] : members) {
+        if (k == *key) return Error("duplicate object key '" + *key + "'");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWhitespace();
+      StatusOr<JsonValue> value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      members.emplace_back(std::move(*key), std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue::Object(std::move(members));
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(size_t depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue::Array(std::move(items));
+    while (true) {
+      SkipWhitespace();
+      StatusOr<JsonValue> value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      items.push_back(std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue::Array(std::move(items));
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // opening '"'
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      if (out.size() > options_.max_string_bytes) {
+        return Error("string literal too long");
+      }
+      unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return out;
+      if (c < 0x20) return Error("raw control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!ParseHex4(&cp)) return Error("bad \\u escape");
+          // Surrogate pair: a high surrogate must be followed by a low
+          // one; anything else is malformed input, not a crash.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (!ConsumeLiteral("\\u")) return Error("lone high surrogate");
+            uint32_t lo = 0;
+            if (!ParseHex4(&lo) || lo < 0xDC00 || lo > 0xDFFF) {
+              return Error("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("lone low surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (text_.size() - pos_ < 4) return false;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      value = value * 16 + digit;
+    }
+    *out = value;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+      // fallthrough: digits must follow
+    }
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      pos_ = start;
+      return Error("invalid value");
+    }
+    if (Peek() == '0') {
+      ++pos_;  // leading zero admits no further integer digits
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (Consume('.')) {
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error("digits must follow '.'");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error("digits must follow exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
+      return Error("number out of range");
+    }
+    return JsonValue::Number(d);
+  }
+
+  std::string_view text_;
+  JsonReaderOptions options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text,
+                              const JsonReaderOptions& options) {
+  return Parser(text, options).Parse();
+}
+
+}  // namespace rbda

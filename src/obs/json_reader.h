@@ -1,0 +1,92 @@
+// Defensive JSON reader for the serving layer. The obs exporters only
+// ever *write* JSON (json.h); the daemon additionally has to *read* it
+// from untrusted sockets, so this parser is built for hostility: every
+// malformation is a Status (never a crash or an exception), nesting depth
+// and input size are bounded, and numbers that do not fit the requested
+// integer type are rejected rather than wrapped.
+#ifndef RBDA_OBS_JSON_READER_H_
+#define RBDA_OBS_JSON_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace rbda {
+
+/// One parsed JSON value. Objects keep their members in document order;
+/// duplicate keys are rejected at parse time.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }        // valid iff is_bool()
+  double AsDouble() const { return number_; }  // valid iff is_number()
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed member accessors for protocol handling. Each returns an error
+  /// naming the key when the member exists with the wrong type; `absent`
+  /// is returned when the key is missing (callers pass their default).
+  StatusOr<std::string> GetString(std::string_view key,
+                                  std::string_view absent) const;
+  StatusOr<bool> GetBool(std::string_view key, bool absent) const;
+  /// Rejects negatives, fractions, and values beyond 2^53 (where double
+  /// stops representing integers exactly) or `max`.
+  StatusOr<uint64_t> GetUint(std::string_view key, uint64_t absent,
+                             uint64_t max = (1ull << 53)) const;
+
+  // Builders (used by the parser; handy in tests).
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> m);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+struct JsonReaderOptions {
+  size_t max_depth = 32;          // nesting levels before kInvalidArgument
+  size_t max_string_bytes = 1 << 20;  // longest decoded string literal
+};
+
+/// Parses exactly one JSON value (plus surrounding whitespace) from
+/// `text`. Any violation — trailing garbage, bad escape, unterminated
+/// literal, duplicate object key, too-deep nesting, non-finite number —
+/// is an InvalidArgument Status. Input bytes are never trusted: the
+/// parser indexes only within bounds and allocates proportionally to the
+/// input size.
+StatusOr<JsonValue> ParseJson(std::string_view text,
+                              const JsonReaderOptions& options = {});
+
+}  // namespace rbda
+
+#endif  // RBDA_OBS_JSON_READER_H_

@@ -343,8 +343,10 @@ Status ParseFactLine(Lexer* lex, ParsedDocument* doc) {
       return Status::InvalidArgument("facts must use constants only");
     }
   }
-  doc->data.AddFact(std::move(*atom));
-  return Status::Ok();
+  // Documents can arrive over the network (rbda_serve load-schema), so a
+  // row-id-cap overflow must surface as a parse error, not an abort.
+  bool inserted = false;
+  return doc->data.TryAddFact(*atom, &inserted);
 }
 
 }  // namespace

@@ -315,7 +315,9 @@ StatusOr<Table> PlanExecutor::RunMiddleware(
           return Status::InvalidArgument("atom arity mismatch for table '" +
                                          atom.table + "'");
         }
-        scratch_instance.AddFact(*rel, tuple);
+        bool inserted = false;
+        RBDA_RETURN_IF_ERROR(scratch_instance.TryAddRow(
+            *rel, {tuple.data(), tuple.size()}, &inserted));
       }
     }
   }

@@ -52,9 +52,22 @@ bool CircuitBreaker::AllowRequest() {
                      {{"vt_us", static_cast<int64_t>(clock_->NowMicros())}},
                      {{"method", name_}, {"state", "half-open"}});
   }
-  // Half-open: admit exactly one probe per cooldown window.
-  if (probe_in_flight_) return false;
+  // Half-open: admit exactly one probe at a time. A probe whose caller
+  // never reports an outcome (deadline expiry between AllowRequest and
+  // Record*) is reclaimed after the probe timeout, so an abandoned probe
+  // cannot wedge the breaker half-open forever.
+  if (probe_in_flight_) {
+    uint64_t timeout = options_.probe_timeout_us != 0
+                           ? options_.probe_timeout_us
+                           : options_.open_cooldown_us;
+    if (clock_->NowMicros() - probe_started_at_us_ < timeout) return false;
+    TraceEventRecord(
+        "executor.breaker",
+        {{"vt_us", static_cast<int64_t>(clock_->NowMicros())}},
+        {{"method", name_}, {"state", "half-open"}, {"probe", "reclaimed"}});
+  }
   probe_in_flight_ = true;
+  probe_started_at_us_ = clock_->NowMicros();
   return true;
 }
 

@@ -31,6 +31,12 @@ struct RetryPolicy {
 struct CircuitBreakerOptions {
   size_t failure_threshold = 5;        // consecutive failures that trip it
   uint64_t open_cooldown_us = 100000;  // virtual time before a probe
+  /// How long an admitted half-open probe may stay unresolved before the
+  /// breaker reclaims the probe slot and admits a new probe. Guards
+  /// against callers that never report an outcome (e.g. a deadline
+  /// expires between AllowRequest and Record*): without it the breaker
+  /// wedges half-open forever. 0 = reuse open_cooldown_us.
+  uint64_t probe_timeout_us = 0;
 };
 
 /// Per-method circuit breaker: closed → open after `failure_threshold`
@@ -48,7 +54,9 @@ class CircuitBreaker {
                  const VirtualClock* clock);
 
   /// True if a call may proceed. Advances open → half-open once the
-  /// cooldown has elapsed; in half-open only the first caller is admitted.
+  /// cooldown has elapsed; in half-open only the first caller is admitted
+  /// — until the probe times out unresolved (probe_timeout_us), at which
+  /// point the slot is reclaimed and the next caller becomes the probe.
   bool AllowRequest();
   void RecordSuccess();
   /// Returns true iff this failure opened the circuit (from closed or
@@ -72,6 +80,7 @@ class CircuitBreaker {
   size_t opens_ = 0;
   uint64_t opened_at_us_ = 0;
   bool probe_in_flight_ = false;
+  uint64_t probe_started_at_us_ = 0;
 };
 
 }  // namespace rbda

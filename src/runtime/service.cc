@@ -1,6 +1,8 @@
 #include "runtime/service.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 
 #include "obs/metrics.h"
@@ -168,7 +170,12 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
   auto parse_pm = [](const std::string& v, uint32_t* out) {
     char* end = nullptr;
     double d = std::strtod(v.c_str(), &end);
-    if (end == v.c_str() || *end != '\0' || d < 0.0 || d > 1.0) return false;
+    // strtod accepts "nan" and "inf", which pass a naive range check (NaN
+    // compares false to everything) and then hit UB on the uint32 cast.
+    if (end == v.c_str() || *end != '\0' || !std::isfinite(d) || d < 0.0 ||
+        d > 1.0) {
+      return false;
+    }
     *out = static_cast<uint32_t>(d * 1000.0 + 0.5);
     return true;
   };
@@ -177,9 +184,17 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
     uint64_t value = 0;
     for (char c : v) {
       if (c < '0' || c > '9') return false;
-      value = value * 10 + static_cast<uint64_t>(c - '0');
+      uint64_t digit = static_cast<uint64_t>(c - '0');
+      if (value > (UINT64_MAX - digit) / 10) return false;  // would wrap
+      value = value * 10 + digit;
     }
     *out = value;
+    return true;
+  };
+  auto parse_u32 = [&parse_u64](const std::string& v, uint32_t* out) {
+    uint64_t n = 0;
+    if (!parse_u64(v, &n) || n > UINT32_MAX) return false;
+    *out = static_cast<uint32_t>(n);
     return true;
   };
 
@@ -204,7 +219,6 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
       key = key.substr(dot + 1);
     }
     bool ok;
-    uint64_t n = 0;
     if (key == "transient") {
       ok = parse_pm(value, &profile->transient_pm);
     } else if (key == "rate") {
@@ -218,11 +232,9 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
     } else if (key == "retry-after-us") {
       ok = parse_u64(value, &profile->retry_after_us);
     } else if (key == "fail-first") {
-      ok = parse_u64(value, &n);
-      profile->fail_first = static_cast<uint32_t>(n);
+      ok = parse_u32(value, &profile->fail_first);
     } else if (key == "fail-from") {
-      ok = parse_u64(value, &n);
-      profile->fail_from = static_cast<uint32_t>(n);
+      ok = parse_u32(value, &profile->fail_from);
     } else if (key == "seed") {
       if (profile != &plan.base) {
         return Status::InvalidArgument(

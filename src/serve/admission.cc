@@ -1,0 +1,52 @@
+#include "serve/admission.h"
+
+namespace rbda {
+
+AdmissionController::Verdict AdmissionController::TryAdmit(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued_ >= options_.max_queue) return Verdict::kQueueFull;
+  size_t& tenant_count = tenant_inflight_[tenant];
+  if (tenant_count >= options_.per_tenant_inflight) {
+    if (tenant_count == 0) tenant_inflight_.erase(tenant);
+    return Verdict::kTenantOverLimit;
+  }
+  ++queued_;
+  ++in_flight_;
+  ++tenant_count;
+  return Verdict::kAdmitted;
+}
+
+void AdmissionController::OnDequeue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued_ > 0) --queued_;
+}
+
+void AdmissionController::OnComplete(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  auto it = tenant_inflight_.find(tenant);
+  if (it != tenant_inflight_.end() && --it->second == 0) {
+    // Erase empty buckets so a scan of one-shot tenant names cannot grow
+    // the map without bound.
+    tenant_inflight_.erase(it);
+  }
+  if (in_flight_ == 0) idle_cv_.notify_all();
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void AdmissionController::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace rbda

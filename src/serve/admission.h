@@ -1,0 +1,67 @@
+// Bounded admission control for rbda_serve (docs/SERVING.md,
+// docs/ROBUSTNESS.md). The work queue itself lives in the TaskPool; this
+// controller is the gate in front of it, so the daemon's queue memory is
+// bounded no matter how fast requests arrive: past `max_queue` pending
+// requests, admission fails and the caller sheds the request with an
+// explicit `overloaded` response instead of growing the queue.
+//
+// Per-tenant caps bound how much of the daemon one tenant can occupy:
+// a tenant may have at most `per_tenant_inflight` requests admitted
+// (queued + executing) at once. The cap rejects the *tenant*, not the
+// daemon — other tenants keep being admitted.
+#ifndef RBDA_SERVE_ADMISSION_H_
+#define RBDA_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rbda {
+
+struct AdmissionOptions {
+  size_t max_queue = 512;          // pending (admitted, not yet executing)
+  size_t per_tenant_inflight = 128;  // queued + executing, per tenant
+};
+
+class AdmissionController {
+ public:
+  enum class Verdict { kAdmitted, kQueueFull, kTenantOverLimit };
+
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  /// Gate for one request. kAdmitted increments the queue depth and the
+  /// tenant's in-flight count; the caller must pair it with exactly one
+  /// OnDequeue and one OnComplete.
+  Verdict TryAdmit(const std::string& tenant);
+
+  /// The admitted request left the queue and started executing (or was
+  /// rejected at dequeue for an expired deadline — still call both).
+  void OnDequeue();
+
+  /// The admitted request finished (response enqueued).
+  void OnComplete(const std::string& tenant);
+
+  size_t queue_depth() const;
+  /// Admitted and not yet complete (queued + executing).
+  size_t in_flight() const;
+
+  /// Blocks until every admitted request has completed. Drain calls this
+  /// after closing the listener; workers finishing their tail of work
+  /// wake it.
+  void WaitIdle();
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  size_t queued_ = 0;
+  size_t in_flight_ = 0;
+  std::map<std::string, size_t> tenant_inflight_;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_SERVE_ADMISSION_H_

@@ -1,0 +1,102 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rbda {
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+StatusOr<std::unique_ptr<ServeClient>> ServeClient::Connect(
+    const std::string& host, uint16_t port, uint64_t timeout_ms) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable("socket: " + std::string(strerror(errno)));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Unavailable("connect " + ip + ":" +
+                                   std::to_string(port) + ": " +
+                                   std::string(strerror(errno)));
+    close(fd);
+    return s;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<ServeClient>(new ServeClient(fd, timeout_ms));
+}
+
+Status ServeClient::SendRaw(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable("write: " + std::string(strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status ServeClient::Send(std::string_view line) {
+  std::string framed(line);
+  if (framed.empty() || framed.back() != '\n') framed += '\n';
+  return SendRaw(framed);
+}
+
+StatusOr<std::string> ServeClient::ReadLine(uint64_t timeout_ms) {
+  if (timeout_ms == 0) timeout_ms = default_timeout_ms_;
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    pollfd p = {fd_, POLLIN, 0};
+    int rc = poll(&p, 1, static_cast<int>(timeout_ms));
+    if (rc == 0) return Status::DeadlineExceeded("read timed out");
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("poll: " + std::string(strerror(errno)));
+    }
+    char buf[65536];
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      buffer_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable("read: " + std::string(strerror(errno)));
+  }
+}
+
+StatusOr<std::string> ServeClient::Call(std::string_view line,
+                                        uint64_t timeout_ms) {
+  RBDA_RETURN_IF_ERROR(Send(line));
+  return ReadLine(timeout_ms);
+}
+
+void ServeClient::CloseWrite() { shutdown(fd_, SHUT_WR); }
+
+}  // namespace rbda

@@ -1,0 +1,60 @@
+// Minimal blocking client for the rbda_serve line protocol, shared by the
+// daemon's tests and the rbda_workload --target driver. One connection,
+// newline framing, optional per-read timeout. Not thread-safe; drivers
+// open one client per concurrent stream.
+#ifndef RBDA_SERVE_CLIENT_H_
+#define RBDA_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace rbda {
+
+class ServeClient {
+ public:
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to host:port (host is an IPv4 literal or "localhost").
+  static StatusOr<std::unique_ptr<ServeClient>> Connect(
+      const std::string& host, uint16_t port, uint64_t timeout_ms = 5000);
+
+  /// Writes one request line ('\n' appended when missing).
+  Status Send(std::string_view line);
+
+  /// Reads the next response line, waiting at most `timeout_ms`
+  /// (0 = the connect timeout). EOF mid-stream is an Unavailable error;
+  /// the string never includes the '\n'.
+  StatusOr<std::string> ReadLine(uint64_t timeout_ms = 0);
+
+  /// Send + ReadLine, the common closed-loop call.
+  StatusOr<std::string> Call(std::string_view line,
+                             uint64_t timeout_ms = 0);
+
+  /// Sends raw bytes without framing — for protocol-abuse probes
+  /// (oversized frames, partial frames).
+  Status SendRaw(std::string_view bytes);
+
+  /// Half-close: no more requests, responses still readable.
+  void CloseWrite();
+
+  int fd() const { return fd_; }
+
+ private:
+  ServeClient(int fd, uint64_t timeout_ms)
+      : fd_(fd), default_timeout_ms_(timeout_ms) {}
+
+  int fd_;
+  uint64_t default_timeout_ms_;
+  std::string buffer_;
+};
+
+}  // namespace rbda
+
+#endif  // RBDA_SERVE_CLIENT_H_

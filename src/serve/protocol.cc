@@ -1,0 +1,136 @@
+#include "serve/protocol.h"
+
+#include "obs/json.h"
+
+namespace rbda {
+
+const char* ServeOpName(ServeOp op) {
+  switch (op) {
+    case ServeOp::kHealth:
+      return "health";
+    case ServeOp::kMetrics:
+      return "metrics";
+    case ServeOp::kLoadSchema:
+      return "load-schema";
+    case ServeOp::kDecide:
+      return "decide";
+    case ServeOp::kRun:
+      return "run";
+  }
+  return "unknown";
+}
+
+StatusOr<ServeRequest> ParseServeRequest(std::string_view line) {
+  StatusOr<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& v = *parsed;
+  if (!v.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  ServeRequest req;
+  StatusOr<std::string> op = v.GetString("op", "");
+  if (!op.ok()) return op.status();
+  if (*op == "health") {
+    req.op = ServeOp::kHealth;
+  } else if (*op == "metrics") {
+    req.op = ServeOp::kMetrics;
+  } else if (*op == "load-schema") {
+    req.op = ServeOp::kLoadSchema;
+  } else if (*op == "decide") {
+    req.op = ServeOp::kDecide;
+  } else if (*op == "run") {
+    req.op = ServeOp::kRun;
+  } else if (op->empty()) {
+    return Status::InvalidArgument("missing required field 'op'");
+  } else {
+    return Status::InvalidArgument("unknown op '" + *op + "'");
+  }
+
+  auto get_string = [&v](const char* key, std::string* out) -> Status {
+    StatusOr<std::string> s = v.GetString(key, "");
+    if (!s.ok()) return s.status();
+    *out = std::move(*s);
+    return Status::Ok();
+  };
+  RBDA_RETURN_IF_ERROR(get_string("id", &req.id));
+  RBDA_RETURN_IF_ERROR(get_string("schema", &req.schema));
+  RBDA_RETURN_IF_ERROR(get_string("name", &req.name));
+  RBDA_RETURN_IF_ERROR(get_string("document", &req.document));
+  RBDA_RETURN_IF_ERROR(get_string("query", &req.query));
+  RBDA_RETURN_IF_ERROR(get_string("query_text", &req.query_text));
+  RBDA_RETURN_IF_ERROR(get_string("tenant", &req.tenant));
+  RBDA_RETURN_IF_ERROR(get_string("faults", &req.faults));
+
+  StatusOr<uint64_t> deadline = v.GetUint("deadline_ms", 0);
+  if (!deadline.ok()) return deadline.status();
+  req.deadline_ms = *deadline;
+  StatusOr<uint64_t> seed = v.GetUint("seed", 1);
+  if (!seed.ok()) return seed.status();
+  req.seed = *seed;
+  StatusOr<uint64_t> sleep_us = v.GetUint("debug_sleep_us", 0);
+  if (!sleep_us.ok()) return sleep_us.status();
+  req.debug_sleep_us = *sleep_us;
+  StatusOr<bool> finite = v.GetBool("finite", false);
+  if (!finite.ok()) return finite.status();
+  req.finite = *finite;
+  StatusOr<bool> naive = v.GetBool("naive", false);
+  if (!naive.ok()) return naive.status();
+  req.naive = *naive;
+
+  switch (req.op) {
+    case ServeOp::kHealth:
+    case ServeOp::kMetrics:
+      break;
+    case ServeOp::kLoadSchema:
+      if (req.name.empty()) {
+        return Status::InvalidArgument("load-schema requires 'name'");
+      }
+      if (req.document.empty()) {
+        return Status::InvalidArgument("load-schema requires 'document'");
+      }
+      break;
+    case ServeOp::kDecide:
+      if (req.schema.empty()) {
+        return Status::InvalidArgument("decide requires 'schema'");
+      }
+      if (req.query.empty() == req.query_text.empty()) {
+        return Status::InvalidArgument(
+            "decide requires exactly one of 'query' or 'query_text'");
+      }
+      break;
+    case ServeOp::kRun:
+      if (req.schema.empty()) {
+        return Status::InvalidArgument("run requires 'schema'");
+      }
+      if (req.query.empty()) {
+        return Status::InvalidArgument("run requires 'query'");
+      }
+      break;
+  }
+  return req;
+}
+
+std::string RenderServeError(std::string_view id, std::string_view code,
+                             std::string_view detail) {
+  std::string out = "{";
+  if (!id.empty()) out += "\"id\":\"" + JsonEscape(id) + "\",";
+  out += "\"ok\":false,\"error\":\"" + JsonEscape(code) + "\"";
+  if (!detail.empty()) out += ",\"detail\":\"" + JsonEscape(detail) + "\"";
+  out += "}\n";
+  return out;
+}
+
+std::string RenderServeOk(std::string_view id, std::string_view body) {
+  std::string out = "{";
+  if (!id.empty()) out += "\"id\":\"" + JsonEscape(id) + "\",";
+  out += "\"ok\":true";
+  if (!body.empty()) {
+    out += ",";
+    out += body;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rbda

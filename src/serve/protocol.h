@@ -1,0 +1,88 @@
+// Wire protocol of rbda_serve: newline-delimited JSON request/response
+// over TCP (docs/SERVING.md).
+//
+// Requests are single-line JSON objects. The five operations:
+//
+//   {"op":"health"}
+//   {"op":"metrics"}
+//   {"op":"load-schema","name":"s1","document":"relation R(a,b)\n..."}
+//   {"op":"decide","schema":"s1","query":"Q1"}            # named query
+//   {"op":"decide","schema":"s1","query_text":"Q(x) :- R(x,y)"}
+//   {"op":"run","schema":"s1","query":"Q1","faults":"transient=0.2"}
+//
+// Optional request fields: "id" (echoed back verbatim), "tenant"
+// (admission bucket), "deadline_ms" (end-to-end budget including queue
+// wait), "finite"/"naive" (decide variants), "debug_sleep_us" (test hook,
+// honored only when the server enables it).
+//
+// Responses are single-line JSON objects. Success: {"id":...,"ok":true,
+// ...op fields...}. Failure: {"id":...,"ok":false,"error":"<code>",
+// "detail":"..."} where <code> is one of the stable taxonomy strings
+// below — clients key shed/deadline accounting off them.
+#ifndef RBDA_SERVE_PROTOCOL_H_
+#define RBDA_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "obs/json_reader.h"
+
+namespace rbda {
+
+enum class ServeOp { kHealth, kMetrics, kLoadSchema, kDecide, kRun };
+
+const char* ServeOpName(ServeOp op);
+
+/// Stable error-code strings of the response taxonomy.
+namespace serve_error {
+inline constexpr char kBadRequest[] = "bad_request";
+inline constexpr char kFrameTooLarge[] = "frame_too_large";
+inline constexpr char kNotFound[] = "schema_not_found";
+inline constexpr char kUnknownQuery[] = "unknown_query";
+inline constexpr char kOverloaded[] = "overloaded";
+inline constexpr char kTenantOverLimit[] = "tenant_over_limit";
+inline constexpr char kDeadlineInQueue[] = "deadline_in_queue";
+inline constexpr char kDeadlineExceeded[] = "deadline_exceeded";
+inline constexpr char kBreakerOpen[] = "breaker_open";
+inline constexpr char kShuttingDown[] = "shutting_down";
+inline constexpr char kEngineError[] = "engine_error";
+}  // namespace serve_error
+
+/// One parsed request. String fields default to "", numerics to 0.
+struct ServeRequest {
+  ServeOp op = ServeOp::kHealth;
+  std::string id;          // opaque; echoed in the response when nonempty
+  std::string schema;      // decide/run: registry name
+  std::string name;        // load-schema: registry name
+  std::string document;    // load-schema: document text
+  std::string query;       // decide/run: named query in the document
+  std::string query_text;  // decide: ad-hoc query line (cache-busting)
+  std::string tenant;      // admission bucket; "" = shared default bucket
+  std::string faults;      // run: ParseFaultSpec grammar
+  uint64_t deadline_ms = 0;  // 0 = server default
+  uint64_t seed = 1;         // run: selector seed
+  uint64_t debug_sleep_us = 0;  // test hook (ServerOptions gates it)
+  bool finite = false;
+  bool naive = false;
+};
+
+/// Parses one request line. Every malformation — invalid JSON, missing or
+/// unknown "op", wrong field types, per-op required fields absent — is an
+/// InvalidArgument whose message goes into the bad_request response.
+StatusOr<ServeRequest> ParseServeRequest(std::string_view line);
+
+/// Renders the error-response line (terminating '\n' included).
+/// `id` may be empty (field omitted).
+std::string RenderServeError(std::string_view id, std::string_view code,
+                             std::string_view detail);
+
+/// Renders a success-response line around pre-rendered body fields, e.g.
+/// body = "\"verdict\":\"answerable\",\"complete\":true". Empty body
+/// renders {"ok":true}.
+std::string RenderServeOk(std::string_view id, std::string_view body);
+
+}  // namespace rbda
+
+#endif  // RBDA_SERVE_PROTOCOL_H_

@@ -1,0 +1,108 @@
+#include "serve/registry.h"
+
+#include <functional>
+
+#include "parser/parser.h"
+
+namespace rbda {
+
+bool SchemaEntry::AllowEngineCall(uint64_t wall_us) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (wall_us > clock.NowMicros()) clock.Sleep(wall_us - clock.NowMicros());
+  return breaker.AllowRequest();
+}
+
+void SchemaEntry::RecordEngineOutcome(uint64_t wall_us, bool ok) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (wall_us > clock.NowMicros()) clock.Sleep(wall_us - clock.NowMicros());
+  if (ok) {
+    breaker.RecordSuccess();
+  } else {
+    breaker.RecordFailure();
+  }
+}
+
+CircuitBreaker::State SchemaEntry::BreakerState() {
+  std::lock_guard<std::mutex> lock(mu);
+  return breaker.state();
+}
+
+StatusOr<uint64_t> SchemaRegistry::Load(const std::string& name,
+                                        std::string text) {
+  {
+    // Validate outside the registry lock: parsing is the expensive part
+    // and needs no shared state.
+    Universe scratch;
+    StatusOr<ParsedDocument> doc = ParseDocument(text, &scratch);
+    if (!doc.ok()) return doc.status();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t epoch = ++next_epoch_[name];
+  entries_[name] = std::make_shared<SchemaEntry>(name, std::move(text),
+                                                 epoch, breaker_options_);
+  return epoch;
+}
+
+std::shared_ptr<SchemaEntry> SchemaRegistry::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+size_t SchemaRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool DecisionCache::Lookup(const std::string& key, std::string* body) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  *body = it->second;
+  return true;
+}
+
+void DecisionCache::Insert(const std::string& key, const std::string& body) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.emplace(key, body);
+  if (!inserted) return;  // concurrent miss already filled it
+  shard.fifo.push_back(key);
+  while (shard.fifo.size() > max_entries_per_shard_) {
+    shard.map.erase(shard.fifo.front());
+    shard.fifo.pop_front();
+  }
+}
+
+size_t DecisionCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+std::string DecisionCache::Key(const std::string& schema, uint64_t epoch,
+                               const std::string& query, bool query_is_text,
+                               bool finite, bool naive) {
+  std::string key;
+  key.reserve(schema.size() + query.size() + 32);
+  key += schema;
+  key += '\x01';
+  key += std::to_string(epoch);
+  key += '\x01';
+  key += query_is_text ? 'T' : 'N';
+  key += finite ? 'F' : '-';
+  key += naive ? 'V' : '-';
+  key += '\x01';
+  key += query;
+  return key;
+}
+
+DecisionCache::Shard& DecisionCache::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+}  // namespace rbda

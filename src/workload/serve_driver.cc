@@ -1,0 +1,409 @@
+#include "workload/serve_driver.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "obs/json_reader.h"
+#include "serve/client.h"
+
+namespace rbda {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(Clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            since)
+          .count());
+}
+
+/// What one response line says. Malformed responses classify as kOther —
+/// the daemon must never produce one, and the taxonomy counts would show
+/// it if it did.
+enum class ResponseKind {
+  kOk,
+  kOverloaded,
+  kDeadlineInQueue,
+  kDeadlineExceeded,
+  kTenantRejected,
+  kOther,
+};
+
+ResponseKind Classify(const std::string& line) {
+  StatusOr<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok() || !parsed->is_object()) return ResponseKind::kOther;
+  const JsonValue* ok = parsed->Find("ok");
+  if (ok != nullptr && ok->is_bool() && ok->AsBool()) {
+    return ResponseKind::kOk;
+  }
+  const JsonValue* error = parsed->Find("error");
+  if (error == nullptr || !error->is_string()) return ResponseKind::kOther;
+  const std::string& code = error->AsString();
+  if (code == "overloaded") return ResponseKind::kOverloaded;
+  if (code == "deadline_in_queue") return ResponseKind::kDeadlineInQueue;
+  if (code == "deadline_exceeded") return ResponseKind::kDeadlineExceeded;
+  if (code == "tenant_over_limit") return ResponseKind::kTenantRejected;
+  return ResponseKind::kOther;
+}
+
+std::string DecideLine(const std::string& schema,
+                       const std::string& query_text,
+                       const std::string& tenant, uint64_t deadline_ms) {
+  std::string line = "{\"op\":\"decide\",\"schema\":\"" + schema +
+                     "\",\"query_text\":\"" + query_text + "\"";
+  if (!tenant.empty()) line += ",\"tenant\":\"" + tenant + "\"";
+  if (deadline_ms > 0) {
+    line += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  line += "}";
+  return line;
+}
+
+/// The warm decide key k of schema i: distinct constants make distinct
+/// cache keys; the query shape keeps every decide in the cheap IDs
+/// pipeline.
+std::string WarmQueryText(size_t k) {
+  return "QW() :- S(\\\"w" + std::to_string(k) + "\\\", y)";
+}
+
+struct PhaseAccumulator {
+  std::mutex mu;
+  Histogram latency;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+};
+
+/// Closed-loop decide storm over warm keys, split across `connections`
+/// client threads.
+StatusOr<ServePhaseStats> ClosedLoopPhase(const ServeDriverOptions& opts,
+                                          size_t total_requests) {
+  PhaseAccumulator acc;
+  std::vector<std::thread> threads;
+  std::vector<Status> failures(opts.connections, Status::Ok());
+  Clock::time_point t0 = Clock::now();
+  for (size_t c = 0; c < opts.connections; ++c) {
+    threads.emplace_back([&, c] {
+      StatusOr<std::unique_ptr<ServeClient>> client =
+          ServeClient::Connect(opts.host, opts.port, opts.timeout_ms);
+      if (!client.ok()) {
+        failures[c] = client.status();
+        return;
+      }
+      Rng rng(opts.seed * 7919 + c);
+      size_t share = total_requests / opts.connections +
+                     (c < total_requests % opts.connections ? 1 : 0);
+      for (size_t i = 0; i < share; ++i) {
+        size_t schema = rng.Below(opts.schemas);
+        size_t key = rng.Below(opts.warm_keys);
+        std::string line =
+            DecideLine(SyntheticServeSchemaName(schema),
+                       WarmQueryText(key), "t" + std::to_string(c), 0);
+        Clock::time_point sent = Clock::now();
+        StatusOr<std::string> response = (*client)->Call(line);
+        if (!response.ok()) {
+          failures[c] = response.status();
+          return;
+        }
+        uint64_t us = ElapsedUs(sent);
+        bool is_ok = Classify(*response) == ResponseKind::kOk;
+        std::lock_guard<std::mutex> lock(acc.mu);
+        acc.latency.Record(us == 0 ? 1 : us);
+        ++acc.requests;
+        if (is_ok) ++acc.ok;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const Status& s : failures) {
+    if (!s.ok()) return s;
+  }
+  ServePhaseStats stats;
+  stats.requests = acc.requests;
+  stats.ok = acc.ok;
+  stats.wall_us = ElapsedUs(t0);
+  stats.latency_us = acc.latency.TakeSnapshot();
+  return stats;
+}
+
+/// Open-loop overload: pipeline every request up front, then collect.
+StatusOr<ServeBurstStats> BurstPhase(const ServeDriverOptions& opts) {
+  ServeBurstStats stats;
+  size_t conns = std::max<size_t>(1, opts.connections);
+  std::vector<std::unique_ptr<ServeClient>> clients;
+  for (size_t c = 0; c < conns; ++c) {
+    StatusOr<std::unique_ptr<ServeClient>> client =
+        ServeClient::Connect(opts.host, opts.port, opts.timeout_ms);
+    if (!client.ok()) return client.status();
+    clients.push_back(std::move(*client));
+  }
+
+  Clock::time_point t0 = Clock::now();
+  std::vector<size_t> sent_per_conn(conns, 0);
+  for (size_t i = 0; i < opts.burst_requests; ++i) {
+    size_t c = i % conns;
+    // Unique constants bust the decision cache, so every admitted burst
+    // request costs a real engine decide; 16 rotating tenants keep the
+    // per-tenant cap from masking the queue bound under test.
+    std::string query =
+        "QB() :- S(\\\"b" + std::to_string(i) + "\\\", y)";
+    std::string line = DecideLine(
+        SyntheticServeSchemaName(i % opts.schemas), query,
+        "burst" + std::to_string(i % 16), opts.burst_deadline_ms);
+    Status s = clients[c]->Send(line);
+    if (!s.ok()) break;  // kernel pushed back: count the rest unanswered
+    ++stats.sent;
+    ++sent_per_conn[c];
+  }
+
+  for (size_t c = 0; c < conns; ++c) {
+    for (size_t i = 0; i < sent_per_conn[c]; ++i) {
+      StatusOr<std::string> response = clients[c]->ReadLine();
+      if (!response.ok()) {
+        stats.unanswered += sent_per_conn[c] - i;
+        break;
+      }
+      switch (Classify(*response)) {
+        case ResponseKind::kOk:
+          ++stats.ok;
+          break;
+        case ResponseKind::kOverloaded:
+          ++stats.overloaded;
+          break;
+        case ResponseKind::kDeadlineInQueue:
+          ++stats.deadline_in_queue;
+          break;
+        case ResponseKind::kDeadlineExceeded:
+          ++stats.deadline_exceeded;
+          break;
+        case ResponseKind::kTenantRejected:
+          ++stats.tenant_rejected;
+          break;
+        case ResponseKind::kOther:
+          ++stats.other_errors;
+          break;
+      }
+    }
+  }
+  stats.wall_us = ElapsedUs(t0);
+  stats.unanswered += opts.burst_requests - stats.sent;
+  return stats;
+}
+
+/// Protocol-abuse probes. Each returns Ok when the daemon behaved
+/// (answered the taxonomy error or closed) and an error describing the
+/// deviation otherwise.
+Status ProbeMalformedFrame(const ServeDriverOptions& opts) {
+  StatusOr<std::unique_ptr<ServeClient>> client =
+      ServeClient::Connect(opts.host, opts.port, opts.timeout_ms);
+  if (!client.ok()) return client.status();
+  StatusOr<std::string> response =
+      (*client)->Call("this is not json {{{");
+  if (!response.ok()) {
+    return Status::Internal("malformed frame: no response (" +
+                            response.status().message() + ")");
+  }
+  if (response->find("bad_request") == std::string::npos) {
+    return Status::Internal("malformed frame: expected bad_request, got " +
+                            *response);
+  }
+  // The connection must survive a malformed line.
+  response = (*client)->Call("{\"op\":\"health\"}");
+  if (!response.ok() ||
+      response->find("\"ok\":true") == std::string::npos) {
+    return Status::Internal("connection did not survive a malformed frame");
+  }
+  return Status::Ok();
+}
+
+Status ProbeOversizedFrame(const ServeDriverOptions& opts) {
+  StatusOr<std::unique_ptr<ServeClient>> client =
+      ServeClient::Connect(opts.host, opts.port, opts.timeout_ms);
+  if (!client.ok()) return client.status();
+  // 2 MiB without a newline overflows the default 1 MiB frame cap.
+  std::string huge(2 << 20, 'x');
+  Status sent = (*client)->SendRaw(huge);
+  if (!sent.ok()) {
+    // The daemon may already have closed on us mid-write; that is a
+    // legal oversized-frame outcome.
+    return Status::Ok();
+  }
+  StatusOr<std::string> response = (*client)->ReadLine();
+  if (response.ok() &&
+      response->find("frame_too_large") == std::string::npos) {
+    return Status::Internal("oversized frame: expected frame_too_large, "
+                            "got " +
+                            *response);
+  }
+  return Status::Ok();
+}
+
+Status ProbePartialFrameThenClose(const ServeDriverOptions& opts) {
+  StatusOr<std::unique_ptr<ServeClient>> client =
+      ServeClient::Connect(opts.host, opts.port, opts.timeout_ms);
+  if (!client.ok()) return client.status();
+  RBDA_RETURN_IF_ERROR((*client)->SendRaw("{\"op\":\"dec"));
+  (*client)->CloseWrite();
+  // The daemon must close the connection (no frame ever completes); a
+  // response or a hang are both failures. ReadLine returning EOF
+  // (Unavailable) is the expected outcome; DeadlineExceeded means hang.
+  StatusOr<std::string> response = (*client)->ReadLine(2000);
+  if (response.ok()) {
+    return Status::Internal("partial frame: unexpected response " +
+                            *response);
+  }
+  if (response.status().code() == StatusCode::kDeadlineExceeded) {
+    return Status::Internal("partial frame: daemon neither answered nor "
+                            "closed");
+  }
+  return Status::Ok();
+}
+
+Status ProbeDaemonStillServing(const ServeDriverOptions& opts) {
+  StatusOr<std::unique_ptr<ServeClient>> client =
+      ServeClient::Connect(opts.host, opts.port, opts.timeout_ms);
+  if (!client.ok()) return client.status();
+  StatusOr<std::string> response = (*client)->Call("{\"op\":\"health\"}");
+  if (!response.ok() ||
+      response->find("\"ok\":true") == std::string::npos) {
+    return Status::Internal("daemon unhealthy after probes");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SyntheticServeSchemaName(size_t i) {
+  return "synth" + std::to_string(i);
+}
+
+std::string SyntheticServeDocument(size_t i) {
+  // Small ID schemas: every decide runs the linearized pipeline, cheap
+  // enough that daemon overhead (framing, queueing, cache) dominates —
+  // which is exactly what the serve bench measures. Document i varies a
+  // constant so the documents are distinct texts with distinct caches.
+  std::string c = std::to_string(i);
+  return "relation R(a,b)\n"
+         "relation S(a,b)\n"
+         "relation T(a)\n"
+         "method mr on R inputs(0) limit 10\n"
+         "method mt on T inputs()\n"
+         "tgd R(x,y) -> S(x,y)\n"
+         "tgd T(x) -> R(x,x)\n"
+         "query Q0() :- S(\"c" + c + "\", y)\n"
+         "query Q1(n) :- R(n, \"k" + c + "\")\n"
+         "fact T(\"c" + c + "\")\n"
+         "fact R(\"c" + c + "\", \"k" + c + "\")\n";
+}
+
+StatusOr<ServeDriverReport> RunServeDriver(const ServeDriverOptions& opts) {
+  ServeDriverReport report;
+
+  // Phase: load.
+  {
+    StatusOr<std::unique_ptr<ServeClient>> client =
+        ServeClient::Connect(opts.host, opts.port, opts.timeout_ms);
+    if (!client.ok()) return client.status();
+    for (size_t i = 0; i < opts.schemas; ++i) {
+      std::string doc = SyntheticServeDocument(i);
+      std::string escaped;
+      escaped.reserve(doc.size() + 16);
+      for (char ch : doc) {
+        if (ch == '\n') {
+          escaped += "\\n";
+        } else if (ch == '"') {
+          escaped += "\\\"";
+        } else {
+          escaped += ch;
+        }
+      }
+      std::string line = "{\"op\":\"load-schema\",\"name\":\"" +
+                         SyntheticServeSchemaName(i) +
+                         "\",\"document\":\"" + escaped + "\"}";
+      StatusOr<std::string> response = (*client)->Call(line);
+      if (!response.ok()) return response.status();
+      if (Classify(*response) != ResponseKind::kOk) {
+        return Status::Internal("load-schema rejected: " + *response);
+      }
+    }
+  }
+
+  // Phase: warm. One closed-loop pass over every (schema, key) pair so
+  // the sustained phase measures the hit path.
+  {
+    Clock::time_point t0 = Clock::now();
+    StatusOr<std::unique_ptr<ServeClient>> client =
+        ServeClient::Connect(opts.host, opts.port, opts.timeout_ms);
+    if (!client.ok()) return client.status();
+    Histogram latency;
+    for (size_t s = 0; s < opts.schemas; ++s) {
+      for (size_t k = 0; k < opts.warm_keys; ++k) {
+        std::string line = DecideLine(SyntheticServeSchemaName(s),
+                                      WarmQueryText(k), "warm", 0);
+        Clock::time_point sent = Clock::now();
+        StatusOr<std::string> response = (*client)->Call(line);
+        if (!response.ok()) return response.status();
+        latency.Record(std::max<uint64_t>(1, ElapsedUs(sent)));
+        ++report.warm.requests;
+        if (Classify(*response) == ResponseKind::kOk) ++report.warm.ok;
+      }
+    }
+    report.warm.wall_us = ElapsedUs(t0);
+    report.warm.latency_us = latency.TakeSnapshot();
+  }
+
+  // Phase: sustained.
+  {
+    StatusOr<ServePhaseStats> stats =
+        ClosedLoopPhase(opts, opts.sustained_requests);
+    if (!stats.ok()) return stats.status();
+    report.sustained = *stats;
+  }
+
+  // Phase: burst.
+  if (opts.run_burst && opts.burst_requests > 0) {
+    StatusOr<ServeBurstStats> stats = BurstPhase(opts);
+    if (!stats.ok()) return stats.status();
+    report.burst = *stats;
+  }
+
+  // Phase: recovery.
+  if (opts.recovery_requests > 0) {
+    StatusOr<ServePhaseStats> stats =
+        ClosedLoopPhase(opts, opts.recovery_requests);
+    if (!stats.ok()) return stats.status();
+    report.recovery = *stats;
+  }
+
+  if (opts.run_probes) {
+    report.probes_run = true;
+    report.probes_passed = true;
+    struct NamedProbe {
+      const char* name;
+      Status (*fn)(const ServeDriverOptions&);
+    };
+    const NamedProbe probes[] = {
+        {"malformed-frame", ProbeMalformedFrame},
+        {"oversized-frame", ProbeOversizedFrame},
+        {"partial-frame-close", ProbePartialFrameThenClose},
+        {"still-serving", ProbeDaemonStillServing},
+    };
+    for (const NamedProbe& probe : probes) {
+      Status s = probe.fn(opts);
+      if (!s.ok()) {
+        report.probes_passed = false;
+        report.probe_failure =
+            std::string(probe.name) + ": " + s.message();
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace rbda

@@ -1,0 +1,93 @@
+// Socket-mode workload driver: drives a live rbda_serve daemon over TCP
+// (docs/WORKLOADS.md, docs/SERVING.md) and measures what the in-process
+// replay harness cannot — real framing, real queueing, real shed
+// behavior. Four phases:
+//
+//   load      — register `schemas` synthetic documents via load-schema
+//   warm      — decide every key once (fills the daemon's decision cache)
+//   sustained — closed-loop decide storm over `connections` sockets,
+//               all warm keys: measures steady-state QPS and latency
+//   burst     — open-loop 2×-overload: pipelines cache-busting decides
+//               with a tight deadline, then tallies the response taxonomy
+//               (ok / overloaded / deadline_in_queue / ...)
+//   recovery  — the sustained measurement again, to show latency returns
+//               to baseline after the burst
+//
+// Optionally runs adversarial protocol probes (malformed frame, oversized
+// frame, partial frame + close) asserting the daemon answers or closes
+// without dying. Everything is seeded; the only nondeterminism in the
+// report is timing.
+#ifndef RBDA_WORKLOAD_SERVE_DRIVER_H_
+#define RBDA_WORKLOAD_SERVE_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+#include "obs/histogram.h"
+
+namespace rbda {
+
+struct ServeDriverOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t seed = 1;
+  size_t connections = 4;      // closed-loop streams
+  size_t schemas = 4;          // synthetic documents registered
+  size_t warm_keys = 64;       // distinct decide keys per schema
+  size_t sustained_requests = 20000;  // total across connections
+  size_t recovery_requests = 4000;
+  size_t burst_requests = 4096;  // pipelined, cache-busting
+  uint64_t burst_deadline_ms = 50;
+  bool run_burst = true;
+  bool run_probes = false;
+  uint64_t timeout_ms = 30000;  // per-read client timeout
+};
+
+struct ServePhaseStats {
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t wall_us = 0;
+  HistogramSnapshot latency_us;
+
+  double Qps() const {
+    return wall_us == 0 ? 0.0
+                        : static_cast<double>(requests) * 1e6 /
+                              static_cast<double>(wall_us);
+  }
+};
+
+struct ServeBurstStats {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;          // explicit sheds
+  uint64_t deadline_in_queue = 0;   // expired before execution
+  uint64_t deadline_exceeded = 0;   // expired during execution
+  uint64_t tenant_rejected = 0;
+  uint64_t other_errors = 0;
+  uint64_t unanswered = 0;  // connection closed before a response
+  uint64_t wall_us = 0;
+};
+
+struct ServeDriverReport {
+  ServePhaseStats warm;
+  ServePhaseStats sustained;
+  ServeBurstStats burst;
+  ServePhaseStats recovery;
+  bool probes_run = false;
+  bool probes_passed = false;
+  std::string probe_failure;  // first failing probe, for diagnostics
+};
+
+/// The i-th synthetic schema document (deterministic text; parseable by
+/// parser/parser.h). Exposed so tests can cross-check against a local
+/// engine.
+std::string SyntheticServeDocument(size_t i);
+/// The registry name the driver uses for document i.
+std::string SyntheticServeSchemaName(size_t i);
+
+StatusOr<ServeDriverReport> RunServeDriver(const ServeDriverOptions& opts);
+
+}  // namespace rbda
+
+#endif  // RBDA_WORKLOAD_SERVE_DRIVER_H_

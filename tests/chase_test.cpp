@@ -161,6 +161,27 @@ TEST_F(ChaseTest, FactBudgetEnforcedInsideRound) {
   EXPECT_LE(result.instance.NumFacts(), 16u);
 }
 
+TEST_F(ChaseTest, RowIdCapDegradesToBudgetExceededNotAbort) {
+  // When a relation store runs out of 32-bit row ids mid-firing, the chase
+  // must degrade exactly like a fact-budget trip (kBudgetExceeded /
+  // kFacts) instead of aborting the process. The testing cap stands in
+  // for the real 2^32 ceiling.
+  ConstraintSet cs;
+  cs.tgds.emplace_back(
+      std::vector<Atom>{Atom(t_, {x_})},
+      std::vector<Atom>{Atom(r_, {x_, y_}), Atom(s_, {y_, x_})});
+  Instance start;
+  for (int i = 0; i < 10; ++i) {
+    start.AddFact(t_, {universe_.Constant("k" + std::to_string(i))});
+  }
+  start.SetMaxRowsPerRelationForTesting(4);  // r fills up on the 5th head
+  ChaseResult result = RunChase(start, cs, &universe_);
+  EXPECT_EQ(result.status, ChaseStatus::kBudgetExceeded);
+  EXPECT_EQ(result.exhausted, ChaseExhausted::kFacts);
+  // 10 t-facts + at most 4 rows each in r and s before the cap trips.
+  EXPECT_LE(result.instance.NumFacts(), 18u);
+}
+
 TEST_F(ChaseTest, FactBudgetDoesNotMaskReachedGoal) {
   // The same budget trip, but the goal appears before the budget does:
   // RunChaseUntil must report the goal, not the trip.

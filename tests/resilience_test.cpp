@@ -80,6 +80,49 @@ TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
   EXPECT_TRUE(breaker.AllowRequest());
 }
 
+TEST(CircuitBreakerTest, AbandonedProbeIsReclaimedAfterTimeout) {
+  // Regression: a caller that passes AllowRequest in half-open but never
+  // reports an outcome (e.g. its deadline expires first) used to hold the
+  // probe slot forever, wedging the breaker half-open and rejecting every
+  // future call.
+  VirtualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_us = 1000;
+  options.probe_timeout_us = 500;
+  CircuitBreaker breaker("m", options, &clock);
+
+  EXPECT_TRUE(breaker.RecordFailure());
+  clock.Sleep(1000);
+  EXPECT_TRUE(breaker.AllowRequest());  // probe admitted, then abandoned
+  clock.Sleep(499);
+  EXPECT_FALSE(breaker.AllowRequest());  // still within the probe timeout
+  clock.Sleep(1);
+  // Probe timed out unresolved: the slot is reclaimed and this caller
+  // becomes the new probe.
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest());  // new probe now holds the slot
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, ProbeTimeoutDefaultsToOpenCooldown) {
+  VirtualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_us = 1000;  // probe_timeout_us left at 0
+  CircuitBreaker breaker("m", options, &clock);
+
+  EXPECT_TRUE(breaker.RecordFailure());
+  clock.Sleep(1000);
+  EXPECT_TRUE(breaker.AllowRequest());
+  clock.Sleep(999);
+  EXPECT_FALSE(breaker.AllowRequest());
+  clock.Sleep(1);
+  EXPECT_TRUE(breaker.AllowRequest());  // reclaimed after open_cooldown_us
+}
+
 TEST(RetryPolicyTest, BackoffIsDeterministicPerSeed) {
   RetryPolicy policy;
   policy.base_backoff_us = 100;

@@ -1,0 +1,77 @@
+// End-to-end test of the socket-mode workload driver
+// (workload/serve_driver.h): a real daemon on an ephemeral port, a small
+// but complete driver run (load / warm / sustained / burst / recovery /
+// probes), and the invariant the BENCH_serve.json harness relies on —
+// every pipelined burst request is accounted for exactly once.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "parser/parser.h"
+#include "serve/server.h"
+#include "workload/serve_driver.h"
+
+namespace rbda {
+namespace {
+
+TEST(ServeDriverTest, SyntheticDocumentsParseAndNameQueries) {
+  for (size_t i = 0; i < 3; ++i) {
+    Universe universe;
+    StatusOr<ParsedDocument> doc =
+        ParseDocument(SyntheticServeDocument(i), &universe);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_EQ(doc->queries.count("Q0"), 1u);
+    EXPECT_EQ(doc->queries.count("Q1"), 1u);
+    EXPECT_GT(doc->data.NumFacts(), 0u);
+  }
+  EXPECT_NE(SyntheticServeDocument(0), SyntheticServeDocument(1));
+  EXPECT_NE(SyntheticServeSchemaName(0), SyntheticServeSchemaName(1));
+}
+
+TEST(ServeDriverTest, FullRunAgainstLiveDaemonAccountsForEveryRequest) {
+  ServeServer server((ServerOptions()));
+  ASSERT_TRUE(server.Start().ok());
+  Status serve_status;
+  std::thread io([&] { serve_status = server.Serve(); });
+
+  ServeDriverOptions options;
+  options.port = server.port();
+  options.seed = 11;
+  options.connections = 2;
+  options.schemas = 2;
+  options.warm_keys = 8;
+  options.sustained_requests = 200;
+  options.recovery_requests = 100;
+  options.burst_requests = 64;
+  options.run_probes = true;
+
+  StatusOr<ServeDriverReport> report = RunServeDriver(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->warm.requests, 16u);  // schemas * warm_keys
+  EXPECT_EQ(report->warm.ok, report->warm.requests);
+  EXPECT_EQ(report->sustained.requests, 200u);
+  EXPECT_EQ(report->sustained.ok, 200u);
+  EXPECT_GT(report->sustained.Qps(), 0.0);
+  EXPECT_GT(report->sustained.latency_us.Quantile(0.5), 0.0);
+  EXPECT_EQ(report->recovery.requests, 100u);
+
+  // Conservation: answered + unanswered = sent + never-sent.
+  uint64_t accounted = report->burst.ok + report->burst.overloaded +
+                       report->burst.deadline_in_queue +
+                       report->burst.deadline_exceeded +
+                       report->burst.tenant_rejected +
+                       report->burst.other_errors + report->burst.unanswered;
+  EXPECT_EQ(accounted, options.burst_requests);
+  EXPECT_EQ(report->burst.other_errors, 0u);
+
+  EXPECT_TRUE(report->probes_run);
+  EXPECT_TRUE(report->probes_passed) << report->probe_failure;
+
+  server.RequestDrain();
+  io.join();
+  EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
+}
+
+}  // namespace
+}  // namespace rbda

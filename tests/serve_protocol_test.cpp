@@ -1,0 +1,246 @@
+// Adversarial coverage of the serving wire layer: the defensive JSON
+// reader (obs/json_reader.h) and the rbda_serve request/response protocol
+// (serve/protocol.h). Every malformed input must come back as a Status —
+// never a crash, never an accepted half-parse.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json_reader.h"
+#include "serve/protocol.h"
+
+namespace rbda {
+namespace {
+
+// --- JSON reader: well-formed inputs -----------------------------------
+
+TEST(JsonReaderTest, ParsesScalarsAndContainers) {
+  StatusOr<JsonValue> v = ParseJson(
+      "{\"a\":1,\"b\":\"two\",\"c\":[true,false,null],\"d\":{\"e\":-2.5}}");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->Find("a")->AsDouble(), 1.0);
+  EXPECT_EQ(v->Find("b")->AsString(), "two");
+  ASSERT_TRUE(v->Find("c")->is_array());
+  EXPECT_EQ(v->Find("c")->AsArray().size(), 3u);
+  EXPECT_TRUE(v->Find("c")->AsArray()[0].AsBool());
+  EXPECT_TRUE(v->Find("c")->AsArray()[2].is_null());
+  EXPECT_DOUBLE_EQ(v->Find("d")->Find("e")->AsDouble(), -2.5);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, DecodesEscapesAndSurrogatePairs) {
+  StatusOr<JsonValue> v =
+      ParseJson("\"a\\n\\t\\\"\\\\\\u0041\\ud83d\\ude00\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->AsString(), "a\n\t\"\\A\xF0\x9F\x98\x80");
+}
+
+TEST(JsonReaderTest, ObjectKeepsDocumentOrder) {
+  StatusOr<JsonValue> v = ParseJson("{\"z\":1,\"a\":2}");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->AsObject().size(), 2u);
+  EXPECT_EQ(v->AsObject()[0].first, "z");
+  EXPECT_EQ(v->AsObject()[1].first, "a");
+}
+
+// --- JSON reader: hostility --------------------------------------------
+
+TEST(JsonReaderTest, RejectsStructuralMalformations) {
+  const char* bad[] = {
+      "",                     // empty input
+      "   ",                  // whitespace only
+      "{",                    // truncated object
+      "[1,2",                 // truncated array
+      "{\"a\":}",             // missing value
+      "{\"a\" 1}",            // missing colon
+      "{\"a\":1,}",           // trailing comma
+      "[1,,2]",               // double comma
+      "{\"a\":1} trailing",   // trailing garbage
+      "{\"a\":1}{\"b\":2}",   // two documents
+      "{1:2}",                // non-string key
+      "tru",                  // truncated keyword
+      "nul",                  // truncated keyword
+      "'single'",             // wrong quote style
+      "undefined",            // not a JSON token
+  };
+  for (const char* input : bad) {
+    EXPECT_FALSE(ParseJson(input).ok()) << "accepted: " << input;
+  }
+}
+
+TEST(JsonReaderTest, RejectsMalformedStringsAndNumbers) {
+  const char* bad[] = {
+      "\"unterminated",     // no closing quote
+      "\"bad \\q escape\"",  // unknown escape
+      "\"\\u12\"",          // truncated \u escape
+      "\"\\ud83d\"",        // lone high surrogate
+      "\"\\ude00\"",        // lone low surrogate
+      "\"\\ud83d\\u0041\"",  // high surrogate + non-surrogate
+      "\"ctrl \x01 char\"",  // raw control byte in string
+      "01",                 // leading zero
+      "+1",                 // explicit plus
+      "1.",                 // digitless fraction
+      ".5",                 // digitless integer part
+      "1e",                 // digitless exponent
+      "0x10",               // hex is not JSON
+      "NaN",                // not a JSON token
+      "Infinity",           // not a JSON token
+      "1e999",              // overflows double to inf
+  };
+  for (const char* input : bad) {
+    EXPECT_FALSE(ParseJson(input).ok()) << "accepted: " << input;
+  }
+}
+
+TEST(JsonReaderTest, RejectsDuplicateKeys) {
+  EXPECT_FALSE(ParseJson("{\"a\":1,\"a\":2}").ok());
+  // ... even nested inside another object member.
+  EXPECT_FALSE(ParseJson("{\"o\":{\"k\":1,\"k\":1}}").ok());
+}
+
+TEST(JsonReaderTest, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());  // default max_depth = 32
+
+  JsonReaderOptions loose;
+  loose.max_depth = 200;
+  EXPECT_TRUE(ParseJson(deep, loose).ok());
+}
+
+TEST(JsonReaderTest, BoundsStringLength) {
+  JsonReaderOptions tight;
+  tight.max_string_bytes = 8;
+  EXPECT_TRUE(ParseJson("\"12345678\"", tight).ok());
+  EXPECT_FALSE(ParseJson("\"123456789\"", tight).ok());
+}
+
+TEST(JsonReaderTest, GetUintRejectsUnrepresentableValues) {
+  StatusOr<JsonValue> v = ParseJson(
+      "{\"neg\":-1,\"frac\":1.5,\"big\":9007199254740994,\"ok\":7}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->GetUint("neg", 0).ok());
+  EXPECT_FALSE(v->GetUint("frac", 0).ok());
+  EXPECT_FALSE(v->GetUint("big", 0).ok());  // beyond 2^53
+  EXPECT_FALSE(v->GetUint("ok", 0, /*max=*/6).ok());
+  ASSERT_TRUE(v->GetUint("ok", 0).ok());
+  EXPECT_EQ(*v->GetUint("ok", 0), 7u);
+  EXPECT_EQ(*v->GetUint("absent", 42), 42u);
+}
+
+TEST(JsonReaderTest, TypedGettersNameTheMistypedKey) {
+  StatusOr<JsonValue> v = ParseJson("{\"s\":1,\"b\":\"x\",\"n\":true}");
+  ASSERT_TRUE(v.ok());
+  Status s = v->GetString("s", "").status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("s"), std::string::npos);
+  EXPECT_FALSE(v->GetBool("b", false).ok());
+  EXPECT_FALSE(v->GetUint("n", 0).ok());
+  EXPECT_EQ(*v->GetString("absent", "dflt"), "dflt");
+  EXPECT_TRUE(*v->GetBool("absent", true));
+}
+
+// --- Request parsing ----------------------------------------------------
+
+TEST(ServeProtocolTest, ParsesEveryOp) {
+  ASSERT_TRUE(ParseServeRequest("{\"op\":\"health\"}").ok());
+  ASSERT_TRUE(ParseServeRequest("{\"op\":\"metrics\"}").ok());
+  StatusOr<ServeRequest> load = ParseServeRequest(
+      "{\"op\":\"load-schema\",\"name\":\"s\",\"document\":\"relation "
+      "R(a)\"}");
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load->op, ServeOp::kLoadSchema);
+  EXPECT_EQ(load->name, "s");
+
+  StatusOr<ServeRequest> decide = ParseServeRequest(
+      "{\"op\":\"decide\",\"id\":\"r1\",\"schema\":\"s\",\"query\":\"Q\","
+      "\"tenant\":\"t9\",\"deadline_ms\":250,\"finite\":true}");
+  ASSERT_TRUE(decide.ok());
+  EXPECT_EQ(decide->op, ServeOp::kDecide);
+  EXPECT_EQ(decide->id, "r1");
+  EXPECT_EQ(decide->tenant, "t9");
+  EXPECT_EQ(decide->deadline_ms, 250u);
+  EXPECT_TRUE(decide->finite);
+  EXPECT_FALSE(decide->naive);
+
+  StatusOr<ServeRequest> run = ParseServeRequest(
+      "{\"op\":\"run\",\"schema\":\"s\",\"query\":\"Q\",\"seed\":3,"
+      "\"faults\":\"transient=0.2\"}");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->seed, 3u);
+  EXPECT_EQ(run->faults, "transient=0.2");
+}
+
+TEST(ServeProtocolTest, RejectsMissingAndUnknownOps) {
+  EXPECT_FALSE(ParseServeRequest("{}").ok());
+  EXPECT_FALSE(ParseServeRequest("{\"op\":\"reboot\"}").ok());
+  EXPECT_FALSE(ParseServeRequest("{\"op\":7}").ok());
+  EXPECT_FALSE(ParseServeRequest("[\"op\",\"health\"]").ok());
+  EXPECT_FALSE(ParseServeRequest("\"health\"").ok());
+  EXPECT_FALSE(ParseServeRequest("not json at all").ok());
+}
+
+TEST(ServeProtocolTest, EnforcesPerOpRequiredFields) {
+  // load-schema without name / document.
+  EXPECT_FALSE(
+      ParseServeRequest("{\"op\":\"load-schema\",\"document\":\"x\"}").ok());
+  EXPECT_FALSE(
+      ParseServeRequest("{\"op\":\"load-schema\",\"name\":\"s\"}").ok());
+  // decide needs schema and exactly one query form.
+  EXPECT_FALSE(ParseServeRequest("{\"op\":\"decide\",\"query\":\"Q\"}").ok());
+  EXPECT_FALSE(
+      ParseServeRequest("{\"op\":\"decide\",\"schema\":\"s\"}").ok());
+  EXPECT_FALSE(ParseServeRequest(
+                   "{\"op\":\"decide\",\"schema\":\"s\",\"query\":\"Q\","
+                   "\"query_text\":\"Q() :- R(x)\"}")
+                   .ok());
+  // run needs a named query; query_text is a decide-only field.
+  EXPECT_FALSE(ParseServeRequest("{\"op\":\"run\",\"schema\":\"s\"}").ok());
+}
+
+TEST(ServeProtocolTest, RejectsMistypedFields) {
+  EXPECT_FALSE(ParseServeRequest(
+                   "{\"op\":\"decide\",\"schema\":\"s\",\"query\":\"Q\","
+                   "\"deadline_ms\":\"fast\"}")
+                   .ok());
+  EXPECT_FALSE(ParseServeRequest(
+                   "{\"op\":\"decide\",\"schema\":\"s\",\"query\":\"Q\","
+                   "\"deadline_ms\":-5}")
+                   .ok());
+  EXPECT_FALSE(ParseServeRequest(
+                   "{\"op\":\"decide\",\"schema\":\"s\",\"query\":\"Q\","
+                   "\"finite\":\"yes\"}")
+                   .ok());
+  EXPECT_FALSE(ParseServeRequest("{\"op\":\"health\",\"id\":12}").ok());
+}
+
+// --- Response rendering -------------------------------------------------
+
+TEST(ServeProtocolTest, RendersErrorAndOkLines) {
+  EXPECT_EQ(RenderServeError("", serve_error::kOverloaded, ""),
+            "{\"ok\":false,\"error\":\"overloaded\"}\n");
+  EXPECT_EQ(RenderServeError("r1", serve_error::kBadRequest, "why"),
+            "{\"id\":\"r1\",\"ok\":false,\"error\":\"bad_request\","
+            "\"detail\":\"why\"}\n");
+  EXPECT_EQ(RenderServeOk("", ""), "{\"ok\":true}\n");
+  EXPECT_EQ(RenderServeOk("r2", "\"epoch\":3"),
+            "{\"id\":\"r2\",\"ok\":true,\"epoch\":3}\n");
+}
+
+TEST(ServeProtocolTest, ResponseLinesSurviveHostileIdsAndDetails) {
+  // Ids and details come from the client / engine — quotes and newlines
+  // in them must not break the single-line framing.
+  std::string line = RenderServeError("a\"b\nc", serve_error::kEngineError,
+                                      "detail \"quoted\"\nline2");
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // one newline: terminator
+  StatusOr<JsonValue> parsed =
+      ParseJson(std::string_view(line).substr(0, line.size() - 1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("id")->AsString(), "a\"b\nc");
+  EXPECT_EQ(parsed->Find("detail")->AsString(), "detail \"quoted\"\nline2");
+}
+
+}  // namespace
+}  // namespace rbda

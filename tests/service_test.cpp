@@ -189,5 +189,43 @@ TEST(FaultSpecTest, RejectsMalformedSpecs) {
   EXPECT_TRUE(ParseFaultSpec(",,transient=0.1,,").ok());
 }
 
+TEST(FaultSpecTest, RejectsAdversarialNumericValues) {
+  // strtod happily parses "nan"/"inf"; NaN compares false against any
+  // range bound, so without an explicit finiteness check it sailed through
+  // to an undefined float→uint32 cast.
+  EXPECT_FALSE(ParseFaultSpec("transient=nan").ok());
+  EXPECT_FALSE(ParseFaultSpec("transient=inf").ok());
+  EXPECT_FALSE(ParseFaultSpec("rate=-nan").ok());
+  EXPECT_FALSE(ParseFaultSpec("trunc=1e400").ok());  // strtod yields +inf
+
+  // Integer values must not silently wrap. 2^64 = 18446744073709551616.
+  EXPECT_FALSE(ParseFaultSpec("latency-us=18446744073709551616").ok());
+  EXPECT_FALSE(ParseFaultSpec("seed=99999999999999999999999999").ok());
+  EXPECT_TRUE(ParseFaultSpec("latency-us=18446744073709551615").ok());
+
+  // fail-first / fail-from are stored as uint32; values beyond that range
+  // used to truncate silently (fail-first=4294967296 became "never fail").
+  EXPECT_FALSE(ParseFaultSpec("fail-first=4294967296").ok());
+  EXPECT_FALSE(ParseFaultSpec("fail-from=18446744073709551615").ok());
+  StatusOr<FaultPlan> max32 = ParseFaultSpec("fail-first=4294967295");
+  ASSERT_TRUE(max32.ok());
+  EXPECT_EQ(max32->base.fail_first, 4294967295u);
+}
+
+TEST(FaultSpecTest, RejectsTruncatedAndDegenerateSpecs) {
+  EXPECT_FALSE(ParseFaultSpec("transient=").ok());    // empty value
+  EXPECT_FALSE(ParseFaultSpec("=0.5").ok());          // empty key
+  EXPECT_FALSE(ParseFaultSpec("latency-us=").ok());
+  EXPECT_TRUE(ParseFaultSpec("transient=0.1,").ok());  // trailing comma ok
+  EXPECT_FALSE(ParseFaultSpec("ud.=0.5").ok());       // empty key after dot
+  EXPECT_FALSE(ParseFaultSpec("transient=0.1x").ok());  // trailing junk
+  EXPECT_FALSE(ParseFaultSpec("latency-us=1 2").ok());
+  EXPECT_FALSE(ParseFaultSpec("transient==0.1").ok());
+  // A dotted key targets a per-method profile; the method name may itself
+  // contain dots (rfind split), but the final segment must be a known key.
+  EXPECT_TRUE(ParseFaultSpec("a.b.transient=0.5").ok());
+  EXPECT_FALSE(ParseFaultSpec("a.b.unknown=0.5").ok());
+}
+
 }  // namespace
 }  // namespace rbda

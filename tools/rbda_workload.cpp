@@ -8,6 +8,20 @@
 //                 [--baseline-faults=SPEC] [--storm-faults=SPEC]
 //                 [--fault-free] [--slo-json=FILE] [--log=FILE]
 //
+// Socket mode — drive a live rbda_serve daemon instead of the in-process
+// replay (workload/serve_driver.h, docs/SERVING.md):
+//
+//   rbda_workload --target=HOST:PORT [--seed=N] [--connections=N]
+//                 [--schemas=N] [--warm-keys=N] [--sustained-requests=N]
+//                 [--recovery-requests=N] [--burst-requests=N]
+//                 [--burst-deadline-ms=N] [--no-burst] [--probes]
+//
+// Emits a BENCH_JSON line with bench="serve": sustained/recovery QPS and
+// latency quantiles, and the burst response taxonomy (ok / overloaded /
+// deadline_in_queue / deadline_exceeded / tenant_rejected / unanswered).
+// --probes additionally runs the adversarial protocol probes and reports
+// probes_passed; any unexpected daemon behavior makes the tool exit 1.
+//
 // Synthesizes one workload per tenant (workload/profile.h), generates a
 // Zipf-skewed bursty request stream on the virtual clock
 // (workload/traffic.h), replays it through PlanExecutor with per-request
@@ -34,6 +48,7 @@
 #include "bench/bench_util.h"
 #include "workload/profile.h"
 #include "workload/replay.h"
+#include "workload/serve_driver.h"
 #include "workload/slo.h"
 #include "workload/traffic.h"
 
@@ -48,7 +63,12 @@ int Usage() {
       "[--jobs=N] [--profile=KIND] [--page-size=N] [--strict-every=N] "
       "[--mean-interarrival-us=N] [--deadline-us=N] [--availability-ppm=N] "
       "[--latency-slo-us=N] [--baseline-faults=SPEC] [--storm-faults=SPEC] "
-      "[--fault-free] [--slo-json=FILE] [--log=FILE]\n");
+      "[--fault-free] [--slo-json=FILE] [--log=FILE]\n"
+      "       rbda_workload --target=HOST:PORT [--seed=N] "
+      "[--connections=N] [--schemas=N] [--warm-keys=N] "
+      "[--sustained-requests=N] [--recovery-requests=N] "
+      "[--burst-requests=N] [--burst-deadline-ms=N] [--no-burst] "
+      "[--probes]\n");
   return 2;
 }
 
@@ -91,6 +111,73 @@ FaultProfile DefaultStormFaults() {
   return p;
 }
 
+/// Socket mode: everything after flag parsing when --target is present.
+int RunServeMode(const ServeDriverOptions& options) {
+  StatusOr<ServeDriverReport> report = RunServeDriver(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "serve driver: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  BenchJsonWriter writer("serve");
+  writer.Add("seed", options.seed);
+  writer.Add("target", options.host + ":" + std::to_string(options.port));
+  writer.Add("connections", static_cast<uint64_t>(options.connections));
+  writer.Add("schemas", static_cast<uint64_t>(options.schemas));
+  writer.Add("warm_keys", static_cast<uint64_t>(options.warm_keys));
+  writer.Add("warm.requests", report->warm.requests);
+  writer.Add("warm.ok", report->warm.ok);
+  writer.Add("sustained.requests", report->sustained.requests);
+  writer.Add("sustained.ok", report->sustained.ok);
+  writer.Add("sustained.wall_us", report->sustained.wall_us);
+  writer.Add("sustained.qps", report->sustained.Qps());
+  writer.AddQuantiles("sustained.latency", report->sustained.latency_us);
+  writer.Add("burst.sent", report->burst.sent);
+  writer.Add("burst.ok", report->burst.ok);
+  writer.Add("burst.overloaded", report->burst.overloaded);
+  writer.Add("burst.deadline_in_queue", report->burst.deadline_in_queue);
+  writer.Add("burst.deadline_exceeded", report->burst.deadline_exceeded);
+  writer.Add("burst.tenant_rejected", report->burst.tenant_rejected);
+  writer.Add("burst.other_errors", report->burst.other_errors);
+  writer.Add("burst.unanswered", report->burst.unanswered);
+  writer.Add("burst.wall_us", report->burst.wall_us);
+  writer.Add("recovery.requests", report->recovery.requests);
+  writer.Add("recovery.ok", report->recovery.ok);
+  writer.Add("recovery.qps", report->recovery.Qps());
+  writer.AddQuantiles("recovery.latency", report->recovery.latency_us);
+  writer.Add("probes_run",
+             static_cast<uint64_t>(report->probes_run ? 1 : 0));
+  writer.Add("probes_passed",
+             static_cast<uint64_t>(report->probes_passed ? 1 : 0));
+  if (!report->probe_failure.empty()) {
+    writer.Add("probe_failure", report->probe_failure);
+  }
+  writer.AddPeakRss();
+  writer.Print();
+
+  if (report->probes_run && !report->probes_passed) {
+    std::fprintf(stderr, "probe failed: %s\n",
+                 report->probe_failure.c_str());
+    return 1;
+  }
+  // Burst responses must be conserved: every pipelined request is either
+  // answered with a taxonomy code or counted unanswered.
+  uint64_t accounted = report->burst.ok + report->burst.overloaded +
+                       report->burst.deadline_in_queue +
+                       report->burst.deadline_exceeded +
+                       report->burst.tenant_rejected +
+                       report->burst.other_errors +
+                       report->burst.unanswered;
+  if (options.run_burst && accounted != options.burst_requests) {
+    std::fprintf(stderr, "burst accounting mismatch: %llu != %llu\n",
+                 static_cast<unsigned long long>(accounted),
+                 static_cast<unsigned long long>(options.burst_requests));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,6 +194,8 @@ int main(int argc, char** argv) {
   replay.storm = DefaultStormFaults();
   std::string slo_json_path;
   std::string log_path;
+  bool serve_mode = false;
+  ServeDriverOptions serve;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -158,10 +247,46 @@ int main(int argc, char** argv) {
       slo_json_path = value;
     } else if (arg == "--log") {
       log_path = value;
+    } else if (arg == "--target") {
+      size_t colon = value.rfind(':');
+      uint64_t port = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          !ParseUint(value.substr(colon + 1), &port) || port == 0 ||
+          port > 65535) {
+        std::fprintf(stderr, "--target needs HOST:PORT\n");
+        return 2;
+      }
+      serve_mode = true;
+      serve.host = value.substr(0, colon);
+      serve.port = static_cast<uint16_t>(port);
+    } else if (arg == "--connections" && ParseUint(value, &n) && n > 0) {
+      serve.connections = n;
+    } else if (arg == "--schemas" && ParseUint(value, &n) && n > 0) {
+      serve.schemas = n;
+    } else if (arg == "--warm-keys" && ParseUint(value, &n) && n > 0) {
+      serve.warm_keys = n;
+    } else if (arg == "--sustained-requests" && ParseUint(value, &n)) {
+      serve.sustained_requests = n;
+    } else if (arg == "--recovery-requests" && ParseUint(value, &n)) {
+      serve.recovery_requests = n;
+    } else if (arg == "--burst-requests" && ParseUint(value, &n)) {
+      serve.burst_requests = n;
+    } else if (arg == "--burst-deadline-ms" && ParseUint(value, &n) &&
+               n > 0) {
+      serve.burst_deadline_ms = n;
+    } else if (arg == "--no-burst") {
+      serve.run_burst = false;
+    } else if (arg == "--probes") {
+      serve.run_probes = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return Usage();
     }
+  }
+
+  if (serve_mode) {
+    serve.seed = seed;
+    return RunServeMode(serve);
   }
 
   std::vector<TenantWorkload> tenants;
