@@ -10,6 +10,7 @@
 
 #include "base/task_pool.h"
 #include "chase/containment.h"
+#include "chase/relevance.h"
 #include "obs/histogram.h"
 #include "core/answerability.h"
 #include "obs/json.h"
@@ -175,6 +176,15 @@ inline const char* ShortVerdict(const StatusOr<Decision>& d) {
 /// Job count for bench binaries: RBDA_JOBS when set, else 1.
 inline size_t BenchJobs() { return ResolveJobs(0); }
 
+/// Baseline decide options for bench rows: goal-directed relevance pruning
+/// per RBDA_PRUNE (default on). RBDA_PRUNE=0 reruns the same rows full-Σ —
+/// the prune ablation docs/PERFORMANCE.md tabulates.
+inline DecisionOptions BenchDecideOptions() {
+  DecisionOptions options;
+  options.chase.prune_to_goal = ResolvePrune(-1);
+  return options;
+}
+
 /// Verdict tally of a decision sweep; identical serial vs parallel.
 struct SweepResult {
   int answerable = 0;
@@ -228,6 +238,8 @@ inline SweepResult DecisionSweep(SweepFamily family, uint64_t seeds,
     ConjunctiveQuery q = GenerateQuery(schema, 2, 3, &rng);
     DecisionOptions options;
     options.linear_depth_cap = 400;
+    // Goal-directed by default; RBDA_PRUNE=0 runs the ablation sweep.
+    options.chase.prune_to_goal = ResolvePrune(-1);
     StatusOr<Decision> d = DecideMonotoneAnswerability(schema, q, options);
     SweepResult r;
     if (!d.ok()) {
@@ -258,11 +270,18 @@ inline SweepResult DecisionSweep(SweepFamily family, uint64_t seeds,
   return total;
 }
 
-/// Runs `sweep(jobs)` serially and at `jobs` workers, timing each run
-/// (containment cache cleared before both so neither inherits the other's
-/// memoization), and records under "sweep.*": the job count, both wall
-/// times, speedup-vs-serial, and whether the results matched. Returns the
-/// serial result.
+/// Runs `sweep(jobs)` serially and at `jobs` workers, timing each run,
+/// and records under "sweep.*": the job count, both wall times,
+/// speedup-vs-serial, and whether the results matched. Returns the serial
+/// result.
+///
+/// The containment cache is cleared once and prewarmed by an untimed
+/// serial pass, so both timed legs run against the same warm memoization
+/// state. Clearing between the legs instead (the old behavior) forced
+/// every repeated identical check back to a full chase — the decide#19 /
+/// decide#35 cache-miss regression BENCH_obs.json flagged — and timed the
+/// serial leg cold against a parallel leg whose workers race to repopulate
+/// the cache, skewing the speedup both ways.
 template <typename T>
 T TimedParallelSweep(BenchJsonWriter* writer, size_t jobs,
                      const std::function<T(size_t)>& sweep) {
@@ -273,11 +292,12 @@ T TimedParallelSweep(BenchJsonWriter* writer, size_t jobs,
   };
 
   ClearContainmentCache();
+  (void)sweep(1);  // prewarm: populate the containment cache untimed
+
   Clock::time_point t0 = Clock::now();
   T serial = sweep(1);
   uint64_t serial_us = micros(Clock::now() - t0);
 
-  ClearContainmentCache();
   Clock::time_point t1 = Clock::now();
   T parallel = sweep(jobs);
   uint64_t parallel_us = micros(Clock::now() - t1);

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "chase/relevance.h"
 #include "logic/conjunctive_query.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -97,6 +98,20 @@ class Engine {
         options_(options),
         rules_(rules) {
     result_.instance = start;
+    if (options_.relevant_relations != nullptr) {
+      // Goal-directed pruning (chase/relevance.h): resolve the per-index
+      // enabled bits once. Pruned constraints are skipped in place so
+      // ChaseStep::tgd_index keeps indexing the caller's ConstraintSet.
+      const std::vector<bool>& relevant = *options_.relevant_relations;
+      tgd_enabled_.reserve(constraints_.tgds.size());
+      for (const Tgd& tgd : constraints_.tgds) {
+        tgd_enabled_.push_back(TgdIsRelevant(tgd, relevant));
+      }
+      rule_enabled_.reserve(rules_.size());
+      for (const CardinalityRule& rule : rules_) {
+        rule_enabled_.push_back(CardinalityRuleIsRelevant(rule, relevant));
+      }
+    }
   }
 
   ChaseResult Run(const std::vector<std::vector<Atom>>* goals,
@@ -234,6 +249,7 @@ class Engine {
   uint64_t FireTgdRound(uint64_t round, const Instance::DeltaMark* delta) {
     uint64_t fired = 0;
     for (size_t i = 0; i < constraints_.tgds.size(); ++i) {
+      if (!tgd_enabled_.empty() && !tgd_enabled_[i]) continue;  // pruned
       const Tgd& tgd = constraints_.tgds[i];
       std::vector<Term> exported = tgd.ExportedVariables();
 
@@ -318,7 +334,9 @@ class Engine {
   // only through new source facts.
   uint64_t FireCardinalityRound(const Instance::DeltaMark* delta) {
     uint64_t fired = 0;
-    for (const CardinalityRule& rule : rules_) {
+    for (size_t ri = 0; ri < rules_.size(); ++ri) {
+      if (!rule_enabled_.empty() && !rule_enabled_[ri]) continue;  // pruned
+      const CardinalityRule& rule = rules_[ri];
       std::set<std::vector<Term>> dirty;  // bindings with new source facts
       TermSet newly_accessible;
       if (delta != nullptr) {
@@ -498,6 +516,9 @@ class Engine {
   const ChaseOptions& options_;
   const std::vector<CardinalityRule>& rules_;
   ChaseResult result_;
+  // Per-index relevance filter (empty = fire everything); see ctor.
+  std::vector<bool> tgd_enabled_;
+  std::vector<bool> rule_enabled_;
   // Set by the firing helpers when a firing pushed the instance past
   // options_.max_facts; RunImpl then stops with exhausted = kFacts.
   bool budget_tripped_ = false;

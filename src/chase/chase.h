@@ -65,6 +65,24 @@ struct ChaseOptions {
   /// this options bag reaches CheckContainment* (no effect on RunChase
   /// itself; see chase/containment.h).
   bool use_containment_cache = true;
+  /// Goal-directed relevance pruning (chase/relevance.h): the containment
+  /// engines compute the relations backward-reachable from their goal and
+  /// skip every TGD with no relevant head relation and every cardinality
+  /// rule with an irrelevant target. Sound over-approximation — exact
+  /// relevance is undecidable. Escape hatch: --prune=off / RBDA_PRUNE=0.
+  /// No effect on plain RunChase (which has no goal to prune toward).
+  bool prune_to_goal = true;
+  /// Test-only hook (rbda_fuzz --inject-bug=overprune): deliberately drop
+  /// one relevant relation from the computed set so the
+  /// goal-pruned-vs-full checker can prove it catches unsound pruning.
+  bool inject_overprune_for_testing = false;
+  /// Set internally by the containment engines when prune_to_goal is on:
+  /// the relevance bitset (indexed by RelationId) the chase restricts
+  /// firing to. Null = fire everything. Not an input — callers leave it
+  /// null; it is derived from (goal, Σ) and is NOT part of the
+  /// memoization key, so an externally supplied filter would alias
+  /// cache entries.
+  const std::vector<bool>* relevant_relations = nullptr;
 };
 
 enum class ChaseStatus {

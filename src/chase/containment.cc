@@ -6,6 +6,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "chase/relevance.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -29,6 +30,15 @@ struct ContainmentMetrics {
   Distribution* check_hit_us;
   Distribution* check_miss_us;
   Distribution* linear_depth;
+  // Goal-directed pruning (chase/relevance.h): checks that ran with
+  // pruning on, total constraints the relevance analysis dropped, and
+  // checks the signature prefilter answered without chasing.
+  Counter* prune_checks;
+  Counter* prune_constraints;
+  Counter* prune_prefilter_hits;
+  // Checks answered by the witness-reuse countermodel (relevance.h):
+  // a finite model refuting the goal without running the chase.
+  Counter* prune_countermodel_hits;
   // The linear engine bypasses chase.cc's Engine, so it feeds the shared
   // chase.* counters itself (the registry hands back the same handles).
   Counter* chase_rounds;
@@ -53,6 +63,10 @@ const ContainmentMetrics& Metrics() {
         r.GetDistribution("containment.check_us.hit"),
         r.GetDistribution("containment.check_us.miss"),
         r.GetDistribution("containment.linear.depth"),
+        r.GetCounter("containment.prune.checks"),
+        r.GetCounter("containment.prune.constraints_pruned"),
+        r.GetCounter("containment.prune.prefilter_hits"),
+        r.GetCounter("containment.prune.countermodel_hits"),
         r.GetCounter("chase.rounds"),
         r.GetCounter("chase.triggers.tgd"),
         r.GetCounter("chase.facts_created"),
@@ -162,8 +176,13 @@ CacheKey MakeGenericKey(const Instance& start, const std::vector<Atom>& goal,
   AppendSigma(sigma, &canon, &key);
   key.push_back(options.max_rounds);
   key.push_back(options.max_facts);
+  // Pruning is derived from (goal, Σ, rules) — all already in the key —
+  // but the MODE must still be keyed: a pruned run can be definite where
+  // the unpruned run is kUnknown, so the two must not alias.
   key.push_back((options.record_trace ? 1u : 0u) |
-                (options.use_semi_naive ? 2u : 0u));
+                (options.use_semi_naive ? 2u : 0u) |
+                (options.prune_to_goal ? 4u : 0u) |
+                (options.inject_overprune_for_testing ? 8u : 0u));
   key.push_back(rules.size());
   for (const CardinalityRule& rule : rules) {
     key.push_back(rule.source_rel);
@@ -179,7 +198,8 @@ CacheKey MakeGenericKey(const Instance& start, const std::vector<Atom>& goal,
 
 CacheKey MakeLinearKey(const Instance& start, const std::vector<Atom>& goal,
                        const std::vector<Tgd>& linear_tgds,
-                       uint64_t max_depth, uint64_t max_facts) {
+                       uint64_t max_depth, uint64_t max_facts,
+                       const ChaseOptions& options) {
   CacheKey key;
   TermCanonicalizer canon;
   key.push_back(1);  // engine tag: linear
@@ -192,6 +212,10 @@ CacheKey MakeLinearKey(const Instance& start, const std::vector<Atom>& goal,
   }
   key.push_back(max_depth);
   key.push_back(max_facts);
+  // Keyed for the same reason as the generic engine: pruned runs can be
+  // strictly more definite than unpruned ones.
+  key.push_back((options.prune_to_goal ? 1u : 0u) |
+                (options.inject_overprune_for_testing ? 2u : 0u));
   return key;
 }
 
@@ -337,7 +361,7 @@ ContainmentOutcome CheckContainmentFrom(
       Metrics().check_hit_us->Record(elapsed);
       // A hit did no chase work: attribute only the lookup cost.
       QueryProfiler::Default().RecordCheck(ContainmentCheckRecord{
-          "", GoalRelationName(goal, universe), elapsed, 0, 0, 0, true});
+          "", GoalRelationName(goal, universe), elapsed, 0, 0, 0, 0, true});
       if (span.active()) {
         span.AddStr("cache", "hit");
         span.AddStr("verdict", VerdictName(cached.verdict));
@@ -347,32 +371,84 @@ ContainmentOutcome CheckContainmentFrom(
     Metrics().cache_misses->Increment();
   }
 
+  // Goal-directed mode (chase/relevance.h): restrict chase firing to the
+  // constraints backward-reachable from the goal, and try the signature
+  // prefilter before chasing at all. The prefilter's kNotContained is only
+  // sound when no FD can conflict — a conflict would make the containment
+  // vacuously kContained, which the signature abstraction cannot see.
+  RelevanceResult relevance;
+  ChaseOptions chase_options = options;
+  uint64_t pruned_constraints = 0;
+  bool prefiltered = false;
+  if (options.prune_to_goal) {
+    relevance =
+        ComputeRelevance(goal, sigma, cardinality_rules,
+                         universe != nullptr ? universe->NumRelations() : 0,
+                         options.inject_overprune_for_testing);
+    chase_options.relevant_relations = &relevance.relevant_relations;
+    pruned_constraints = relevance.PrunedConstraints();
+    Metrics().prune_checks->Increment();
+    if (pruned_constraints > 0) {
+      Metrics().prune_constraints->Increment(pruned_constraints);
+    }
+    prefiltered = sigma.fds.empty() &&
+                  !SignatureCanReachGoal(start, goal, sigma.tgds,
+                                         cardinality_rules,
+                                         relevance.relevant_relations);
+  }
+  // Second-tier prefilter: when the signature abstraction is too coarse,
+  // try to exhibit a finite witness-reuse countermodel of the FULL Σ (no
+  // relevance pruning — airtight soundness for kNotContained even under
+  // an overprune injection). Only valid with no FDs, like the signature
+  // tier: an FD conflict would make the containment vacuously true.
+  bool countermodeled = false;
+  if (options.prune_to_goal && !prefiltered && sigma.fds.empty()) {
+    countermodeled = CounterModelRefutesGoals(start, {goal}, sigma.tgds,
+                                              cardinality_rules, universe);
+  }
+
   ContainmentOutcome out;
-  bool goal_reached = false;
-  out.chase = RunChaseUntil(start, sigma, goal, universe, &goal_reached,
-                            options, cardinality_rules);
-  if (out.chase.status == ChaseStatus::kFdConflict) {
-    // No instance satisfies Q together with Σ, so the containment holds
-    // vacuously.
-    out.verdict = ContainmentVerdict::kContained;
-  } else if (goal_reached) {
-    out.verdict = ContainmentVerdict::kContained;
-  } else if (out.chase.status == ChaseStatus::kCompleted) {
+  if (prefiltered || countermodeled) {
+    if (prefiltered) {
+      Metrics().prune_prefilter_hits->Increment();
+    } else {
+      Metrics().prune_countermodel_hits->Increment();
+    }
     out.verdict = ContainmentVerdict::kNotContained;
+    out.chase.status = ChaseStatus::kCompleted;
+    out.chase.instance = start;
   } else {
-    out.verdict = ContainmentVerdict::kUnknown;
+    bool goal_reached = false;
+    out.chase = RunChaseUntil(start, sigma, goal, universe, &goal_reached,
+                              chase_options, cardinality_rules);
+    if (out.chase.status == ChaseStatus::kFdConflict) {
+      // No instance satisfies Q together with Σ, so the containment holds
+      // vacuously.
+      out.verdict = ContainmentVerdict::kContained;
+    } else if (goal_reached) {
+      out.verdict = ContainmentVerdict::kContained;
+    } else if (out.chase.status == ChaseStatus::kCompleted) {
+      out.verdict = ContainmentVerdict::kNotContained;
+    } else {
+      out.verdict = ContainmentVerdict::kUnknown;
+    }
   }
   uint64_t elapsed = timer.ElapsedMicros();
   Metrics().check_miss_us->Record(elapsed);
   QueryProfiler::Default().RecordCheck(ContainmentCheckRecord{
       "", GoalRelationName(goal, universe), elapsed, out.chase.rounds,
-      out.chase.instance.NumFacts(), out.chase.goal_checks, false});
+      out.chase.instance.NumFacts(), out.chase.goal_checks,
+      pruned_constraints, false});
   if (span.active()) {
     span.AddStr("cache", options.use_containment_cache ? "miss" : "off");
     span.AddStr("verdict", VerdictName(out.verdict));
     span.AddInt("rounds", static_cast<int64_t>(out.chase.rounds));
     span.AddInt("facts",
                 static_cast<int64_t>(out.chase.instance.NumFacts()));
+    span.AddInt("pruned_constraints",
+                static_cast<int64_t>(pruned_constraints));
+    if (prefiltered) span.AddStr("prefilter", "hit");
+    if (countermodeled) span.AddStr("countermodel", "hit");
   }
   if (options.use_containment_cache) {
     ContainmentCache::Get().Store(key, out);
@@ -389,20 +465,62 @@ ContainmentOutcome CheckUcqContainment(const UnionQuery& q,
   for (const ConjunctiveQuery& cq : q_prime.disjuncts()) {
     goals.push_back(cq.atoms());
   }
+  // One relevance closure covers every disjunct: relevance depends only on
+  // the goals and Σ, not on the start instance.
+  RelevanceResult relevance;
+  ChaseOptions chase_options = options;
+  if (options.prune_to_goal) {
+    relevance =
+        ComputeRelevance(goals, sigma.tgds, sigma.fds, {},
+                         universe != nullptr ? universe->NumRelations() : 0,
+                         options.inject_overprune_for_testing);
+    chase_options.relevant_relations = &relevance.relevant_relations;
+  }
   ContainmentOutcome overall;
   overall.verdict = ContainmentVerdict::kContained;  // empty Q is contained
   for (const ConjunctiveQuery& cq : q.disjuncts()) {
-    bool goal_reached = false;
-    ChaseResult chase =
-        RunChaseUntilAny(cq.CanonicalDatabase(), sigma, goals, universe,
-                         &goal_reached, options);
+    Instance db = cq.CanonicalDatabase();
     ContainmentVerdict verdict;
-    if (chase.status == ChaseStatus::kFdConflict || goal_reached) {
-      verdict = ContainmentVerdict::kContained;
-    } else if (chase.status == ChaseStatus::kCompleted) {
+    ChaseResult chase;
+    bool prefiltered = false;
+    if (options.prune_to_goal && sigma.fds.empty()) {
+      std::vector<bool> closure = SignatureClosure(
+          db, sigma.tgds, {}, relevance.relevant_relations);
+      prefiltered = true;
+      for (const std::vector<Atom>& g : goals) {
+        if (GoalWithinSignature(g, closure)) {
+          prefiltered = false;
+          break;
+        }
+      }
+    }
+    bool countermodeled = false;
+    if (options.prune_to_goal && !prefiltered && sigma.fds.empty()) {
+      // A countermodel must refute EVERY disjunct of q' to certify that
+      // this disjunct of q is a counterexample.
+      countermodeled =
+          CounterModelRefutesGoals(db, goals, sigma.tgds, {}, universe);
+    }
+    if (prefiltered || countermodeled) {
+      if (prefiltered) {
+        Metrics().prune_prefilter_hits->Increment();
+      } else {
+        Metrics().prune_countermodel_hits->Increment();
+      }
       verdict = ContainmentVerdict::kNotContained;
+      chase.status = ChaseStatus::kCompleted;
+      chase.instance = std::move(db);
     } else {
-      verdict = ContainmentVerdict::kUnknown;
+      bool goal_reached = false;
+      chase = RunChaseUntilAny(db, sigma, goals, universe, &goal_reached,
+                               chase_options);
+      if (chase.status == ChaseStatus::kFdConflict || goal_reached) {
+        verdict = ContainmentVerdict::kContained;
+      } else if (chase.status == ChaseStatus::kCompleted) {
+        verdict = ContainmentVerdict::kNotContained;
+      } else {
+        verdict = ContainmentVerdict::kUnknown;
+      }
     }
     overall.chase = std::move(chase);
     if (verdict == ContainmentVerdict::kNotContained) {
@@ -446,19 +564,21 @@ ContainmentOutcome CheckLinearContainment(const ConjunctiveQuery& q,
                                           const std::vector<Tgd>& linear_tgds,
                                           Universe* universe,
                                           uint64_t max_depth,
-                                          uint64_t max_facts) {
+                                          uint64_t max_facts,
+                                          const ChaseOptions& options) {
   return CheckLinearContainmentFrom(q.CanonicalDatabase(), q_prime.atoms(),
                                     linear_tgds, universe, max_depth,
-                                    max_facts);
+                                    max_facts, options);
 }
 
 ContainmentOutcome CheckLinearContainmentFrom(
     const Instance& start, const std::vector<Atom>& goal,
     const std::vector<Tgd>& linear_tgds, Universe* universe,
-    uint64_t max_depth, uint64_t max_facts, bool use_cache) {
+    uint64_t max_depth, uint64_t max_facts, const ChaseOptions& options) {
   for (const Tgd& tgd : linear_tgds) {
     RBDA_CHECK(tgd.IsLinear());
   }
+  const bool use_cache = options.use_containment_cache;
 
   Metrics().checks->Increment();
   Metrics().checks_linear->Increment();
@@ -467,14 +587,15 @@ ContainmentOutcome CheckLinearContainmentFrom(
 
   CacheKey key;
   if (use_cache) {
-    key = MakeLinearKey(start, goal, linear_tgds, max_depth, max_facts);
+    key = MakeLinearKey(start, goal, linear_tgds, max_depth, max_facts,
+                        options);
     ContainmentOutcome cached;
     if (ContainmentCache::Get().Lookup(key, &cached)) {
       Metrics().cache_hits->Increment();
       uint64_t elapsed = timer.ElapsedMicros();
       Metrics().check_hit_us->Record(elapsed);
       QueryProfiler::Default().RecordCheck(ContainmentCheckRecord{
-          "", GoalRelationName(goal, universe), elapsed, 0, 0, 0, true});
+          "", GoalRelationName(goal, universe), elapsed, 0, 0, 0, 0, true});
       if (span.active()) {
         span.AddStr("cache", "hit");
         span.AddStr("verdict", VerdictName(cached.verdict));
@@ -482,6 +603,28 @@ ContainmentOutcome CheckLinearContainmentFrom(
       return cached;
     }
     Metrics().cache_misses->Increment();
+  }
+
+  // Goal-directed mode: skip TGDs that cannot contribute to the goal (no
+  // FDs here, so the relevance seeds are the goal relations alone and the
+  // signature prefilter is always sound).
+  RelevanceResult relevance;
+  std::vector<bool> tgd_enabled;  // empty = fire everything
+  uint64_t pruned_constraints = 0;
+  if (options.prune_to_goal) {
+    relevance =
+        ComputeRelevance({goal}, linear_tgds, {}, {},
+                         universe != nullptr ? universe->NumRelations() : 0,
+                         options.inject_overprune_for_testing);
+    pruned_constraints = relevance.PrunedConstraints();
+    Metrics().prune_checks->Increment();
+    if (pruned_constraints > 0) {
+      Metrics().prune_constraints->Increment(pruned_constraints);
+    }
+    tgd_enabled.reserve(linear_tgds.size());
+    for (const Tgd& tgd : linear_tgds) {
+      tgd_enabled.push_back(TgdIsRelevant(tgd, relevance.relevant_relations));
+    }
   }
 
   ContainmentOutcome out;
@@ -505,10 +648,17 @@ ContainmentOutcome CheckLinearContainmentFrom(
     return true;
   });
 
-  auto goal_holds = [&]() {
+  // Delta-restricted when `delta` is non-null: the pre-delta state was
+  // already goal-checked, and the linear instance is append-only (no EGD
+  // rebuilds), so marks stay valid and only homomorphisms touching the
+  // depth's new facts can newly satisfy the goal.
+  auto goal_holds = [&](const Instance::DeltaMark* delta) {
     Metrics().hom_checks->IncrementCell();
     ++out.chase.goal_checks;
-    bool found = FindHomomorphism(goal, inst).has_value();
+    bool found =
+        delta != nullptr
+            ? FindHomomorphismDelta(goal, inst, nullptr, *delta).has_value()
+            : FindHomomorphism(goal, inst).has_value();
     if (found) Metrics().hom_checks_ok->IncrementCell();
     return found;
   };
@@ -520,12 +670,14 @@ ContainmentOutcome CheckLinearContainmentFrom(
     Metrics().check_miss_us->Record(elapsed);
     QueryProfiler::Default().RecordCheck(ContainmentCheckRecord{
         "", GoalRelationName(goal, universe), elapsed, out.chase.rounds,
-        inst.NumFacts(), out.chase.goal_checks, false});
+        inst.NumFacts(), out.chase.goal_checks, pruned_constraints, false});
     if (span.active()) {
       span.AddStr("cache", use_cache ? "miss" : "off");
       span.AddStr("verdict", VerdictName(verdict));
       span.AddInt("depth", static_cast<int64_t>(out.depth_reached));
       span.AddInt("facts", static_cast<int64_t>(inst.NumFacts()));
+      span.AddInt("pruned_constraints",
+                  static_cast<int64_t>(pruned_constraints));
     }
     if (use_cache) ContainmentCache::Get().Store(key, out);
     return std::move(out);
@@ -537,18 +689,46 @@ ContainmentOutcome CheckLinearContainmentFrom(
     return finish(ContainmentVerdict::kUnknown);
   }
 
-  if (goal_holds()) {
+  if (options.prune_to_goal &&
+      !SignatureCanReachGoal(inst, goal, linear_tgds, {},
+                             relevance.relevant_relations)) {
+    // The goal's relations are not even signature-reachable: no depth of
+    // chasing can produce a match, and with no FDs the (possibly
+    // unbounded) full chase is a counter-model.
+    Metrics().prune_prefilter_hits->Increment();
+    out.chase.status = ChaseStatus::kCompleted;
+    if (span.active()) span.AddStr("prefilter", "hit");
+    return finish(ContainmentVerdict::kNotContained);
+  }
+
+  if (goal_holds(nullptr)) {
     return finish(ContainmentVerdict::kContained);
+  }
+
+  // Second-tier prefilter: a finite witness-reuse countermodel refutes
+  // the goal without descending the (possibly exponential) chase tree.
+  // Linear TGDs have no FDs, so the countermodel is always sound here.
+  if (options.prune_to_goal &&
+      CounterModelRefutesGoals(inst, {goal}, linear_tgds, {}, universe)) {
+    Metrics().prune_countermodel_hits->Increment();
+    out.chase.status = ChaseStatus::kCompleted;
+    if (span.active()) span.AddStr("countermodel", "hit");
+    return finish(ContainmentVerdict::kNotContained);
   }
 
   for (uint64_t depth = 1; depth <= max_depth && !frontier.empty(); ++depth) {
     out.depth_reached = depth;
+    // Everything below the mark was goal-checked after the previous depth
+    // (or initially), so the post-depth check can be delta-restricted.
+    Instance::DeltaMark depth_mark = inst.Mark();
     std::vector<Fact> next;
     for (const Fact& fact : frontier) {
       if (row_ids_exhausted) break;
       Instance just_fact;
       just_fact.AddFact(fact);
-      for (const Tgd& tgd : linear_tgds) {
+      for (size_t ti = 0; ti < linear_tgds.size(); ++ti) {
+        if (!tgd_enabled.empty() && !tgd_enabled[ti]) continue;  // pruned
+        const Tgd& tgd = linear_tgds[ti];
         if (row_ids_exhausted) break;
         if (tgd.body()[0].relation != fact.relation) continue;
         // All body matches of this single-atom body against `fact`.
@@ -594,7 +774,7 @@ ContainmentOutcome CheckLinearContainmentFrom(
                         {"frontier", static_cast<int64_t>(next.size())},
                         {"facts", static_cast<int64_t>(inst.NumFacts())}});
     }
-    if (goal_holds()) {
+    if (goal_holds(inst.MarkValid(depth_mark) ? &depth_mark : nullptr)) {
       return finish(ContainmentVerdict::kContained);
     }
     if (row_ids_exhausted || inst.NumFacts() > max_facts) {

@@ -17,11 +17,21 @@
 // calls over the same schema re-pose identical containment problems, and a
 // hit replays the stored outcome (verdict, chase statistics, final
 // instance) without re-chasing. Opt out per call via
-// ChaseOptions::use_containment_cache / the linear engine's use_cache
-// parameter; observe via the containment.cache.{hits,misses,evictions}
-// counters. Cached outcomes may reference labeled nulls minted by the run
-// that populated the entry rather than by the caller's universe — null
-// identity is only meaningful within an outcome anyway.
+// ChaseOptions::use_containment_cache; observe via the
+// containment.cache.{hits,misses,evictions} counters. Cached outcomes may
+// reference labeled nulls minted by the run that populated the entry
+// rather than by the caller's universe — null identity is only meaningful
+// within an outcome anyway.
+//
+// Both engines are goal-directed by default (ChaseOptions::prune_to_goal,
+// chase/relevance.h): constraints that cannot contribute to deriving the
+// goal — nor to any EGD — are skipped, and a relation-signature prefilter
+// answers kNotContained without chasing when the goal's relations are not
+// even signature-reachable from the start instance. Pruned and unpruned
+// runs agree on every definite verdict (the pruned run may be MORE
+// definite where the full chase exhausts its budget); the pruning mode is
+// part of the memoization key. Observe via containment.prune.{checks,
+// constraints_pruned,prefilter_hits}; disable via --prune=off/RBDA_PRUNE.
 #ifndef RBDA_CHASE_CONTAINMENT_H_
 #define RBDA_CHASE_CONTAINMENT_H_
 
@@ -82,13 +92,18 @@ ContainmentOutcome CheckLinearContainment(const ConjunctiveQuery& q,
                                           const std::vector<Tgd>& linear_tgds,
                                           Universe* universe,
                                           uint64_t max_depth,
-                                          uint64_t max_facts = 500000);
+                                          uint64_t max_facts = 500000,
+                                          const ChaseOptions& options = {});
 
-/// Depth-bounded linear engine starting from an explicit instance.
+/// Depth-bounded linear engine starting from an explicit instance. Of the
+/// options bag, the linear engine honors use_containment_cache,
+/// prune_to_goal, and inject_overprune_for_testing (depth/fact budgets
+/// are the explicit parameters).
 ContainmentOutcome CheckLinearContainmentFrom(
     const Instance& start, const std::vector<Atom>& goal,
     const std::vector<Tgd>& linear_tgds, Universe* universe,
-    uint64_t max_depth, uint64_t max_facts = 500000, bool use_cache = true);
+    uint64_t max_depth, uint64_t max_facts = 500000,
+    const ChaseOptions& options = {});
 
 /// Drops every memoized containment outcome (tests and benchmarks that
 /// want to measure the uncached engines call this between runs).

@@ -1,0 +1,312 @@
+#include "chase/relevance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+namespace rbda {
+
+namespace {
+
+// Marks `relation` relevant/present, growing the bitset when a relation id
+// exceeds the pre-sized universe count. Returns true when the bit was
+// newly set (fixpoint progress).
+bool Mark(RelationId relation, std::vector<bool>* bits) {
+  size_t r = static_cast<size_t>(relation);
+  if (r >= bits->size()) bits->resize(r + 1, false);
+  if ((*bits)[r]) return false;
+  (*bits)[r] = true;
+  return true;
+}
+
+}  // namespace
+
+bool TgdIsRelevant(const Tgd& tgd, const std::vector<bool>& relevant) {
+  for (const Atom& h : tgd.head()) {
+    if (RelationIsRelevant(h.relation, relevant)) return true;
+  }
+  return false;
+}
+
+bool CardinalityRuleIsRelevant(const CardinalityRule& rule,
+                               const std::vector<bool>& relevant) {
+  return RelationIsRelevant(rule.target_rel, relevant);
+}
+
+RelevanceResult ComputeRelevance(const std::vector<std::vector<Atom>>& goals,
+                                 const std::vector<Tgd>& tgds,
+                                 const std::vector<Fd>& fds,
+                                 const std::vector<CardinalityRule>& rules,
+                                 size_t num_relations,
+                                 bool inject_overprune_for_testing) {
+  RelevanceResult out;
+  std::vector<bool>& relevant = out.relevant_relations;
+  relevant.assign(num_relations, false);
+
+  for (const std::vector<Atom>& goal : goals) {
+    for (const Atom& a : goal) Mark(a.relation, &relevant);
+  }
+  for (const Fd& fd : fds) Mark(fd.relation, &relevant);
+  // Seeds are exempt from the overprune injection: dropping a goal or FD
+  // relation would break trivially (the goal could never match at all),
+  // which is not the subtle bug class the checker exists to catch.
+  std::vector<bool> seeds = relevant;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Tgd& tgd : tgds) {
+      if (!TgdIsRelevant(tgd, relevant)) continue;
+      for (const Atom& b : tgd.body()) changed |= Mark(b.relation, &relevant);
+    }
+    for (const CardinalityRule& rule : rules) {
+      if (!CardinalityRuleIsRelevant(rule, relevant)) continue;
+      changed |= Mark(rule.source_rel, &relevant);
+      if (rule.require_accessible) {
+        changed |= Mark(rule.accessible_rel, &relevant);
+      }
+    }
+  }
+
+  if (inject_overprune_for_testing) {
+    for (size_t r = relevant.size(); r-- > 0;) {
+      if (relevant[r] && (r >= seeds.size() || !seeds[r])) {
+        relevant[r] = false;
+        break;
+      }
+    }
+  }
+
+  for (const Tgd& tgd : tgds) {
+    TgdIsRelevant(tgd, relevant) ? ++out.relevant_tgds : ++out.pruned_tgds;
+  }
+  for (const CardinalityRule& rule : rules) {
+    CardinalityRuleIsRelevant(rule, relevant) ? ++out.relevant_rules
+                                              : ++out.pruned_rules;
+  }
+  return out;
+}
+
+RelevanceResult ComputeRelevance(const std::vector<Atom>& goal,
+                                 const ConstraintSet& sigma,
+                                 const std::vector<CardinalityRule>& rules,
+                                 size_t num_relations,
+                                 bool inject_overprune_for_testing) {
+  return ComputeRelevance({goal}, sigma.tgds, sigma.fds, rules, num_relations,
+                          inject_overprune_for_testing);
+}
+
+std::vector<bool> SignatureClosure(const Instance& start,
+                                   const std::vector<Tgd>& tgds,
+                                   const std::vector<CardinalityRule>& rules,
+                                   const std::vector<bool>& relevant) {
+  std::vector<bool> present(relevant.size(), false);
+  start.ForEachFact([&present](FactRef f) { Mark(f.relation(), &present); });
+
+  auto has = [&present](RelationId r) {
+    return static_cast<size_t>(r) < present.size() && present[r];
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Tgd& tgd : tgds) {
+      if (!TgdIsRelevant(tgd, relevant)) continue;  // pruned: never fires
+      bool body_present = true;
+      for (const Atom& b : tgd.body()) {
+        if (!has(b.relation)) {
+          body_present = false;
+          break;
+        }
+      }
+      if (!body_present) continue;
+      for (const Atom& h : tgd.head()) changed |= Mark(h.relation, &present);
+    }
+    for (const CardinalityRule& rule : rules) {
+      if (!CardinalityRuleIsRelevant(rule, relevant)) continue;
+      if (!has(rule.source_rel)) continue;
+      // A rule with no input positions has a vacuous accessibility
+      // precondition: it fires from the source relation alone, so the
+      // accessible relation is only a necessary ingredient when some
+      // input term must be proven accessible.
+      if (rule.require_accessible && !rule.input_positions.empty() &&
+          !has(rule.accessible_rel)) {
+        continue;
+      }
+      changed |= Mark(rule.target_rel, &present);
+    }
+  }
+  return present;
+}
+
+bool GoalWithinSignature(const std::vector<Atom>& goal,
+                         const std::vector<bool>& closure) {
+  for (const Atom& a : goal) {
+    if (static_cast<size_t>(a.relation) >= closure.size() ||
+        !closure[a.relation]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SignatureCanReachGoal(const Instance& start,
+                           const std::vector<Atom>& goal,
+                           const std::vector<Tgd>& tgds,
+                           const std::vector<CardinalityRule>& rules,
+                           const std::vector<bool>& relevant) {
+  return GoalWithinSignature(goal,
+                             SignatureClosure(start, tgds, rules, relevant));
+}
+
+bool CounterModelRefutesGoals(const Instance& start,
+                              const std::vector<std::vector<Atom>>& goals,
+                              const std::vector<Tgd>& tgds,
+                              const std::vector<CardinalityRule>& rules,
+                              Universe* universe,
+                              size_t max_facts,
+                              size_t max_rounds) {
+  if (universe == nullptr) return false;
+
+  Instance m;
+  bool overflow = false;
+  start.ForEachFactUntil([&](FactRef f) {
+    bool inserted = false;
+    if (!m.TryAddRow(f.relation(), f.args(), &inserted).ok()) {
+      overflow = true;
+      return false;
+    }
+    return true;
+  });
+  if (overflow || m.NumFacts() > max_facts) return false;
+
+  // One fixed witness null per (TGD, existential variable): every firing
+  // of the same TGD lands on the same witnesses, which merges the chase
+  // tree's sibling subtrees. The merged structure still satisfies each
+  // ∀∃ sentence — an existential only needs SOME witness — and the
+  // quotient map from the real chase into it shows every chase fact has
+  // an image here, so a goal that fails here fails in the chase too.
+  std::vector<Substitution> witnesses(tgds.size());
+  for (size_t i = 0; i < tgds.size(); ++i) {
+    for (Term y : tgds[i].ExistentialVariables()) {
+      witnesses[i].emplace(y, universe->FreshNull());
+    }
+  }
+  // Cardinality rules need up to `bound` DISTINCT target facts per
+  // binding, so each rule gets a lazily-grown pool of witness rows, one
+  // per copy index (copies differ in their non-input positions).
+  std::vector<std::vector<std::vector<Term>>> rule_nulls(rules.size());
+
+  bool saturated = false;
+  for (size_t round = 0; round < max_rounds && !saturated; ++round) {
+    std::vector<Fact> pending;
+    for (size_t i = 0; i < tgds.size(); ++i) {
+      const Tgd& tgd = tgds[i];
+      ForEachHomomorphism(
+          tgd.body(), m, nullptr, [&](const Substitution& sub) {
+            Substitution ext = witnesses[i];
+            for (Term x : tgd.ExportedVariables()) {
+              ext.emplace(x, ApplyToTerm(sub, x));
+            }
+            for (const Atom& h : tgd.head()) {
+              Fact f = ApplyToAtom(ext, h);
+              if (!m.Contains(f)) pending.push_back(std::move(f));
+            }
+            return true;
+          });
+    }
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      const CardinalityRule& rule = rules[ri];
+      // Mirror FireCardinalityRound: group source facts by their
+      // input-position tuple, demand min(bound, #matches) distinct
+      // targets per accessible binding.
+      std::map<std::vector<Term>, std::set<std::vector<Term>>> groups;
+      for (FactRef f : m.FactsOf(rule.source_rel)) {
+        std::vector<Term> key;
+        key.reserve(rule.input_positions.size());
+        for (uint32_t p : rule.input_positions) key.push_back(f.arg(p));
+        groups[std::move(key)].insert(
+            std::vector<Term>(f.args().begin(), f.args().end()));
+      }
+      uint32_t arity = universe->Arity(rule.target_rel);
+      for (const auto& [binding, matches] : groups) {
+        if (rule.require_accessible) {
+          bool accessible = true;
+          for (Term t : binding) {
+            if (!m.ContainsRow(rule.accessible_rel, {&t, 1})) {
+              accessible = false;
+              break;
+            }
+          }
+          if (!accessible) continue;
+        }
+        uint64_t j = std::min<uint64_t>(rule.bound, matches.size());
+        uint64_t have = 0;
+        for (FactRef f : m.FactsOf(rule.target_rel)) {
+          bool match = true;
+          for (size_t idx = 0; idx < rule.input_positions.size(); ++idx) {
+            if (f.arg(rule.input_positions[idx]) != binding[idx]) {
+              match = false;
+              break;
+            }
+          }
+          if (match) ++have;
+        }
+        // Top up with canonical copies. A canonical copy already in the
+        // model was counted in `have`, so this cannot loop forever.
+        for (uint64_t c = 0; c < j && have < j; ++c) {
+          while (rule_nulls[ri].size() <= c) {
+            std::vector<Term> row;
+            row.reserve(arity);
+            for (uint32_t p = 0; p < arity; ++p) {
+              row.push_back(universe->FreshNull());
+            }
+            rule_nulls[ri].push_back(std::move(row));
+          }
+          Fact f;
+          f.relation = rule.target_rel;
+          f.args.assign(arity, Term());
+          std::vector<bool> is_input(arity, false);
+          for (size_t idx = 0; idx < rule.input_positions.size(); ++idx) {
+            f.args[rule.input_positions[idx]] = binding[idx];
+            is_input[rule.input_positions[idx]] = true;
+          }
+          for (uint32_t p = 0; p < arity; ++p) {
+            if (!is_input[p]) f.args[p] = rule_nulls[ri][c][p];
+          }
+          if (m.Contains(f)) continue;  // counted in `have` already
+          pending.push_back(std::move(f));
+          ++have;
+        }
+      }
+    }
+    if (pending.empty()) {
+      saturated = true;
+      break;
+    }
+    for (Fact& f : pending) {
+      bool inserted = false;
+      if (!m.TryAddFact(f, &inserted).ok()) return false;
+      if (m.NumFacts() > max_facts) return false;
+    }
+  }
+  if (!saturated) return false;  // no fixpoint within budget: inconclusive
+
+  for (const std::vector<Atom>& goal : goals) {
+    if (FindHomomorphism(goal, m).has_value()) return false;
+  }
+  return true;
+}
+
+bool ResolvePrune(int requested) {
+  if (requested >= 0) return requested != 0;
+  const char* env = std::getenv("RBDA_PRUNE");
+  if (env != nullptr && *env != '\0') {
+    std::string v(env);
+    if (v == "0" || v == "off" || v == "OFF" || v == "false") return false;
+  }
+  return true;
+}
+
+}  // namespace rbda

@@ -125,7 +125,7 @@ StatusOr<Decision> LinearPipeline(const ServiceSchema& work,
     return CheckLinearContainmentFrom(lin->start, lin->goal, lin->tgds,
                                       universe, depth,
                                       options.linear_max_facts,
-                                      options.chase.use_containment_cache);
+                                      options.chase);
   });
   Decision d;
   d.procedure = std::move(procedure);

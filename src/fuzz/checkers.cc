@@ -156,6 +156,36 @@ CheckReport RunCheckerBattery(const ServiceSchema& schema,
     }
   }
 
+  // --- goal-pruned-vs-full: relevance pruning must preserve verdicts. ---
+  if (options.check_goal_pruned) {
+    DecisionOptions pruned_opts = options.decide;
+    pruned_opts.chase.prune_to_goal = true;
+    pruned_opts.chase.inject_overprune_for_testing =
+        options.inject_overprune_bug;
+    DecisionOptions full_opts = options.decide;
+    full_opts.chase.prune_to_goal = false;
+    full_opts.chase.inject_overprune_for_testing = false;
+    StatusOr<Decision> pruned =
+        DecideMonotoneAnswerability(schema, query, pruned_opts);
+    StatusOr<Decision> full =
+        DecideMonotoneAnswerability(schema, query, full_opts);
+    bool ran = pruned.ok() && pruned->complete && full.ok() && full->complete;
+    count(ran);
+    // Pruning is allowed to be MORE complete than the full chase (the
+    // signature prefilter refutes cases whose full chase trips its
+    // budget); only a definite-vs-definite disagreement is a bug.
+    if (ran && pruned->verdict != full->verdict) {
+      AddFinding(&report, "goal-pruned-vs-full",
+                 std::string(options.inject_overprune_bug
+                                 ? "overprune-injected "
+                                 : "") +
+                     "relevance-pruned decide disagrees with the full-Σ "
+                     "decide on " +
+                     FragmentName(fragment) + ": " +
+                     VerdictPair(*pruned, *full));
+    }
+  }
+
   // --- simplification-differential: Table 1 equivalence theorems. ---
   if (options.check_simplification) {
     const char* simp_name = nullptr;

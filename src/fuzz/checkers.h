@@ -27,6 +27,11 @@
 //    answers.
 //  * containment-cache        — cached (miss, then hit) vs. uncached
 //    containment verdicts must be identical.
+//  * goal-pruned-vs-full      — the relevance-pruned decide (the default
+//    goal-directed mode, chase/relevance.h) against the full-Σ decide;
+//    definite verdicts must agree. Pruning being *more* complete (definite
+//    where the full chase tripped its budget) is the designed win, not a
+//    finding.
 //  * fault-injection          — the synthesized monotone plan executed
 //    under N seeded fault plans in partial-result mode must yield outputs
 //    ⊆ the fault-free output (monotonicity ⇒ degradation is a sound
@@ -80,6 +85,14 @@ struct CheckerOptions {
   /// How many mutated fault plans the fault-injection checker runs the
   /// plan under (beyond the deterministic transient-only convergence run).
   size_t fault_plans = 3;
+  /// Test-only fault injection for the relevance analysis: the
+  /// goal-pruned-vs-full checker runs its pruned decide with
+  /// ChaseOptions::inject_overprune_for_testing, which drops one
+  /// backward-reachable relation from the closure (chase/relevance.h) —
+  /// an overpruning bug by construction. The checker must catch the
+  /// resulting definite-verdict flips; never enabled outside tests / the
+  /// --inject-bug=overprune flag.
+  bool inject_overprune_bug = false;
   // Per-checker toggles (all on by default).
   bool check_naive = true;
   bool check_simplification = true;
@@ -87,6 +100,7 @@ struct CheckerOptions {
   bool check_plan = true;
   bool check_chase = true;
   bool check_containment_cache = true;
+  bool check_goal_pruned = true;
   bool check_roundtrip = true;
   bool check_fault_injection = true;
 

@@ -19,6 +19,7 @@ std::string CheckRecordJson(const ContainmentCheckRecord& record) {
   out.AddUint("rounds", record.rounds);
   out.AddUint("facts", record.facts);
   out.AddUint("hom_checks", record.hom_checks);
+  out.AddUint("pruned_constraints", record.pruned_constraints);
   out.AddBool("cache_hit", record.cache_hit);
   return out.ToJson();
 }
@@ -31,6 +32,7 @@ std::string SummaryJsonFromSnapshot(const QueryProfileSnapshot& snap) {
   out.AddUint("rounds", snap.rounds);
   out.AddUint("facts", snap.facts);
   out.AddUint("hom_checks", snap.hom_checks);
+  out.AddUint("pruned_constraints", snap.pruned_constraints);
   out.AddUint("p50_us", snap.check_us.Quantile(0.50));
   out.AddUint("p90_us", snap.check_us.Quantile(0.90));
   out.AddUint("p99_us", snap.check_us.Quantile(0.99));
@@ -66,6 +68,7 @@ void QueryProfiler::RecordCheck(ContainmentCheckRecord record) {
   rounds_ += record.rounds;
   facts_ += record.facts;
   hom_checks_ += record.hom_checks;
+  pruned_constraints_ += record.pruned_constraints;
   check_us_.Record(record.duration_us);
   // Insertion sort into the bounded top-K table (K is tiny).
   auto pos = std::upper_bound(
@@ -95,6 +98,7 @@ QueryProfileSnapshot QueryProfiler::TakeSnapshot() const {
   snap.rounds = rounds_;
   snap.facts = facts_;
   snap.hom_checks = hom_checks_;
+  snap.pruned_constraints = pruned_constraints_;
   snap.check_us = check_us_.TakeSnapshot();
   snap.total_us = snap.check_us.sum;
   snap.top_checks = top_checks_;
@@ -126,6 +130,7 @@ void QueryProfiler::Reset() {
   rounds_ = 0;
   facts_ = 0;
   hom_checks_ = 0;
+  pruned_constraints_ = 0;
   check_us_.Reset();
   top_checks_.clear();
 }

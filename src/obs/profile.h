@@ -39,6 +39,7 @@ struct ContainmentCheckRecord {
   uint64_t rounds = 0;      // chase rounds run for this check
   uint64_t facts = 0;       // facts in the chased instance
   uint64_t hom_checks = 0;  // goal homomorphism checks performed
+  uint64_t pruned_constraints = 0;  // dropped by relevance pruning
   bool cache_hit = false;   // served from the containment cache
 };
 
@@ -50,6 +51,7 @@ struct QueryProfileSnapshot {
   uint64_t rounds = 0;
   uint64_t facts = 0;
   uint64_t hom_checks = 0;
+  uint64_t pruned_constraints = 0;
   HistogramSnapshot check_us;                      // duration distribution
   std::vector<ContainmentCheckRecord> top_checks;  // slowest first
 };
@@ -79,11 +81,12 @@ class QueryProfiler {
   /// `rbda_cli decide --profile=path`:
   ///   {"containment":{"checks":..,"cache_hits":..,"total_us":..,
   ///                   "rounds":..,"facts":..,"hom_checks":..,
+  ///                   "pruned_constraints":..,
   ///                   "p50_us":..,"p90_us":..,"p99_us":..,"p999_us":..,
   ///                   "max_us":..},
   ///    "top_checks":[{"label":..,"goal_relation":..,"duration_us":..,
   ///                   "rounds":..,"facts":..,"hom_checks":..,
-  ///                   "cache_hit":..}, ...]}
+  ///                   "pruned_constraints":..,"cache_hit":..}, ...]}
   std::string ToJson() const;
 
   /// The "containment" sub-object of ToJson() alone — the profile.*
@@ -100,6 +103,7 @@ class QueryProfiler {
   uint64_t rounds_ = 0;
   uint64_t facts_ = 0;
   uint64_t hom_checks_ = 0;
+  uint64_t pruned_constraints_ = 0;
   Histogram check_us_;
   std::vector<ContainmentCheckRecord> top_checks_;  // sorted, slowest first
   std::atomic<uint64_t> slow_check_threshold_us_{100000};

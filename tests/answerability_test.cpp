@@ -546,10 +546,13 @@ TEST(AnswerabilityTest, DecideLeavesObservabilityCounters) {
   Universe u;
   ParsedDocument doc = MustParse(kUniversityBounded, &u);
   // Q2 decides at depth 0; Q1 (not answerable under the bound) forces the
-  // linear engine to actually chase, so both counters move.
+  // engine to actually chase — with pruning off, since goal-directed mode
+  // refutes Q1 from the relation signature without running a round.
   ConjunctiveQuery q1 =
       ConjunctiveQuery::Boolean(doc.queries.at("Q1").atoms());
-  EXPECT_TRUE(MustDecide(doc.schema, q1).complete);
+  DecisionOptions unpruned;
+  unpruned.chase.prune_to_goal = false;
+  EXPECT_TRUE(MustDecide(doc.schema, q1, unpruned).complete);
   EXPECT_TRUE(MustDecide(doc.schema, doc.queries.at("Q2")).complete);
 
   auto counter = [&registry](std::string_view name) -> uint64_t {
@@ -562,6 +565,8 @@ TEST(AnswerabilityTest, DecideLeavesObservabilityCounters) {
   EXPECT_GT(counter("chase.rounds"), 0u);
   EXPECT_GT(counter("containment.checks"), 0u);
   EXPECT_GT(counter("containment.hom_checks"), 0u);
+  // The Q2 decide ran goal-directed, so the prune accounting moved too.
+  EXPECT_GT(counter("containment.prune.checks"), 0u);
   // Stage timings land in distributions.
   auto samples = [&registry](std::string_view name) -> uint64_t {
     for (const auto& [key, stats] : registry.DistributionValues()) {

@@ -348,8 +348,16 @@ TEST_F(ChaseTest, ContainmentUnknownOnBudget) {
   ConjunctiveQuery qp = ConjunctiveQuery::Boolean({Atom(t_, {x_})});
   ChaseOptions options;
   options.max_rounds = 5;
+  options.prune_to_goal = false;  // exercise the raw budgeted-chase path
   EXPECT_EQ(CheckContainment(q, qp, cs, &universe_, options).verdict,
             ContainmentVerdict::kUnknown);
+  // Goal-directed mode notices that no constraint can ever produce T and
+  // refutes the containment outright — strictly more complete than the
+  // budget-limited chase on the same inputs.
+  ChaseOptions pruned;
+  pruned.max_rounds = 5;
+  EXPECT_EQ(CheckContainment(q, qp, cs, &universe_, pruned).verdict,
+            ContainmentVerdict::kNotContained);
 }
 
 TEST_F(ChaseTest, LinearContainmentMatchesGeneric) {
@@ -380,10 +388,18 @@ TEST_F(ChaseTest, LinearContainmentInfiniteChaseDecided) {
   ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a_, b_})});
   ConjunctiveQuery no = ConjunctiveQuery::Boolean({Atom(t_, {x_})});
   uint64_t depth = JohnsonKlugDepthBound(1, ids.size(), 0, 2, 1);
+  ChaseOptions unpruned;
+  unpruned.prune_to_goal = false;
   ContainmentOutcome outcome =
-      CheckLinearContainment(q, no, ids, &universe_, depth);
+      CheckLinearContainment(q, no, ids, &universe_, depth, 500000, unpruned);
   EXPECT_EQ(outcome.verdict, ContainmentVerdict::kNotContained);
   EXPECT_EQ(outcome.depth_reached, depth);  // ran to the bound
+  // Goal-directed mode refutes from the relation signature alone: T is not
+  // reachable from {R, S}, so the engine answers before expanding a level.
+  ContainmentOutcome pruned =
+      CheckLinearContainment(q, no, ids, &universe_, depth);
+  EXPECT_EQ(pruned.verdict, ContainmentVerdict::kNotContained);
+  EXPECT_EQ(pruned.depth_reached, 0u);
 }
 
 TEST_F(ChaseTest, JohnsonKlugBoundPositive) {

@@ -6,6 +6,7 @@
 // share a verdict, and that clearing the cache mid-run is safe.
 #include <vector>
 
+#include "../bench/bench_util.h"
 #include "chase/containment.h"
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
@@ -217,6 +218,72 @@ TEST_F(ContainmentCacheTest, CachedMatchesUncached) {
   ContainmentVerdict hit = CheckContainment(q, goal, cs, &universe_).verdict;
   EXPECT_EQ(plain, miss);
   EXPECT_EQ(miss, hit);
+}
+
+// Regression for the decide#19/#35 cache-miss pair BENCH_obs.json
+// surfaced: TimedParallelSweep used to ClearContainmentCache between its
+// serial and parallel legs, so a check repeated across legs re-chased from
+// scratch. Contract now: one clear + one untimed prewarm pass, then both
+// timed legs replay identical checks from the warm cache.
+TEST_F(ContainmentCacheTest, TimedParallelSweepKeepsCacheWarmAcrossLegs) {
+  ConstraintSet cs;
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                       std::vector<Atom>{Atom(s_, {x_, y_})});
+  Term a = universe_.Constant("a");
+  Term b = universe_.Constant("b");
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a, b})});
+  ConjunctiveQuery goal = ConjunctiveQuery::Boolean({Atom(s_, {a, b})});
+
+  BenchJsonWriter writer("cache-regression");
+  uint64_t hits_before = Hits();
+  int legs = 0;
+  int serial = TimedParallelSweep<int>(
+      &writer, /*jobs=*/2, [&](size_t) {
+        ++legs;
+        return static_cast<int>(
+            CheckContainment(q, goal, cs, &universe_).verdict);
+      });
+  EXPECT_EQ(serial, static_cast<int>(ContainmentVerdict::kContained));
+  ASSERT_EQ(legs, 3) << "prewarm + serial + parallel";
+  // The prewarm leg misses and populates; the two timed legs must hit.
+  EXPECT_EQ(Hits(), hits_before + 2)
+      << "a timed sweep leg re-chased a memoized check";
+  EXPECT_EQ(ContainmentCacheSize(), 1u);
+}
+
+// Pruned and unpruned runs of the same problem are different cache
+// problems: goal-directed mode can be definite (the signature prefilter)
+// where the budgeted full chase is kUnknown, so sharing an entry would
+// replay the wrong answer for one of the two modes.
+TEST_F(ContainmentCacheTest, PruneModeKeysDistinctEntries) {
+  Term z = universe_.Variable("z");
+  ConstraintSet cs;  // cyclic existential R → S → R: the chase never
+                     // terminates, and never makes a T fact
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(r_, {x_, y_})},
+                       std::vector<Atom>{Atom(s_, {y_, z})});
+  cs.tgds.emplace_back(std::vector<Atom>{Atom(s_, {x_, y_})},
+                       std::vector<Atom>{Atom(r_, {y_, z})});
+  Term a = universe_.Constant("a");
+  Term b = universe_.Constant("b");
+  ConjunctiveQuery q = ConjunctiveQuery::Boolean({Atom(r_, {a, b})});
+  ConjunctiveQuery goal = ConjunctiveQuery::Boolean({Atom(t_, {x_})});
+
+  ChaseOptions pruned;
+  pruned.max_rounds = 4;
+  ChaseOptions unpruned = pruned;
+  unpruned.prune_to_goal = false;
+
+  // Both orders: whichever mode populates the cache first, the other mode
+  // must not be served its verdict.
+  EXPECT_EQ(CheckContainment(q, goal, cs, &universe_, pruned).verdict,
+            ContainmentVerdict::kNotContained);
+  EXPECT_EQ(CheckContainment(q, goal, cs, &universe_, unpruned).verdict,
+            ContainmentVerdict::kUnknown);
+  ClearContainmentCache();
+  EXPECT_EQ(CheckContainment(q, goal, cs, &universe_, unpruned).verdict,
+            ContainmentVerdict::kUnknown);
+  EXPECT_EQ(CheckContainment(q, goal, cs, &universe_, pruned).verdict,
+            ContainmentVerdict::kNotContained);
 }
 
 }  // namespace

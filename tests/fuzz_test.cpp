@@ -135,7 +135,8 @@ TEST(FuzzLoopTest, InjectedPartialBugIsCaughtAndShrunk) {
   // Only the robustness checker, so every finding is attributable.
   CheckerOptions& c = options.checkers;
   c.check_naive = c.check_simplification = c.check_oracle = c.check_plan =
-      c.check_chase = c.check_containment_cache = c.check_roundtrip = false;
+      c.check_chase = c.check_containment_cache = c.check_goal_pruned =
+          c.check_roundtrip = false;
   FuzzReport report = RunFuzzer(options);
   ASSERT_FALSE(report.findings.empty())
       << "the injected non-monotone degradation bug went undetected";
@@ -147,6 +148,36 @@ TEST(FuzzLoopTest, InjectedPartialBugIsCaughtAndShrunk) {
     StatusOr<CheckReport> replay = ReplayDocument(f.shrunk, checkers);
     ASSERT_TRUE(replay.ok()) << replay.status().ToString();
     EXPECT_TRUE(replay->Has("fault-injection")) << f.shrunk;
+  }
+}
+
+TEST(FuzzLoopTest, InjectedOverpruneBugIsCaughtAndShrunk) {
+  // --inject-bug=overprune: the relevance closure silently drops one
+  // backward-reachable relation (chase/relevance.h), so the pruned chase
+  // misses constraints it needs and flips definite verdicts. The
+  // goal-pruned-vs-full checker must catch the flip and the shrinker must
+  // minimize the document.
+  FuzzOptions options;
+  options.seed = 1;
+  options.iters = 60;
+  options.checkers.inject_overprune_bug = true;
+  // Only the prune-differential checker, so every finding is attributable.
+  CheckerOptions& c = options.checkers;
+  c.check_naive = c.check_simplification = c.check_oracle = c.check_plan =
+      c.check_chase = c.check_containment_cache = c.check_roundtrip =
+          c.check_fault_injection = false;
+  FuzzReport report = RunFuzzer(options);
+  ASSERT_FALSE(report.findings.empty())
+      << "the injected overpruning bug went undetected";
+  for (const FuzzFinding& f : report.findings) {
+    EXPECT_EQ(f.checker, "goal-pruned-vs-full") << f.detail;
+    EXPECT_LE(CountLines(f.shrunk, "relation "), 3u) << f.shrunk;
+    // The minimized document still reproduces under its recorded seed.
+    CheckerOptions checkers = options.checkers;
+    checkers.seed = f.case_seed;
+    StatusOr<CheckReport> replay = ReplayDocument(f.shrunk, checkers);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE(replay->Has("goal-pruned-vs-full")) << f.shrunk;
   }
 }
 

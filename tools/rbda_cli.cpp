@@ -1,11 +1,16 @@
 // rbda — command-line front end to the library.
 //
 //   rbda decide <schema.rbda> [--finite] [--naive] [--jobs=N]
+//              [--prune=on|off]
 //       Decide monotone answerability of every query in the document.
 //       --jobs=N decides queries concurrently on the task pool (each task
 //       re-parses the document into its own Universe); output is printed
 //       in query order either way, so reports are identical at any job
 //       count. RBDA_JOBS is consulted when the flag is absent.
+//       --prune=off disables goal-directed relevance pruning in the
+//       containment chases (chase/relevance.h); RBDA_PRUNE=0 is the env
+//       equivalent, consulted when the flag is absent. Also honored by
+//       `rbda containment`.
 //   rbda plan <schema.rbda> <query-name> [--rounds=N]
 //       Synthesize a monotone plan (proof-driven, universal fallback).
 //   rbda run <schema.rbda> <query-name> [--selector=first|last|random]
@@ -54,6 +59,7 @@
 #include <vector>
 
 #include "chase/containment.h"
+#include "chase/relevance.h"
 #include "core/answerability.h"
 #include "core/proof_plans.h"
 #include "core/certificates.h"
@@ -114,6 +120,7 @@ struct CliOptions {
   size_t rounds = 3;             // plan
   size_t attempts = 300;         // oracle
   size_t jobs = 0;               // decide: 0 = consult RBDA_JOBS
+  int prune = -1;  // decide/containment: -1 = consult RBDA_PRUNE, default on
   std::vector<std::string> positional;
 
   static bool Parse(int argc, char** argv, CliOptions* out);
@@ -217,6 +224,16 @@ bool CliOptions::Parse(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->jobs = static_cast<size_t>(n);
+    } else if (key == "--prune") {
+      if (value.empty() || value == "on" || value == "1") {
+        out->prune = 1;
+      } else if (value == "off" || value == "0") {
+        out->prune = 0;
+      } else {
+        std::fprintf(stderr, "--prune expects on|off, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
     } else if (key == "--attempts") {
       if (!ParseUint(value, &n)) {
         std::fprintf(stderr, "--attempts expects a number, got '%s'\n",
@@ -253,6 +270,7 @@ std::string DecideOneQuery(const ParsedDocument& doc, Universe* universe,
   const ConjunctiveQuery& query = doc.queries.at(name);
   DecisionOptions options;
   options.force_naive = cli.naive;
+  options.chase.prune_to_goal = ResolvePrune(cli.prune);
   FrozenQuery frozen = FreezeQuery(query, universe);
   DecisionOptions adjusted = options;
   adjusted.accessible_constants = frozen.accessible_constants;
@@ -437,8 +455,10 @@ int CmdContainment(ParsedDocument& doc, Universe* universe,
   if (q1 == nullptr || q2 == nullptr) return 1;
   ConjunctiveQuery b1 = ConjunctiveQuery::Boolean(q1->atoms());
   ConjunctiveQuery b2 = ConjunctiveQuery::Boolean(q2->atoms());
+  ChaseOptions chase;
+  chase.prune_to_goal = ResolvePrune(cli.prune);
   ContainmentOutcome outcome =
-      CheckContainment(b1, b2, doc.schema.constraints(), universe);
+      CheckContainment(b1, b2, doc.schema.constraints(), universe, chase);
   const char* verdict = outcome.verdict == ContainmentVerdict::kContained
                             ? "CONTAINED"
                         : outcome.verdict == ContainmentVerdict::kNotContained
@@ -579,15 +599,16 @@ int EmitProfile(const CliOptions& cli) {
       static_cast<unsigned long long>(snap.check_us.max));
   if (!snap.top_checks.empty()) {
     std::printf("# top %zu slowest checks:\n"
-                "#   %10s %7s %8s %10s %5s %-16s %s\n",
+                "#   %10s %7s %8s %10s %6s %5s %-16s %s\n",
                 snap.top_checks.size(), "dur_us", "rounds", "facts",
-                "hom_checks", "cache", "goal", "label");
+                "hom_checks", "pruned", "cache", "goal", "label");
     for (const ContainmentCheckRecord& c : snap.top_checks) {
-      std::printf("#   %10llu %7llu %8llu %10llu %5s %-16s %s\n",
+      std::printf("#   %10llu %7llu %8llu %10llu %6llu %5s %-16s %s\n",
                   static_cast<unsigned long long>(c.duration_us),
                   static_cast<unsigned long long>(c.rounds),
                   static_cast<unsigned long long>(c.facts),
                   static_cast<unsigned long long>(c.hom_checks),
+                  static_cast<unsigned long long>(c.pruned_constraints),
                   c.cache_hit ? "hit" : "miss",
                   c.goal_relation.empty() ? "-" : c.goal_relation.c_str(),
                   c.label.empty() ? "-" : c.label.c_str());

@@ -3,7 +3,7 @@
 //   rbda_fuzz [--seed=N] [--iters=N] [--fragment=id|fd|uidfd|chain]
 //             [--shrink=0|1] [--out-dir=path] [--inject-bug[=kind]]
 //             [--checkers=name,...] [--fault-plans=N] [--jobs=N]
-//             [--metrics[=path]] [--trace=path]
+//             [--prune=on|off] [--metrics[=path]] [--trace=path]
 //             [--trace-format=jsonl|chrome]
 //       Generate cases, run the checker battery, shrink findings, write
 //       repro files. Exit code: 0 = all checkers agreed on every case,
@@ -20,16 +20,22 @@
 //   --inject-bug=partial — lets a degraded non-monotone plan return results
 //     (CheckerOptions::inject_partial_bug; the fault-injection checker must
 //     flag the over-approximating difference)
+//   --inject-bug=overprune — drops one backward-reachable relation from the
+//     relevance closure (CheckerOptions::inject_overprune_bug; the
+//     goal-pruned checker must flag the verdict flips)
 // --checkers restricts the battery to the named checkers (comma-separated:
-// naive, simplification, oracle, plan, chase, containment-cache, roundtrip,
-// fault-injection). --fault-plans sets how many mutated fault plans the
-// fault-injection checker runs per case.
+// naive, simplification, oracle, plan, chase, containment-cache,
+// goal-pruned, roundtrip, fault-injection). --fault-plans sets how many
+// mutated fault plans the fault-injection checker runs per case.
+// --prune=off disables goal-directed relevance pruning in every decide the
+// battery runs (default on; RBDA_PRUNE=0 is the env equivalent).
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 
+#include "chase/relevance.h"
 #include "fuzz/fuzzer.h"
 #include "obs/chrome_trace.h"
 #include "obs/json.h"
@@ -45,8 +51,8 @@ int Usage() {
       stderr,
       "usage: rbda_fuzz [--seed=N] [--iters=N] "
       "[--fragment=id|fd|uidfd|chain] [--shrink=0|1] [--out-dir=path]\n"
-      "                 [--jobs=N]\n"
-      "                 [--inject-bug[=simplification|partial]] "
+      "                 [--jobs=N] [--prune=on|off]\n"
+      "                 [--inject-bug[=simplification|partial|overprune]] "
       "[--checkers=name,...] [--fault-plans=N]\n"
       "                 [--replay=file.rbda] "
       "[--metrics[=path]] [--trace=path] "
@@ -76,6 +82,7 @@ bool ParseUint(const std::string& text, uint64_t* out) {
 
 struct FuzzCli {
   FuzzOptions fuzz;
+  int prune = -1;  // -1 = unset (RBDA_PRUNE env, then default on)
   std::string replay_path;
   bool metrics = false;
   std::string metrics_path;
@@ -136,10 +143,12 @@ bool FuzzCli::Parse(int argc, char** argv, FuzzCli* out) {
         out->fuzz.checkers.inject_simplification_bug = true;
       } else if (value == "partial") {
         out->fuzz.checkers.inject_partial_bug = true;
+      } else if (value == "overprune") {
+        out->fuzz.checkers.inject_overprune_bug = true;
       } else {
         std::fprintf(stderr,
-                     "--inject-bug expects simplification|partial, got "
-                     "'%s'\n",
+                     "--inject-bug expects simplification|partial|overprune, "
+                     "got '%s'\n",
                      value.c_str());
         return false;
       }
@@ -147,7 +156,8 @@ bool FuzzCli::Parse(int argc, char** argv, FuzzCli* out) {
       CheckerOptions& c = out->fuzz.checkers;
       c.check_naive = c.check_simplification = c.check_oracle =
           c.check_plan = c.check_chase = c.check_containment_cache =
-              c.check_roundtrip = c.check_fault_injection = false;
+              c.check_goal_pruned = c.check_roundtrip =
+                  c.check_fault_injection = false;
       std::stringstream names(value);
       std::string name;
       while (std::getline(names, name, ',')) {
@@ -163,6 +173,8 @@ bool FuzzCli::Parse(int argc, char** argv, FuzzCli* out) {
           c.check_chase = true;
         } else if (name == "containment-cache") {
           c.check_containment_cache = true;
+        } else if (name == "goal-pruned") {
+          c.check_goal_pruned = true;
         } else if (name == "roundtrip") {
           c.check_roundtrip = true;
         } else if (name == "fault-injection") {
@@ -187,6 +199,16 @@ bool FuzzCli::Parse(int argc, char** argv, FuzzCli* out) {
         return false;
       }
       out->fuzz.checkers.fault_plans = static_cast<size_t>(n);
+    } else if (key == "--prune") {
+      if (value.empty() || value == "on" || value == "1") {
+        out->prune = 1;
+      } else if (value == "off" || value == "0") {
+        out->prune = 0;
+      } else {
+        std::fprintf(stderr, "--prune expects on|off, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
     } else if (key == "--replay") {
       if (value.empty()) {
         std::fprintf(stderr, "--replay requires a path\n");
@@ -215,6 +237,7 @@ bool FuzzCli::Parse(int argc, char** argv, FuzzCli* out) {
       return false;
     }
   }
+  out->fuzz.checkers.decide.chase.prune_to_goal = ResolvePrune(out->prune);
   return true;
 }
 
